@@ -1,0 +1,106 @@
+// E7.6-7.9 — bounding boxes: class-box edits defaulting instance
+// placements, procedural invalidation up the hierarchy, and lazy
+// recalculation, swept over hierarchy depth and fan-out.
+#include <benchmark/benchmark.h>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+namespace {
+
+/// A balanced hierarchy: `depth` levels, each cell containing `fanout`
+/// instances of the level below.
+struct Tower {
+  env::Library lib;
+  env::CellClass* leaf;
+  env::CellClass* top;
+
+  Tower(int depth, int fanout) {
+    leaf = &lib.define_cell("L0");
+    leaf->bounding_box().set_user(Value(Rect{0, 0, 10, 10}));
+    env::CellClass* below = leaf;
+    for (int d = 1; d <= depth; ++d) {
+      auto& cell = lib.define_cell("L" + std::to_string(d));
+      const core::Coord w =
+          below->bounding_box().demand().as_rect().width();
+      for (int i = 0; i < fanout; ++i) {
+        cell.add_subcell(*below, "i" + std::to_string(i),
+                         Transform::translate({w * i, 0}));
+      }
+      below = &cell;
+    }
+    top = below;
+  }
+};
+
+}  // namespace
+
+// Leaf growth: every instance placement re-defaults, every containing cell's
+// class box is invalidated; then one demand() recalculates the whole tower.
+static void BM_LeafGrowthRipple(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int fanout = static_cast<int>(state.range(1));
+  Tower tower(depth, fanout);
+  (void)tower.top->bounding_box().demand();
+  core::Coord h = 12;
+  for (auto _ : state) {
+    tower.leaf->bounding_box().set_user(Value(Rect{0, 0, 10, h}));
+    benchmark::DoNotOptimize(tower.top->bounding_box().demand());
+    h = h == 12 ? 10 : 12;
+  }
+}
+BENCHMARK(BM_LeafGrowthRipple)
+    ->ArgsProduct({{1, 2, 3, 4}, {4}})
+    ->ArgsProduct({{3}, {2, 8, 16}});
+
+// Invalidation alone (the incremental editing cost, recalc deferred).
+static void BM_InvalidationOnly(benchmark::State& state) {
+  Tower tower(static_cast<int>(state.range(0)), 4);
+  core::Coord h = 12;
+  for (auto _ : state) {
+    tower.leaf->bounding_box().set_user(Value(Rect{0, 0, 10, h}));
+    h = h == 12 ? 10 : 12;
+  }
+}
+BENCHMARK(BM_InvalidationOnly)->DenseRange(1, 4);
+
+// Recalculation alone (lazy demand after invalidation).
+static void BM_DemandRecalc(benchmark::State& state) {
+  Tower tower(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tower.lib.context().set_enabled(false);
+    for (const auto& cell : tower.lib.cells()) {
+      if (cell.get() != tower.leaf) cell->bounding_box().reset_raw();
+    }
+    tower.lib.context().set_enabled(true);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tower.top->bounding_box().demand());
+  }
+}
+BENCHMARK(BM_DemandRecalc)->DenseRange(1, 4);
+
+// Checking a user-pinned placement against class growth (accept vs reject).
+static void BM_PlacementCheck(benchmark::State& state) {
+  env::Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10}));
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "i");
+  inst.bounding_box().set_user(Value(Rect{0, 0, 15, 15}));
+  const Value ok(Rect{0, 0, 12, 12});
+  const Value too_big(Rect{0, 0, 30, 30});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leaf.bounding_box().set_user(ok));
+    benchmark::DoNotOptimize(leaf.bounding_box().set_user(too_big));  // reject
+  }
+  state.counters["violations"] =
+      static_cast<double>(lib.context().stats().violations);
+}
+BENCHMARK(BM_PlacementCheck);
+
+BENCHMARK_MAIN();

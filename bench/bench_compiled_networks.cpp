@@ -1,0 +1,84 @@
+// E9.3c — compiled constraint networks (thesis §9.3 future work #3):
+// interpreted propagation (agenda + visited bookkeeping + per-assignment
+// fan-out) versus a topologically-sorted compiled sweep, on functional
+// chains and fan-in trees.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+
+using namespace stemcp::core;
+
+namespace {
+
+struct ChainNet {
+  PropagationContext ctx;
+  std::vector<std::unique_ptr<Variable>> vars;
+  std::vector<FunctionalConstraint*> constraints;
+
+  explicit ChainNet(int n) {
+    for (int i = 0; i <= n; ++i) {
+      vars.push_back(
+          std::make_unique<Variable>(ctx, "c", "v" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      auto& add = ctx.make<UniAdditionConstraint>(1.0);
+      add.set_result(*vars[static_cast<std::size_t>(i) + 1]);
+      add.basic_add_argument(*vars[static_cast<std::size_t>(i)]);
+      constraints.push_back(&add);
+    }
+  }
+};
+
+}  // namespace
+
+static void BM_InterpretedChain(benchmark::State& state) {
+  ChainNet net(static_cast<int>(state.range(0)));
+  double next = 1.0;
+  for (auto _ : state) {
+    net.vars[0]->set_user(Value(next));
+    next += 1.0;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InterpretedChain)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+static void BM_CompiledChain(benchmark::State& state) {
+  ChainNet net(static_cast<int>(state.range(0)));
+  auto compiled = CompiledNetwork::compile(net.ctx, net.constraints);
+  double next = 1.0;
+  for (auto _ : state) {
+    net.ctx.set_enabled(false);
+    net.vars[0]->set_user(Value(next));
+    net.ctx.set_enabled(true);
+    benchmark::DoNotOptimize(compiled->evaluate());
+    next += 1.0;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompiledChain)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+// One-time compilation cost (the trade-off the thesis weighs against
+// run-time efficiency).
+static void BM_CompilationCost(benchmark::State& state) {
+  ChainNet net(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CompiledNetwork::compile(net.ctx, net.constraints));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompilationCost)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E9.2.3 — the thesis's complexity claim (§9.2.3):
+//
+//   complexity ∝ Σ_v |constraints(v)|
+//
+// We sweep the number of variables V and the constraints-per-variable
+// density D independently; the time per full propagation should scale with
+// the product V*D (the sum above), not with V or D alone.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+
+using namespace stemcp::core;
+
+namespace {
+
+/// A lattice: V variables in a chain carrying the value (equality), plus D-1
+/// additional predicate constraints attached to every variable (each must be
+/// visited and checked during propagation).
+struct Lattice {
+  PropagationContext ctx;
+  std::vector<std::unique_ptr<Variable>> vars;
+
+  Lattice(int v, int density) {
+    for (int i = 0; i < v; ++i) {
+      vars.push_back(
+          std::make_unique<Variable>(ctx, "l", "v" + std::to_string(i)));
+    }
+    for (int i = 0; i + 1 < v; ++i) {
+      EqualityConstraint::among(ctx, {vars[static_cast<std::size_t>(i)].get(),
+                                      vars[static_cast<std::size_t>(i) + 1]
+                                          .get()});
+    }
+    for (auto& var : vars) {
+      for (int d = 0; d + 1 < density; ++d) {
+        auto& c = ctx.make<BoundConstraint>(Relation::kLessEqual,
+                                            Value(1e18));
+        c.basic_add_argument(*var);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+static void BM_SumOfConstraintsOverVariables(benchmark::State& state) {
+  const int v = static_cast<int>(state.range(0));
+  const int density = static_cast<int>(state.range(1));
+  Lattice lattice(v, density);
+  std::int64_t next = 1;
+  for (auto _ : state) {
+    lattice.vars[0]->set_user(Value(next++));
+  }
+  // The quantity the thesis says drives cost.
+  std::size_t sum = 0;
+  for (const auto& var : lattice.vars) sum += var->constraints().size();
+  state.counters["sum|constraints(v)|"] = static_cast<double>(sum);
+  state.counters["activations/op"] =
+      benchmark::Counter(static_cast<double>(lattice.ctx.stats().activations),
+                         benchmark::Counter::kAvgIterations);
+  state.SetComplexityN(static_cast<std::int64_t>(sum));
+}
+// Same sum reached three ways: many sparse variables, few dense variables,
+// and balanced — times should cluster per sum, not per shape.
+BENCHMARK(BM_SumOfConstraintsOverVariables)
+    ->Args({1024, 2})    // sum ~ 3k
+    ->Args({512, 4})     // sum ~ 3k
+    ->Args({128, 16})    // sum ~ 2.3k
+    ->Args({2048, 2})    // sum ~ 6k
+    ->Args({1024, 4})    // sum ~ 6k
+    ->Args({256, 16})    // sum ~ 4.6k
+    ->Args({4096, 2})
+    ->Args({2048, 4})
+    ->Args({512, 16})
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E6.1/6.4 — consistency maintenance (thesis ch. 6): update-constraints +
+// implicit invocation (erase now, recalculate on demand) versus eager
+// recomputation on every edit, under edit storms.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+#include "stem/hierarchy.h"
+
+using namespace stemcp;
+using core::PropagationContext;
+using core::UpdateConstraint;
+using core::Value;
+using core::Variable;
+
+namespace {
+
+/// A model with S source fields and one derived property whose
+/// recalculation reads every source (cost ~ S).
+struct Derived {
+  PropagationContext ctx;
+  std::vector<std::unique_ptr<Variable>> sources;
+  env::StemVariable property{ctx, "cell", "derived"};
+  std::uint64_t recalcs = 0;
+
+  explicit Derived(int s) {
+    auto& update = ctx.make<UpdateConstraint>();
+    update.add_target(property);
+    for (int i = 0; i < s; ++i) {
+      sources.push_back(
+          std::make_unique<Variable>(ctx, "cell", "src" + std::to_string(i)));
+      sources.back()->set_user(Value(static_cast<std::int64_t>(i)));
+      update.add_source(*sources.back());
+    }
+    property.set_recalculate([this] {
+      ++recalcs;
+      std::int64_t sum = 0;
+      for (const auto& v : sources) {
+        if (v->value().is_int()) sum += v->value().as_int();
+      }
+      property.set_application(Value(sum));
+    });
+  }
+
+  void edit_all(std::int64_t bump) {
+    for (auto& v : sources) {
+      v->set_user(Value(v->value().as_int() + bump));
+    }
+  }
+};
+
+}  // namespace
+
+// Lazy (the thesis's policy): S edits erase once; one demand recalculates.
+static void BM_LazyRecalculation(benchmark::State& state) {
+  Derived d(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    d.edit_all(1);
+    benchmark::DoNotOptimize(d.property.demand());
+  }
+  state.counters["recalcs/op"] = benchmark::Counter(
+      static_cast<double>(d.recalcs), benchmark::Counter::kAvgIterations);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LazyRecalculation)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+// Eager strawman: recompute the derived property after every single edit.
+static void BM_EagerRecalculation(benchmark::State& state) {
+  Derived d(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (auto& v : d.sources) {
+      v->set_user(Value(v->value().as_int() + 1));
+      benchmark::DoNotOptimize(d.property.demand());  // keep it fresh
+    }
+  }
+  state.counters["recalcs/op"] = benchmark::Counter(
+      static_cast<double>(d.recalcs), benchmark::Counter::kAvgIterations);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EagerRecalculation)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+// The no-consumer case: pure edits.  Lazy pays only the constant erase.
+static void BM_EditsWithoutDemand(benchmark::State& state) {
+  Derived d(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    d.edit_all(1);
+  }
+  state.counters["recalcs/op"] = benchmark::Counter(
+      static_cast<double>(d.recalcs), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EditsWithoutDemand)->RangeMultiplier(4)->Range(4, 256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// E4.11/4.12 — dependency analysis: antecedent and consequence traces over
+// propagation chains (thesis §4.2.4).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+
+using namespace stemcp::core;
+
+namespace {
+
+struct Chain {
+  PropagationContext ctx;
+  std::vector<std::unique_ptr<Variable>> vars;
+
+  explicit Chain(int n) {
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(
+          std::make_unique<Variable>(ctx, "c", "v" + std::to_string(i)));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      auto& add = ctx.make<UniAdditionConstraint>(1.0);
+      add.set_result(*vars[static_cast<std::size_t>(i) + 1]);
+      add.basic_add_argument(*vars[static_cast<std::size_t>(i)]);
+    }
+    vars[0]->set_user(Value(0.0));
+  }
+};
+
+}  // namespace
+
+static void BM_Antecedents(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Chain chain(n);
+  for (auto _ : state) {
+    DependencyTrace t = chain.vars.back()->antecedents();
+    benchmark::DoNotOptimize(t.variables.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Antecedents)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+static void BM_Consequences(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Chain chain(n);
+  for (auto _ : state) {
+    DependencyTrace t = chain.vars.front()->consequences();
+    benchmark::DoNotOptimize(t.variables.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Consequences)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+// The thesis's justification for dependency records: efficient erasure when
+// constraints are removed (§4.2.4).  Remove + re-add the middle constraint.
+static void BM_RemovalErasure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PropagationContext ctx;
+  std::vector<std::unique_ptr<Variable>> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(
+        std::make_unique<Variable>(ctx, "c", "v" + std::to_string(i)));
+  }
+  std::vector<UniAdditionConstraint*> adds;
+  for (int i = 0; i + 1 < n; ++i) {
+    auto& add = ctx.make<UniAdditionConstraint>(1.0);
+    add.set_result(*vars[static_cast<std::size_t>(i) + 1]);
+    add.basic_add_argument(*vars[static_cast<std::size_t>(i)]);
+    adds.push_back(&add);
+  }
+  vars[0]->set_user(Value(0.0));
+  UniAdditionConstraint* mid = adds[adds.size() / 2];
+  Variable* mid_in = mid->arguments()[1];  // the input argument
+  for (auto _ : state) {
+    // Remove the input: everything downstream is erased by dependency
+    // analysis; re-adding re-propagates the chain back to life.
+    mid->remove_argument(*mid_in);
+    mid->add_argument(*mid_in);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RemovalErasure)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+BENCHMARK_MAIN();

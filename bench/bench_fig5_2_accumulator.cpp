@@ -1,0 +1,92 @@
+// E5.2 — Fig 5.2: the ACCUMULATOR scenario end to end — re-characterizing a
+// leaf sweeps the whole hierarchy (instance adjust, path sums, class max,
+// spec checks) in one propagation; a violating characterization additionally
+// pays for restore.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::BoundConstraint;
+using core::Value;
+using env::SignalDirection;
+
+namespace {
+constexpr double kNs = 1e-9;
+
+struct Accumulator {
+  env::Library lib;
+  env::CellClass* reg;
+  env::CellClass* adder;
+  env::CellClass* acc;
+  env::ClassDelayVar* acc_delay;
+
+  Accumulator() {
+    reg = &lib.define_cell("REGISTER");
+    reg->declare_signal("in", SignalDirection::kInput);
+    reg->declare_signal("out", SignalDirection::kOutput);
+    reg->declare_delay("in", "out");
+    adder = &lib.define_cell("ADDER");
+    adder->declare_signal("a", SignalDirection::kInput);
+    adder->declare_signal("out", SignalDirection::kOutput);
+    adder->declare_delay("a", "out");
+    BoundConstraint::upper(lib.context(), *adder->find_delay("a", "out"),
+                           Value(120 * kNs));
+    acc = &lib.define_cell("ACCUMULATOR");
+    acc->declare_signal("in", SignalDirection::kInput);
+    acc->declare_signal("out", SignalDirection::kOutput);
+    acc_delay = &acc->declare_delay("in", "out");
+    BoundConstraint::upper(lib.context(), *acc_delay, Value(160 * kNs));
+    auto& r = acc->add_subcell(*reg, "reg");
+    auto& a = acc->add_subcell(*adder, "add");
+    auto& n_in = acc->add_net("n_in");
+    n_in.connect_io("in");
+    n_in.connect(r, "in");
+    auto& n_mid = acc->add_net("n_mid");
+    n_mid.connect(r, "out");
+    n_mid.connect(a, "a");
+    auto& n_out = acc->add_net("n_out");
+    n_out.connect(a, "out");
+    n_out.connect_io("out");
+    acc->build_delay_networks();
+    reg->set_leaf_delay("in", "out", 60 * kNs);
+  }
+};
+
+}  // namespace
+
+// Accepting characterization: full hierarchy update.
+static void BM_AcceptedCharacterization(benchmark::State& state) {
+  Accumulator f;
+  double d = 90 * kNs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.adder->set_leaf_delay("a", "out", d));
+    d = d == 90 * kNs ? 85 * kNs : 90 * kNs;
+  }
+}
+BENCHMARK(BM_AcceptedCharacterization);
+
+// Rejected characterization: detection at the accumulator level + restore.
+static void BM_RejectedCharacterization(benchmark::State& state) {
+  Accumulator f;
+  f.adder->set_leaf_delay("a", "out", 90 * kNs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.adder->set_leaf_delay("a", "out", 110 * kNs));
+  }
+  state.counters["violations"] =
+      static_cast<double>(f.lib.context().stats().violations);
+}
+BENCHMARK(BM_RejectedCharacterization);
+
+// Building the delay network itself (path enumeration + constraint setup).
+static void BM_BuildDelayNetwork(benchmark::State& state) {
+  Accumulator f;
+  for (auto _ : state) {
+    f.acc->build_delay_networks();
+  }
+}
+BENCHMARK(BM_BuildDelayNetwork);
+
+BENCHMARK_MAIN();

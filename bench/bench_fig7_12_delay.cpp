@@ -1,0 +1,134 @@
+// E7.10-7.12 — hierarchical delay networks (thesis §7.3): network
+// construction cost, incremental leaf re-characterization vs full rebuild,
+// and scaling with chain length.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::Value;
+using env::SignalDirection;
+
+namespace {
+constexpr double kNs = 1e-9;
+
+struct Pipeline {
+  env::Library lib;
+  env::CellClass* stage;
+  env::CellClass* top;
+  env::ClassDelayVar* top_delay;
+
+  explicit Pipeline(int stages) {
+    stage = &lib.define_cell("STAGE");
+    stage->declare_signal("in", SignalDirection::kInput);
+    stage->declare_signal("out", SignalDirection::kOutput);
+    stage->declare_delay("in", "out");
+    top = &lib.define_cell("PIPE");
+    top->declare_signal("in", SignalDirection::kInput);
+    top->declare_signal("out", SignalDirection::kOutput);
+    top_delay = &top->declare_delay("in", "out");
+    env::CellInstance* prev = nullptr;
+    for (int i = 0; i < stages; ++i) {
+      auto& u = top->add_subcell(*stage, "u" + std::to_string(i));
+      auto& net = top->add_net("n" + std::to_string(i));
+      if (i == 0) {
+        net.connect_io("in");
+      } else {
+        net.connect(*prev, "out");
+      }
+      net.connect(u, "in");
+      prev = &u;
+    }
+    auto& n_out = top->add_net("n_out");
+    n_out.connect(*prev, "out");
+    n_out.connect_io("out");
+    top->build_delay_networks();
+    stage->set_leaf_delay("in", "out", 2 * kNs);
+  }
+};
+
+}  // namespace
+
+// Incremental: a leaf re-characterization updates all N instance duals, the
+// path sum, the top max — one propagation, no rebuild.
+static void BM_IncrementalRecharacterize(benchmark::State& state) {
+  Pipeline p(static_cast<int>(state.range(0)));
+  double d = 2 * kNs;
+  for (auto _ : state) {
+    d = d == 2 * kNs ? 3 * kNs : 2 * kNs;
+    p.stage->set_leaf_delay("in", "out", d);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalRecharacterize)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+// The batch alternative: rebuild the whole delay network then re-derive.
+static void BM_FullRebuild(benchmark::State& state) {
+  Pipeline p(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    p.top->build_delay_networks();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullRebuild)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+// Path enumeration alone.
+static void BM_PathEnumeration(benchmark::State& state) {
+  Pipeline p(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.top->delay_paths("in", "out"));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PathEnumeration)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+// RC loading: each stage also sees a load-adjustment term; verify the
+// propagation cost is unchanged by the model detail.
+static void BM_IncrementalWithRcModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  env::Library lib;
+  auto& stage = lib.define_cell("STAGE");
+  stage.declare_signal("in", SignalDirection::kInput);
+  stage.declare_signal("out", SignalDirection::kOutput);
+  stage.signal("in").set_load_capacitance(50e-15);
+  stage.signal("out").set_output_resistance(2e3);
+  stage.declare_delay("in", "out");
+  auto& top = lib.define_cell("PIPE");
+  top.declare_signal("in", SignalDirection::kInput);
+  top.declare_signal("out", SignalDirection::kOutput);
+  top.declare_delay("in", "out");
+  env::CellInstance* prev = nullptr;
+  for (int i = 0; i < n; ++i) {
+    auto& u = top.add_subcell(stage, "u" + std::to_string(i));
+    auto& net = top.add_net("n" + std::to_string(i));
+    if (i == 0) {
+      net.connect_io("in");
+    } else {
+      net.connect(*prev, "out");
+    }
+    net.connect(u, "in");
+    prev = &u;
+  }
+  auto& n_out = top.add_net("n_out");
+  n_out.connect(*prev, "out");
+  n_out.connect_io("out");
+  top.build_delay_networks();
+
+  double d = 2 * kNs;
+  for (auto _ : state) {
+    d = d == 2 * kNs ? 3 * kNs : 2 * kNs;
+    stage.set_leaf_delay("in", "out", d);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_IncrementalWithRcModel)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E8.1 — Fig 8.1: module selection for the ALU's generic adder, including
+// the constraint-propagation validity probe (canBeSetTo).
+#include <benchmark/benchmark.h>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::BoundConstraint;
+using core::Rect;
+using core::Transform;
+using core::Value;
+using env::SignalDirection;
+
+namespace {
+constexpr double kNs = 1e-9;
+
+struct AluFixture {
+  env::Library lib;
+  env::CellClass* add8;
+  env::CellInstance* slot;
+  env::ClassDelayVar* alu_delay;
+
+  explicit AluFixture(int realizations) {
+    add8 = &lib.define_cell("ADD8");
+    add8->set_generic(true);
+    add8->declare_signal("in", SignalDirection::kInput);
+    add8->declare_signal("out", SignalDirection::kOutput);
+    add8->declare_delay("in", "out");
+    // A spread of realizations: faster ones are bigger.
+    for (int i = 0; i < realizations; ++i) {
+      auto& r = lib.define_cell("ADD8.v" + std::to_string(i), add8);
+      r.set_leaf_delay("in", "out", (4 + i) * kNs);
+      r.bounding_box().set_user(
+          Value(Rect{0, 0, 8, 10 + 2 * (realizations - i)}));
+    }
+    auto& lu8 = lib.define_cell("LU8");
+    lu8.declare_signal("in", SignalDirection::kInput);
+    lu8.declare_signal("out", SignalDirection::kOutput);
+    lu8.set_leaf_delay("in", "out", 3 * kNs);
+    lu8.bounding_box().set_user(Value(Rect{0, 0, 8, 20}));
+
+    auto& alu = lib.define_cell("ALU");
+    alu.declare_signal("in", SignalDirection::kInput);
+    alu.declare_signal("out", SignalDirection::kOutput);
+    alu_delay = &alu.declare_delay("in", "out");
+    auto& lu = alu.add_subcell(lu8, "lu", Transform::translate({0, 0}));
+    slot = &alu.add_subcell(*add8, "add", Transform::translate({0, 20}));
+    auto& n_in = alu.add_net("n_in");
+    n_in.connect_io("in");
+    n_in.connect(lu, "in");
+    auto& n_mid = alu.add_net("n_mid");
+    n_mid.connect(lu, "out");
+    n_mid.connect(*slot, "in");
+    auto& n_out = alu.add_net("n_out");
+    n_out.connect(*slot, "out");
+    n_out.connect_io("out");
+    alu.build_delay_networks();
+    slot->bounding_box().set_user(Value(Rect{0, 20, 8, 60}));
+    BoundConstraint::upper(lib.context(), *alu_delay,
+                           Value((3 + 4 + realizations / 2) * kNs));
+  }
+};
+
+}  // namespace
+
+static void BM_SelectRealizations(benchmark::State& state) {
+  AluFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.add8->select_realizations_for(*f.slot, {}));
+  }
+  state.counters["candidates"] = static_cast<double>(state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SelectRealizations)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+// The validity probe in isolation: a tentative delay assignment propagated
+// through the ALU network and restored.
+static void BM_CanBeSetToProbe(benchmark::State& state) {
+  AluFixture f(8);
+  auto& dv = f.slot->delay("in", "out");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dv.can_be_set_to(Value(5 * kNs)));
+  }
+}
+BENCHMARK(BM_CanBeSetToProbe);
+
+// Selective testing ablation: delays-first does the expensive probe on
+// every candidate; bBox-first filters cheaply.
+static void BM_TestOrdering_BBoxFirst(benchmark::State& state) {
+  AluFixture f(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.add8->select_realizations_for(*f.slot, {"bBox", "delays"}));
+  }
+}
+BENCHMARK(BM_TestOrdering_BBoxFirst);
+
+static void BM_TestOrdering_DelaysFirst(benchmark::State& state) {
+  AluFixture f(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.add8->select_realizations_for(*f.slot, {"delays", "bBox"}));
+  }
+}
+BENCHMARK(BM_TestOrdering_DelaysFirst);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E7 — incremental vs batch design checking (thesis ch. 7): "by checking
+// only those portions of the design which have changed, incremental design
+// checking can achieve fast enough response times to be run concurrently
+// with design editing".  We apply an edit stream to a wired design and
+// compare (a) incremental checking via propagation against (b) propagation
+// off + a full batch audit after every edit.
+#include <benchmark/benchmark.h>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::Value;
+using env::SignalDirection;
+
+namespace {
+
+/// A design with `cells` leaf classes, each instantiated on its own net
+/// with width constraints; edits flip one signal's class width.
+struct Design {
+  env::Library lib;
+  std::vector<env::CellClass*> leaves;
+
+  explicit Design(int cells) {
+    auto& top = lib.define_cell("TOP");
+    for (int i = 0; i < cells; ++i) {
+      auto& leaf = lib.define_cell("L" + std::to_string(i));
+      leaf.declare_signal("p", SignalDirection::kInOut);
+      leaves.push_back(&leaf);
+      auto& inst = top.add_subcell(leaf, "i" + std::to_string(i));
+      top.add_net("n" + std::to_string(i)).connect(inst, "p");
+    }
+  }
+};
+
+}  // namespace
+
+static void BM_IncrementalChecking(benchmark::State& state) {
+  Design d(static_cast<int>(state.range(0)));
+  std::int64_t w = 8;
+  std::size_t edit = 0;
+  for (auto _ : state) {
+    // One edit: the affected net re-checks during propagation; nothing else
+    // is touched.
+    d.leaves[edit % d.leaves.size()]->signal("p").bit_width().set_user(
+        Value(w));
+    ++edit;
+    w = w == 8 ? 16 : 8;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalChecking)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity(benchmark::o1);
+
+static void BM_BatchCheckingPerEdit(benchmark::State& state) {
+  Design d(static_cast<int>(state.range(0)));
+  auto& top = d.lib.cell("TOP");
+  d.lib.context().set_enabled(false);
+  std::int64_t w = 8;
+  std::size_t edit = 0;
+  for (auto _ : state) {
+    d.leaves[edit % d.leaves.size()]->signal("p").bit_width().set_user(
+        Value(w));
+    ++edit;
+    w = w == 8 ? 16 : 8;
+    // Batch mode: audit the whole design after the edit.
+    benchmark::DoNotOptimize(env::DesignChecker::check(top));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BatchCheckingPerEdit)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+BENCHMARK_MAIN();

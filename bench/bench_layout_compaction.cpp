@@ -1,0 +1,76 @@
+// E7.4 — the thesis's applicability boundary (§7.4/§9.2.3): "low-level
+// design checks, such as layout design rule checking, are not suitable
+// candidate applications for this approach because more specialized ...
+// algorithms are necessary to achieve adequate speed".
+//
+// Both sides implemented: the general framework (SpacingConstraints +
+// relaxation) vs the dedicated constraint-graph compactor, on row layouts
+// of growing size.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+#include "stem/layout/compaction.h"
+
+using namespace stemcp;
+using core::Value;
+
+static void BM_DedicatedCompaction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  env::layout::CompactionGraph g;
+  std::vector<env::layout::NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(g.add_node("n" + std::to_string(i)));
+  }
+  g.pin(nodes[0], 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_spacing(nodes[static_cast<std::size_t>(i)],
+                  nodes[static_cast<std::size_t>(i) + 1], 3 + i % 5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.compact());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DedicatedCompaction)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+static void BM_GeneralFrameworkCompaction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::PropagationContext ctx;
+  std::vector<std::unique_ptr<core::Variable>> vars;
+  std::vector<core::Constraint*> cons;
+  ctx.set_enabled(false);
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(std::make_unique<core::Variable>(
+        ctx, "row", "n" + std::to_string(i)));
+  }
+  ctx.set_enabled(true);
+  for (int i = 0; i + 1 < n; ++i) {
+    cons.push_back(&ctx.make<core::SpacingConstraint>(3.0 + i % 5));
+    cons.back()->basic_add_argument(*vars[static_cast<std::size_t>(i)]);
+    cons.back()->basic_add_argument(*vars[static_cast<std::size_t>(i) + 1]);
+  }
+  for (auto _ : state) {
+    // Reset positions, then solve from scratch (comparable to compact()).
+    ctx.set_enabled(false);
+    vars[0]->set(Value(0.0), core::Justification::user());
+    for (int i = 1; i < n; ++i) {
+      vars[static_cast<std::size_t>(i)]->set(
+          Value(0.0), core::Justification::application());
+    }
+    ctx.set_enabled(true);
+    benchmark::DoNotOptimize(core::RelaxationSolver::solve(ctx, cons));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GeneralFrameworkCompaction)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E4.13/4.14 — live network editing: constraint addition (with precedence-
+// ordered re-propagation) and deletion (with dependency-directed erasure).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+
+using namespace stemcp::core;
+
+// Adding an equality between two populated fan-out groups re-propagates the
+// user value through the union.
+static void BM_AddConstraintToLiveNetwork(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PropagationContext ctx;
+  Variable a(ctx, "e", "a"), b(ctx, "e", "b");
+  std::vector<std::unique_ptr<Variable>> group_a, group_b;
+  auto& eq_a = ctx.make<EqualityConstraint>();
+  eq_a.basic_add_argument(a);
+  auto& eq_b = ctx.make<EqualityConstraint>();
+  eq_b.basic_add_argument(b);
+  for (int i = 0; i < n; ++i) {
+    group_a.push_back(
+        std::make_unique<Variable>(ctx, "e", "a" + std::to_string(i)));
+    eq_a.basic_add_argument(*group_a.back());
+    group_b.push_back(
+        std::make_unique<Variable>(ctx, "e", "b" + std::to_string(i)));
+    eq_b.basic_add_argument(*group_b.back());
+  }
+  a.set_user(Value(1));
+
+  for (auto _ : state) {
+    // Bridge the groups: b's side floods with a's value...
+    auto& bridge = ctx.make<EqualityConstraint>();
+    bridge.basic_add_argument(a);
+    bridge.basic_add_argument(b);
+    bridge.reinitialize_variables();
+    // ...then tear the bridge down: b's side erases again.
+    ctx.destroy_constraint(bridge);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AddConstraintToLiveNetwork)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity();
+
+// Churn on specification predicates: the common editor action of tightening
+// and relaxing bounds on a characterized variable.
+static void BM_SpecChurn(benchmark::State& state) {
+  PropagationContext ctx;
+  Variable d(ctx, "cell", "delay");
+  d.set_application(Value(100.0));
+  for (auto _ : state) {
+    auto& bound = BoundConstraint::upper(ctx, d, Value(150.0));
+    ctx.destroy_constraint(bound);
+  }
+}
+BENCHMARK(BM_SpecChurn);
+
+// Argument-level editing (thesis Fig 4.13/4.14) on a shared constraint.
+static void BM_ArgumentJoinLeave(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PropagationContext ctx;
+  Variable hub(ctx, "e", "hub");
+  auto& eq = ctx.make<EqualityConstraint>();
+  eq.basic_add_argument(hub);
+  std::vector<std::unique_ptr<Variable>> members;
+  for (int i = 0; i < n; ++i) {
+    members.push_back(
+        std::make_unique<Variable>(ctx, "e", "m" + std::to_string(i)));
+    eq.basic_add_argument(*members.back());
+  }
+  hub.set_user(Value(7));
+  Variable joiner(ctx, "e", "joiner");
+  for (auto _ : state) {
+    eq.add_argument(joiner);     // receives 7 via re-propagation
+    eq.remove_argument(joiner);  // erased via dependency analysis
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ArgumentJoinLeave)->RangeMultiplier(4)->Range(4, 256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// E7.2/7.3 — incremental signal typing (thesis §7.1): cost of wiring
+// signals with implied typing constraints and of type inference across a
+// bus, versus net fan-out.
+#include <benchmark/benchmark.h>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::Value;
+using env::SignalDirection;
+
+// Connecting N receivers to a typed driver: each connect instantiates the
+// typing constraints and re-propagates.
+static void BM_ConnectTypedBus(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    env::Library lib;
+    auto& src = lib.define_cell("SRC");
+    src.declare_signal("q", SignalDirection::kOutput);
+    src.signal("q").bit_width().set_user(Value(16));
+    src.signal("q").data_type().set_user(
+        env::type_value(lib.types().at("IntegerSignal")));
+    auto& dst = lib.define_cell("DST");
+    dst.declare_signal("d", SignalDirection::kInput);
+    auto& top = lib.define_cell("TOP");
+    auto& net = top.add_net("bus");
+    auto& s = top.add_subcell(src, "s");
+    std::vector<env::CellInstance*> sinks;
+    for (int i = 0; i < n; ++i) {
+      sinks.push_back(&top.add_subcell(dst, "d" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+
+    benchmark::DoNotOptimize(net.connect(s, "q"));
+    for (env::CellInstance* sink : sinks) {
+      benchmark::DoNotOptimize(net.connect(*sink, "d"));
+    }
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ConnectTypedBus)->RangeMultiplier(4)->Range(4, 256);
+
+// Late type refinement: the net type tightens after N instances (of N
+// distinct classes) are connected; the refinement floods every class var.
+static void BM_LateTypeRefinement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  env::Library lib;
+  auto& top = lib.define_cell("TOP");
+  auto& net = top.add_net("bus");
+  for (int i = 0; i < n; ++i) {
+    auto& c = lib.define_cell("C" + std::to_string(i));
+    c.declare_signal("p", SignalDirection::kInOut);
+    auto& inst = top.add_subcell(c, "i" + std::to_string(i));
+    net.connect(inst, "p");
+  }
+  const auto integer = env::type_value(lib.types().at("IntegerSignal"));
+  const auto bcd = env::type_value(lib.types().at("BCDSignal"));
+  bool flip = false;
+  for (auto _ : state) {
+    // Alternate between erasing and refining so each iteration flows types.
+    state.PauseTiming();
+    lib.context().set_enabled(false);
+    net.data_type().set(core::Value::nil(), core::Justification::user());
+    for (const auto& cell : lib.cells()) {
+      if (cell->find_signal("p") != nullptr) {
+        cell->signal("p").data_type().set(core::Value::nil(),
+                                          core::Justification::user());
+      }
+    }
+    lib.context().set_enabled(true);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(net.data_type().set_user(flip ? integer : bcd));
+    flip = !flip;
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LateTypeRefinement)->RangeMultiplier(4)->Range(4, 256);
+
+// Incremental width checking: flipping the driver's class width floods N
+// instance duals + the net equality.
+static void BM_WidthRipple(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  env::Library lib;
+  auto& c = lib.define_cell("C");
+  c.declare_signal("p", SignalDirection::kInOut);
+  auto& top = lib.define_cell("TOP");
+  // Each instance on its own net so width changes fan out through N nets.
+  for (int i = 0; i < n; ++i) {
+    auto& inst = top.add_subcell(c, "i" + std::to_string(i));
+    top.add_net("n" + std::to_string(i)).connect(inst, "p");
+  }
+  std::int64_t w = 8;
+  for (auto _ : state) {
+    c.signal("p").bit_width().set_user(Value(w));
+    w = w == 8 ? 16 : 8;
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_WidthRipple)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+BENCHMARK_MAIN();

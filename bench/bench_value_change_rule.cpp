@@ -1,0 +1,72 @@
+// E9.2.3b — the value-change-rule ablation: cost of reconvergent-fanout
+// convergence as the per-variable change budget rises (thesis §9.2.3's
+// "quick fix": allow N value changes per propagation cycle).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+
+using namespace stemcp::core;
+
+namespace {
+
+/// A reconvergent ladder: stage i has two constraints feeding one variable
+/// chainwise such that FIFO order recomputes stage i once per upstream
+/// correction.  Depth d therefore needs a change budget that grows with the
+/// number of reconvergent stages.
+struct Ladder {
+  PropagationContext ctx;
+  std::vector<std::unique_ptr<Variable>> vars;
+
+  explicit Ladder(int depth) {
+    vars.push_back(std::make_unique<Variable>(ctx, "l", "src"));
+    Variable* prev = vars.back().get();
+    for (int i = 0; i < depth; ++i) {
+      vars.push_back(std::make_unique<Variable>(
+          ctx, "l", "mid" + std::to_string(i)));
+      Variable* mid = vars.back().get();
+      vars.push_back(std::make_unique<Variable>(
+          ctx, "l", "out" + std::to_string(i)));
+      Variable* out = vars.back().get();
+      // out = prev + mid, where mid = prev + 1: `out` is scheduled once by
+      // prev (stale mid) and again after mid refreshes.
+      auto& consumer = ctx.make<UniAdditionConstraint>(0.0);
+      consumer.set_result(*out);
+      consumer.basic_add_argument(*prev);
+      consumer.basic_add_argument(*mid);
+      auto& producer = ctx.make<UniAdditionConstraint>(1.0);
+      producer.set_result(*mid);
+      producer.basic_add_argument(*prev);
+      prev = out;
+    }
+  }
+};
+
+}  // namespace
+
+static void BM_ReconvergentLadder(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int budget = static_cast<int>(state.range(1));
+  Ladder ladder(depth);
+  ladder.ctx.set_max_changes_per_variable(budget);
+  double next = 1.0;
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    const Status s = ladder.vars[0]->set_user(Value(next));
+    if (s.is_violation()) ++violations;
+    next += 1.0;
+  }
+  state.counters["violations/op"] = benchmark::Counter(
+      static_cast<double>(violations), benchmark::Counter::kAvgIterations);
+  state.counters["assignments/op"] = benchmark::Counter(
+      static_cast<double>(ladder.ctx.stats().assignments),
+      benchmark::Counter::kAvgIterations);
+}
+// depth x budget: budget 1 = the thesis's strict rule (always violates for
+// depth >= 1 after warmup), larger budgets converge at growing cost.
+BENCHMARK(BM_ReconvergentLadder)
+    ->ArgsProduct({{1, 4, 16}, {1, 2, 8, 64}});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Building a 5-bit adder with a GraphCompiler (thesis §6.4.1, Fig 6.2).
+//
+// A 1-bit full-adder slice is tiled five times; butting io-pins establish
+// the ripple-carry chain automatically, the boundary carries are exposed as
+// cell io, and the compiled cell's bounding box and delay network are
+// derived by the environment.
+#include <iostream>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::Rect;
+using core::Transform;
+using core::Value;
+using env::SignalDirection;
+using env::Side;
+
+namespace {
+constexpr double kNs = 1e-9;
+}
+
+int main() {
+  env::Library lib("adder-compiler-demo");
+
+  // The 1-bit slice: carry ripples left to right.
+  auto& slice = lib.define_cell("FAdder");
+  slice.bounding_box().set_user(Value(Rect{0, 0, 10, 20}));
+  slice.declare_signal("cin", SignalDirection::kInput)
+      .add_pin({0, 10}, Side::kLeft);
+  slice.declare_signal("cout", SignalDirection::kOutput)
+      .add_pin({10, 10}, Side::kRight);
+  slice.declare_signal("a", SignalDirection::kInput)
+      .add_pin({3, 20}, Side::kTop);
+  slice.declare_signal("b", SignalDirection::kInput)
+      .add_pin({7, 20}, Side::kTop);
+  slice.declare_signal("sum", SignalDirection::kOutput)
+      .add_pin({5, 0}, Side::kBottom);
+  slice.declare_delay("cin", "cout");
+  slice.set_leaf_delay("cin", "cout", 2 * kNs);
+
+  // Compile the 5-bit adder.
+  auto& adder5 = lib.define_cell("Adder5");
+  env::GraphCompiler g;
+  g.add_node("slice", slice, Transform{}, 5, Side::kRight);
+  g.expose("slice.0", "cin", "carryIn");
+  g.expose("slice.4", "cout", "carryOut");
+  const env::CompileResult r = g.compile(adder5);
+
+  std::cout << "compiled Adder5: " << r.instances << " slices, "
+            << adder5.nets().size() << " nets, " << r.connections
+            << " pin connections, status "
+            << (r.status.is_ok() ? "ok" : "VIOLATION") << "\n";
+  std::cout << "bounding box: "
+            << adder5.bounding_box().demand().to_string() << "\n\n";
+
+  // The compiled structure carries a real carry chain: derive its delay.
+  auto& d = adder5.declare_delay("carryIn", "carryOut");
+  adder5.build_delay_networks();
+  std::cout << "carry chain: " << adder5.delay_paths("carryIn", "carryOut")
+                                      .size()
+            << " path(s); carryIn->carryOut = "
+            << (d.value().is_number()
+                    ? std::to_string(d.value().as_number() / kNs) + " ns"
+                    : "unknown")
+            << " (5 slices x 2 ns)\n\n";
+
+  // Show each net the compiler created.
+  for (const auto& net : adder5.nets()) {
+    std::cout << net->qualified_name() << ":";
+    for (const auto& c : net->connections()) {
+      std::cout << ' '
+                << (c.instance != nullptr ? c.instance->name() : "<io>")
+                << '.' << c.signal;
+    }
+    std::cout << "\n";
+  }
+
+  // A faster slice drops in: the compiled cell's delay follows.
+  std::cout << "\nre-characterizing the slice at 1.5 ns:\n";
+  slice.set_leaf_delay("cin", "cout", 1.5 * kNs);
+  std::cout << "carryIn->carryOut = " << d.value().as_number() / kNs
+            << " ns\n";
+  return 0;
+}

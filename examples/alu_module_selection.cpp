@@ -1,0 +1,122 @@
+// Module selection for an ALU (thesis ch. 8, Fig 8.1).
+//
+// ALU = LU8 -> generic ADD8.  The generic adder defers the implementation
+// choice; automated module selection later picks a realization that
+// satisfies the *context's* constraints: a tight area budget selects the
+// ripple-carry adder, a tight delay budget selects the carry-select adder.
+#include <iostream>
+
+#include "stem/stem.h"
+
+using namespace stemcp;
+using core::Rect;
+using core::Transform;
+using core::Value;
+using env::SignalDirection;
+
+namespace {
+constexpr double kNs = 1e-9;
+
+struct Alu {
+  env::Library lib{"alu-demo"};
+  env::CellClass* add8;
+  env::CellClass* add8_rc;
+  env::CellClass* add8_cs;
+  env::CellClass* alu;
+  env::CellInstance* adder_slot;
+  env::ClassDelayVar* alu_delay;
+
+  Alu() {
+    add8 = &lib.define_cell("ADD8");
+    add8->set_generic(true);
+    add8->declare_signal("in", SignalDirection::kInput);
+    add8->declare_signal("out", SignalDirection::kOutput);
+    add8->declare_delay("in", "out");
+
+    add8_rc = &lib.define_cell("ADD8.RC", add8);
+    add8_rc->set_leaf_delay("in", "out", 8 * kNs);
+    add8_rc->bounding_box().set_user(Value(Rect{0, 0, 8, 10}));  // area A
+
+    add8_cs = &lib.define_cell("ADD8.CS", add8);
+    add8_cs->set_leaf_delay("in", "out", 5 * kNs);
+    add8_cs->bounding_box().set_user(Value(Rect{0, 0, 8, 22}));  // 2.2A
+
+    auto& lu8 = lib.define_cell("LU8");
+    lu8.declare_signal("in", SignalDirection::kInput);
+    lu8.declare_signal("out", SignalDirection::kOutput);
+    lu8.set_leaf_delay("in", "out", 3 * kNs);
+    lu8.bounding_box().set_user(Value(Rect{0, 0, 8, 20}));
+
+    alu = &lib.define_cell("ALU");
+    alu->declare_signal("in", SignalDirection::kInput);
+    alu->declare_signal("out", SignalDirection::kOutput);
+    alu_delay = &alu->declare_delay("in", "out");
+
+    auto& lu = alu->add_subcell(lu8, "lu", Transform::translate({0, 0}));
+    adder_slot = &alu->add_subcell(*add8, "add", Transform::translate({0, 20}));
+    auto& n_in = alu->add_net("n_in");
+    n_in.connect_io("in");
+    n_in.connect(lu, "in");
+    auto& n_mid = alu->add_net("n_mid");
+    n_mid.connect(lu, "out");
+    n_mid.connect(*adder_slot, "in");
+    auto& n_out = alu->add_net("n_out");
+    n_out.connect(*adder_slot, "out");
+    n_out.connect_io("out");
+    alu->build_delay_networks();
+  }
+};
+
+void run_case(const char* label, core::Coord slot_height, double budget_ns) {
+  Alu f;
+  f.adder_slot->bounding_box().set_user(
+      Value(Rect{0, 20, 8, 20 + slot_height}));
+  core::BoundConstraint::upper(f.lib.context(), *f.alu_delay,
+                               Value(budget_ns * kNs));
+
+  std::cout << label << " (adder slot 8x" << slot_height << ", ALU budget "
+            << budget_ns << " ns):\n";
+  const auto found = f.add8->select_realizations_for(*f.adder_slot, {});
+  if (found.empty()) {
+    std::cout << "  no valid realization\n";
+  }
+  for (const env::CellClass* c : found) {
+    std::cout << "  valid realization: " << c->name() << "\n";
+  }
+  const auto& stats = f.lib.selection_stats();
+  std::cout << "  (" << stats.candidates_tested << " candidates tested, "
+            << stats.delay_checks << " delay probes, " << stats.bbox_checks
+            << " bbox checks)\n\n";
+}
+}  // namespace
+
+int main() {
+  std::cout << "ADD8.RC: 8 ns, area A      ADD8.CS: 5 ns, area 2.2A\n"
+            << "LU8:     3 ns ahead of the adder in the critical path\n\n";
+
+  // Thesis Fig 8.1(b): tight area, relaxed delay -> ripple carry.
+  run_case("tight area", 10, 11.0);
+  // Thesis Fig 8.1(c): relaxed area, tight delay -> carry select.
+  run_case("tight delay", 42, 8.0);
+  // Both relaxed: either would do.
+  run_case("relaxed", 42, 20.0);
+  // Both tight: the design point is infeasible.
+  run_case("infeasible", 10, 8.0);
+
+  // Committing a choice: replace the generic instance with the selected
+  // realization and watch the ALU delay become concrete.
+  Alu f;
+  f.adder_slot->bounding_box().set_user(Value(Rect{0, 20, 8, 62}));
+  core::BoundConstraint::upper(f.lib.context(), *f.alu_delay,
+                               Value(8.0 * kNs));
+  const auto found = f.add8->select_realizations_for(*f.adder_slot, {});
+  if (!found.empty()) {
+    std::cout << "committing " << found[0]->name() << " into the slot\n";
+    env::CellInstance& committed =
+        f.alu->replace_subcell(*f.adder_slot, *found[0]);
+    f.alu->build_delay_networks();
+    std::cout << "ALU in->out = " << f.alu_delay->value().as_number() / kNs
+              << " ns (LU8 3 ns + " << committed.cls().name() << " 5 ns)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The constraint editor as a command shell (thesis §5.4).  Reads commands
+// from stdin when interactive; otherwise replays a demonstration script over
+// the Fig 5.2 accumulator design.
+#include <iostream>
+#include <string>
+
+#include "stem/shell.h"
+#include "stem/stem.h"
+
+using namespace stemcp;
+using env::SignalDirection;
+
+namespace {
+constexpr double kNs = 1e-9;
+}
+
+int main(int argc, char** argv) {
+  env::Library lib("shell-demo");
+  auto& reg = lib.define_cell("REGISTER");
+  reg.declare_signal("in", SignalDirection::kInput);
+  reg.declare_signal("out", SignalDirection::kOutput);
+  auto& reg_delay = reg.declare_delay("in", "out");
+  auto& adder = lib.define_cell("ADDER");
+  adder.declare_signal("a", SignalDirection::kInput);
+  adder.declare_signal("out", SignalDirection::kOutput);
+  auto& adder_delay = adder.declare_delay("a", "out");
+  auto& acc = lib.define_cell("ACCUMULATOR");
+  acc.declare_signal("in", SignalDirection::kInput);
+  acc.declare_signal("out", SignalDirection::kOutput);
+  auto& acc_delay = acc.declare_delay("in", "out");
+  core::BoundConstraint::upper(lib.context(), acc_delay,
+                               core::Value(160 * kNs));
+  auto& r = acc.add_subcell(reg, "reg");
+  auto& a = acc.add_subcell(adder, "add");
+  auto& n_in = acc.add_net("n_in");
+  n_in.connect_io("in");
+  n_in.connect(r, "in");
+  auto& mid = acc.add_net("n_mid");
+  mid.connect(r, "out");
+  mid.connect(a, "a");
+  auto& n_out = acc.add_net("n_out");
+  n_out.connect(a, "out");
+  n_out.connect_io("out");
+  acc.build_delay_networks();
+
+  env::ConstraintShell shell(lib.context());
+  shell.register_variable("reg.delay", reg_delay);
+  shell.register_variable("adder.delay", adder_delay);
+  shell.register_variable("acc.delay", acc_delay);
+
+  const bool scripted = argc > 1 && std::string(argv[1]) == "--script";
+  if (scripted || !std::cin.good()) {
+    // Demonstration script: the Fig 5.2 story as shell commands.
+    const char* script[] = {
+        "vars",
+        "set reg.delay 60e-9",
+        "show acc.delay",
+        "probe adder.delay 110e-9",  // would blow the 160 ns budget
+        "set adder.delay 90e-9",
+        "show acc.delay",
+        "antecedents acc.delay",
+        "constraints acc.delay",
+        "warnings",
+    };
+    for (const char* cmd : script) {
+      std::cout << "> " << cmd << "\n" << shell.execute(cmd);
+    }
+    return 0;
+  }
+
+  std::cout << "stemcp constraint shell — 'help' for commands, ctrl-d to "
+               "exit\n";
+  std::string line;
+  while (std::cout << "> " && std::getline(std::cin, line)) {
+    std::cout << shell.execute(line);
+  }
+  return 0;
+}

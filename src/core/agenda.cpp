@@ -1,0 +1,80 @@
+#include "core/agenda.h"
+
+#include <algorithm>
+
+namespace stemcp::core {
+
+AgendaScheduler::AgendaScheduler() {
+  // Deviation from thesis §5.1.2, which puts #implicitConstraints at the
+  // LOWEST priority: that ordering lets a functional constraint recompute
+  // between the implicit updates of its own inputs, so re-characterizing a
+  // cell that appears k times along one delay path changes the path sum k
+  // times — tripping the one-value-change rule the thesis also prescribes.
+  // Draining the implicit agenda FIRST lets every dual of a changed class
+  // variable settle before dependent functional constraints run, and each
+  // variable changes exactly once per session on tree-structured networks.
+  // See EXPERIMENTS.md, deviation 6.
+  set_priority_order({kImplicitConstraintsAgenda,
+                      kFunctionalConstraintsAgenda});
+}
+
+void AgendaScheduler::set_priority_order(std::vector<std::string> names) {
+  order_ = std::move(names);
+  queues_.clear();
+  queues_.reserve(order_.size());
+  for (const auto& n : order_) queues_.push_back(Queue{n, {}, 0, {}});
+}
+
+AgendaScheduler::Queue& AgendaScheduler::queue_named(const std::string& name) {
+  for (auto& q : queues_) {
+    if (q.name == name) return q;
+  }
+  // Unknown agendas are appended at the lowest priority.
+  order_.push_back(name);
+  queues_.push_back(Queue{name, {}, 0, {}});
+  return queues_.back();
+}
+
+bool AgendaScheduler::schedule(const std::string& agenda, Propagatable& task,
+                               Variable* variable) {
+  Queue& q = queue_named(agenda);
+  const Entry e{&task, variable};
+  if (!q.members.insert(e).second) return false;  // duplicate suppression
+  q.fifo.push_back(e);
+  return true;
+}
+
+std::optional<AgendaScheduler::Entry> AgendaScheduler::pop_highest_priority() {
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    Entry e = q.fifo[q.head++];
+    q.members.erase(e);
+    if (q.empty()) {
+      q.fifo.clear();
+      q.head = 0;
+    }
+    return e;
+  }
+  return std::nullopt;
+}
+
+bool AgendaScheduler::empty() const {
+  return std::all_of(queues_.begin(), queues_.end(),
+                     [](const Queue& q) { return q.empty(); });
+}
+
+std::size_t AgendaScheduler::size() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.fifo.size() - q.head;
+  return n;
+}
+
+void AgendaScheduler::clear() {
+  for (auto& q : queues_) {
+    q.fifo.clear();
+    q.head = 0;
+    q.members.clear();
+  }
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,71 @@
+// Agenda scheduler (thesis §4.2.1): named first-in-first-out queues without
+// duplicate entries, drained in fixed priority order.  Functional constraints
+// schedule themselves on #functionalConstraints; hierarchical propagation
+// adds the #implicitConstraints agenda (§5.1.2), drained ahead of the
+// functional agenda here so all duals of a changed class variable settle
+// before dependent recomputation (see agenda.cpp for the deviation note).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stemcp::core {
+
+class Propagatable;
+class Variable;
+
+/// Well-known agenda names.
+inline constexpr const char* kFunctionalConstraintsAgenda =
+    "functionalConstraints";
+inline constexpr const char* kImplicitConstraintsAgenda =
+    "implicitConstraints";
+
+class AgendaScheduler {
+ public:
+  struct Entry {
+    Propagatable* task = nullptr;
+    Variable* variable = nullptr;  ///< changed variable; null for functional
+
+    friend auto operator<=>(const Entry&, const Entry&) = default;
+  };
+
+  AgendaScheduler();
+
+  /// Priority order, highest first.  Unknown agenda names used in schedule()
+  /// are appended at the lowest priority.
+  void set_priority_order(std::vector<std::string> names);
+  const std::vector<std::string>& priority_order() const { return order_; }
+
+  /// `scheduleConstraint:variable:onAgendaNamed:` — returns false if an equal
+  /// entry was already queued (duplicate suppression).
+  bool schedule(const std::string& agenda, Propagatable& task,
+                Variable* variable);
+
+  /// `removeHighestPriorityScheduledEntry` — first entry of the highest
+  /// priority non-empty agenda.
+  std::optional<Entry> pop_highest_priority();
+
+  bool empty() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Queue {
+    std::string name;
+    std::vector<Entry> fifo;
+    std::size_t head = 0;  // pop index; fifo compacted when drained
+    std::set<Entry> members;
+
+    bool empty() const { return head >= fifo.size(); }
+  };
+
+  Queue& queue_named(const std::string& name);
+
+  std::vector<std::string> order_;
+  std::vector<Queue> queues_;  // parallel to order_
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,89 @@
+#include "core/compiled.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/engine.h"
+
+namespace stemcp::core {
+
+std::optional<CompiledNetwork> CompiledNetwork::compile(
+    PropagationContext& ctx, std::vector<FunctionalConstraint*> constraints) {
+  // Kahn's algorithm over producer -> consumer edges.
+  std::map<const Variable*, FunctionalConstraint*> producer;
+  for (FunctionalConstraint* c : constraints) {
+    if (c->result_variable() != nullptr) {
+      producer[c->result_variable()] = c;
+    }
+  }
+  std::map<FunctionalConstraint*, int> indegree;
+  std::map<FunctionalConstraint*, std::vector<FunctionalConstraint*>> out;
+  for (FunctionalConstraint* c : constraints) indegree[c] = 0;
+  for (FunctionalConstraint* c : constraints) {
+    for (const Variable* arg : c->arguments()) {
+      if (arg == c->result_variable()) continue;
+      const auto it = producer.find(arg);
+      if (it != producer.end() && it->second != c) {
+        out[it->second].push_back(c);
+        ++indegree[c];
+      }
+    }
+  }
+  std::vector<FunctionalConstraint*> ready;
+  for (auto& [c, deg] : indegree) {
+    if (deg == 0) ready.push_back(c);
+  }
+  std::vector<FunctionalConstraint*> order;
+  order.reserve(constraints.size());
+  while (!ready.empty()) {
+    FunctionalConstraint* c = ready.back();
+    ready.pop_back();
+    order.push_back(c);
+    for (FunctionalConstraint* succ : out[c]) {
+      if (--indegree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (order.size() != constraints.size()) return std::nullopt;  // cyclic
+  return CompiledNetwork(ctx, std::move(order));
+}
+
+CompiledNetwork::CompiledNetwork(PropagationContext& ctx,
+                                 std::vector<FunctionalConstraint*> order)
+    : ctx_(&ctx), order_(std::move(order)) {
+  // Checks = every constraint attached to a written variable that is not
+  // itself part of the compiled order.
+  std::set<const Propagatable*> members(order_.begin(), order_.end());
+  std::set<Propagatable*> found;
+  for (FunctionalConstraint* c : order_) {
+    Variable* r = c->result_variable();
+    if (r == nullptr) continue;
+    for (Propagatable* attached : r->constraints()) {
+      if (members.count(attached) == 0) found.insert(attached);
+    }
+  }
+  checks_.assign(found.begin(), found.end());
+}
+
+Status CompiledNetwork::evaluate() {
+  for (FunctionalConstraint* c : order_) {
+    Variable* r = c->result_variable();
+    if (r == nullptr) continue;
+    Value v = c->evaluate_function();
+    if (v.is_nil()) continue;  // inputs incomplete
+    r->restore_state(std::move(v),
+                     Justification::propagated(*c, DependencyRecord::all()));
+    ++ctx_->mutable_stats().assignments;
+  }
+  for (Propagatable* check : checks_) {
+    ++ctx_->mutable_stats().checks;
+    if (!check->is_satisfied()) {
+      return ctx_->signal_violation(
+          {check, nullptr, Value::nil(),
+           "compiled network check failed: " + check->describe()});
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,52 @@
+// Compiled constraint networks (thesis §9.3, future work #3).
+//
+// A network of unidirectional functional constraints forms a DAG from
+// inputs to results.  Compiling it means topologically sorting the
+// constraints once; evaluation then runs straight down the order with no
+// agenda, no visited bookkeeping and no per-assignment fan-out — the
+// "complete proceduralization" end of the thesis's declarative/procedural
+// trade-off.  Check-only constraints attached to the written variables are
+// still evaluated after the sweep.
+//
+// Compiled evaluation is batch-mode: values are committed directly (with
+// propagated justifications, so dependency analysis keeps working), and a
+// reported violation does NOT restore previous values — use the
+// interpreted engine when transactional behaviour matters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/constraints/functional.h"
+
+namespace stemcp::core {
+
+class CompiledNetwork {
+ public:
+  /// Topologically sort the given functional constraints (edge: producer's
+  /// result feeds consumer's input).  Returns nullopt if the network is
+  /// cyclic — such networks need the interpreted engine's cycle detection.
+  static std::optional<CompiledNetwork> compile(
+      PropagationContext& ctx, std::vector<FunctionalConstraint*> constraints);
+
+  /// Evaluate every constraint in dependency order, then run isSatisfied on
+  /// all attached check constraints.  Returns a violation status (values
+  /// stay committed) if any check fails.
+  Status evaluate();
+
+  /// The evaluation order (for inspection/testing).
+  const std::vector<FunctionalConstraint*>& order() const { return order_; }
+  /// Check constraints that guard the written variables.
+  const std::vector<Propagatable*>& checks() const { return checks_; }
+
+ private:
+  CompiledNetwork(PropagationContext& ctx,
+                  std::vector<FunctionalConstraint*> order);
+
+  PropagationContext* ctx_;
+  std::vector<FunctionalConstraint*> order_;
+  std::vector<Propagatable*> checks_;
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,148 @@
+#include "core/constraint.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+
+namespace stemcp::core {
+
+namespace {
+
+// Dependency traces store const pointers (analysis is conceptually
+// read-only); erasure is the one place the results are mutated.
+Variable* mutable_var(const Variable* v) { return const_cast<Variable*>(v); }
+
+}  // namespace
+
+bool Constraint::references(const Variable& v) const {
+  return std::find(args_.begin(), args_.end(), &v) != args_.end();
+}
+
+Status Constraint::propagate_variable(Variable& changed) {
+  if (!enabled_) return Status::ok();
+  ctx_.mark_visited(*this);
+  return immediate_inference_by_changing(changed);
+}
+
+Status Constraint::enable() {
+  if (enabled_) return Status::ok();
+  enabled_ = true;
+  return reinitialize_variables();
+}
+
+Status Constraint::immediate_inference_by_changing(Variable&) {
+  return Status::ok();
+}
+
+void Constraint::basic_add_argument(Variable& v) {
+  if (references(v)) return;
+  args_.push_back(&v);
+  v.attach(*this);
+}
+
+Status Constraint::add_argument(Variable& v) {
+  basic_add_argument(v);
+  return reinitialize_variables();
+}
+
+void Constraint::detach_argument_raw(Variable& v) {
+  args_.erase(std::remove(args_.begin(), args_.end(), &v), args_.end());
+}
+
+void Constraint::remove_argument(Variable& v) {
+  if (!references(v)) return;
+  detach_argument_raw(v);
+  v.detach(*this);
+  if (v.last_set_by().constraint() == this) {
+    // The variable's value was last set by this constraint: it and all of
+    // its consequences become unjustified (thesis Fig 4.14).
+    DependencyTrace t;
+    v.consequences(t);
+    v.reset_raw();
+    for (const Variable* cv : t.variables) {
+      if (cv != &v) mutable_var(cv)->reset_raw();
+    }
+  } else {
+    // Reset every variable that is a consequence of v propagating through
+    // this constraint.
+    DependencyTrace t;
+    consequences_of(v, t);
+    for (const Variable* cv : t.variables) mutable_var(cv)->reset_raw();
+  }
+  reinitialize_variables();
+}
+
+Status Constraint::reinitialize_variables() {
+  if (!ctx_.enabled()) return Status::ok();
+  // Network edits happen outside propagation sessions; the re-propagation
+  // of arguments is itself a session (thesis Fig 4.13 rePropagate).
+  return ctx_.run_session([&]() -> Status {
+    // Organize arguments into three precedence groups: user-specified,
+    // constraint-dependent, then other independents.
+    std::vector<Variable*> ordered;
+    ordered.reserve(args_.size());
+    for (Variable* a : args_) {
+      if (a->last_set_by().is_user()) ordered.push_back(a);
+    }
+    for (Variable* a : args_) {
+      if (a->last_set_by().is_propagated()) ordered.push_back(a);
+    }
+    for (Variable* a : args_) {
+      if (!a->last_set_by().is_user() && !a->last_set_by().is_propagated()) {
+        ordered.push_back(a);
+      }
+    }
+    for (Variable* arg : ordered) {
+      // Nil arguments have no value to assert; leaving them unvisited keeps
+      // them assignable by the propagation of the other arguments.
+      if (!arg->has_value()) continue;
+      // putIfAbsent: arguments already visited (e.g. assigned by an earlier
+      // argument's propagation through this constraint) are skipped.
+      if (ctx_.was_visited(*arg)) continue;
+      ctx_.record_visited(*arg);
+      const Status s = arg->propagate_along(*this);
+      if (s.is_violation()) return s;
+    }
+    return Status::ok();
+  });
+}
+
+void Constraint::antecedents_of(const Variable& var,
+                                DependencyTrace& out) const {
+  out.constraints.insert(this);
+  const DependencyRecord& record = var.last_set_by().record();
+  for (const Variable* arg : args_) {
+    if (arg == &var) continue;
+    if (test_membership(*arg, record)) arg->antecedents(out);
+  }
+}
+
+void Constraint::consequences_of(const Variable& var,
+                                 DependencyTrace& out) const {
+  out.constraints.insert(this);
+  for (const Variable* arg : args_) {
+    if (arg == &var) continue;
+    if (arg->last_set_by().constraint() == this &&
+        test_membership(var, arg->last_set_by().record())) {
+      arg->consequences(out);
+    }
+  }
+}
+
+Status Constraint::propagate_value_to(Variable& target, Value v,
+                                      DependencyRecord record) {
+  return target.set_from_constraint(
+      std::move(v), *this,
+      Justification::propagated(*this, std::move(record), strength_));
+}
+
+std::string Constraint::describe() const {
+  std::string s = kind() + "(";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i) s += ", ";
+    s += args_[i]->path();
+  }
+  return s + ")";
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,40 @@
+#include "core/constraints/equality.h"
+
+#include "core/engine.h"
+
+namespace stemcp::core {
+
+EqualityConstraint& EqualityConstraint::among(
+    PropagationContext& ctx, std::initializer_list<Variable*> vars) {
+  auto& c = ctx.make<EqualityConstraint>();
+  for (Variable* v : vars) c.basic_add_argument(*v);
+  c.reinitialize_variables();
+  return c;
+}
+
+Status EqualityConstraint::immediate_inference_by_changing(Variable& changed) {
+  const Value& v = changed.value();
+  if (v.is_nil()) return Status::ok();  // nothing to infer from an erasure
+  for (Variable* arg : args_) {
+    if (arg == &changed) continue;
+    const Status s =
+        propagate_value_to(*arg, v, DependencyRecord::single(changed));
+    if (s.is_violation()) return s;
+  }
+  return Status::ok();
+}
+
+bool EqualityConstraint::is_satisfied() const {
+  const Value* first = nullptr;
+  for (const Variable* arg : args_) {
+    if (arg->value().is_nil()) continue;
+    if (first == nullptr) {
+      first = &arg->value();
+    } else if (*first != arg->value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,27 @@
+// EqualityConstraint (thesis Fig 4.4): all arguments must hold equal values;
+// propagation sets every other argument to the changed variable's value.
+#pragma once
+
+#include <initializer_list>
+
+#include "core/constraint.h"
+
+namespace stemcp::core {
+
+class EqualityConstraint : public Constraint {
+ public:
+  explicit EqualityConstraint(PropagationContext& ctx) : Constraint(ctx) {}
+
+  /// Build and immediately re-propagate over the given variables — the
+  /// `EqualityConstraint with:with:` creation idiom (thesis Fig 6.4).
+  static EqualityConstraint& among(PropagationContext& ctx,
+                                   std::initializer_list<Variable*> vars);
+
+  Status immediate_inference_by_changing(Variable& changed) override;
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override { return "equality"; }
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,146 @@
+#include "core/constraints/functional.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+
+namespace stemcp::core {
+
+void FunctionalConstraint::set_result(Variable& r) {
+  result_ = &r;
+  basic_add_argument(r);
+}
+
+Status FunctionalConstraint::propagate_variable(Variable& changed) {
+  if (!enabled()) return Status::ok();
+  context().mark_visited(*this);
+  if (permit_changes_by(changed)) {
+    context().agenda().schedule(kFunctionalConstraintsAgenda, *this, nullptr);
+  }
+  return Status::ok();
+}
+
+Status FunctionalConstraint::propagate_scheduled(Variable*) {
+  if (result_ == nullptr) return Status::ok();
+  Value v = compute();
+  if (v.is_nil()) return Status::ok();  // inputs incomplete: nothing to assign
+  return propagate_value_to(*result_, std::move(v), DependencyRecord::all());
+}
+
+bool FunctionalConstraint::is_satisfied() const {
+  if (result_ == nullptr || result_->value().is_nil()) return true;
+  const Value v = compute();
+  if (v.is_nil()) return true;  // can't evaluate: vacuously satisfied
+  return result_->value() == v;
+}
+
+bool FunctionalConstraint::test_membership(
+    const Variable& var, const DependencyRecord& record) const {
+  if (record.all_arguments) return &var != result_;
+  return Constraint::test_membership(var, record);
+}
+
+std::vector<const Variable*> FunctionalConstraint::inputs() const {
+  std::vector<const Variable*> in;
+  in.reserve(args_.size());
+  for (const Variable* a : args_) {
+    if (a != result_) in.push_back(a);
+  }
+  return in;
+}
+
+// ---- UniAddition -----------------------------------------------------------
+
+UniAdditionConstraint& UniAdditionConstraint::sum(
+    PropagationContext& ctx, Variable& result,
+    std::initializer_list<Variable*> in, double offset) {
+  auto& c = ctx.make<UniAdditionConstraint>(offset);
+  c.set_result(result);
+  for (Variable* v : in) c.basic_add_argument(*v);
+  c.reinitialize_variables();
+  return c;
+}
+
+Value UniAdditionConstraint::compute() const {
+  bool all_int = offset_ == static_cast<double>(static_cast<std::int64_t>(offset_));
+  double sum = offset_;
+  for (const Variable* in : inputs()) {
+    const Value& v = in->value();
+    if (!v.is_number()) return Value::nil();
+    if (!v.is_int()) all_int = false;
+    sum += v.as_number();
+  }
+  if (all_int) return Value(static_cast<std::int64_t>(sum));
+  return Value(sum);
+}
+
+// ---- UniMaximum ------------------------------------------------------------
+
+UniMaximumConstraint& UniMaximumConstraint::max_of(
+    PropagationContext& ctx, Variable& result,
+    std::initializer_list<Variable*> in) {
+  auto& c = ctx.make<UniMaximumConstraint>();
+  c.set_result(result);
+  for (Variable* v : in) c.basic_add_argument(*v);
+  c.reinitialize_variables();
+  return c;
+}
+
+Value UniMaximumConstraint::compute() const {
+  Value best;
+  for (const Variable* in : inputs()) {
+    const Value& v = in->value();
+    if (!v.is_number()) continue;  // unknown paths don't pull the max down
+    if (best.is_nil() || v.as_number() > best.as_number()) best = v;
+  }
+  return best;
+}
+
+// ---- UniMinimum ------------------------------------------------------------
+
+Value UniMinimumConstraint::compute() const {
+  Value best;
+  for (const Variable* in : inputs()) {
+    const Value& v = in->value();
+    if (!v.is_number()) continue;
+    if (best.is_nil() || v.as_number() < best.as_number()) best = v;
+  }
+  return best;
+}
+
+// ---- UniLinear -------------------------------------------------------------
+
+Value UniLinearConstraint::compute() const {
+  const auto in = inputs();
+  if (in.size() != 1 || !in.front()->value().is_number()) return Value::nil();
+  return Value(scale_ * in.front()->value().as_number() + offset_);
+}
+
+// ---- UniProduct ------------------------------------------------------------
+
+Value UniProductConstraint::compute() const {
+  double product = scale_;
+  for (const Variable* in : inputs()) {
+    const Value& v = in->value();
+    if (!v.is_number()) return Value::nil();
+    product *= v.as_number();
+  }
+  return Value(product);
+}
+
+// ---- UniRectUnion ----------------------------------------------------------
+
+Value UniRectUnionConstraint::compute() const {
+  Rect acc;
+  bool any = false;
+  for (const Variable* in : inputs()) {
+    const Value& v = in->value();
+    if (!v.is_rect()) continue;
+    acc = acc.union_with(v.as_rect());
+    any = true;
+  }
+  if (!any) return Value::nil();
+  return Value(acc);
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,142 @@
+// Functional constraints (thesis §4.2.1): unidirectional mappings from a
+// tuple of argument variables onto a result variable.  Their propagation is
+// deferred onto the #functionalConstraints agenda so every input has a chance
+// to change before the (possibly expensive) recomputation runs — this is what
+// eliminates redundant calculation of transient results (thesis Fig 4.7).
+#pragma once
+
+#include <initializer_list>
+
+#include "core/constraint.h"
+
+namespace stemcp::core {
+
+class FunctionalConstraint : public Constraint {
+ public:
+  explicit FunctionalConstraint(PropagationContext& ctx) : Constraint(ctx) {}
+
+  /// The functional variable receiving the computed value.  Must be set
+  /// before propagation; also registered as an argument.
+  void set_result(Variable& r);
+  Variable* result_variable() const { return result_; }
+
+  /// Schedule instead of propagating immediately (thesis Fig 4.7).
+  Status propagate_variable(Variable& changed) override;
+  /// Recompute and assign the result (invoked by the agenda drain loop).
+  Status propagate_scheduled(Variable* changed) override;
+
+  bool is_satisfied() const override;
+  bool test_membership(const Variable& var,
+                       const DependencyRecord& record) const override;
+
+  /// `permitChangesByVariable:` — false when the result variable itself
+  /// changed (nothing to recompute from).
+  virtual bool permit_changes_by(const Variable& changed) const {
+    return &changed != result_;
+  }
+
+  /// Public evaluation entry used by compiled networks (thesis §9.3).
+  Value evaluate_function() const { return compute(); }
+
+ protected:
+  /// Compute the functional value from the input arguments; nil means "not
+  /// computable yet" and suppresses assignment.
+  virtual Value compute() const = 0;
+
+  /// Arguments excluding the result variable.
+  std::vector<const Variable*> inputs() const;
+
+  Variable* result_ = nullptr;
+};
+
+/// result = sum(inputs) + offset.  All inputs must be numeric and non-nil.
+/// With a single input this doubles as the `+k` constraints of thesis
+/// Fig 4.9.
+class UniAdditionConstraint : public FunctionalConstraint {
+ public:
+  explicit UniAdditionConstraint(PropagationContext& ctx, double offset = 0.0)
+      : FunctionalConstraint(ctx), offset_(offset) {}
+
+  static UniAdditionConstraint& sum(PropagationContext& ctx, Variable& result,
+                                    std::initializer_list<Variable*> inputs,
+                                    double offset = 0.0);
+
+  double offset() const { return offset_; }
+
+ protected:
+  Value compute() const override;
+  std::string kind() const override { return "uniAddition"; }
+
+ private:
+  double offset_;
+};
+
+/// result = max(non-nil inputs); nil when no input is known.  Used at the
+/// head of delay networks (max over path sums, thesis §7.3).
+class UniMaximumConstraint : public FunctionalConstraint {
+ public:
+  explicit UniMaximumConstraint(PropagationContext& ctx)
+      : FunctionalConstraint(ctx) {}
+
+  static UniMaximumConstraint& max_of(PropagationContext& ctx,
+                                      Variable& result,
+                                      std::initializer_list<Variable*> inputs);
+
+ protected:
+  Value compute() const override;
+  std::string kind() const override { return "uniMaximum"; }
+};
+
+/// result = min(non-nil inputs); nil when no input is known.
+class UniMinimumConstraint : public FunctionalConstraint {
+ public:
+  explicit UniMinimumConstraint(PropagationContext& ctx)
+      : FunctionalConstraint(ctx) {}
+
+ protected:
+  Value compute() const override;
+  std::string kind() const override { return "uniMinimum"; }
+};
+
+/// result = scale * input + offset over a single input (delay derating,
+/// technology scaling).
+class UniLinearConstraint : public FunctionalConstraint {
+ public:
+  UniLinearConstraint(PropagationContext& ctx, double scale, double offset)
+      : FunctionalConstraint(ctx), scale_(scale), offset_(offset) {}
+
+ protected:
+  Value compute() const override;
+  std::string kind() const override { return "uniLinear"; }
+
+ private:
+  double scale_;
+  double offset_;
+};
+
+/// result = product(inputs) * scale (area estimates, load products).
+class UniProductConstraint : public FunctionalConstraint {
+ public:
+  explicit UniProductConstraint(PropagationContext& ctx, double scale = 1.0)
+      : FunctionalConstraint(ctx), scale_(scale) {}
+
+ protected:
+  Value compute() const override;
+  std::string kind() const override { return "uniProduct"; }
+
+ private:
+  double scale_;
+};
+
+/// result = union of all non-empty input rectangles (bounding-box roll-up).
+class UniRectUnionConstraint : public FunctionalConstraint {
+ public:
+  explicit UniRectUnionConstraint(PropagationContext& ctx)
+      : FunctionalConstraint(ctx) {}
+
+ protected:
+  Value compute() const override;
+  std::string kind() const override { return "uniRectUnion"; }
+};
+
+}  // namespace stemcp::core

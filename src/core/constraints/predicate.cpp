@@ -1,0 +1,169 @@
+#include "core/constraints/predicate.h"
+
+#include <cmath>
+
+#include "core/engine.h"
+
+namespace stemcp::core {
+
+const char* to_string(Relation r) {
+  switch (r) {
+    case Relation::kLess: return "<";
+    case Relation::kLessEqual: return "<=";
+    case Relation::kGreater: return ">";
+    case Relation::kGreaterEqual: return ">=";
+    case Relation::kEqual: return "==";
+    case Relation::kNotEqual: return "!=";
+  }
+  return "?";
+}
+
+bool holds(Relation r, double lhs, double rhs) {
+  switch (r) {
+    case Relation::kLess: return lhs < rhs;
+    case Relation::kLessEqual: return lhs <= rhs;
+    case Relation::kGreater: return lhs > rhs;
+    case Relation::kGreaterEqual: return lhs >= rhs;
+    case Relation::kEqual: return lhs == rhs;
+    case Relation::kNotEqual: return lhs != rhs;
+  }
+  return false;
+}
+
+// ---- BoundConstraint --------------------------------------------------------
+
+BoundConstraint& BoundConstraint::upper(PropagationContext& ctx, Variable& v,
+                                        Value bound) {
+  auto& c = ctx.make<BoundConstraint>(Relation::kLessEqual, std::move(bound));
+  c.add_argument(v);
+  return c;
+}
+
+BoundConstraint& BoundConstraint::lower(PropagationContext& ctx, Variable& v,
+                                        Value bound) {
+  auto& c =
+      ctx.make<BoundConstraint>(Relation::kGreaterEqual, std::move(bound));
+  c.add_argument(v);
+  return c;
+}
+
+bool BoundConstraint::is_satisfied() const {
+  if (!bound_.is_number()) return true;
+  for (const Variable* arg : args_) {
+    const Value& v = arg->value();
+    if (!v.is_number()) continue;  // unknown characteristics pass vacuously
+    if (!holds(relation_, v.as_number(), bound_.as_number())) return false;
+  }
+  return true;
+}
+
+std::string BoundConstraint::kind() const {
+  return std::string("bound") + to_string(relation_) + bound_.to_string();
+}
+
+// ---- ComparisonConstraint ---------------------------------------------------
+
+ComparisonConstraint& ComparisonConstraint::between(PropagationContext& ctx,
+                                                    Relation r, Variable& lhs,
+                                                    Variable& rhs) {
+  auto& c = ctx.make<ComparisonConstraint>(r);
+  c.basic_add_argument(lhs);
+  c.basic_add_argument(rhs);
+  c.reinitialize_variables();
+  return c;
+}
+
+bool ComparisonConstraint::is_satisfied() const {
+  if (args_.size() < 2) return true;
+  const Value& a = args_[0]->value();
+  const Value& b = args_[1]->value();
+  if (!a.is_number() || !b.is_number()) return true;
+  return holds(relation_, a.as_number(), b.as_number());
+}
+
+std::string ComparisonConstraint::kind() const {
+  return std::string("cmp") + to_string(relation_);
+}
+
+// ---- SpacingConstraint --------------------------------------------------------
+
+SpacingConstraint& SpacingConstraint::apart(PropagationContext& ctx,
+                                            Variable& left, Variable& right,
+                                            double gap) {
+  auto& c = ctx.make<SpacingConstraint>(gap);
+  c.basic_add_argument(left);
+  c.basic_add_argument(right);
+  c.reinitialize_variables();
+  return c;
+}
+
+bool SpacingConstraint::is_satisfied() const {
+  if (args_.size() < 2) return true;
+  const Value& l = args_[0]->value();
+  const Value& r = args_[1]->value();
+  if (!l.is_number() || !r.is_number()) return true;
+  return r.as_number() - l.as_number() >= gap_;
+}
+
+// ---- RangeConstraint --------------------------------------------------------
+
+RangeConstraint& RangeConstraint::over(PropagationContext& ctx, Variable& v,
+                                       double lo, double hi) {
+  auto& c = ctx.make<RangeConstraint>(lo, hi);
+  c.add_argument(v);
+  return c;
+}
+
+bool RangeConstraint::is_satisfied() const {
+  for (const Variable* arg : args_) {
+    const Value& v = arg->value();
+    if (!v.is_number()) continue;
+    if (v.as_number() < lo_ || v.as_number() > hi_) return false;
+  }
+  return true;
+}
+
+// ---- AspectRatioPredicate ---------------------------------------------------
+
+AspectRatioPredicate& AspectRatioPredicate::ratio(PropagationContext& ctx,
+                                                  double r,
+                                                  Variable& bbox_var) {
+  auto& c = ctx.make<AspectRatioPredicate>(r);
+  c.add_argument(bbox_var);
+  return c;
+}
+
+bool AspectRatioPredicate::is_satisfied() const {
+  constexpr double kTolerance = 1e-9;
+  for (const Variable* arg : args_) {
+    const Value& v = arg->value();
+    if (!v.is_rect()) continue;
+    const Rect& r = v.as_rect();
+    if (r.height() == 0) return false;
+    const double ratio = static_cast<double>(r.width()) /
+                         static_cast<double>(r.height());
+    if (std::fabs(ratio - ratio_) > kTolerance) return false;
+  }
+  return true;
+}
+
+// ---- MaxAreaPredicate -------------------------------------------------------
+
+MaxAreaPredicate& MaxAreaPredicate::at_most(PropagationContext& ctx,
+                                            Coord max_area,
+                                            Variable& bbox_var) {
+  auto& c = ctx.make<MaxAreaPredicate>(max_area);
+  c.add_argument(bbox_var);
+  return c;
+}
+
+bool MaxAreaPredicate::is_satisfied() const {
+  for (const Variable* arg : args_) {
+    const Value& v = arg->value();
+    if (!v.is_rect()) continue;
+    if (v.as_rect().area() > max_area_) return false;
+  }
+  return true;
+}
+
+}  // namespace stemcp::core

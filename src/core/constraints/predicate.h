@@ -1,0 +1,177 @@
+// Predicate constraints: pure checks with no inference.  They participate in
+// propagation only by being marked visited, so the final isSatisfied sweep
+// (thesis Fig 4.6) evaluates them whenever an argument changes.  This is the
+// `PredicateConstraint` family of thesis Fig 7.9.
+#pragma once
+
+#include <functional>
+
+#include "core/constraint.h"
+
+namespace stemcp::core {
+
+class PredicateConstraint : public Constraint {
+ public:
+  explicit PredicateConstraint(PropagationContext& ctx) : Constraint(ctx) {}
+  // No inference: the Constraint default marks visited and returns.
+};
+
+/// Comparison against a constant or a second variable.
+enum class Relation { kLess, kLessEqual, kGreater, kGreaterEqual, kEqual,
+                      kNotEqual };
+
+const char* to_string(Relation r);
+bool holds(Relation r, double lhs, double rhs);
+
+/// var <relation> bound — e.g. a "120ns or less" delay specification
+/// (thesis §5.1).  Nil values are vacuously satisfied: specifications only
+/// fire once a characteristic is known.
+class BoundConstraint : public PredicateConstraint {
+ public:
+  BoundConstraint(PropagationContext& ctx, Relation r, Value bound)
+      : PredicateConstraint(ctx), relation_(r), bound_(std::move(bound)) {}
+
+  static BoundConstraint& upper(PropagationContext& ctx, Variable& v,
+                                Value bound);  // v <= bound
+  static BoundConstraint& lower(PropagationContext& ctx, Variable& v,
+                                Value bound);  // v >= bound
+
+  Relation relation() const { return relation_; }
+  const Value& bound() const { return bound_; }
+
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override;
+
+ private:
+  Relation relation_;
+  Value bound_;
+};
+
+/// first-arg <relation> second-arg over two variables (pitch matching, delay
+/// ordering, ...).
+class ComparisonConstraint : public PredicateConstraint {
+ public:
+  ComparisonConstraint(PropagationContext& ctx, Relation r)
+      : PredicateConstraint(ctx), relation_(r) {}
+
+  static ComparisonConstraint& between(PropagationContext& ctx, Relation r,
+                                       Variable& lhs, Variable& rhs);
+
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override;
+
+ private:
+  Relation relation_;
+};
+
+/// left + gap <= right over two variables: the minimum-spacing linear
+/// inequality of Electric-style layout constraint systems (thesis §2.1.1),
+/// used by the layout-compaction comparison.
+class SpacingConstraint : public PredicateConstraint {
+ public:
+  SpacingConstraint(PropagationContext& ctx, double gap)
+      : PredicateConstraint(ctx), gap_(gap) {}
+
+  static SpacingConstraint& apart(PropagationContext& ctx, Variable& left,
+                                  Variable& right, double gap);
+
+  double gap() const { return gap_; }
+  Variable* left() const { return args_.empty() ? nullptr : args_[0]; }
+  Variable* right() const {
+    return args_.size() < 2 ? nullptr : args_[1];
+  }
+
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override { return "spacing"; }
+
+ private:
+  double gap_;
+};
+
+/// lo <= var <= hi — parameter range specifications (thesis §5.1.1).
+class RangeConstraint : public PredicateConstraint {
+ public:
+  RangeConstraint(PropagationContext& ctx, double lo, double hi)
+      : PredicateConstraint(ctx), lo_(lo), hi_(hi) {}
+
+  static RangeConstraint& over(PropagationContext& ctx, Variable& v, double lo,
+                               double hi);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override { return "range"; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// AspectRatioPredicate (thesis Fig 7.9): every rect argument must have
+/// width/height == xYRatio (within a small tolerance).
+class AspectRatioPredicate : public PredicateConstraint {
+ public:
+  AspectRatioPredicate(PropagationContext& ctx, double x_y_ratio)
+      : PredicateConstraint(ctx), ratio_(x_y_ratio) {}
+
+  static AspectRatioPredicate& ratio(PropagationContext& ctx, double r,
+                                     Variable& bbox_var);
+
+  double x_y_ratio() const { return ratio_; }
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override { return "aspectRatio"; }
+
+ private:
+  double ratio_;
+};
+
+/// Maximum area predicate over rect arguments.
+class MaxAreaPredicate : public PredicateConstraint {
+ public:
+  MaxAreaPredicate(PropagationContext& ctx, Coord max_area)
+      : PredicateConstraint(ctx), max_area_(max_area) {}
+
+  static MaxAreaPredicate& at_most(PropagationContext& ctx, Coord max_area,
+                                   Variable& bbox_var);
+
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override { return "maxArea"; }
+
+ private:
+  Coord max_area_;
+};
+
+/// Arbitrary user predicate over the argument list — the open-ended
+/// extension point the thesis advertises ("arbitrary design checking can be
+/// added ... by introducing additional types of constraints", ch. 7).
+class LambdaPredicate : public PredicateConstraint {
+ public:
+  using Test = std::function<bool(const std::vector<Variable*>&)>;
+
+  LambdaPredicate(PropagationContext& ctx, std::string name, Test test)
+      : PredicateConstraint(ctx), name_(std::move(name)),
+        test_(std::move(test)) {}
+
+  bool is_satisfied() const override { return test_(arguments()); }
+
+ protected:
+  std::string kind() const override { return name_; }
+
+ private:
+  std::string name_;
+  Test test_;
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,41 @@
+#include "core/constraints/update.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+
+namespace stemcp::core {
+
+UpdateConstraint& UpdateConstraint::depends(
+    PropagationContext& ctx, std::initializer_list<Variable*> targets,
+    std::initializer_list<Variable*> sources) {
+  auto& c = ctx.make<UpdateConstraint>();
+  for (Variable* t : targets) c.add_target(*t);
+  for (Variable* s : sources) c.add_source(*s);
+  return c;
+}
+
+void UpdateConstraint::add_target(Variable& v) {
+  basic_add_argument(v);
+  if (std::find(targets_.begin(), targets_.end(), &v) == targets_.end()) {
+    targets_.push_back(&v);
+  }
+}
+
+bool UpdateConstraint::is_target(const Variable& v) const {
+  return std::find(targets_.begin(), targets_.end(), &v) != targets_.end();
+}
+
+Status UpdateConstraint::immediate_inference_by_changing(Variable& changed) {
+  // A target being erased or recalculated does not re-trigger the erasure.
+  if (is_target(changed)) return Status::ok();
+  for (Variable* t : targets_) {
+    if (t->value().is_nil()) continue;  // already erased
+    const Status s = propagate_value_to(*t, Value::nil(),
+                                        DependencyRecord::single(changed));
+    if (s.is_violation()) return s;
+  }
+  return Status::ok();
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,39 @@
+// UpdateConstraint (thesis ch. 6): declares that a set of derived property
+// variables depends on a set of source variables.  When any source changes,
+// propagation *erases* (resets to nil) every target; implicit invocation then
+// recalculates the erased values the next time they are demanded.  This
+// combination keeps the design database internally consistent without a
+// severe penalty on updates.
+#pragma once
+
+#include <initializer_list>
+
+#include "core/constraint.h"
+
+namespace stemcp::core {
+
+class UpdateConstraint : public Constraint {
+ public:
+  explicit UpdateConstraint(PropagationContext& ctx) : Constraint(ctx) {}
+
+  static UpdateConstraint& depends(PropagationContext& ctx,
+                                   std::initializer_list<Variable*> targets,
+                                   std::initializer_list<Variable*> sources);
+
+  void add_source(Variable& v) { basic_add_argument(v); }
+  void add_target(Variable& v);
+  bool is_target(const Variable& v) const;
+  const std::vector<Variable*>& targets() const { return targets_; }
+
+  Status immediate_inference_by_changing(Variable& changed) override;
+  /// Validity dependencies assert nothing by themselves.
+  bool is_satisfied() const override { return true; }
+
+ protected:
+  std::string kind() const override { return "update"; }
+
+ private:
+  std::vector<Variable*> targets_;
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,18 @@
+// Umbrella header for the stemcp constraint-propagation core.
+#pragma once
+
+#include "core/agenda.h"
+#include "core/compiled.h"
+#include "core/constraint.h"
+#include "core/constraints/equality.h"
+#include "core/constraints/functional.h"
+#include "core/constraints/predicate.h"
+#include "core/constraints/update.h"
+#include "core/engine.h"
+#include "core/geometry.h"
+#include "core/justification.h"
+#include "core/propagatable.h"
+#include "core/relaxation.h"
+#include "core/status.h"
+#include "core/value.h"
+#include "core/variable.h"

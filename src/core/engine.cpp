@@ -1,0 +1,147 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/constraint.h"
+#include "core/variable.h"
+
+namespace stemcp::core {
+
+PropagationContext::PropagationContext() = default;
+PropagationContext::~PropagationContext() = default;
+
+std::vector<Constraint*> PropagationContext::all_constraints() const {
+  std::vector<Constraint*> out;
+  out.reserve(constraints_.size());
+  for (const auto& c : constraints_) out.push_back(c.get());
+  return out;
+}
+
+void PropagationContext::destroy_constraint(Constraint& c) {
+  // Collect every variable whose value transitively depends on this
+  // constraint, before breaking any link.
+  DependencyTrace trace;
+  for (Variable* arg : c.arguments()) {
+    if (arg->last_set_by().constraint() == &c) arg->consequences(trace);
+  }
+  // Detach from all arguments.
+  const auto args = c.arguments();
+  for (Variable* arg : args) {
+    c.detach_argument_raw(*arg);
+    arg->detach(c);
+  }
+  // Erase the now-unjustified values.
+  for (const Variable* v : trace.variables) {
+    const_cast<Variable*>(v)->reset_raw();
+  }
+  auto it = std::find_if(
+      constraints_.begin(), constraints_.end(),
+      [&](const std::unique_ptr<Constraint>& p) { return p.get() == &c; });
+  if (it == constraints_.end()) {
+    throw std::logic_error("destroy_constraint: not owned by this context");
+  }
+  constraints_.erase(it);
+}
+
+Status PropagationContext::run_session(const std::function<Status()>& body) {
+  if (in_propagation_) {
+    throw std::logic_error("nested propagation session");
+  }
+  in_propagation_ = true;
+  ++stats_.sessions;
+  visited_vars_.clear();
+  visited_constraint_set_.clear();
+  visited_constraints_.clear();
+  agenda_.clear();
+  last_violation_.reset();
+
+  Status s = body();
+  if (s.is_ok()) s = drain_agendas();
+  if (s.is_ok()) s = check_visited_constraints();
+
+  if (s.is_violation()) {
+    ++stats_.violations;
+    if (last_violation_) {
+      // Invoke the violated constraint's handler (thesis §4.2.3); the
+      // default reports through the context.
+      auto* source = const_cast<Propagatable*>(last_violation_->constraint);
+      if (source != nullptr) {
+        source->on_violation(*last_violation_, *this);
+      } else {
+        report_violation(*last_violation_);
+      }
+    }
+    restore_visited();
+  }
+  in_propagation_ = false;
+  return s.is_violation() ? Status::violation() : Status::ok();
+}
+
+bool PropagationContext::was_visited(const Variable& v) const {
+  return visited_vars_.count(const_cast<Variable*>(&v)) != 0;
+}
+
+void PropagationContext::record_visited(Variable& v) {
+  visited_vars_.try_emplace(&v, SavedState{v.value(), v.last_set_by(), 0});
+}
+
+bool PropagationContext::may_change_again(const Variable& v) const {
+  const auto it = visited_vars_.find(const_cast<Variable*>(&v));
+  if (it == visited_vars_.end()) return true;
+  return it->second.changes < max_changes_per_variable_;
+}
+
+void PropagationContext::count_change(Variable& v) {
+  auto it = visited_vars_.find(&v);
+  if (it != visited_vars_.end()) ++it->second.changes;
+}
+
+void PropagationContext::mark_visited(Propagatable& c) {
+  if (visited_constraint_set_.try_emplace(&c, true).second) {
+    visited_constraints_.push_back(&c);
+  }
+}
+
+void PropagationContext::restore_visited() {
+  for (auto& [var, saved] : visited_vars_) {
+    var->restore_state(saved.value, saved.justification);
+    ++stats_.restores;
+  }
+}
+
+Status PropagationContext::signal_violation(ViolationInfo info) {
+  if (!last_violation_) last_violation_ = std::move(info);
+  return Status::violation();
+}
+
+void PropagationContext::report_violation(const ViolationInfo& info) {
+  violation_log_.push_back(info.to_string());
+  if (violation_handler_) violation_handler_(info);
+}
+
+Status PropagationContext::drain_agendas() {
+  while (auto entry = agenda_.pop_highest_priority()) {
+    ++stats_.scheduled_runs;
+    const Status s = entry->task->propagate_scheduled(entry->variable);
+    if (s.is_violation()) return s;
+  }
+  return Status::ok();
+}
+
+Status PropagationContext::check_visited_constraints() {
+  // The final sweep (thesis Fig 4.6): isSatisfied is sent to every visited
+  // constraint.  Implicit-constraint scheduling may mark more constraints
+  // visited while checking does not, so a simple index loop suffices.
+  for (Propagatable* c : visited_constraints_) {
+    ++stats_.checks;
+    if (!c->is_satisfied()) {
+      return signal_violation(
+          {c, nullptr, Value::nil(),
+           "constraint unsatisfied after propagation: " + c->describe()});
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,161 @@
+// PropagationContext: the propagation engine (thesis §4.2).
+//
+// Owns all constraint objects, the agenda scheduler, the global
+// VisitedConstraintsAndVariables dictionary that enforces the
+// one-value-change rule, the CPSwitch enable flag (§5.3), violation
+// reporting, and restore-on-violation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/agenda.h"
+#include "core/justification.h"
+#include "core/status.h"
+#include "core/value.h"
+
+namespace stemcp::core {
+
+class Constraint;
+class Propagatable;
+class Variable;
+
+class PropagationContext {
+ public:
+  PropagationContext();
+  ~PropagationContext();
+
+  PropagationContext(const PropagationContext&) = delete;
+  PropagationContext& operator=(const PropagationContext&) = delete;
+
+  // ---- constraint ownership -------------------------------------------
+  /// Create a constraint owned by this context.  Arguments are forwarded to
+  /// the constraint's constructor after the context reference.
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    auto owned = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T& ref = *owned;
+    constraints_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Destroy a constraint: erase every value that depends on it, detach it
+  /// from all argument variables, and release it (thesis §4.2.5).
+  void destroy_constraint(Constraint& c);
+
+  std::size_t constraint_count() const { return constraints_.size(); }
+  /// Non-owning view of every constraint in the context (for audits and
+  /// global recovery).
+  std::vector<Constraint*> all_constraints() const;
+
+  // ---- CPSwitch ---------------------------------------------------------
+  bool enabled() const { return enabled_; }
+  /// Disable/enable constraint propagation globally (thesis §5.3).  While
+  /// disabled, assignments set values without propagation or checking.
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // ---- session state ----------------------------------------------------
+  bool in_propagation() const { return in_propagation_; }
+
+  /// Run `body` as one propagation session: clear visited state, execute,
+  /// drain agendas, final isSatisfied sweep over visited constraints, and on
+  /// violation invoke the handler and restore every visited variable.
+  Status run_session(const std::function<Status()>& body);
+
+  AgendaScheduler& agenda() { return agenda_; }
+
+  // ---- visited bookkeeping (one-value-change rule) -----------------------
+  bool was_visited(const Variable& v) const;
+  /// Record the variable's pre-change state (first visit only — putIfAbsent).
+  void record_visited(Variable& v);
+  /// May this variable still change in the current session?  With the
+  /// default limit of 1 this is the thesis's one-value-change rule; raising
+  /// the limit is the §9.2.3 "quick fix" for reconvergent fanout, allowing
+  /// N value changes per propagation cycle.
+  bool may_change_again(const Variable& v) const;
+  /// Count one value change against the session limit.
+  void count_change(Variable& v);
+  int max_changes_per_variable() const { return max_changes_per_variable_; }
+  void set_max_changes_per_variable(int n) {
+    max_changes_per_variable_ = n < 1 ? 1 : n;
+  }
+  void mark_visited(Propagatable& c);
+  const std::vector<Propagatable*>& visited_constraints() const {
+    return visited_constraints_;
+  }
+  std::size_t visited_variable_count() const { return visited_vars_.size(); }
+
+  /// Restore every visited variable to its pre-propagation state (thesis
+  /// Fig 4.10).  Public so the constraint editor can offer "restore".
+  void restore_visited();
+
+  // ---- violations ---------------------------------------------------------
+  using ViolationHandler = std::function<void(const ViolationInfo&)>;
+  void set_violation_handler(ViolationHandler h) {
+    violation_handler_ = std::move(h);
+  }
+  /// Record a violation (first one wins within a session) and return
+  /// Status::violation() for convenient tail calls.
+  Status signal_violation(ViolationInfo info);
+  const std::optional<ViolationInfo>& last_violation() const {
+    return last_violation_;
+  }
+  void clear_last_violation() { last_violation_.reset(); }
+  /// Invoked by Propagatable::on_violation's default implementation.
+  void report_violation(const ViolationInfo& info);
+
+  /// All violation messages reported since construction (the thesis's
+  /// warning text window).
+  const std::vector<std::string>& violation_log() const {
+    return violation_log_;
+  }
+
+  // ---- drain / check helpers (exposed for network editing) ---------------
+  Status drain_agendas();
+  Status check_visited_constraints();
+
+  // ---- statistics (used by the benchmark harness) -------------------------
+  struct Stats {
+    std::uint64_t sessions = 0;
+    std::uint64_t assignments = 0;   ///< successful value changes
+    std::uint64_t activations = 0;   ///< propagateVariable: sends
+    std::uint64_t scheduled_runs = 0;///< agenda entries executed
+    std::uint64_t checks = 0;        ///< isSatisfied evaluations
+    std::uint64_t violations = 0;
+    std::uint64_t restores = 0;      ///< variables restored
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  Stats& mutable_stats() { return stats_; }
+
+ private:
+  struct SavedState {
+    Value value;
+    Justification justification;
+    int changes = 0;
+  };
+
+  bool enabled_ = true;
+  bool in_propagation_ = false;
+  int max_changes_per_variable_ = 1;
+
+  std::vector<std::unique_ptr<Constraint>> constraints_;
+  AgendaScheduler agenda_;
+
+  std::map<Variable*, SavedState> visited_vars_;
+  std::map<const Propagatable*, bool> visited_constraint_set_;
+  std::vector<Propagatable*> visited_constraints_;
+
+  std::optional<ViolationInfo> last_violation_;
+  ViolationHandler violation_handler_;
+  std::vector<std::string> violation_log_;
+
+  Stats stats_;
+};
+
+}  // namespace stemcp::core

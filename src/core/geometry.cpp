@@ -1,0 +1,93 @@
+#include "core/geometry.h"
+
+#include <stdexcept>
+
+namespace stemcp::core {
+
+std::string Rect::to_string() const {
+  if (empty()) return "[empty]";
+  return "[" + std::to_string(x0) + "," + std::to_string(y0) + " " +
+         std::to_string(x1) + "," + std::to_string(y1) + "]";
+}
+
+const char* to_string(Orientation o) {
+  switch (o) {
+    case Orientation::kR0: return "R0";
+    case Orientation::kR90: return "R90";
+    case Orientation::kR180: return "R180";
+    case Orientation::kR270: return "R270";
+    case Orientation::kMX: return "MX";
+    case Orientation::kMY: return "MY";
+    case Orientation::kMXR90: return "MXR90";
+    case Orientation::kMYR90: return "MYR90";
+  }
+  return "?";
+}
+
+namespace {
+
+Point orient_point(Orientation o, Point p) {
+  switch (o) {
+    case Orientation::kR0: return {p.x, p.y};
+    case Orientation::kR90: return {-p.y, p.x};
+    case Orientation::kR180: return {-p.x, -p.y};
+    case Orientation::kR270: return {p.y, -p.x};
+    case Orientation::kMX: return {p.x, -p.y};
+    case Orientation::kMY: return {-p.x, p.y};
+    case Orientation::kMXR90: return {p.y, p.x};    // MX then R90
+    case Orientation::kMYR90: return {-p.y, -p.x};  // MY then R90
+  }
+  return p;
+}
+
+// Composition table: result of applying `a` then `b` (orientations only).
+Orientation compose(Orientation a, Orientation b) {
+  // Represent each orientation by its action on the basis vectors and search
+  // the table for the match; eight entries keep this exact and branch-free
+  // enough for placement-heavy loops.
+  const Point ex = orient_point(b, orient_point(a, {1, 0}));
+  const Point ey = orient_point(b, orient_point(a, {0, 1}));
+  for (int i = 0; i < 8; ++i) {
+    auto o = static_cast<Orientation>(i);
+    if (orient_point(o, {1, 0}) == ex && orient_point(o, {0, 1}) == ey) {
+      return o;
+    }
+  }
+  throw std::logic_error("orientation composition not closed");
+}
+
+Orientation invert(Orientation a) {
+  for (int i = 0; i < 8; ++i) {
+    auto o = static_cast<Orientation>(i);
+    if (compose(a, o) == Orientation::kR0) return o;
+  }
+  throw std::logic_error("orientation has no inverse");
+}
+
+}  // namespace
+
+Point Transform::apply(Point p) const { return orient_point(orient_, p) + t_; }
+
+Rect Transform::apply(const Rect& r) const {
+  if (r.empty()) return r;
+  const Point a = apply(Point{r.x0, r.y0});
+  const Point b = apply(Point{r.x1, r.y1});
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+          std::max(a.y, b.y)};
+}
+
+Transform Transform::then(const Transform& other) const {
+  return {compose(orient_, other.orientation()), other.apply(t_)};
+}
+
+Transform Transform::inverse() const {
+  const Orientation io = invert(orient_);
+  return {io, orient_point(io, Point{-t_.x, -t_.y})};
+}
+
+std::string Transform::to_string() const {
+  return std::string(core::to_string(orient_)) + "+(" + std::to_string(t_.x) +
+         "," + std::to_string(t_.y) + ")";
+}
+
+}  // namespace stemcp::core

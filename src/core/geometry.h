@@ -1,0 +1,116 @@
+// Geometry substrate: points, rectangles and the eight Manhattan orientations
+// used for cell placement (thesis §7.2).  Bounding boxes are stored in Value
+// objects and flow through the constraint networks, so this lives in core.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace stemcp::core {
+
+/// Integer design-grid coordinate (lambda units).
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Closed axis-aligned rectangle.  An empty rect has x1 < x0 or y1 < y0.
+struct Rect {
+  Coord x0 = 0;
+  Coord y0 = 0;
+  Coord x1 = -1;  // default-constructed rect is empty
+  Coord y1 = -1;
+
+  static Rect from_extent(Point origin, Coord width, Coord height) {
+    return {origin.x, origin.y, origin.x + width, origin.y + height};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  bool empty() const { return x1 < x0 || y1 < y0; }
+  Coord width() const { return empty() ? 0 : x1 - x0; }
+  Coord height() const { return empty() ? 0 : y1 - y0; }
+  Point origin() const { return {x0, y0}; }
+  Point corner() const { return {x1, y1}; }
+  Point center() const { return {(x0 + x1) / 2, (y0 + y1) / 2}; }
+  Coord area() const { return width() * height(); }
+
+  bool contains(Point p) const {
+    return !empty() && p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  bool contains(const Rect& r) const {
+    return r.empty() ||
+           (!empty() && r.x0 >= x0 && r.x1 <= x1 && r.y0 >= y0 && r.y1 <= y1);
+  }
+  /// "extent >= other extent": can a cell whose class box is `other` be
+  /// placed in this box (thesis Fig 7.7 isSatisfiedBy:)?
+  bool extent_covers(const Rect& r) const {
+    return width() >= r.width() && height() >= r.height();
+  }
+  bool intersects(const Rect& r) const {
+    return !empty() && !r.empty() && r.x0 <= x1 && r.x1 >= x0 && r.y0 <= y1 &&
+           r.y1 >= y0;
+  }
+  Rect union_with(const Rect& r) const {
+    if (empty()) return r;
+    if (r.empty()) return *this;
+    return {std::min(x0, r.x0), std::min(y0, r.y0), std::max(x1, r.x1),
+            std::max(y1, r.y1)};
+  }
+  Rect translated(Point d) const {
+    if (empty()) return *this;
+    return {x0 + d.x, y0 + d.y, x1 + d.x, y1 + d.y};
+  }
+
+  std::string to_string() const;
+};
+
+/// The eight Manhattan orientations of IC layout.
+enum class Orientation : std::uint8_t {
+  kR0,     ///< identity
+  kR90,    ///< rotate 90 degrees counter-clockwise
+  kR180,
+  kR270,
+  kMX,     ///< mirror about the X axis (y -> -y)
+  kMY,     ///< mirror about the Y axis (x -> -x)
+  kMXR90,  ///< mirror X then rotate 90
+  kMYR90,  ///< mirror Y then rotate 90
+};
+
+const char* to_string(Orientation o);
+
+/// Placement transform: orientation followed by translation (thesis §3.3.2,
+/// the `transformation` instance variable of cell instances).
+class Transform {
+ public:
+  Transform() = default;
+  Transform(Orientation o, Point translation) : orient_(o), t_(translation) {}
+  static Transform translate(Point p) { return {Orientation::kR0, p}; }
+
+  Orientation orientation() const { return orient_; }
+  Point translation() const { return t_; }
+
+  Point apply(Point p) const;
+  Rect apply(const Rect& r) const;
+  /// this-then-other composition: (other * this).apply(p) ==
+  /// other.apply(this->apply(p)).
+  Transform then(const Transform& other) const;
+  Transform inverse() const;
+
+  friend bool operator==(const Transform&, const Transform&) = default;
+  std::string to_string() const;
+
+ private:
+  Orientation orient_ = Orientation::kR0;
+  Point t_{};
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,36 @@
+#include "core/justification.h"
+
+#include "core/propagatable.h"
+
+namespace stemcp::core {
+
+const char* to_string(Source s) {
+  switch (s) {
+    case Source::kNone: return "#NONE";
+    case Source::kUser: return "#USER";
+    case Source::kApplication: return "#APPLICATION";
+    case Source::kUpdate: return "#UPDATE";
+    case Source::kDefault: return "#DEFAULT";
+    case Source::kTentative: return "#TENTATIVE";
+    case Source::kPropagated: return "#PROPAGATED";
+  }
+  return "?";
+}
+
+const char* to_string(Strength s) {
+  switch (s) {
+    case Strength::kWeak: return "weak";
+    case Strength::kNormal: return "normal";
+    case Strength::kStrong: return "strong";
+  }
+  return "?";
+}
+
+std::string Justification::to_string() const {
+  if (!is_propagated()) return core::to_string(source_);
+  std::string s = "propagated by ";
+  s += constraint_ != nullptr ? constraint_->describe() : "?";
+  return s;
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,94 @@
+// Justifications record *why* a variable holds its value (thesis §4.2.4).
+//
+// External sources are symbols (#USER, #APPLICATION, ...).  Propagated values
+// carry a key-value pair: the source constraint plus a dependency record that
+// only that constraint knows how to interpret, enabling antecedent and
+// consequence analysis over the dependency graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stemcp::core {
+
+class Propagatable;
+class Variable;
+
+/// External and internal value sources, in the thesis's vocabulary.
+enum class Source {
+  kNone,         ///< never assigned / erased
+  kUser,         ///< #USER — designer-entered; outranks propagated values
+  kApplication,  ///< #APPLICATION — calculated by a tool
+  kUpdate,       ///< #UPDATE — erased by an update-constraint
+  kDefault,      ///< default value inherited from a class definition
+  kTentative,    ///< #TENTATIVE — module-selection probe (canBeSetTo:)
+  kPropagated,   ///< set by a constraint during propagation
+};
+
+const char* to_string(Source s);
+
+/// Strength of a propagated value (thesis §4.2.4's unimplemented
+/// suggestion: "variables can recognize different strengths of constraints,
+/// and allow one type of constraints to overwrite values from another
+/// type").  Stronger propagated values resist overwrites by weaker ones.
+enum class Strength { kWeak, kNormal, kStrong };
+
+const char* to_string(Strength s);
+
+/// Dependency record for a propagated value (thesis §4.2.4).  Interpreted
+/// only by the source constraint: an equality constraint stores the single
+/// activating variable; a functional constraint stores nothing and declares
+/// `all_arguments`, meaning the result depends on every argument.
+struct DependencyRecord {
+  std::vector<const Variable*> vars;
+  bool all_arguments = false;
+
+  static DependencyRecord single(const Variable& v) { return {{&v}, false}; }
+  static DependencyRecord all() { return {{}, true}; }
+  static DependencyRecord none() { return {{}, false}; }
+};
+
+class Justification {
+ public:
+  Justification() = default;
+  explicit Justification(Source s) : source_(s) {}
+
+  static Justification user() { return Justification(Source::kUser); }
+  static Justification application() {
+    return Justification(Source::kApplication);
+  }
+  static Justification update() { return Justification(Source::kUpdate); }
+  static Justification default_value() {
+    return Justification(Source::kDefault);
+  }
+  static Justification tentative() {
+    return Justification(Source::kTentative);
+  }
+  static Justification propagated(Propagatable& source,
+                                  DependencyRecord record,
+                                  Strength strength = Strength::kNormal) {
+    Justification j(Source::kPropagated);
+    j.constraint_ = &source;
+    j.record_ = std::move(record);
+    j.strength_ = strength;
+    return j;
+  }
+
+  Source source() const { return source_; }
+  bool is_propagated() const { return source_ == Source::kPropagated; }
+  bool is_user() const { return source_ == Source::kUser; }
+  Strength strength() const { return strength_; }
+  /// Non-null only for propagated values: the constraint that set the value.
+  Propagatable* constraint() const { return constraint_; }
+  const DependencyRecord& record() const { return record_; }
+
+  std::string to_string() const;
+
+ private:
+  Source source_ = Source::kNone;
+  Propagatable* constraint_ = nullptr;
+  DependencyRecord record_;
+  Strength strength_ = Strength::kNormal;
+};
+
+}  // namespace stemcp::core

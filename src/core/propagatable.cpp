@@ -1,0 +1,28 @@
+#include "core/propagatable.h"
+
+#include "core/engine.h"
+#include "core/variable.h"
+
+namespace stemcp::core {
+
+void Propagatable::on_violation(const ViolationInfo& info,
+                                PropagationContext& ctx) {
+  ctx.report_violation(info);
+}
+
+void Propagatable::antecedents_of(const Variable&, DependencyTrace& out) const {
+  out.constraints.insert(this);
+}
+
+void Propagatable::consequences_of(const Variable&, DependencyTrace&) const {}
+
+bool Propagatable::test_membership(const Variable& var,
+                                   const DependencyRecord& record) const {
+  if (record.all_arguments) return true;
+  for (const Variable* v : record.vars) {
+    if (v == &var) return true;
+  }
+  return false;
+}
+
+}  // namespace stemcp::core

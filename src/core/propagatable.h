@@ -1,0 +1,68 @@
+// Propagatable: the message protocol shared by constraint objects and
+// implicit-constraint variables (thesis §5.1.1 — "these variable-constraints
+// play the roles of both variable and constraint ... responding to
+// propagation messages like isSatisfied and propagateVariable:").
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/justification.h"
+#include "core/status.h"
+
+namespace stemcp::core {
+
+class PropagationContext;
+class Variable;
+
+/// Result sets for dependency analysis (thesis Figs 4.11/4.12).
+struct DependencyTrace {
+  std::set<const Variable*> variables;
+  std::set<const Propagatable*> constraints;
+
+  bool contains(const Variable& v) const { return variables.count(&v) != 0; }
+  bool contains(const Propagatable& c) const {
+    return constraints.count(&c) != 0;
+  }
+};
+
+class Propagatable {
+ public:
+  virtual ~Propagatable() = default;
+
+  /// `propagateVariable:` — react to a changed argument, either by inferring
+  /// values immediately or by scheduling on an agenda.
+  virtual Status propagate_variable(Variable& changed) = 0;
+
+  /// Deferred entry point invoked by the agenda scheduler; `changed` may be
+  /// null for functional constraints (they recompute from all arguments).
+  virtual Status propagate_scheduled(Variable* changed) {
+    return changed ? propagate_variable(*changed) : Status::ok();
+  }
+
+  /// `isSatisfied` — test the assertion against the current argument values.
+  virtual bool is_satisfied() const = 0;
+
+  /// Violation handler hook (thesis §4.2.3); default defers to the context's
+  /// installed handler.  Subclasses may substitute specialized debuggers.
+  virtual void on_violation(const ViolationInfo& info,
+                            PropagationContext& ctx);
+
+  /// Dependency analysis: collect all variables/constraints the value of
+  /// `var` (set by this constraint) depends on.
+  virtual void antecedents_of(const Variable& var, DependencyTrace& out) const;
+  /// Dependency analysis: collect everything downstream of `var` through
+  /// this constraint.
+  virtual void consequences_of(const Variable& var,
+                               DependencyTrace& out) const;
+  /// `testMembershipOf:inDependency:` — does `record` (formulated by this
+  /// constraint) say the recorded value depends on `var`?
+  virtual bool test_membership(const Variable& var,
+                               const DependencyRecord& record) const;
+
+  /// Human-readable identification for the constraint editor and violation
+  /// messages.
+  virtual std::string describe() const = 0;
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,228 @@
+#include "core/relaxation.h"
+
+#include <set>
+
+#include "core/constraints/equality.h"
+#include "core/constraints/functional.h"
+#include "core/constraints/predicate.h"
+#include "core/engine.h"
+
+namespace stemcp::core {
+
+namespace {
+
+bool is_free(const Variable& v) {
+  if (v.last_set_by().source() == Source::kUser) return false;
+  return v.value().is_nil() || v.value().is_number();
+}
+
+void assign(Variable& v, double x, std::size_t& adjustments) {
+  // The solver works outside propagation (global repair); values carry
+  // #APPLICATION justification so later user edits still outrank them.
+  v.set(Value(x), Justification::application());
+  ++adjustments;
+}
+
+/// One local repair step for a single constraint; returns true if it
+/// changed anything.
+bool repair(Constraint& c, std::size_t& adjustments) {
+  if (c.is_satisfied()) return false;
+
+  if (auto* eq = dynamic_cast<EqualityConstraint*>(&c)) {
+    // Pinned value wins; otherwise the mean of the present values.
+    const Variable* pinned = nullptr;
+    double sum = 0.0;
+    int present = 0;
+    for (const Variable* arg : eq->arguments()) {
+      if (!arg->value().is_number()) continue;
+      if (arg->last_set_by().source() == Source::kUser) {
+        if (pinned != nullptr &&
+            pinned->value().as_number() != arg->value().as_number()) {
+          return false;  // two disagreeing user values: locally unsolvable
+        }
+        pinned = arg;
+      }
+      sum += arg->value().as_number();
+      ++present;
+    }
+    if (present == 0) return false;
+    const double target =
+        pinned != nullptr ? pinned->value().as_number() : sum / present;
+    bool changed = false;
+    for (Variable* arg : eq->arguments()) {
+      if (!is_free(*arg)) continue;
+      if (arg->value().is_number() && arg->value().as_number() == target) {
+        continue;
+      }
+      assign(*arg, target, adjustments);
+      changed = true;
+    }
+    return changed;
+  }
+
+  if (auto* lin = dynamic_cast<UniLinearConstraint*>(&c)) {
+    Variable* result = lin->result_variable();
+    const Value computed = lin->evaluate_function();
+    if (result != nullptr && is_free(*result) && computed.is_number()) {
+      assign(*result, computed.as_number(), adjustments);
+      return true;
+    }
+    return false;
+  }
+
+  if (auto* add = dynamic_cast<UniAdditionConstraint*>(&c)) {
+    Variable* result = add->result_variable();
+    const Value computed = add->evaluate_function();
+    if (result == nullptr) return false;
+    if (is_free(*result) && computed.is_number()) {
+      assign(*result, computed.as_number(), adjustments);
+      return true;
+    }
+    // Result pinned: distribute the error over the free inputs.
+    if (!result->value().is_number() || !computed.is_number()) return false;
+    const double error = result->value().as_number() - computed.as_number();
+    std::vector<Variable*> free_inputs;
+    for (Variable* arg : add->arguments()) {
+      if (arg == result) continue;
+      if (is_free(*arg) && arg->value().is_number()) {
+        free_inputs.push_back(arg);
+      }
+    }
+    if (free_inputs.empty()) return false;
+    const double share = error / static_cast<double>(free_inputs.size());
+    for (Variable* arg : free_inputs) {
+      assign(*arg, arg->value().as_number() + share, adjustments);
+    }
+    return true;
+  }
+
+  if (auto* fn = dynamic_cast<FunctionalConstraint*>(&c)) {
+    // Generic functional (max/min/product/...): only the forward direction
+    // is repairable.
+    Variable* result = fn->result_variable();
+    const Value computed = fn->evaluate_function();
+    if (result != nullptr && is_free(*result) && computed.is_number()) {
+      assign(*result, computed.as_number(), adjustments);
+      return true;
+    }
+    return false;
+  }
+
+  if (auto* bound = dynamic_cast<BoundConstraint*>(&c)) {
+    if (!bound->bound().is_number()) return false;
+    bool changed = false;
+    for (Variable* arg : bound->arguments()) {
+      if (!is_free(*arg) || !arg->value().is_number()) continue;
+      const double x = arg->value().as_number();
+      const double b = bound->bound().as_number();
+      if (!holds(bound->relation(), x, b)) {
+        assign(*arg, b, adjustments);  // clamp to the bound
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  if (auto* spacing = dynamic_cast<SpacingConstraint*>(&c)) {
+    Variable* left = spacing->left();
+    Variable* right = spacing->right();
+    if (left == nullptr || right == nullptr) return false;
+    if (!left->value().is_number() || !right->value().is_number()) {
+      return false;
+    }
+    // Push the free side outward, preferring to move `right` (compaction
+    // grows rightward from pinned origins).
+    if (is_free(*right)) {
+      assign(*right, left->value().as_number() + spacing->gap(), adjustments);
+      return true;
+    }
+    if (is_free(*left)) {
+      assign(*left, right->value().as_number() - spacing->gap(), adjustments);
+      return true;
+    }
+    return false;
+  }
+
+  if (auto* range = dynamic_cast<RangeConstraint*>(&c)) {
+    bool changed = false;
+    for (Variable* arg : range->arguments()) {
+      if (!is_free(*arg) || !arg->value().is_number()) continue;
+      const double x = arg->value().as_number();
+      if (x < range->lo()) {
+        assign(*arg, range->lo(), adjustments);
+        changed = true;
+      } else if (x > range->hi()) {
+        assign(*arg, range->hi(), adjustments);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  return false;  // unknown constraint kind: no repair knowledge
+}
+
+}  // namespace
+
+RelaxationSolver::Result RelaxationSolver::solve(
+    PropagationContext& ctx, const std::vector<Constraint*>& constraints,
+    Options options) {
+  Result result;
+  const bool was_enabled = ctx.enabled();
+  ctx.set_enabled(false);  // global repair, not local propagation
+
+  for (result.sweeps = 0; result.sweeps < options.max_sweeps;
+       ++result.sweeps) {
+    bool all_satisfied = true;
+    bool any_change = false;
+    for (Constraint* c : constraints) {
+      if (c->is_satisfied()) continue;
+      all_satisfied = false;
+      any_change |= repair(*c, result.adjustments);
+    }
+    if (all_satisfied) {
+      result.solved = true;
+      break;
+    }
+    if (!any_change) break;  // stuck: no repair made progress
+  }
+
+  // Final audit.
+  result.unsatisfied.clear();
+  for (const Constraint* c : constraints) {
+    if (!c->is_satisfied()) result.unsatisfied.push_back(c);
+  }
+  result.solved = result.unsatisfied.empty();
+
+  ctx.set_enabled(was_enabled);
+  return result;
+}
+
+RelaxationSolver::Result RelaxationSolver::recover(PropagationContext& ctx,
+                                                   Options options) {
+  const Result result = solve(ctx, ctx.all_constraints(), options);
+  ctx.set_enabled(true);
+  return result;
+}
+
+RelaxationSolver::Result RelaxationSolver::solve_around(
+    PropagationContext& ctx, const std::vector<Variable*>& roots,
+    Options options) {
+  // Breadth-first closure over the bipartite graph.
+  std::set<Variable*> vars;
+  std::set<Constraint*> cons;
+  std::vector<Variable*> queue = roots;
+  while (!queue.empty()) {
+    Variable* v = queue.back();
+    queue.pop_back();
+    if (!vars.insert(v).second) continue;
+    for (Propagatable* p : v->constraints()) {
+      auto* c = dynamic_cast<Constraint*>(p);
+      if (c == nullptr || !cons.insert(c).second) continue;
+      for (Variable* arg : c->arguments()) queue.push_back(arg);
+    }
+  }
+  return solve(ctx, {cons.begin(), cons.end()}, options);
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,55 @@
+// Relaxation solver (thesis §9.3, future work #4).
+//
+// Constraint propagation only ever uses local information; when a network
+// ends up inconsistent (e.g. after bulk edits with propagation disabled, or
+// when a cycle defeats propagation) the thesis points at constraint
+// *satisfaction* as the natural extension, citing ThingLab's relaxation
+// method.  This solver iteratively repairs free (non-#USER) numeric
+// variables, constraint by constraint, Gauss–Seidel style, until every
+// constraint is satisfied or the sweep budget is exhausted.
+#pragma once
+
+#include <vector>
+
+#include "core/constraint.h"
+
+namespace stemcp::core {
+
+struct RelaxationOptions {
+  int max_sweeps = 200;
+};
+
+class RelaxationSolver {
+ public:
+  using Options = RelaxationOptions;
+
+  struct Result {
+    bool solved = false;
+    int sweeps = 0;            ///< sweeps actually executed
+    std::size_t adjustments = 0;  ///< individual variable repairs applied
+    std::vector<const Constraint*> unsatisfied;  ///< remaining violations
+  };
+
+  /// Attempt to satisfy `constraints` by adjusting free variables.  Values
+  /// are applied with propagation disabled (this is a global solve, not a
+  /// local propagation); on success the network is left consistent and
+  /// re-enabled propagation can resume from it.  #USER values are never
+  /// touched.
+  static Result solve(PropagationContext& ctx,
+                      const std::vector<Constraint*>& constraints,
+                      Options options = Options());
+
+  /// Convenience: collect every constraint reachable from the given
+  /// variables and solve those.
+  static Result solve_around(PropagationContext& ctx,
+                             const std::vector<Variable*>& roots,
+                             Options options = Options());
+
+  /// Recovery from bulk edits made while propagation was disabled (the gap
+  /// the thesis leaves open in §5.3): repair every constraint in the
+  /// context, then re-enable propagation.
+  static Result recover(PropagationContext& ctx,
+                        Options options = Options());
+};
+
+}  // namespace stemcp::core

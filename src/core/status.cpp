@@ -1,0 +1,20 @@
+#include "core/status.h"
+
+#include "core/propagatable.h"
+#include "core/variable.h"
+
+namespace stemcp::core {
+
+std::string ViolationInfo::to_string() const {
+  std::string s = "constraint violation";
+  if (constraint != nullptr) s += " [" + constraint->describe() + "]";
+  if (variable != nullptr) {
+    s += " at " + variable->path() + " (current " +
+         variable->value().to_string() + ", offered " + offered.to_string() +
+         ")";
+  }
+  if (!message.empty()) s += ": " + message;
+  return s;
+}
+
+}  // namespace stemcp::core

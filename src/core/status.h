@@ -1,0 +1,50 @@
+// Propagation status plumbing.
+//
+// The thesis returns nil from assignment methods on constraint violation and
+// non-nil otherwise (§5.2, "validity feedback").  Here that channel is an
+// explicit Status value; the full violation description is recorded on the
+// PropagationContext.
+#pragma once
+
+#include <string>
+
+#include "core/value.h"
+
+namespace stemcp::core {
+
+class Propagatable;
+class Variable;
+
+enum class StatusCode {
+  kOk,        ///< value assigned, propagation continued
+  kNoChange,  ///< propagated value agreed with the current value
+  kViolation, ///< constraint violation detected; network restored
+};
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+
+  static Status ok() { return {StatusCode::kOk}; }
+  static Status no_change() { return {StatusCode::kNoChange}; }
+  static Status violation() { return {StatusCode::kViolation}; }
+
+  /// Truthiness mirrors the thesis's nil / non-nil convention.
+  bool is_ok() const { return code != StatusCode::kViolation; }
+  bool is_violation() const { return code == StatusCode::kViolation; }
+  explicit operator bool() const { return is_ok(); }
+
+  friend bool operator==(const Status&, const Status&) = default;
+};
+
+/// Full description of a detected violation, kept on the context for the
+/// violation handler / constraint debugger (thesis §4.2.3, §5.2).
+struct ViolationInfo {
+  const Propagatable* constraint = nullptr;  ///< detecting constraint, if any
+  const Variable* variable = nullptr;        ///< variable that rejected a value
+  Value offered;                             ///< value that could not be set
+  std::string message;
+
+  std::string to_string() const;
+};
+
+}  // namespace stemcp::core

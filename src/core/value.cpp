@@ -1,0 +1,38 @@
+#include "core/value.h"
+
+#include <sstream>
+
+namespace stemcp::core {
+
+bool Value::operator==(const Value& o) const {
+  if (is_boxed() && o.is_boxed()) {
+    const auto& a = as_boxed();
+    const auto& b = o.as_boxed();
+    if (a == b) return true;
+    if (!a || !b) return false;
+    return a->equals(*b);
+  }
+  // Mixed int/real numerics compare by value so that a propagated 5.0
+  // satisfies an integer 5 (delay sums mix the two freely).
+  if (is_number() && o.is_number() && (is_int() != o.is_int())) {
+    return as_number() == o.as_number();
+  }
+  return v_ == o.v_;
+}
+
+std::string Value::to_string() const {
+  if (is_nil()) return "nil";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_real()) {
+    std::ostringstream os;
+    os << as_real();
+    return os.str();
+  }
+  if (is_string()) return "'" + as_string() + "'";
+  if (is_rect()) return as_rect().to_string();
+  if (is_boxed()) return as_boxed() ? as_boxed()->to_string() : "nil";
+  return "?";
+}
+
+}  // namespace stemcp::core

@@ -1,0 +1,87 @@
+// Value: the typed payload carried by constraint variables.
+//
+// Smalltalk variables hold arbitrary objects; the C++ equivalent is a small
+// closed variant covering every value kind the design environment propagates
+// (nil, booleans, integers such as bit widths, reals such as delays, strings,
+// bounding boxes) plus an open escape hatch (`Boxed`) used by the environment
+// layer for domain values like signal types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "core/geometry.h"
+
+namespace stemcp::core {
+
+/// Polymorphic payload for domain-specific value kinds (e.g. signal types).
+/// Boxed payloads are immutable and shared; equality is semantic.
+class Boxed {
+ public:
+  virtual ~Boxed() = default;
+  virtual bool equals(const Boxed& other) const = 0;
+  virtual std::string to_string() const = 0;
+};
+
+class Value {
+ public:
+  Value() = default;  // nil
+  Value(bool b) : v_(b) {}
+  Value(std::int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : v_(d) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Rect r) : v_(r) {}
+  Value(std::shared_ptr<const Boxed> b) : v_(std::move(b)) {}
+
+  static Value nil() { return Value{}; }
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_rect() const { return std::holds_alternative<Rect>(v_); }
+  bool is_boxed() const {
+    return std::holds_alternative<std::shared_ptr<const Boxed>>(v_);
+  }
+  /// Numeric = int or real; participates in arithmetic constraints.
+  bool is_number() const { return is_int() || is_real(); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_real() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Rect& as_rect() const { return std::get<Rect>(v_); }
+  const std::shared_ptr<const Boxed>& as_boxed() const {
+    return std::get<std::shared_ptr<const Boxed>>(v_);
+  }
+
+  /// Numeric value widened to double; throws std::bad_variant_access if the
+  /// value is not a number.
+  double as_number() const {
+    return is_int() ? static_cast<double>(as_int()) : as_real();
+  }
+
+  /// Typed access to a Boxed payload; nullptr if nil or a different type.
+  template <typename T>
+  const T* as() const {
+    if (!is_boxed()) return nullptr;
+    return dynamic_cast<const T*>(as_boxed().get());
+  }
+
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Rect,
+               std::shared_ptr<const Boxed>>
+      v_;
+};
+
+}  // namespace stemcp::core

@@ -1,0 +1,46 @@
+// Batch design checker (thesis ch. 7).
+//
+// Incremental checking happens automatically during propagation; this
+// checker is the batch-mode audit used to (a) verify a design wholesale
+// after propagation was disabled, and (b) serve as the baseline against
+// which the incremental approach is measured.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stem/cell.h"
+
+namespace stemcp::env {
+
+struct CheckFinding {
+  std::string constraint;  ///< description of the unsatisfied constraint
+  bool satisfied = true;
+};
+
+struct CheckReport {
+  std::vector<CheckFinding> findings;
+  std::size_t constraints_checked = 0;
+
+  std::size_t violation_count() const {
+    std::size_t n = 0;
+    for (const auto& f : findings) {
+      if (!f.satisfied) ++n;
+    }
+    return n;
+  }
+  bool clean() const { return violation_count() == 0; }
+  std::string to_string() const;
+};
+
+class DesignChecker {
+ public:
+  /// Audit every constraint reachable from a cell's variables: signal
+  /// typing, bounding boxes, parameters and delays, including the nets' and
+  /// subcells' participation.
+  static CheckReport check(CellClass& cell);
+  /// Audit every cell in a library.
+  static CheckReport check(Library& lib);
+};
+
+}  // namespace stemcp::env

@@ -1,0 +1,77 @@
+#include "stem/compatible.h"
+
+namespace stemcp::env {
+
+using core::Status;
+using core::Value;
+using core::Variable;
+
+void CompatibleConstraint::set_net_variable(Variable& v) {
+  net_var_ = &v;
+  basic_add_argument(v);
+}
+
+const SignalType* CompatibleConstraint::least_abstract_present(
+    bool& conflict) const {
+  conflict = false;
+  const SignalType* acc = nullptr;
+  for (const Variable* arg : arguments()) {
+    const SignalType* t = type_of(arg->value());
+    if (t == nullptr) continue;
+    const SignalType* combined = SignalType::least_abstract(acc, t);
+    if (combined == nullptr) {
+      conflict = true;
+      return nullptr;
+    }
+    acc = combined;
+  }
+  return acc;
+}
+
+Status CompatibleConstraint::immediate_inference_by_changing(
+    Variable& changed) {
+  const SignalType* t = type_of(changed.value());
+  if (t == nullptr) return Status::ok();  // erasure: nothing to infer
+  bool conflict = false;
+  const SignalType* inferred = least_abstract_present(conflict);
+  if (conflict || inferred == nullptr) {
+    // Leave the disagreement for the final isSatisfied sweep, which
+    // produces the designer-facing violation.
+    return Status::ok();
+  }
+  // Assign the least abstract type to every argument that is unspecified or
+  // holds a strictly more abstract type (the overwrite rule on the variable
+  // enforces directionality).
+  const Value v = changed.value();
+  for (Variable* arg : arguments()) {
+    if (arg == &changed) continue;
+    const SignalType* current = type_of(arg->value());
+    if (current == &*inferred) continue;
+    if (current != nullptr && !inferred->is_less_abstract_than(*current)) {
+      continue;  // already as specific or more specific
+    }
+    // Find the Value carrying `inferred`: it is the changed argument's value
+    // when inferred == t, otherwise some other argument already holds it.
+    Value iv = v;
+    if (inferred != t) {
+      for (const Variable* a : arguments()) {
+        if (type_of(a->value()) == inferred) {
+          iv = a->value();
+          break;
+        }
+      }
+    }
+    const Status s = propagate_value_to(
+        *arg, iv, core::DependencyRecord::single(changed));
+    if (s.is_violation()) return s;
+  }
+  return Status::ok();
+}
+
+bool CompatibleConstraint::is_satisfied() const {
+  bool conflict = false;
+  least_abstract_present(conflict);
+  return !conflict;
+}
+
+}  // namespace stemcp::env

@@ -1,0 +1,39 @@
+// CompatibleConstraint (thesis §7.1): relates the type variable of a net to
+// the type variables of every signal connected by the net.  All must be
+// pairwise compatible; the net's type — and any unspecified signal's type —
+// is inferred as the least abstract type present.
+#pragma once
+
+#include "core/core.h"
+#include "stem/signal_type.h"
+
+namespace stemcp::env {
+
+class CompatibleConstraint : public core::Constraint {
+ public:
+  explicit CompatibleConstraint(core::PropagationContext& ctx)
+      : Constraint(ctx) {}
+
+  /// The net's own type variable (also an argument).
+  void set_net_variable(core::Variable& v);
+  core::Variable* net_variable() const { return net_var_; }
+
+  /// The signal-side type variables are ordinary arguments
+  /// (basic_add_argument / add_argument / remove_argument).
+
+  core::Status immediate_inference_by_changing(core::Variable& changed)
+      override;
+  bool is_satisfied() const override;
+
+ protected:
+  std::string kind() const override { return "compatible"; }
+
+ private:
+  /// Least abstract type among all non-nil arguments; nullptr when empty or
+  /// when an incompatible pair exists (sets `conflict`).
+  const SignalType* least_abstract_present(bool& conflict) const;
+
+  core::Variable* net_var_ = nullptr;
+};
+
+}  // namespace stemcp::env

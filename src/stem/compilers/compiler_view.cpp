@@ -1,0 +1,51 @@
+#include "stem/compilers/compiler_view.h"
+
+#include <algorithm>
+
+namespace stemcp::env {
+
+CompilerView::CompilerView(CellInstance& inst) : inst_(&inst) {
+  inst_->cls().add_dependent(*this);
+}
+
+CompilerView::~CompilerView() { inst_->cls().remove_dependent(*this); }
+
+void CompilerView::update(const std::string&) {
+  // Any model change erases the derived data; recalculation is delayed
+  // until the compiler next asks.
+  valid_ = false;
+}
+
+void CompilerView::recalculate() {
+  const core::Value& iv = inst_->bounding_box().value();
+  if (iv.is_rect()) {
+    bbox_ = iv.as_rect();
+  } else {
+    const core::Value& cb = inst_->cls().bounding_box().demand();
+    bbox_ = cb.is_rect() ? inst_->transform().apply(cb.as_rect())
+                         : core::Rect{};
+  }
+  for (auto& side : sides_) side.clear();
+  for (const IoPin& pin : inst_->placed_pins()) {
+    sides_[static_cast<std::size_t>(pin.side)].push_back(pin);
+  }
+  for (auto& side : sides_) {
+    std::sort(side.begin(), side.end(), [](const IoPin& a, const IoPin& b) {
+      if (a.position.x != b.position.x) return a.position.x < b.position.x;
+      return a.position.y < b.position.y;
+    });
+  }
+  valid_ = true;
+}
+
+core::Rect CompilerView::bounding_box() {
+  if (!valid_) recalculate();
+  return bbox_;
+}
+
+const std::vector<IoPin>& CompilerView::pins_on(Side s) {
+  if (!valid_) recalculate();
+  return sides_[static_cast<std::size_t>(s)];
+}
+
+}  // namespace stemcp::env

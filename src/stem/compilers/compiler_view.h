@@ -1,0 +1,44 @@
+// CompilerView (thesis §6.4.1): the calculated view through which module
+// compilers see subcells — only the bounding box and the io-pins, the pins
+// organized in four side lists sorted by coordinate to suit the butting
+// access pattern.  Cached data are erased whenever the model (the subcell's
+// class) changes and recalculated on next access.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "stem/cell.h"
+
+namespace stemcp::env {
+
+class CompilerView : public View {
+ public:
+  explicit CompilerView(CellInstance& inst);
+  ~CompilerView() override;
+
+  CompilerView(const CompilerView&) = delete;
+  CompilerView& operator=(const CompilerView&) = delete;
+
+  CellInstance& instance() const { return *inst_; }
+
+  /// Placement bounding box in parent coordinates (instance box if placed,
+  /// otherwise the transformed class box).
+  core::Rect bounding_box();
+
+  /// Pins on one side, in parent coordinates, sorted by increasing x then y.
+  const std::vector<IoPin>& pins_on(Side s);
+
+  bool valid() const { return valid_; }
+  void update(const std::string& key) override;
+
+ private:
+  void recalculate();
+
+  CellInstance* inst_;
+  bool valid_ = false;
+  core::Rect bbox_;
+  std::array<std::vector<IoPin>, 4> sides_;
+};
+
+}  // namespace stemcp::env

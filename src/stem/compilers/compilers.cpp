@@ -1,0 +1,242 @@
+#include "stem/compilers/compilers.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace stemcp::env {
+
+using core::Coord;
+using core::Point;
+using core::Rect;
+using core::Status;
+using core::Transform;
+
+namespace {
+
+/// Placement step between repeated tiles along a side.
+Point step_for(const Rect& extent, Side direction) {
+  switch (direction) {
+    case Side::kRight: return {extent.width(), 0};
+    case Side::kLeft: return {-extent.width(), 0};
+    case Side::kTop: return {0, extent.height()};
+    case Side::kBottom: return {0, -extent.height()};
+  }
+  return {0, 0};
+}
+
+Rect required_bbox(CellClass& tile) {
+  const core::Value& v = tile.bounding_box().demand();
+  if (!v.is_rect()) {
+    throw std::logic_error("module compiler: tile '" + tile.name() +
+                           "' has no bounding box");
+  }
+  return v.as_rect();
+}
+
+/// Move every connection of `absorb` onto `keep`, then delete `absorb`.
+Status merge_nets(CellClass& target, Net& keep, Net& absorb,
+                  CompileResult& result) {
+  Status worst = Status::ok();
+  const auto conns = absorb.connections();
+  for (const NetConnection& c : conns) {
+    if (c.instance != nullptr) {
+      absorb.disconnect(*c.instance, c.signal);
+      if (keep.connect(*c.instance, c.signal).is_violation()) {
+        worst = Status::violation();
+      }
+      ++result.connections;
+    } else {
+      absorb.disconnect_io(c.signal);
+      if (keep.connect_io(c.signal).is_violation()) {
+        worst = Status::violation();
+      }
+      ++result.connections;
+    }
+  }
+  target.remove_net(absorb);
+  --result.nets;
+  return worst;
+}
+
+}  // namespace
+
+CompileResult ModuleCompiler::butt_pins(
+    CellClass& target, const std::vector<CellInstance*>& placed,
+    const std::set<std::pair<std::string, std::string>>& withdrawn) {
+  CompileResult result;
+  result.instances = placed.size();
+
+  // Group placed pins by parent-cell coordinates; coincident pins of
+  // different instances are electrically touching.
+  struct Member {
+    CellInstance* inst;
+    IoPin pin;
+  };
+  std::map<Point, std::vector<Member>> groups;
+  for (CellInstance* inst : placed) {
+    CompilerView view(*inst);
+    for (const Side s :
+         {Side::kLeft, Side::kBottom, Side::kRight, Side::kTop}) {
+      for (const IoPin& pin : view.pins_on(s)) {
+        if (withdrawn.count({inst->name(), pin.signal}) != 0) {
+          continue;  // withdrawn from the cell boundary (thesis §6.4.1)
+        }
+        groups[pin.position].push_back({inst, pin});
+      }
+    }
+  }
+
+  int auto_net = 0;
+  for (auto& [pos, members] : groups) {
+    bool multiple_instances = false;
+    for (const Member& m : members) {
+      if (m.inst != members.front().inst) multiple_instances = true;
+    }
+    if (!multiple_instances) continue;
+
+    // Collect any nets the members already belong to; merge extras.
+    Net* net = nullptr;
+    for (const Member& m : members) {
+      Net* existing = m.inst->net_for(m.pin.signal);
+      if (existing == nullptr) continue;
+      if (net == nullptr) {
+        net = existing;
+      } else if (existing != net) {
+        if (merge_nets(target, *net, *existing, result).is_violation()) {
+          result.status = Status::violation();
+        }
+      }
+    }
+    if (net == nullptr) {
+      net = &target.add_net("auto" + std::to_string(auto_net++));
+      ++result.nets;
+    }
+    for (const Member& m : members) {
+      if (m.inst->net_for(m.pin.signal) == net) continue;
+      if (net->connect(*m.inst, m.pin.signal).is_violation()) {
+        result.status = Status::violation();
+      }
+      ++result.connections;
+    }
+  }
+  return result;
+}
+
+// ---- VectorCompiler ------------------------------------------------------------
+
+CompileResult VectorCompiler::compile(CellClass& target) {
+  const Rect extent = required_bbox(*tile_);
+  const Point step = step_for(extent, direction_);
+  std::vector<CellInstance*> placed;
+  placed.reserve(static_cast<std::size_t>(count_));
+  for (int i = 0; i < count_; ++i) {
+    const Point offset{step.x * i, step.y * i};
+    placed.push_back(&target.add_subcell(*tile_, "t" + std::to_string(i),
+                                         Transform::translate(offset)));
+  }
+  return butt_pins(target, placed);
+}
+
+// ---- WordCompiler ---------------------------------------------------------------
+
+CompileResult WordCompiler::compile(CellClass& target) {
+  std::vector<CellInstance*> placed;
+  Coord x = 0;
+  const Rect bb = required_bbox(*begin_);
+  placed.push_back(
+      &target.add_subcell(*begin_, "begin", Transform::translate({x, 0})));
+  x += bb.width();
+  const Rect tb = required_bbox(*tile_);
+  for (int i = 0; i < count_; ++i) {
+    placed.push_back(&target.add_subcell(*tile_, "t" + std::to_string(i),
+                                         Transform::translate({x, 0})));
+    x += tb.width();
+  }
+  placed.push_back(
+      &target.add_subcell(*end_, "end", Transform::translate({x, 0})));
+  return butt_pins(target, placed);
+}
+
+// ---- MatrixCompiler --------------------------------------------------------------
+
+CompileResult MatrixCompiler::compile(CellClass& target) {
+  const Rect extent = required_bbox(*tile_);
+  std::vector<CellInstance*> placed;
+  placed.reserve(static_cast<std::size_t>(rows_) * cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const Point offset{extent.width() * c, extent.height() * r};
+      placed.push_back(&target.add_subcell(
+          *tile_, "t" + std::to_string(r) + "_" + std::to_string(c),
+          Transform::translate(offset)));
+    }
+  }
+  return butt_pins(target, placed);
+}
+
+// ---- GraphCompiler ----------------------------------------------------------------
+
+GraphCompiler& GraphCompiler::add_node(std::string name, CellClass& tile,
+                                       Transform placement, int repeat,
+                                       Side direction) {
+  nodes_.push_back(
+      {std::move(name), &tile, placement, repeat, direction});
+  return *this;
+}
+
+GraphCompiler& GraphCompiler::disallow(std::string instance_name,
+                                       std::string signal) {
+  withdrawn_.insert({std::move(instance_name), std::move(signal)});
+  return *this;
+}
+
+GraphCompiler& GraphCompiler::expose(std::string instance_name,
+                                     std::string signal, std::string io_name) {
+  exposures_.emplace_back(std::move(instance_name), std::move(signal),
+                          std::move(io_name));
+  return *this;
+}
+
+CompileResult GraphCompiler::compile(CellClass& target) {
+  std::vector<CellInstance*> placed;
+  for (const Node& node : nodes_) {
+    const Rect extent = required_bbox(*node.tile);
+    const Point step = step_for(extent, node.direction);
+    for (int i = 0; i < node.repeat; ++i) {
+      const std::string name =
+          node.repeat > 1 ? node.name + "." + std::to_string(i) : node.name;
+      const Transform placement =
+          node.placement.then(Transform::translate({step.x * i, step.y * i}));
+      placed.push_back(&target.add_subcell(*node.tile, name, placement));
+    }
+  }
+  CompileResult result = butt_pins(target, placed, withdrawn_);
+
+  // Expose selected pins as target io-signals.
+  for (const auto& [inst_name, signal, io_name] : exposures_) {
+    CellInstance* inst = target.find_subcell(inst_name);
+    if (inst == nullptr) {
+      throw std::out_of_range("GraphCompiler: no generated instance named " +
+                              inst_name);
+    }
+    if (target.find_signal(io_name) == nullptr) {
+      target.declare_signal(io_name, inst->cls().signal(signal).direction());
+    }
+    Net* net = inst->net_for(signal);
+    if (net == nullptr) {
+      net = &target.add_net("io_" + io_name);
+      ++result.nets;
+      if (net->connect(*inst, signal).is_violation()) {
+        result.status = Status::violation();
+      }
+      ++result.connections;
+    }
+    if (net->connect_io(io_name).is_violation()) {
+      result.status = Status::violation();
+    }
+    ++result.connections;
+  }
+  return result;
+}
+
+}  // namespace stemcp::env

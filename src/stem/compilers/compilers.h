@@ -1,0 +1,122 @@
+// Tile-based module compilers (thesis §6.4.1, after [Law85]):
+// VectorCompiler builds a linear array of subcells, WordCompiler adds
+// special end-cells, MatrixCompiler builds a two-dimensional array, and
+// GraphCompiler lets the caller describe arbitrary placements with
+// repetition and withdrawn (non-connecting) pins (thesis Fig 6.2).
+//
+// All butting io-pins establish connections between their respective
+// signals; butting is computed through CompilerViews of the placed
+// subcells.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stem/cell.h"
+#include "stem/compilers/compiler_view.h"
+#include "stem/net.h"
+
+namespace stemcp::env {
+
+/// Outcome of a compilation: how much structure was generated and whether
+/// any typing constraint fired while wiring it up.
+struct CompileResult {
+  core::Status status = core::Status::ok();
+  std::size_t instances = 0;
+  std::size_t nets = 0;
+  std::size_t connections = 0;
+};
+
+class ModuleCompiler {
+ public:
+  virtual ~ModuleCompiler() = default;
+
+  /// Generate subcells and nets inside `target`.
+  virtual CompileResult compile(CellClass& target) = 0;
+
+ protected:
+  /// Connect every pair of coincident pins on opposite sides, honouring the
+  /// withdrawn-pin set; nets are created and merged as needed.
+  CompileResult butt_pins(
+      CellClass& target, const std::vector<CellInstance*>& placed,
+      const std::set<std::pair<std::string, std::string>>& withdrawn = {});
+};
+
+/// A linear array of `count` tiles, abutting along `direction`.
+class VectorCompiler : public ModuleCompiler {
+ public:
+  VectorCompiler(CellClass& tile, int count, Side direction = Side::kRight)
+      : tile_(&tile), count_(count), direction_(direction) {}
+
+  CompileResult compile(CellClass& target) override;
+
+ private:
+  CellClass* tile_;
+  int count_;
+  Side direction_;
+};
+
+/// A vector of tiles with special begin/end cells (a "word").
+class WordCompiler : public ModuleCompiler {
+ public:
+  WordCompiler(CellClass& begin, CellClass& tile, int count, CellClass& end)
+      : begin_(&begin), tile_(&tile), count_(count), end_(&end) {}
+
+  CompileResult compile(CellClass& target) override;
+
+ private:
+  CellClass* begin_;
+  CellClass* tile_;
+  int count_;
+  CellClass* end_;
+};
+
+/// A rows x cols array of tiles, butting both horizontally and vertically.
+class MatrixCompiler : public ModuleCompiler {
+ public:
+  MatrixCompiler(CellClass& tile, int rows, int cols)
+      : tile_(&tile), rows_(rows), cols_(cols) {}
+
+  CompileResult compile(CellClass& target) override;
+
+ private:
+  CellClass* tile_;
+  int rows_;
+  int cols_;
+};
+
+/// Graphically-specified module builder: explicit nodes with optional
+/// repetition, plus withdrawn pins that refuse to connect (thesis Fig 6.2's
+/// GraphCompiler).
+class GraphCompiler : public ModuleCompiler {
+ public:
+  struct Node {
+    std::string name;
+    CellClass* tile = nullptr;
+    core::Transform placement;
+    int repeat = 1;             ///< "repeat N times" along the direction
+    Side direction = Side::kRight;
+  };
+
+  GraphCompiler& add_node(std::string name, CellClass& tile,
+                          core::Transform placement, int repeat = 1,
+                          Side direction = Side::kRight);
+  /// Withdraw a pin from butting: (instance-name, signal).  Repeated nodes
+  /// use "name.N" instance names.
+  GraphCompiler& disallow(std::string instance_name, std::string signal);
+  /// Map a generated instance pin onto a target io-signal: after
+  /// compilation, the named signal's net is exposed as `io_name`.
+  GraphCompiler& expose(std::string instance_name, std::string signal,
+                        std::string io_name);
+
+  CompileResult compile(CellClass& target) override;
+
+ private:
+  std::vector<Node> nodes_;
+  std::set<std::pair<std::string, std::string>> withdrawn_;
+  std::vector<std::tuple<std::string, std::string, std::string>> exposures_;
+};
+
+}  // namespace stemcp::env

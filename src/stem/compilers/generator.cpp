@@ -1,0 +1,31 @@
+#include "stem/compilers/generator.h"
+
+#include <stdexcept>
+
+#include "stem/library.h"
+
+namespace stemcp::env {
+
+CellClass& ParameterizedCellGenerator::realize(int width) {
+  if (width < 1) {
+    throw std::invalid_argument("ParameterizedCellGenerator: width must be "
+                                "positive");
+  }
+  const auto it = cache_.find(width);
+  if (it != cache_.end()) return *it->second;
+
+  const std::string name = base_ + "x" + std::to_string(width);
+  CellClass& cell = lib_->define_cell(name, parent_);
+  VectorCompiler compiler(*tile_, width);
+  const CompileResult result = compiler.compile(cell);
+  if (result.status.is_violation()) {
+    // The generated structure violated its own typing constraints: surface
+    // loudly — a broken template should not be silently cached.
+    throw std::logic_error("ParameterizedCellGenerator: compiling " + name +
+                           " reported constraint violations");
+  }
+  cache_.emplace(width, &cell);
+  return cell;
+}
+
+}  // namespace stemcp::env

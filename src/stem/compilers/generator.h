@@ -1,0 +1,40 @@
+// Parameterized cell generation: the macro-cell template pattern of thesis
+// ch. 8 ("generic cells can serve as a vehicle for specifying macro-cell
+// templates that generate custom realizations") combined with the compiled
+// cells of §6.4.1 — widths become realizations generated on demand and
+// cached per width.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "stem/compilers/compilers.h"
+
+namespace stemcp::env {
+
+class ParameterizedCellGenerator {
+ public:
+  /// Realizations are named `<base>x<width>` and compiled as a vector of
+  /// `tile` slices.  When `generic_parent` is given, generated cells become
+  /// its subclasses, so module selection can search over generated widths.
+  ParameterizedCellGenerator(Library& lib, std::string base_name,
+                             CellClass& tile,
+                             CellClass* generic_parent = nullptr)
+      : lib_(&lib), base_(std::move(base_name)), tile_(&tile),
+        parent_(generic_parent) {}
+
+  /// Get-or-generate the realization for a width.
+  CellClass& realize(int width);
+
+  bool is_cached(int width) const { return cache_.count(width) != 0; }
+  std::size_t cached_count() const { return cache_.size(); }
+
+ private:
+  Library* lib_;
+  std::string base_;
+  CellClass* tile_;
+  CellClass* parent_;
+  std::map<int, CellClass*> cache_;
+};
+
+}  // namespace stemcp::env

@@ -1,0 +1,63 @@
+// Constraint editor/inspector (thesis §5.4, Fig 5.4): walk a network of
+// constraints and variables, trace antecedents and consequences, dump the
+// network for display, toggle propagation, and restore the last
+// propagation's variables.  This is the textual equivalent of STEM's
+// editor windows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+
+namespace stemcp::env {
+
+class ConstraintInspector {
+ public:
+  explicit ConstraintInspector(core::PropagationContext& ctx) : ctx_(&ctx) {}
+
+  /// One-line variable rendering: path, value, justification
+  /// (the thesis's prevValue / lastSetBy fields).
+  static std::string describe(const core::Variable& v);
+  /// Constraint rendering with its argument list.
+  static std::string describe(const core::Propagatable& c);
+
+  /// All constraints associated with a variable (explicit and implicit).
+  static std::vector<const core::Propagatable*> constraints_of(
+      const core::Variable& v);
+
+  /// Multi-line antecedent trace of a variable's value (thesis Fig 4.11).
+  static std::string antecedent_report(const core::Variable& v);
+  /// Multi-line consequence trace (thesis Fig 4.12).
+  static std::string consequence_report(const core::Variable& v);
+
+  /// Graphviz DOT rendering of the network reachable from `roots`
+  /// (variables as ellipses, constraints as boxes — thesis Fig 4.5's
+  /// drawing convention).
+  static std::string to_dot(const std::vector<const core::Variable*>& roots);
+
+  /// The "debug" option of the thesis's violation prompt (§5.2): a handler
+  /// that writes a constraint-debugger report — the violation, the rejecting
+  /// variable's constraints, and the antecedents of its current value — to
+  /// `out` before the engine performs its standard restore ("proceed").
+  static core::PropagationContext::ViolationHandler debugging_handler(
+      std::ostream& out);
+
+  // ---- editor actions ----------------------------------------------------
+  void disable_propagation() { ctx_->set_enabled(false); }
+  void enable_propagation() { ctx_->set_enabled(true); }
+  bool propagation_enabled() const { return ctx_->enabled(); }
+  /// Restore all variables visited by the last propagation to their
+  /// original states.
+  void restore_last_propagation() { ctx_->restore_visited(); }
+  /// The violation warnings accumulated so far (the default text window).
+  const std::vector<std::string>& warnings() const {
+    return ctx_->violation_log();
+  }
+
+ private:
+  core::PropagationContext* ctx_;
+};
+
+}  // namespace stemcp::env

@@ -1,0 +1,440 @@
+#include "stem/io.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "stem/cell.h"
+#include "stem/net.h"
+
+namespace stemcp::env {
+
+namespace {
+
+const char* device_kind_name(DeviceInfo::Kind k) {
+  switch (k) {
+    case DeviceInfo::Kind::kNone: return "none";
+    case DeviceInfo::Kind::kNmos: return "nmos";
+    case DeviceInfo::Kind::kPmos: return "pmos";
+    case DeviceInfo::Kind::kResistor: return "resistor";
+    case DeviceInfo::Kind::kCapacitor: return "capacitor";
+    case DeviceInfo::Kind::kVoltageSource: return "vsource";
+  }
+  return "none";
+}
+
+DeviceInfo::Kind device_kind_from(const std::string& s) {
+  if (s == "nmos") return DeviceInfo::Kind::kNmos;
+  if (s == "pmos") return DeviceInfo::Kind::kPmos;
+  if (s == "resistor") return DeviceInfo::Kind::kResistor;
+  if (s == "capacitor") return DeviceInfo::Kind::kCapacitor;
+  if (s == "vsource") return DeviceInfo::Kind::kVoltageSource;
+  return DeviceInfo::Kind::kNone;
+}
+
+const char* direction_name(SignalDirection d) {
+  switch (d) {
+    case SignalDirection::kInput: return "input";
+    case SignalDirection::kOutput: return "output";
+    case SignalDirection::kInOut: return "inout";
+  }
+  return "inout";
+}
+
+SignalDirection direction_from(const std::string& s) {
+  if (s == "input") return SignalDirection::kInput;
+  if (s == "output") return SignalDirection::kOutput;
+  return SignalDirection::kInOut;
+}
+
+const char* side_name(Side s) { return to_string(s); }
+
+Side side_from(const std::string& s) {
+  if (s == "left") return Side::kLeft;
+  if (s == "right") return Side::kRight;
+  if (s == "top") return Side::kTop;
+  return Side::kBottom;
+}
+
+std::string orientation_name(core::Orientation o) {
+  return core::to_string(o);
+}
+
+core::Orientation orientation_from(const std::string& s) {
+  for (int i = 0; i < 8; ++i) {
+    const auto o = static_cast<core::Orientation>(i);
+    if (s == core::to_string(o)) return o;
+  }
+  throw std::runtime_error("unknown orientation: " + s);
+}
+
+/// Bound specifications attached to a variable, serialized one per line.
+void write_specs(const core::Variable& v, const std::string& prefix,
+                 std::ostream& out) {
+  for (const core::Propagatable* p : v.constraints()) {
+    const auto* bound = dynamic_cast<const core::BoundConstraint*>(p);
+    if (bound == nullptr || !bound->bound().is_number()) continue;
+    out << prefix << " " << core::to_string(bound->relation()) << ' '
+        << std::setprecision(17) << bound->bound().as_number() << '\n';
+  }
+}
+
+void write_cell(const CellClass& cell, std::ostream& out) {
+  out << "cell " << cell.name();
+  if (cell.superclass() != nullptr) out << " super " << cell.superclass()->name();
+  if (cell.is_generic()) out << " generic";
+  out << '\n';
+
+  if (cell.is_device()) {
+    const DeviceInfo& d = cell.device();
+    out << "  device " << device_kind_name(d.kind) << ' '
+        << std::setprecision(17) << d.value << ' ' << d.ron << '\n';
+  }
+
+  const core::Value& bb = cell.bounding_box().value();
+  if (bb.is_rect() && cell.bounding_box().last_set_by().is_user()) {
+    const core::Rect& r = bb.as_rect();
+    out << "  bbox " << r.x0 << ' ' << r.y0 << ' ' << r.x1 << ' ' << r.y1
+        << '\n';
+  }
+
+  for (const auto& sig : cell.signals()) {
+    out << "  signal " << sig->name() << ' '
+        << direction_name(sig->direction());
+    if (sig->bit_width().value().is_int() &&
+        sig->bit_width().last_set_by().is_user()) {
+      out << " width " << sig->bit_width().value().as_int();
+    }
+    if (const SignalType* t = type_of(sig->data_type().value())) {
+      out << " data " << t->name();
+    }
+    if (const SignalType* t = type_of(sig->electrical_type().value())) {
+      out << " elec " << t->name();
+    }
+    if (sig->load_capacitance() != 0.0) {
+      out << " load " << std::setprecision(17) << sig->load_capacitance();
+    }
+    if (sig->output_resistance() != 0.0) {
+      out << " rout " << std::setprecision(17) << sig->output_resistance();
+    }
+    out << '\n';
+    for (const IoPin& pin : sig->pins()) {
+      out << "    pin " << pin.position.x << ' ' << pin.position.y << ' '
+          << side_name(pin.side) << '\n';
+    }
+  }
+
+  for (const auto& [pname, pvar] : cell.parameters()) {
+    out << "  param " << pname;
+    if (pvar->has_range()) {
+      out << ' ' << std::setprecision(17) << pvar->lo() << ' ' << pvar->hi();
+    } else {
+      out << " 0 0";
+    }
+    if (pvar->has_value() && pvar->value().is_number()) {
+      out << " default " << std::setprecision(17)
+          << pvar->value().as_number();
+    }
+    out << '\n';
+  }
+
+  for (ClassDelayVar* d : cell.delay_variables()) {
+    if (&d->owner() != &cell) continue;  // inherited: written with its owner
+    out << "  delay " << d->from() << ' ' << d->to();
+    if (d->value().is_number() && !d->last_set_by().is_propagated()) {
+      out << " value " << std::setprecision(17) << d->value().as_number();
+    }
+    out << '\n';
+    write_specs(*d, "    spec", out);
+  }
+
+  for (const auto& sub : cell.subcells()) {
+    out << "  subcell " << sub->name() << ' ' << sub->cls().name() << ' '
+        << orientation_name(sub->transform().orientation()) << ' '
+        << sub->transform().translation().x << ' '
+        << sub->transform().translation().y << '\n';
+  }
+
+  for (const auto& net : cell.nets()) {
+    out << "  net " << net->name() << '\n';
+    for (const NetConnection& c : net->connections()) {
+      if (c.instance != nullptr) {
+        out << "    conn " << c.instance->name() << ' ' << c.signal << '\n';
+      } else {
+        out << "    io " << c.signal << '\n';
+      }
+    }
+  }
+
+  out << "end\n";
+}
+
+struct Parser {
+  Library& lib;
+  std::istream& in;
+  int line_no = 0;
+  CellClass* cell = nullptr;
+  IoSignal* signal = nullptr;
+  ClassDelayVar* delay = nullptr;
+  Net* net = nullptr;
+  std::vector<std::string> deferred_builds;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("library parse error, line " +
+                             std::to_string(line_no) + ": " + msg);
+  }
+
+  void run() {
+    std::string line;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ls(line);
+      std::string keyword;
+      if (!(ls >> keyword)) continue;
+      dispatch(keyword, ls);
+    }
+    // Rebuild delay networks for every structured cell so the loaded
+    // design re-derives (and re-checks) its characteristics.
+    for (const std::string& name : deferred_builds) {
+      lib.cell(name).build_delay_networks();
+    }
+  }
+
+  void dispatch(const std::string& keyword, std::istringstream& ls) {
+    if (keyword == "cell") {
+      begin_cell(ls);
+    } else if (keyword == "end") {
+      if (cell == nullptr) fail("'end' outside a cell");
+      if (!cell->subcells().empty() && !cell->delay_variables().empty()) {
+        deferred_builds.push_back(cell->name());
+      }
+      cell = nullptr;
+      signal = nullptr;
+      delay = nullptr;
+      net = nullptr;
+    } else if (cell == nullptr) {
+      fail("'" + keyword + "' outside a cell");
+    } else if (keyword == "device") {
+      parse_device(ls);
+    } else if (keyword == "bbox") {
+      parse_bbox(ls);
+    } else if (keyword == "signal") {
+      parse_signal(ls);
+    } else if (keyword == "pin") {
+      parse_pin(ls);
+    } else if (keyword == "param") {
+      parse_param(ls);
+    } else if (keyword == "delay") {
+      parse_delay(ls);
+    } else if (keyword == "spec") {
+      parse_spec(ls);
+    } else if (keyword == "subcell") {
+      parse_subcell(ls);
+    } else if (keyword == "net") {
+      std::string name;
+      if (!(ls >> name)) fail("net needs a name");
+      net = &cell->add_net(name);
+    } else if (keyword == "conn") {
+      parse_conn(ls);
+    } else if (keyword == "io") {
+      parse_io(ls);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+
+  void begin_cell(std::istringstream& ls) {
+    if (cell != nullptr) fail("nested cell");
+    std::string name;
+    if (!(ls >> name)) fail("cell needs a name");
+    CellClass* super = nullptr;
+    bool generic = false;
+    std::string word;
+    while (ls >> word) {
+      if (word == "super") {
+        std::string super_name;
+        if (!(ls >> super_name)) fail("super needs a name");
+        super = lib.find(super_name);
+        if (super == nullptr) fail("unknown superclass " + super_name);
+      } else if (word == "generic") {
+        generic = true;
+      } else {
+        fail("unknown cell attribute '" + word + "'");
+      }
+    }
+    cell = &lib.define_cell(name, super);
+    cell->set_generic(generic);
+  }
+
+  void parse_device(std::istringstream& ls) {
+    std::string kind;
+    double value = 0.0;
+    double ron = 0.0;
+    if (!(ls >> kind >> value >> ron)) fail("device kind value ron");
+    cell->device().kind = device_kind_from(kind);
+    cell->device().value = value;
+    cell->device().ron = ron;
+  }
+
+  void parse_bbox(std::istringstream& ls) {
+    core::Rect r;
+    if (!(ls >> r.x0 >> r.y0 >> r.x1 >> r.y1)) fail("bbox x0 y0 x1 y1");
+    if (cell->bounding_box().set_user(core::Value(r)).is_violation()) {
+      fail("bounding box violates existing constraints");
+    }
+  }
+
+  void parse_signal(std::istringstream& ls) {
+    std::string name;
+    std::string dir;
+    if (!(ls >> name >> dir)) fail("signal name direction");
+    signal = &cell->declare_signal(name, direction_from(dir));
+    std::string attr;
+    while (ls >> attr) {
+      if (attr == "width") {
+        std::int64_t w = 0;
+        if (!(ls >> w)) fail("width needs an integer");
+        signal->bit_width().set_user(core::Value(w));
+      } else if (attr == "data" || attr == "elec") {
+        std::string type_name;
+        if (!(ls >> type_name)) fail(attr + " needs a type name");
+        const SignalTypePtr t = lib.types().find(type_name);
+        if (t == nullptr) fail("unknown signal type " + type_name);
+        auto& var = attr == "data" ? signal->data_type()
+                                   : signal->electrical_type();
+        var.set_user(type_value(t));
+      } else if (attr == "load") {
+        double f = 0.0;
+        if (!(ls >> f)) fail("load needs a number");
+        signal->set_load_capacitance(f);
+      } else if (attr == "rout") {
+        double ohms = 0.0;
+        if (!(ls >> ohms)) fail("rout needs a number");
+        signal->set_output_resistance(ohms);
+      } else {
+        fail("unknown signal attribute '" + attr + "'");
+      }
+    }
+  }
+
+  void parse_pin(std::istringstream& ls) {
+    if (signal == nullptr) fail("pin outside a signal");
+    core::Point p;
+    std::string side;
+    if (!(ls >> p.x >> p.y >> side)) fail("pin x y side");
+    signal->add_pin(p, side_from(side));
+  }
+
+  void parse_param(std::istringstream& ls) {
+    std::string name;
+    double lo = 0.0;
+    double hi = 0.0;
+    if (!(ls >> name >> lo >> hi)) fail("param name lo hi");
+    core::Value def;
+    std::string word;
+    if (ls >> word) {
+      if (word != "default") fail("expected 'default'");
+      double v = 0.0;
+      if (!(ls >> v)) fail("default needs a number");
+      def = core::Value(v);
+    }
+    cell->declare_parameter(name, lo, hi, def);
+  }
+
+  void parse_delay(std::istringstream& ls) {
+    std::string from;
+    std::string to;
+    if (!(ls >> from >> to)) fail("delay from to");
+    delay = &cell->declare_delay(from, to);
+    std::string word;
+    if (ls >> word) {
+      if (word != "value") fail("expected 'value'");
+      double v = 0.0;
+      if (!(ls >> v)) fail("delay value needs a number");
+      if (delay->set(core::Value(v),
+                     core::Justification::application()).is_violation()) {
+        fail("delay value violates existing constraints");
+      }
+    }
+  }
+
+  void parse_spec(std::istringstream& ls) {
+    if (delay == nullptr) fail("spec outside a delay");
+    std::string rel;
+    double bound = 0.0;
+    if (!(ls >> rel >> bound)) fail("spec relation bound");
+    core::Relation relation;
+    if (rel == "<=") {
+      relation = core::Relation::kLessEqual;
+    } else if (rel == ">=") {
+      relation = core::Relation::kGreaterEqual;
+    } else if (rel == "<") {
+      relation = core::Relation::kLess;
+    } else if (rel == ">") {
+      relation = core::Relation::kGreater;
+    } else {
+      fail("unknown spec relation " + rel);
+    }
+    auto& c = lib.context().make<core::BoundConstraint>(relation,
+                                                        core::Value(bound));
+    c.add_argument(*delay);
+  }
+
+  void parse_subcell(std::istringstream& ls) {
+    std::string name;
+    std::string cls_name;
+    std::string orient;
+    core::Point t;
+    if (!(ls >> name >> cls_name >> orient >> t.x >> t.y)) {
+      fail("subcell name class orientation x y");
+    }
+    CellClass* sub_cls = lib.find(cls_name);
+    if (sub_cls == nullptr) fail("unknown class " + cls_name);
+    cell->add_subcell(*sub_cls, name,
+                      core::Transform{orientation_from(orient), t});
+  }
+
+  void parse_conn(std::istringstream& ls) {
+    if (net == nullptr) fail("conn outside a net");
+    std::string inst_name;
+    std::string sig_name;
+    if (!(ls >> inst_name >> sig_name)) fail("conn instance signal");
+    CellInstance* inst = cell->find_subcell(inst_name);
+    if (inst == nullptr) fail("unknown subcell " + inst_name);
+    net->connect(*inst, sig_name);
+  }
+
+  void parse_io(std::istringstream& ls) {
+    if (net == nullptr) fail("io outside a net");
+    std::string sig_name;
+    if (!(ls >> sig_name)) fail("io signal");
+    net->connect_io(sig_name);
+  }
+};
+
+}  // namespace
+
+void LibraryWriter::write(const Library& lib, std::ostream& out) {
+  out << "# stemcp library '" << lib.name() << "'\n";
+  for (const auto& cell : lib.cells()) write_cell(*cell, out);
+}
+
+std::string LibraryWriter::to_string(const Library& lib) {
+  std::ostringstream os;
+  write(lib, os);
+  return os.str();
+}
+
+void LibraryReader::read(Library& lib, std::istream& in) {
+  Parser parser{lib, in, 0, nullptr, nullptr, nullptr, nullptr, {}};
+  parser.run();
+}
+
+void LibraryReader::read_string(Library& lib, const std::string& text) {
+  std::istringstream is(text);
+  read(lib, is);
+}
+
+}  // namespace stemcp::env

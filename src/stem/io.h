@@ -1,0 +1,32 @@
+// Design database persistence: a line-oriented textual format for cell
+// libraries (the role STEM's Smalltalk image/file-out played).
+//
+// The writer emits cells in definition order (leaf-first by construction);
+// the reader rebuilds classes, interfaces, user-entered characteristics,
+// structure and delay specifications, re-instantiating the implied
+// constraint networks as it goes — loading a design re-checks it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stem/library.h"
+
+namespace stemcp::env {
+
+class LibraryWriter {
+ public:
+  /// Serialize every cell of the library.
+  static void write(const Library& lib, std::ostream& out);
+  static std::string to_string(const Library& lib);
+};
+
+class LibraryReader {
+ public:
+  /// Parse into `lib` (which supplies the context and type registry).
+  /// Throws std::runtime_error with a line number on malformed input.
+  static void read(Library& lib, std::istream& in);
+  static void read_string(Library& lib, const std::string& text);
+};
+
+}  // namespace stemcp::env

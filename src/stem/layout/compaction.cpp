@@ -1,0 +1,192 @@
+#include "stem/layout/compaction.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stem/cell.h"
+
+namespace stemcp::env::layout {
+
+using core::Coord;
+
+NodeId CompactionGraph::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+void CompactionGraph::add_spacing(NodeId from, NodeId to, Coord d) {
+  edges_.push_back({from, to, d});
+}
+
+void CompactionGraph::pin(NodeId node, Coord x) {
+  add_spacing(0, node, x);   // x(node) >= x
+  add_spacing(node, 0, -x);  // x(node) <= x
+}
+
+std::optional<CompactionGraph::Solution> CompactionGraph::compact() const {
+  // Bellman-Ford longest path from the left edge.  Layout graphs are almost
+  // DAGs; the negative edges introduced by pins/maximum-spacing keep the
+  // general algorithm (V*E) — still polynomial and, crucially, *dedicated*:
+  // no per-assignment bookkeeping, no agenda, no dependency records.
+  const std::size_t n = names_.size();
+  constexpr Coord kMinusInf = std::numeric_limits<Coord>::min() / 4;
+  std::vector<Coord> dist(n, kMinusInf);
+  dist[0] = 0;
+  bool changed = true;
+  for (std::size_t pass = 0; pass < n && changed; ++pass) {
+    changed = false;
+    for (const SpacingEdge& e : edges_) {
+      const auto from = static_cast<std::size_t>(e.from);
+      const auto to = static_cast<std::size_t>(e.to);
+      if (dist[from] == kMinusInf) continue;
+      const Coord candidate = dist[from] + e.min_spacing;
+      if (candidate > dist[to]) {
+        dist[to] = candidate;
+        changed = true;
+      }
+    }
+  }
+  if (changed) {
+    // One more relaxing pass possible: positive cycle, over-constrained.
+    for (const SpacingEdge& e : edges_) {
+      const auto from = static_cast<std::size_t>(e.from);
+      const auto to = static_cast<std::size_t>(e.to);
+      if (dist[from] != kMinusInf &&
+          dist[from] + e.min_spacing > dist[to]) {
+        return std::nullopt;
+      }
+    }
+  }
+  Solution s;
+  s.position.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.position[i] = dist[i] == kMinusInf ? 0 : dist[i];
+    s.width = std::max(s.width, s.position[i]);
+  }
+  return s;
+}
+
+bool CompactionGraph::satisfied_by(
+    const std::vector<Coord>& position) const {
+  for (const SpacingEdge& e : edges_) {
+    const auto from = static_cast<std::size_t>(e.from);
+    const auto to = static_cast<std::size_t>(e.to);
+    if (from >= position.size() || to >= position.size()) return false;
+    if (position[to] - position[from] < e.min_spacing) return false;
+  }
+  return true;
+}
+
+namespace {
+
+core::Rect placement_of(const CellInstance& inst) {
+  const core::Value& iv = inst.bounding_box().value();
+  if (iv.is_rect()) return iv.as_rect();
+  const core::Value& cb = inst.cls().bounding_box().value();
+  if (cb.is_rect()) return inst.transform().apply(cb.as_rect());
+  return core::Rect{};
+}
+
+bool overlaps_vertically(const core::Rect& a, const core::Rect& b) {
+  return !a.empty() && !b.empty() && a.y0 <= b.y1 && b.y0 <= a.y1;
+}
+
+}  // namespace
+
+CompactionGraph derive_horizontal_graph(const env::CellClass& cell,
+                                        core::Coord min_spacing) {
+  CompactionGraph g;
+  std::vector<core::Rect> boxes;
+  std::vector<NodeId> nodes;
+  for (const auto& sub : cell.subcells()) {
+    boxes.push_back(placement_of(*sub));
+    nodes.push_back(g.add_node(sub->name()));
+    // Everything sits right of the cell's left edge.
+    g.add_spacing(0, nodes.back(), 0);
+  }
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = 0; j < boxes.size(); ++j) {
+      if (i == j || boxes[i].empty() || boxes[j].empty()) continue;
+      if (!overlaps_vertically(boxes[i], boxes[j])) continue;
+      if (boxes[i].x0 < boxes[j].x0 ||
+          (boxes[i].x0 == boxes[j].x0 && i < j)) {
+        // i left of j: keep that order with min spacing between the
+        // facing edges (edge weight covers i's width).
+        g.add_spacing(nodes[i], nodes[j], boxes[i].width() + min_spacing);
+      }
+    }
+  }
+  return g;
+}
+
+void apply_horizontal_positions(env::CellClass& cell,
+                                const CompactionGraph::Solution& solution) {
+  std::size_t index = 1;  // node 0 is the left edge
+  for (const auto& sub : cell.subcells()) {
+    if (index >= solution.position.size()) break;
+    const core::Rect box = placement_of(*sub);
+    const core::Coord dx = solution.position[index] - box.x0;
+    ++index;
+    if (dx == 0) continue;
+    const core::Transform moved =
+        sub->transform().then(core::Transform::translate({dx, 0}));
+    sub->set_transform(moved);
+  }
+}
+
+namespace {
+
+bool overlaps_horizontally(const core::Rect& a, const core::Rect& b) {
+  return !a.empty() && !b.empty() && a.x0 <= b.x1 && b.x0 <= a.x1;
+}
+
+}  // namespace
+
+CompactionGraph derive_vertical_graph(const env::CellClass& cell,
+                                      core::Coord min_spacing) {
+  CompactionGraph g;
+  std::vector<core::Rect> boxes;
+  std::vector<NodeId> nodes;
+  for (const auto& sub : cell.subcells()) {
+    boxes.push_back(placement_of(*sub));
+    nodes.push_back(g.add_node(sub->name()));
+    g.add_spacing(0, nodes.back(), 0);
+  }
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = 0; j < boxes.size(); ++j) {
+      if (i == j || boxes[i].empty() || boxes[j].empty()) continue;
+      if (!overlaps_horizontally(boxes[i], boxes[j])) continue;
+      if (boxes[i].y0 < boxes[j].y0 ||
+          (boxes[i].y0 == boxes[j].y0 && i < j)) {
+        g.add_spacing(nodes[i], nodes[j], boxes[i].height() + min_spacing);
+      }
+    }
+  }
+  return g;
+}
+
+void apply_vertical_positions(env::CellClass& cell,
+                              const CompactionGraph::Solution& solution) {
+  std::size_t index = 1;
+  for (const auto& sub : cell.subcells()) {
+    if (index >= solution.position.size()) break;
+    const core::Rect box = placement_of(*sub);
+    const core::Coord dy = solution.position[index] - box.y0;
+    ++index;
+    if (dy == 0) continue;
+    sub->set_transform(
+        sub->transform().then(core::Transform::translate({0, dy})));
+  }
+}
+
+bool compact_both(env::CellClass& cell, core::Coord min_spacing) {
+  const auto x = derive_horizontal_graph(cell, min_spacing).compact();
+  if (!x) return false;
+  apply_horizontal_positions(cell, *x);
+  const auto y = derive_vertical_graph(cell, min_spacing).compact();
+  if (!y) return false;
+  apply_vertical_positions(cell, *y);
+  return true;
+}
+
+}  // namespace stemcp::env::layout

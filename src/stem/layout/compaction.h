@@ -1,0 +1,96 @@
+// Graph-based layout compaction — the specialized baseline the thesis
+// compares its framework against (§2.1.1 Electric, §7.4, §9.2.3):
+//
+//   "For large and dense networks like layout constraints, specialized data
+//    structures ... and problem specific algorithms, such as graph based
+//    compaction algorithms, are required to achieve the necessary
+//    performance."
+//
+// This is that algorithm: one-dimensional compaction over a constraint
+// graph of minimum-spacing edges (x_j - x_i >= d), solved by a longest-path
+// sweep over a topological order.  `bench_layout_compaction` races it
+// against the same problem expressed as general constraints solved by
+// relaxation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geometry.h"
+
+namespace stemcp::env {
+class CellClass;
+}
+
+namespace stemcp::env::layout {
+
+using NodeId = std::int32_t;
+
+struct SpacingEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  core::Coord min_spacing = 0;  ///< x(to) - x(from) >= min_spacing
+};
+
+/// One-dimensional compaction constraint graph.
+class CompactionGraph {
+ public:
+  /// Add a layout object; returns its node id.  Node 0 is the implicit
+  /// left edge of the cell (x = 0).
+  NodeId add_node(std::string name);
+  /// x(to) - x(from) >= d.
+  void add_spacing(NodeId from, NodeId to, core::Coord d);
+  /// Pin a node at an exact position (equality = two opposing edges).
+  void pin(NodeId node, core::Coord x);
+
+  std::size_t node_count() const { return names_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const std::string& name(NodeId n) const {
+    return names_[static_cast<std::size_t>(n)];
+  }
+
+  struct Solution {
+    std::vector<core::Coord> position;  ///< per node, maximally compacted
+    core::Coord width = 0;              ///< rightmost position
+  };
+
+  /// Longest-path compaction: every node at the smallest position
+  /// satisfying all spacings (left-justified).  Returns nullopt if the
+  /// graph has a positive cycle (over-constrained).
+  std::optional<Solution> compact() const;
+
+  /// Verify a candidate assignment against every edge.
+  bool satisfied_by(const std::vector<core::Coord>& position) const;
+
+  const std::vector<SpacingEdge>& edges() const { return edges_; }
+
+ private:
+  std::vector<std::string> names_{"<left-edge>"};
+  std::vector<SpacingEdge> edges_;
+};
+
+/// Build a horizontal compaction graph from a cell's placed subcells: any
+/// two placements that overlap vertically get a min-spacing edge ordered by
+/// their current x positions (the design-rule extraction step of
+/// graph-based compactors).  Node i+1 corresponds to subcells()[i].
+CompactionGraph derive_horizontal_graph(const env::CellClass& cell,
+                                        core::Coord min_spacing);
+
+/// Apply a compaction solution back onto the subcells' transforms
+/// (preserving each placement's y).
+void apply_horizontal_positions(env::CellClass& cell,
+                                const CompactionGraph::Solution& solution);
+
+/// The symmetric vertical pass: overlap in x produces y-ordering edges.
+CompactionGraph derive_vertical_graph(const env::CellClass& cell,
+                                      core::Coord min_spacing);
+void apply_vertical_positions(env::CellClass& cell,
+                              const CompactionGraph::Solution& solution);
+
+/// Classic 1.5-D compaction: an x pass followed by a y pass, applied in
+/// place.  Returns false if either direction is over-constrained.
+bool compact_both(env::CellClass& cell, core::Coord min_spacing);
+
+}  // namespace stemcp::env::layout

@@ -1,0 +1,40 @@
+#include "stem/library.h"
+
+#include <stdexcept>
+
+#include "stem/cell.h"
+
+namespace stemcp::env {
+
+Library::Library(std::string name) : name_(std::move(name)) {}
+
+Library::~Library() {
+  // Cells must die newest-first: composite cells (defined later) hold
+  // instances of earlier leaf cells and must release them before the leaf
+  // classes disappear.
+  while (!cells_.empty()) cells_.pop_back();
+}
+
+CellClass& Library::define_cell(const std::string& name,
+                                CellClass* superclass) {
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("cell already defined: " + name);
+  }
+  cells_.push_back(std::make_unique<CellClass>(*this, name, superclass));
+  return *cells_.back();
+}
+
+CellClass* Library::find(const std::string& name) const {
+  for (const auto& c : cells_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+CellClass& Library::cell(const std::string& name) const {
+  CellClass* c = find(name);
+  if (c == nullptr) throw std::out_of_range("no cell named " + name);
+  return *c;
+}
+
+}  // namespace stemcp::env

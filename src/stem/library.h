@@ -1,0 +1,57 @@
+// Library: the design database root.  Owns the propagation context, the
+// signal type registry, and every cell class.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "stem/signal_type.h"
+
+namespace stemcp::env {
+
+class CellClass;
+
+class Library {
+ public:
+  explicit Library(std::string name = "lib");
+  ~Library();
+
+  Library(const Library&) = delete;
+  Library& operator=(const Library&) = delete;
+
+  const std::string& name() const { return name_; }
+  core::PropagationContext& context() { return ctx_; }
+  const core::PropagationContext& context() const { return ctx_; }
+  SignalTypeRegistry& types() { return types_; }
+
+  /// Define a cell class, optionally as a subclass of an existing one.
+  CellClass& define_cell(const std::string& name,
+                         CellClass* superclass = nullptr);
+  CellClass* find(const std::string& name) const;
+  CellClass& cell(const std::string& name) const;
+  const std::vector<std::unique_ptr<CellClass>>& cells() const {
+    return cells_;
+  }
+
+  /// Module-selection instrumentation (used by the pruning/selective-testing
+  /// ablation benches).
+  struct SelectionStats {
+    std::uint64_t candidates_tested = 0;
+    std::uint64_t bbox_checks = 0;
+    std::uint64_t signal_checks = 0;
+    std::uint64_t delay_checks = 0;
+  };
+  SelectionStats& selection_stats() { return selection_stats_; }
+  void reset_selection_stats() { selection_stats_ = {}; }
+
+ private:
+  std::string name_;
+  core::PropagationContext ctx_;
+  SignalTypeRegistry types_;
+  std::vector<std::unique_ptr<CellClass>> cells_;
+  SelectionStats selection_stats_;
+};
+
+}  // namespace stemcp::env

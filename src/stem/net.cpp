@@ -1,0 +1,206 @@
+#include "stem/net.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stem/cell.h"
+#include "stem/library.h"
+
+namespace stemcp::env {
+
+using core::Status;
+
+Net::Net(CellClass& parent, std::string name)
+    : parent_(&parent), name_(std::move(name)) {
+  auto& ctx = parent_->context();
+  const std::string path = qualified_name();
+  bit_width_ = std::make_unique<StemVariable>(ctx, path, "bitWidth");
+  data_type_ = std::make_unique<SignalTypeVar>(ctx, path, "dataType");
+  electrical_type_ =
+      std::make_unique<SignalTypeVar>(ctx, path, "electricalType");
+  width_eq_ = &ctx.make<core::EqualityConstraint>();
+  width_eq_->basic_add_argument(*bit_width_);
+  data_compat_ = &ctx.make<CompatibleConstraint>();
+  data_compat_->set_net_variable(*data_type_);
+  elec_compat_ = &ctx.make<CompatibleConstraint>();
+  elec_compat_->set_net_variable(*electrical_type_);
+}
+
+Net::~Net() {
+  auto& ctx = parent_->context();
+  ctx.destroy_constraint(*width_eq_);
+  ctx.destroy_constraint(*data_compat_);
+  ctx.destroy_constraint(*elec_compat_);
+}
+
+std::string Net::qualified_name() const {
+  return parent_->name() + ":" + name_;
+}
+
+Status Net::connect(CellInstance& inst, const std::string& signal) {
+  if (inst.parent_cell() != parent_) {
+    throw std::logic_error("net " + qualified_name() +
+                           ": instance belongs to a different cell");
+  }
+  IoSignal* sig = inst.cls().find_signal(signal);
+  if (sig == nullptr) {
+    throw std::out_of_range("net " + qualified_name() + ": no signal '" +
+                            signal + "' on class " + inst.cls().name());
+  }
+  if (connects(inst, signal)) return Status::ok();
+  connections_.push_back({&inst, signal});
+  inst.note_connection(signal, this);
+
+  // Instantiate the implied signal typing constraints (thesis §7.1):
+  // equality over bit widths, compatibility over data / electrical types.
+  Status worst = Status::ok();
+  if (width_eq_->add_argument(inst.bit_width(signal)).is_violation()) {
+    worst = Status::violation();
+  }
+  if (data_compat_->add_argument(sig->data_type()).is_violation()) {
+    worst = Status::violation();
+  }
+  if (elec_compat_->add_argument(sig->electrical_type()).is_violation()) {
+    worst = Status::violation();
+  }
+  parent_->structure_edited();
+  return worst;
+}
+
+Status Net::connect_io(const std::string& io_signal) {
+  IoSignal* sig = parent_->find_signal(io_signal);
+  if (sig == nullptr) {
+    throw std::out_of_range("net " + qualified_name() + ": no io-signal '" +
+                            io_signal + "' on " + parent_->name());
+  }
+  const NetConnection conn{nullptr, io_signal};
+  if (std::find(connections_.begin(), connections_.end(), conn) !=
+      connections_.end()) {
+    return Status::ok();
+  }
+  connections_.push_back(conn);
+  sig->internal_net_ = this;
+
+  Status worst = Status::ok();
+  if (width_eq_->add_argument(sig->bit_width()).is_violation()) {
+    worst = Status::violation();
+  }
+  if (data_compat_->add_argument(sig->data_type()).is_violation()) {
+    worst = Status::violation();
+  }
+  if (elec_compat_->add_argument(sig->electrical_type()).is_violation()) {
+    worst = Status::violation();
+  }
+  parent_->structure_edited();
+  return worst;
+}
+
+void Net::disconnect(CellInstance& inst, const std::string& signal) {
+  const NetConnection conn{&inst, signal};
+  auto it = std::find(connections_.begin(), connections_.end(), conn);
+  if (it == connections_.end()) return;
+  connections_.erase(it);
+  inst.note_connection(signal, nullptr);
+
+  width_eq_->remove_argument(inst.bit_width(signal));
+  // Class-level type variables are shared by all instances of the class:
+  // only remove them when no remaining connection resolves to the same
+  // class signal.
+  if (IoSignal* sig = inst.cls().find_signal(signal)) {
+    if (!class_signal_still_referenced(*sig)) {
+      data_compat_->remove_argument(sig->data_type());
+      elec_compat_->remove_argument(sig->electrical_type());
+    }
+  }
+  parent_->structure_edited();
+}
+
+void Net::disconnect_io(const std::string& io_signal) {
+  const NetConnection conn{nullptr, io_signal};
+  auto it = std::find(connections_.begin(), connections_.end(), conn);
+  if (it == connections_.end()) return;
+  connections_.erase(it);
+  IoSignal* sig = parent_->find_signal(io_signal);
+  if (sig != nullptr) {
+    if (sig->internal_net_ == this) sig->internal_net_ = nullptr;
+    width_eq_->remove_argument(sig->bit_width());
+    if (!class_signal_still_referenced(*sig)) {
+      data_compat_->remove_argument(sig->data_type());
+      elec_compat_->remove_argument(sig->electrical_type());
+    }
+  }
+  parent_->structure_edited();
+}
+
+bool Net::connects(const CellInstance& inst, const std::string& signal) const {
+  const NetConnection conn{const_cast<CellInstance*>(&inst), signal};
+  return std::find(connections_.begin(), connections_.end(), conn) !=
+         connections_.end();
+}
+
+const IoSignal* Net::resolve(const NetConnection& c) const {
+  if (c.instance != nullptr) return c.instance->cls().find_signal(c.signal);
+  return parent_->find_signal(c.signal);
+}
+
+bool Net::class_signal_still_referenced(const IoSignal& sig) const {
+  for (const NetConnection& c : connections_) {
+    if (resolve(c) == &sig) return true;
+  }
+  return false;
+}
+
+double Net::wire_capacitance() const {
+  if (cap_per_unit_ == 0.0) return 0.0;
+  // Half-perimeter of the bounding box of every placed pin on the net.
+  bool any = false;
+  core::Rect box;
+  for (const NetConnection& c : connections_) {
+    if (c.instance == nullptr) continue;
+    for (const IoPin& pin : c.instance->placed_pins()) {
+      if (pin.signal != c.signal) continue;
+      const core::Rect point{pin.position.x, pin.position.y, pin.position.x,
+                             pin.position.y};
+      box = any ? box.union_with(point) : point;
+      any = true;
+    }
+  }
+  if (!any) return 0.0;
+  return cap_per_unit_ * static_cast<double>(box.width() + box.height());
+}
+
+double Net::total_load_capacitance(const CellInstance* exclude_inst,
+                                   const std::string& exclude_signal) const {
+  double total = wire_capacitance();
+  for (const NetConnection& c : connections_) {
+    if (c.instance == exclude_inst && c.signal == exclude_signal) continue;
+    const IoSignal* sig = resolve(c);
+    if (sig == nullptr) continue;
+    if (c.instance != nullptr) {
+      // Subcell inputs (and bidirectionals) load the net.
+      if (!sig->is_output()) total += sig->load_capacitance();
+    } else {
+      // The parent's output io carries the external load estimate.
+      if (sig->is_output()) total += sig->load_capacitance();
+    }
+  }
+  return total;
+}
+
+double Net::driver_resistance() const {
+  for (const NetConnection& c : connections_) {
+    const IoSignal* sig = resolve(c);
+    if (sig == nullptr) continue;
+    if (c.instance != nullptr && sig->is_output()) {
+      return sig->output_resistance();
+    }
+    if (c.instance == nullptr && sig->is_input()) {
+      // The parent's input io drives internal nets with its source
+      // resistance.
+      return sig->output_resistance();
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace stemcp::env

@@ -1,0 +1,102 @@
+// Nets: electrical connections inside a cell that *imply* signal typing
+// constraints (thesis §7.1) — an equality-constraint over bit widths and
+// compatible-constraints over data and electrical types, updated as signals
+// join and leave the net.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stem/compatible.h"
+#include "stem/hierarchy.h"
+
+namespace stemcp::env {
+
+class CellClass;
+class CellInstance;
+class IoSignal;
+
+struct NetConnection {
+  CellInstance* instance = nullptr;  ///< nullptr = the parent cell's io
+  std::string signal;
+
+  friend bool operator==(const NetConnection&, const NetConnection&) = default;
+};
+
+class Net {
+ public:
+  Net(CellClass& parent, std::string name);
+  ~Net();
+
+  Net(const Net&) = delete;
+  Net& operator=(const Net&) = delete;
+
+  CellClass& parent() const { return *parent_; }
+  const std::string& name() const { return name_; }
+  std::string qualified_name() const;
+
+  /// Connect a subcell instance signal to this net; instantiates the signal
+  /// typing constraints.
+  core::Status connect(CellInstance& inst, const std::string& signal);
+  /// Connect the parent cell's own io-signal to this net.
+  core::Status connect_io(const std::string& io_signal);
+  void disconnect(CellInstance& inst, const std::string& signal);
+  void disconnect_io(const std::string& io_signal);
+
+  const std::vector<NetConnection>& connections() const {
+    return connections_;
+  }
+  bool connects(const CellInstance& inst, const std::string& signal) const;
+
+  // Net-level typing variables.
+  StemVariable& bit_width() { return *bit_width_; }
+  SignalTypeVar& data_type() { return *data_type_; }
+  SignalTypeVar& electrical_type() { return *electrical_type_; }
+  const StemVariable& bit_width() const { return *bit_width_; }
+  const SignalTypeVar& data_type() const { return *data_type_; }
+  const SignalTypeVar& electrical_type() const { return *electrical_type_; }
+
+  core::EqualityConstraint& width_constraint() { return *width_eq_; }
+  CompatibleConstraint& data_constraint() { return *data_compat_; }
+  CompatibleConstraint& electrical_constraint() { return *elec_compat_; }
+
+  // ---- electrical context for the delay model (thesis §7.3) --------------
+  /// Sum of input load capacitances hanging on this net, excluding the
+  /// contribution of (`exclude_inst`, `exclude_signal`), plus the estimated
+  /// wire capacitance.
+  double total_load_capacitance(const CellInstance* exclude_inst = nullptr,
+                                const std::string& exclude_signal = "") const;
+
+  /// Wire capacitance estimate: half-perimeter of the bounding box of the
+  /// connected (placed) pins, times the technology's capacitance per grid
+  /// unit.  Couples the geometric and timing subsystems: spreading cells
+  /// apart slows the nets between them.
+  double wire_capacitance() const;
+  double capacitance_per_unit() const { return cap_per_unit_; }
+  void set_capacitance_per_unit(double farads_per_unit) {
+    cap_per_unit_ = farads_per_unit;
+  }
+  /// Output resistance of whatever drives this net (a subcell output or the
+  /// parent's input io); 0 when undriven.
+  double driver_resistance() const;
+
+ private:
+  const IoSignal* resolve(const NetConnection& c) const;
+  /// True if another connection on this net resolves to the same class-level
+  /// signal declaration (shared type variables must stay in the constraint).
+  bool class_signal_still_referenced(const IoSignal& sig) const;
+
+  CellClass* parent_;
+  std::string name_;
+  std::vector<NetConnection> connections_;
+  std::unique_ptr<StemVariable> bit_width_;
+  std::unique_ptr<SignalTypeVar> data_type_;
+  std::unique_ptr<SignalTypeVar> electrical_type_;
+  core::EqualityConstraint* width_eq_;
+  CompatibleConstraint* data_compat_;
+  CompatibleConstraint* elec_compat_;
+  double cap_per_unit_ = 0.0;
+};
+
+}  // namespace stemcp::env

@@ -1,0 +1,152 @@
+#include "stem/netlist/characterize.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stem/netlist/spice_views.h"
+
+namespace stemcp::env::spice {
+
+CharacterizeResult characterize_delay(CellClass& cell, const std::string& in,
+                                      const std::string& out,
+                                      const CharacterizeOptions& options) {
+  CharacterizeResult result;
+  const Deck deck = extract(cell);
+  TransientSpec spec;
+  spec.vdd = options.vdd;
+  spec.tstop = options.tstop;
+  spec.tstep = options.tstep;
+  spec.pulses.push_back(
+      {in, 0.0, options.vdd, options.pulse_delay, options.pulse_rise});
+  const Waveforms waves = MiniSpiceEngine::run(deck, spec);
+  const SpicePlot plot(waves);
+  result.measured = plot.delay_between(in, out, options.vdd / 2.0);
+  if (!result.measured.has_value()) {
+    result.status = core::Status::violation();
+    return result;
+  }
+  // The measured characteristic enters the constraint network like any
+  // other calculated value; hierarchical propagation takes it from here.
+  result.status = cell.set_leaf_delay(in, out, *result.measured);
+  return result;
+}
+
+void write_csv(const Waveforms& w, std::ostream& out) {
+  out << "time";
+  for (const auto& [node, samples] : w.node_voltages) out << ',' << node;
+  out << '\n';
+  for (std::size_t i = 0; i < w.time.size(); ++i) {
+    out << w.time[i];
+    for (const auto& [node, samples] : w.node_voltages) {
+      out << ',' << (i < samples.size() ? samples[i] : 0.0);
+    }
+    out << '\n';
+  }
+}
+
+Deck parse_deck(const std::string& text) {
+  Deck deck;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head) || head.empty()) continue;
+    if (head[0] == '*') {  // comment / title
+      if (deck.title.empty()) {
+        std::string rest;
+        std::getline(ls, rest);
+        if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+        deck.title = rest;
+      }
+      continue;
+    }
+    if (head == ".END" || head == ".end") break;
+    if (head[0] == '.') continue;  // other dot-cards ignored
+
+    Card card;
+    card.name = head;
+    const char kind = static_cast<char>(std::toupper(head[0]));
+    auto need = [&](int n) {
+      for (int i = 0; i < n; ++i) {
+        std::string node;
+        if (!(ls >> node)) {
+          throw std::runtime_error("deck parse error, line " +
+                                   std::to_string(line_no) +
+                                   ": missing node for " + head);
+        }
+        card.nodes.push_back(node);
+      }
+    };
+    switch (kind) {
+      case 'M': {
+        need(3);
+        std::string type;
+        if (!(ls >> type)) {
+          throw std::runtime_error("deck parse error, line " +
+                                   std::to_string(line_no) +
+                                   ": missing MOS type");
+        }
+        card.kind = type == "PMOS" ? DeviceInfo::Kind::kPmos
+                                   : DeviceInfo::Kind::kNmos;
+        std::string attr;
+        card.ron = 1e3;
+        while (ls >> attr) {
+          if (attr.rfind("RON=", 0) == 0) card.ron = std::stod(attr.substr(4));
+        }
+        break;
+      }
+      case 'R': {
+        need(2);
+        card.kind = DeviceInfo::Kind::kResistor;
+        if (!(ls >> card.value)) {
+          throw std::runtime_error("deck parse error, line " +
+                                   std::to_string(line_no) +
+                                   ": missing resistance");
+        }
+        break;
+      }
+      case 'C': {
+        need(1);
+        card.kind = DeviceInfo::Kind::kCapacitor;
+        // Optional second terminal (ignored: grounded-cap model).
+        std::string maybe;
+        if (ls >> maybe) {
+          try {
+            card.value = std::stod(maybe);
+          } catch (const std::exception&) {
+            card.nodes.push_back(maybe);
+            if (!(ls >> card.value)) {
+              throw std::runtime_error("deck parse error, line " +
+                                       std::to_string(line_no) +
+                                       ": missing capacitance");
+            }
+          }
+        }
+        break;
+      }
+      case 'V': {
+        need(1);
+        card.kind = DeviceInfo::Kind::kVoltageSource;
+        std::string dc;
+        if (!(ls >> dc >> card.value) || (dc != "DC" && dc != "dc")) {
+          throw std::runtime_error("deck parse error, line " +
+                                   std::to_string(line_no) +
+                                   ": expected 'DC <volts>'");
+        }
+        break;
+      }
+      default:
+        throw std::runtime_error("deck parse error, line " +
+                                 std::to_string(line_no) +
+                                 ": unknown card '" + head + "'");
+    }
+    deck.cards.push_back(std::move(card));
+  }
+  return deck;
+}
+
+}  // namespace stemcp::env::spice

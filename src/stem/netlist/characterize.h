@@ -1,0 +1,48 @@
+// Closing the tool-integration loop (thesis ch. 6 + ch. 7): run the
+// simulator on a cell, measure its propagation delay, and feed the result
+// back into the cell's class delay variable — where hierarchical constraint
+// propagation immediately checks it against every specification in every
+// context the cell is used in.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "stem/netlist/minispice.h"
+
+namespace stemcp::env::spice {
+
+struct CharacterizeOptions {
+  double vdd = 5.0;
+  double tstop = 100e-9;
+  double tstep = 0.1e-9;
+  double pulse_delay = 10e-9;
+  double pulse_rise = 1e-9;
+};
+
+struct CharacterizeResult {
+  core::Status status = core::Status::ok();   ///< of the delay assignment
+  std::optional<double> measured;             ///< seconds; nullopt = no edge
+};
+
+/// Simulate `cell` with a rising step on io-signal `in`, measure the 50%
+/// crossing-to-crossing delay to io-signal `out`, and assign it to the
+/// cell's class delay variable (declaring it if needed).  The assignment
+/// propagates hierarchically: a measured delay that blows a budget anywhere
+/// up the design hierarchy is rejected (and reported) exactly like a
+/// hand-entered one.
+CharacterizeResult characterize_delay(
+    CellClass& cell, const std::string& in, const std::string& out,
+    const CharacterizeOptions& options = CharacterizeOptions());
+
+/// Export waveforms as CSV (time plus one column per node) for external
+/// plotting.
+void write_csv(const Waveforms& w, std::ostream& out);
+
+/// Parse a MiniSpice-format deck back from text (the inverse of
+/// Deck::to_text) — lets hand-written decks run through the simulator.
+/// Throws std::runtime_error with a line number on malformed input.
+Deck parse_deck(const std::string& text);
+
+}  // namespace stemcp::env::spice

@@ -1,0 +1,142 @@
+#include "stem/netlist/deck.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "stem/net.h"
+
+namespace stemcp::env::spice {
+
+namespace {
+
+bool is_ground_name(const std::string& s) {
+  return s == "0" || s == "gnd" || s == "GND" || s == "vss" || s == "VSS";
+}
+
+char prefix_for(DeviceInfo::Kind k) {
+  switch (k) {
+    case DeviceInfo::Kind::kNmos:
+    case DeviceInfo::Kind::kPmos: return 'M';
+    case DeviceInfo::Kind::kResistor: return 'R';
+    case DeviceInfo::Kind::kCapacitor: return 'C';
+    case DeviceInfo::Kind::kVoltageSource: return 'V';
+    case DeviceInfo::Kind::kNone: return 'X';
+  }
+  return 'X';
+}
+
+struct Flattener {
+  Deck deck;
+  int counters[6] = {};
+  int anon_nodes = 0;
+
+  std::string fresh_node() {
+    return "_float" + std::to_string(anon_nodes++);
+  }
+
+  /// `bindings` maps this cell's io-signal names to enclosing node names.
+  void flatten(CellClass& cell, const std::string& prefix,
+               const std::map<std::string, std::string>& bindings) {
+    // Node name per net of this cell.
+    std::map<const Net*, std::string> net_node;
+    for (const auto& net : cell.nets()) {
+      std::string name = prefix + "/" + net->name();
+      // An internal net wired to an io-signal takes the outer node's name.
+      for (const NetConnection& c : net->connections()) {
+        if (c.instance != nullptr) continue;
+        auto it = bindings.find(c.signal);
+        if (it != bindings.end()) {
+          name = it->second;
+          break;
+        }
+      }
+      net_node[net.get()] = name;
+    }
+
+    for (const auto& sub : cell.subcells()) {
+      // Terminal nodes in declared-signal order.
+      std::map<std::string, std::string> sub_bindings;
+      std::vector<std::string> terminal_nodes;
+      for (const IoSignal* sig : sub->cls().all_signals()) {
+        std::string node;
+        if (is_ground_name(sig->name())) {
+          node = kGroundNode;
+        } else if (const Net* net = sub->net_for(sig->name())) {
+          node = net_node.at(net);
+        } else {
+          node = fresh_node();
+        }
+        sub_bindings[sig->name()] = node;
+        terminal_nodes.push_back(node);
+      }
+
+      if (sub->cls().is_device()) {
+        const DeviceInfo& dev = sub->cls().device();
+        Card card;
+        card.kind = dev.kind;
+        const char p = prefix_for(dev.kind);
+        // One counter per card prefix so names are unique within the deck
+        // (NMOS and PMOS share the 'M' namespace).
+        const std::size_t counter_index =
+            p == 'M' ? 0 : p == 'R' ? 1 : p == 'C' ? 2 : p == 'V' ? 3 : 4;
+        card.name = std::string(1, p) +
+                    std::to_string(++counters[counter_index]);
+        card.nodes = terminal_nodes;
+        card.value = dev.value;
+        card.ron = dev.ron;
+        card.origin = sub.get();
+        deck.cards.push_back(std::move(card));
+      } else {
+        flatten(sub->cls(), prefix + "/" + sub->name(), sub_bindings);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string Card::to_text() const {
+  std::ostringstream os;
+  os << name;
+  for (const auto& n : nodes) os << ' ' << n;
+  switch (kind) {
+    case DeviceInfo::Kind::kNmos: os << " NMOS RON=" << ron; break;
+    case DeviceInfo::Kind::kPmos: os << " PMOS RON=" << ron; break;
+    case DeviceInfo::Kind::kResistor: os << ' ' << value; break;
+    case DeviceInfo::Kind::kCapacitor: os << ' ' << value; break;
+    case DeviceInfo::Kind::kVoltageSource: os << " DC " << value; break;
+    case DeviceInfo::Kind::kNone: break;
+  }
+  return os.str();
+}
+
+std::vector<std::string> Deck::nodes() const {
+  std::set<std::string> set;
+  for (const Card& c : cards) {
+    for (const auto& n : c.nodes) set.insert(n);
+  }
+  return {set.begin(), set.end()};
+}
+
+std::string Deck::to_text() const {
+  std::ostringstream os;
+  os << "* " << title << '\n';
+  for (const Card& c : cards) os << c.to_text() << '\n';
+  os << ".END\n";
+  return os.str();
+}
+
+Deck extract(CellClass& cell) {
+  Flattener f;
+  f.deck.title = cell.name();
+  std::map<std::string, std::string> top_bindings;
+  for (const IoSignal* sig : cell.all_signals()) {
+    top_bindings[sig->name()] =
+        is_ground_name(sig->name()) ? kGroundNode : sig->name();
+  }
+  f.flatten(cell, "", top_bindings);
+  return std::move(f.deck);
+}
+
+}  // namespace stemcp::env::spice

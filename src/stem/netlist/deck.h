@@ -1,0 +1,44 @@
+// Netlist extraction (the SpiceNet substrate, thesis §6.4.2).
+//
+// A design hierarchy is flattened down to its primitive device cells
+// (transistors, resistors, capacitors, sources), producing a SPICE-like
+// card deck plus the correspondence map between card names and database
+// objects that SpiceNet uses to tie the text back to the design.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stem/cell.h"
+
+namespace stemcp::env::spice {
+
+inline constexpr const char* kGroundNode = "0";
+
+struct Card {
+  std::string name;            ///< e.g. "M1", "R2", "C3", "V1"
+  DeviceInfo::Kind kind = DeviceInfo::Kind::kNone;
+  std::vector<std::string> nodes;  ///< terminal node names, signal order
+  double value = 0.0;
+  double ron = 0.0;
+  const CellInstance* origin = nullptr;  ///< correspondence pointer
+
+  std::string to_text() const;
+};
+
+struct Deck {
+  std::string title;
+  std::vector<Card> cards;
+  /// All node names appearing in the deck (sorted, unique).
+  std::vector<std::string> nodes() const;
+  std::string to_text() const;
+};
+
+/// Flatten `cell` to primitive devices.  Node names are hierarchical net
+/// paths ("/u1/n_mid"); the cell's own io-signals become top-level nodes
+/// named after the signal.  A signal named "gnd"/"vss"/"0" maps to the
+/// ground node.
+Deck extract(CellClass& cell);
+
+}  // namespace stemcp::env::spice

@@ -1,0 +1,179 @@
+#include "stem/netlist/minispice.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stemcp::env::spice {
+
+double PulseSource::at(double t) const {
+  if (t <= delay) return v0;
+  if (t >= delay + rise) return v1;
+  return v0 + (v1 - v0) * (t - delay) / rise;
+}
+
+double Waveforms::value_at(const std::string& node, double t) const {
+  const auto it = node_voltages.find(node);
+  if (it == node_voltages.end() || time.empty()) return 0.0;
+  const auto& v = it->second;
+  if (t <= time.front()) return v.front();
+  if (t >= time.back()) return v.back();
+  const auto upper = std::upper_bound(time.begin(), time.end(), t);
+  const std::size_t i = static_cast<std::size_t>(upper - time.begin());
+  const double t0 = time[i - 1];
+  const double t1 = time[i];
+  const double f = (t - t0) / (t1 - t0);
+  return v[i - 1] + f * (v[i] - v[i - 1]);
+}
+
+namespace {
+
+struct Node {
+  std::string name;
+  double voltage = 0.0;
+  double capacitance = 0.0;
+  bool fixed = false;            ///< source- or ground-driven
+  const PulseSource* pulse = nullptr;
+};
+
+struct Branch {
+  int a = -1;
+  int b = -1;
+  double conductance = 0.0;  // static (R)
+  // MOS switch: conducts only when the controlling node passes threshold.
+  int gate = -1;
+  bool is_pmos = false;
+  double ron = 0.0;
+};
+
+}  // namespace
+
+Waveforms MiniSpiceEngine::run(const Deck& deck, const TransientSpec& spec) {
+  std::vector<Node> nodes;
+  std::map<std::string, int> index;
+  const auto node_of = [&](const std::string& name) {
+    auto it = index.find(name);
+    if (it != index.end()) return it->second;
+    const int i = static_cast<int>(nodes.size());
+    nodes.push_back({name, 0.0, spec.cmin, false, nullptr});
+    index.emplace(name, i);
+    return i;
+  };
+
+  const int gnd = node_of(kGroundNode);
+  nodes[gnd].fixed = true;
+
+  std::vector<Branch> branches;
+  for (const Card& card : deck.cards) {
+    switch (card.kind) {
+      case DeviceInfo::Kind::kResistor: {
+        if (card.nodes.size() < 2) {
+          throw std::invalid_argument("R card needs 2 nodes: " + card.name);
+        }
+        Branch br;
+        br.a = node_of(card.nodes[0]);
+        br.b = node_of(card.nodes[1]);
+        br.conductance = card.value > 0 ? 1.0 / card.value : 0.0;
+        branches.push_back(br);
+        break;
+      }
+      case DeviceInfo::Kind::kCapacitor: {
+        if (card.nodes.empty()) {
+          throw std::invalid_argument("C card needs a node: " + card.name);
+        }
+        // Capacitance to ground on the first terminal (grounded-cap model).
+        nodes[node_of(card.nodes[0])].capacitance += card.value;
+        break;
+      }
+      case DeviceInfo::Kind::kNmos:
+      case DeviceInfo::Kind::kPmos: {
+        if (card.nodes.size() < 3) {
+          throw std::invalid_argument("MOS card needs d g s: " + card.name);
+        }
+        Branch br;
+        br.a = node_of(card.nodes[0]);   // drain
+        br.gate = node_of(card.nodes[1]);
+        br.b = node_of(card.nodes[2]);   // source
+        br.is_pmos = card.kind == DeviceInfo::Kind::kPmos;
+        br.ron = card.ron > 0 ? card.ron : 1e3;
+        branches.push_back(br);
+        break;
+      }
+      case DeviceInfo::Kind::kVoltageSource: {
+        if (card.nodes.empty()) {
+          throw std::invalid_argument("V card needs a node: " + card.name);
+        }
+        Node& n = nodes[node_of(card.nodes[0])];
+        n.fixed = true;
+        n.voltage = card.value;
+        break;
+      }
+      case DeviceInfo::Kind::kNone:
+        break;
+    }
+  }
+
+  for (const PulseSource& p : spec.pulses) {
+    Node& n = nodes[node_of(p.node)];
+    n.fixed = true;
+    n.pulse = &p;
+    n.voltage = p.at(0.0);
+  }
+
+  // Stability: explicit integration needs dt well under the smallest RC.
+  double min_rc = spec.tstep;
+  for (const Branch& br : branches) {
+    const double g = br.gate >= 0 ? 1.0 / br.ron : br.conductance;
+    if (g <= 0) continue;
+    const double c = std::min(nodes[br.a].capacitance,
+                              nodes[br.b].capacitance);
+    min_rc = std::min(min_rc, c / g);
+  }
+  const double dt = std::max(min_rc * 0.2, 1e-18);
+
+  Waveforms out;
+  const auto sample = [&](double t) {
+    out.time.push_back(t);
+    for (const Node& n : nodes) {
+      if (n.name == kGroundNode) continue;
+      out.node_voltages[n.name].push_back(n.voltage);
+    }
+  };
+
+  const double half = spec.vdd / 2.0;
+  std::vector<double> current(nodes.size());
+  double next_sample = 0.0;
+  for (double t = 0.0; t <= spec.tstop + dt; t += dt) {
+    // Drive sources.
+    for (Node& n : nodes) {
+      if (n.pulse != nullptr) n.voltage = n.pulse->at(t);
+    }
+    if (t >= next_sample) {
+      sample(t);
+      next_sample += spec.tstep;
+    }
+    // Currents into each node.
+    std::fill(current.begin(), current.end(), 0.0);
+    for (const Branch& br : branches) {
+      double g = br.conductance;
+      if (br.gate >= 0) {
+        const double vg = nodes[br.gate].voltage;
+        const bool on = br.is_pmos ? vg < half : vg > half;
+        g = on ? 1.0 / br.ron : 0.0;
+      }
+      if (g <= 0) continue;
+      const double i = g * (nodes[br.a].voltage - nodes[br.b].voltage);
+      current[br.a] -= i;
+      current[br.b] += i;
+    }
+    // Integrate free nodes.
+    for (std::size_t k = 0; k < nodes.size(); ++k) {
+      Node& n = nodes[k];
+      if (n.fixed) continue;
+      n.voltage += dt * current[k] / n.capacitance;
+    }
+  }
+  return out;
+}
+
+}  // namespace stemcp::env::spice

@@ -1,0 +1,57 @@
+// MiniSpice: the in-process substitute for Berkeley SPICE (thesis §6.4.2).
+//
+// A switch-level RC transient simulator: MOS devices act as resistive
+// switches controlled by their gate voltage, resistors and capacitors are
+// ideal, and node voltages evolve by explicit integration.  It exists to
+// exercise the same tool-integration path the thesis built around SPICE —
+// extract, format, run, file results back in, outdate views — not to be an
+// accurate analog simulator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stem/netlist/deck.h"
+
+namespace stemcp::env::spice {
+
+/// PULSE-style stimulus on a node: v0 until `delay`, linear ramp to v1 over
+/// `rise`, then v1.
+struct PulseSource {
+  std::string node;
+  double v0 = 0.0;
+  double v1 = 5.0;
+  double delay = 0.0;
+  double rise = 1e-9;
+
+  double at(double t) const;
+};
+
+struct TransientSpec {
+  double tstep = 1e-10;
+  double tstop = 1e-7;
+  double vdd = 5.0;       ///< logic threshold reference (switch at vdd/2)
+  double cmin = 1e-15;    ///< default node capacitance (F)
+  std::vector<PulseSource> pulses;
+};
+
+struct Waveforms {
+  std::vector<double> time;
+  std::map<std::string, std::vector<double>> node_voltages;
+
+  bool has(const std::string& node) const {
+    return node_voltages.count(node) != 0;
+  }
+  /// Linear interpolation of a node voltage at time t.
+  double value_at(const std::string& node, double t) const;
+};
+
+class MiniSpiceEngine {
+ public:
+  /// Run a transient analysis.  Throws std::invalid_argument on decks that
+  /// cannot be simulated (e.g. a MOS card with fewer than 3 terminals).
+  static Waveforms run(const Deck& deck, const TransientSpec& spec);
+};
+
+}  // namespace stemcp::env::spice

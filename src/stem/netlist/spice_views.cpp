@@ -1,0 +1,126 @@
+#include "stem/netlist/spice_views.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stemcp::env::spice {
+
+// ---- SpiceNet -----------------------------------------------------------------
+
+SpiceNet::SpiceNet(CellClass& cell) : cell_(&cell) {
+  cell_->add_dependent(*this);
+}
+
+SpiceNet::~SpiceNet() { cell_->remove_dependent(*this); }
+
+void SpiceNet::update(const std::string& key) {
+  // A pure layout change does not alter connectivity, so the net-list stays
+  // valid (selective erasure, thesis §6.5.2).
+  if (key == kChangedLayout) return;
+  outdated_ = true;
+}
+
+const Deck& SpiceNet::deck() {
+  if (outdated_) {
+    deck_ = extract(*cell_);
+    text_ = deck_.to_text();
+    outdated_ = false;
+  }
+  return deck_;
+}
+
+const std::string& SpiceNet::text() {
+  (void)deck();
+  return text_;
+}
+
+// ---- SpiceSimulation ------------------------------------------------------------
+
+SpiceSimulation::SpiceSimulation(CellClass& cell)
+    : cell_(&cell), net_(cell) {
+  cell_->add_dependent(*this);
+}
+
+SpiceSimulation::~SpiceSimulation() { cell_->remove_dependent(*this); }
+
+void SpiceSimulation::update(const std::string& key) {
+  if (key == kChangedLayout) return;
+  outdated_ = true;
+}
+
+const Waveforms& SpiceSimulation::run() {
+  result_ = MiniSpiceEngine::run(net_.deck(), spec_);
+  has_result_ = true;
+  outdated_ = false;
+  return result_;
+}
+
+const Waveforms& SpiceSimulation::result() const {
+  if (!has_result_) {
+    throw std::logic_error("SpiceSimulation: no results; call run() first");
+  }
+  return result_;
+}
+
+// ---- SpicePlot -------------------------------------------------------------------
+
+std::optional<double> SpicePlot::crossing_time(const std::string& node,
+                                               double level, bool rising,
+                                               double after) const {
+  const auto it = w_->node_voltages.find(node);
+  if (it == w_->node_voltages.end()) return std::nullopt;
+  const auto& v = it->second;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (w_->time[i] < after) continue;
+    const bool crossed = rising ? (v[i - 1] < level && v[i] >= level)
+                                : (v[i - 1] > level && v[i] <= level);
+    if (!crossed) continue;
+    // Linear interpolation inside the step.
+    const double f = (level - v[i - 1]) / (v[i] - v[i - 1]);
+    return w_->time[i - 1] + f * (w_->time[i] - w_->time[i - 1]);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> SpicePlot::delay_between(const std::string& a,
+                                               const std::string& b,
+                                               double level) const {
+  auto ta = crossing_time(a, level, true);
+  if (!ta) ta = crossing_time(a, level, false);
+  if (!ta) return std::nullopt;
+  auto tb = crossing_time(b, level, true, *ta);
+  const auto tb_fall = crossing_time(b, level, false, *ta);
+  if (!tb || (tb_fall && *tb_fall < *tb)) tb = tb_fall;
+  if (!tb) return std::nullopt;
+  return *tb - *ta;
+}
+
+std::string SpicePlot::render(const std::string& node, int columns,
+                              int rows) const {
+  const auto it = w_->node_voltages.find(node);
+  if (it == w_->node_voltages.end() || w_->time.empty()) {
+    return "(no data for " + node + ")\n";
+  }
+  const auto& v = it->second;
+  const double vmax = std::max(1e-12, *std::max_element(v.begin(), v.end()));
+  const double tmax = w_->time.back();
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(columns),
+                                            ' '));
+  for (int c = 0; c < columns; ++c) {
+    const double t = tmax * c / std::max(1, columns - 1);
+    const double val = w_->value_at(node, t);
+    int r = static_cast<int>(std::lround((rows - 1) * val / vmax));
+    r = std::clamp(r, 0, rows - 1);
+    grid[static_cast<std::size_t>(rows - 1 - r)]
+        [static_cast<std::size_t>(c)] = '*';
+  }
+  std::ostringstream os;
+  os << node << " (0.." << vmax << " V, 0.." << tmax << " s)\n";
+  for (const auto& row : grid) os << '|' << row << "|\n";
+  return os.str();
+}
+
+}  // namespace stemcp::env::spice

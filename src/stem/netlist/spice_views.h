@@ -1,0 +1,91 @@
+// The SPICE tool-integration views (thesis §6.4.2, Fig 6.3): SpiceNet
+// (net-list view of a cell), SpiceSimulation (deck + parameters + engine
+// run), and SpicePlot (waveform display/measurement).  All are calculated
+// views that go *outdated* when the model changes and recompute on demand.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "stem/netlist/deck.h"
+#include "stem/netlist/minispice.h"
+
+namespace stemcp::env::spice {
+
+/// Textual net-list view of a cell; maintains the extracted deck and the
+/// correspondence between cards and database objects.
+class SpiceNet : public View {
+ public:
+  explicit SpiceNet(CellClass& cell);
+  ~SpiceNet() override;
+
+  CellClass& cell() const { return *cell_; }
+  /// Extract (if outdated) and return the deck.
+  const Deck& deck();
+  /// Extract (if outdated) and return the formatted net-list.
+  const std::string& text();
+  bool outdated() const { return outdated_; }
+
+  void update(const std::string& key) override;
+
+ private:
+  CellClass* cell_;
+  bool outdated_ = true;
+  Deck deck_;
+  std::string text_;
+};
+
+/// A simulation setup over a cell's net-list: editable stimulus and
+/// transient parameters, plus the (background-style) run of the engine.
+class SpiceSimulation : public View {
+ public:
+  explicit SpiceSimulation(CellClass& cell);
+  ~SpiceSimulation() override;
+
+  TransientSpec& spec() { return spec_; }
+  /// Run (or re-run) the simulation; marks the results fresh.
+  const Waveforms& run();
+  /// Last results; throws std::logic_error if never run.
+  const Waveforms& result() const;
+  bool has_result() const { return has_result_; }
+  /// Results go stale when the model changes (the "outdated" window label
+  /// of thesis §6.4.2).
+  bool outdated() const { return outdated_; }
+
+  void update(const std::string& key) override;
+
+ private:
+  CellClass* cell_;
+  SpiceNet net_;
+  TransientSpec spec_;
+  Waveforms result_;
+  bool has_result_ = false;
+  bool outdated_ = true;
+};
+
+/// Waveform measurements (the SpicePlot of thesis Fig 6.3).
+class SpicePlot {
+ public:
+  explicit SpicePlot(const Waveforms& w) : w_(&w) {}
+
+  double value_at(const std::string& node, double t) const {
+    return w_->value_at(node, t);
+  }
+  /// First time after `after` at which the node crosses `level` in the
+  /// given direction.
+  std::optional<double> crossing_time(const std::string& node, double level,
+                                      bool rising, double after = 0.0) const;
+  /// Delay from a's crossing of `level` to b's next crossing of `level`
+  /// (either direction on b).
+  std::optional<double> delay_between(const std::string& a,
+                                      const std::string& b,
+                                      double level) const;
+  /// ASCII rendering of one waveform (the plot window substitute).
+  std::string render(const std::string& node, int columns = 60,
+                     int rows = 10) const;
+
+ private:
+  const Waveforms* w_;
+};
+
+}  // namespace stemcp::env::spice

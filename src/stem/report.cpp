@@ -1,0 +1,134 @@
+#include "stem/report.h"
+
+#include <sstream>
+
+#include "stem/checker.h"
+#include "stem/net.h"
+
+namespace stemcp::env {
+
+namespace {
+
+std::string nanoseconds(const core::Value& v) {
+  if (!v.is_number()) return "unknown";
+  std::ostringstream os;
+  os << v.as_number() * 1e9 << " ns";
+  return os.str();
+}
+
+void specs_of(const core::Variable& v, std::ostream& out,
+              const char* indent) {
+  for (const core::Propagatable* p : v.constraints()) {
+    if (const auto* bound = dynamic_cast<const core::BoundConstraint*>(p)) {
+      out << indent << "spec: " << core::to_string(bound->relation()) << ' '
+          << bound->bound().to_string() << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+std::string DesignReport::cell(CellClass& c, const Options& options) {
+  std::ostringstream out;
+  out << "== " << c.name();
+  if (c.is_generic()) out << " (generic)";
+  if (c.superclass() != nullptr) out << " : " << c.superclass()->name();
+  if (c.is_device()) out << " [device]";
+  out << " ==\n";
+
+  const core::Value& bb = c.bounding_box().demand();
+  out << "bounding box: " << bb.to_string();
+  if (bb.is_rect()) out << "  area " << bb.as_rect().area();
+  out << "  (" << c.bounding_box().last_set_by().to_string() << ")\n";
+  specs_of(c.bounding_box(), out, "  ");
+
+  if (options.include_signals) {
+    for (const IoSignal* sig : c.all_signals()) {
+      out << "signal " << sig->name() << " ("
+          << to_string(sig->direction()) << ")";
+      if (sig->bit_width().value().is_int()) {
+        out << " width=" << sig->bit_width().value().as_int();
+      }
+      if (const SignalType* t = type_of(sig->data_type().value())) {
+        out << " data=" << t->name();
+      }
+      if (const SignalType* t = type_of(sig->electrical_type().value())) {
+        out << " elec=" << t->name();
+      }
+      if (sig->load_capacitance() != 0.0) {
+        out << " load=" << sig->load_capacitance();
+      }
+      if (sig->output_resistance() != 0.0) {
+        out << " rout=" << sig->output_resistance();
+      }
+      out << '\n';
+    }
+  }
+
+  if (options.include_structure && !c.subcells().empty()) {
+    out << "structure: " << c.subcells().size() << " subcells, "
+        << c.nets().size() << " nets\n";
+    for (const auto& sub : c.subcells()) {
+      out << "  " << sub->name() << ": " << sub->cls().name() << " @ "
+          << sub->transform().to_string() << '\n';
+    }
+    for (const auto& net : c.nets()) {
+      out << "  net " << net->name() << ":";
+      for (const NetConnection& conn : net->connections()) {
+        out << ' '
+            << (conn.instance != nullptr ? conn.instance->name() : "<io>")
+            << '.' << conn.signal;
+      }
+      out << '\n';
+    }
+  }
+
+  if (options.include_delays) {
+    for (ClassDelayVar* d : c.delay_variables()) {
+      out << "delay " << d->from() << " -> " << d->to() << ": "
+          << nanoseconds(d->value()) << "  ("
+          << d->last_set_by().to_string() << ")\n";
+      specs_of(*d, out, "  ");
+      const auto critical = c.critical_path(d->from(), d->to());
+      if (!critical.path.empty()) {
+        out << "  critical path (" << nanoseconds(critical.total) << "):";
+        for (const InstanceDelayVar* step : critical.path) {
+          out << ' ' << step->owner().name();
+        }
+        out << '\n';
+      }
+    }
+  }
+
+  if (options.include_violations) {
+    const CheckReport check = DesignChecker::check(c);
+    if (!check.clean()) {
+      out << "VIOLATIONS (" << check.violation_count() << "):\n";
+      for (const auto& f : check.findings) {
+        if (!f.satisfied) out << "  " << f.constraint << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string DesignReport::library(Library& lib, const Options& options) {
+  std::ostringstream out;
+  out << "=== library '" << lib.name() << "': " << lib.cells().size()
+      << " cells ===\n";
+  for (const auto& c : lib.cells()) {
+    out << "  " << c->name();
+    if (c->is_generic()) out << " (generic)";
+    if (!c->subclasses().empty()) {
+      out << " [" << c->subclasses().size() << " subclasses]";
+    }
+    out << '\n';
+  }
+  out << '\n';
+  for (const auto& c : lib.cells()) {
+    out << cell(*c, options) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace stemcp::env

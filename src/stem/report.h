@@ -1,0 +1,38 @@
+// Design documentation reports.
+//
+// The thesis argues constraints double as documentation: they "provide
+// documentation for design intentions, as opposed to incidental design
+// characteristics" (ch. 6).  This report generator renders that
+// documentation — a cell's interface, structure, characteristics,
+// specifications and current critical path — as text, the way STEM's
+// browsers presented it.
+#pragma once
+
+#include <string>
+
+#include "stem/cell.h"
+#include "stem/library.h"
+
+namespace stemcp::env {
+
+class DesignReport {
+ public:
+  struct Options {
+    bool include_structure = true;   ///< subcells and nets
+    bool include_delays = true;      ///< delay variables, paths, specs
+    bool include_signals = true;     ///< typing and electrical model
+    bool include_violations = true;  ///< unsatisfied constraints
+  };
+
+  /// Render one cell.
+  static std::string cell(CellClass& c, const Options& options);
+  static std::string cell(CellClass& c) { return cell(c, Options{}); }
+
+  /// Render the whole library (a table of contents plus every cell).
+  static std::string library(Library& lib, const Options& options);
+  static std::string library(Library& lib) {
+    return library(lib, Options{});
+  }
+};
+
+}  // namespace stemcp::env

@@ -1,0 +1,111 @@
+#include "stem/shell.h"
+
+#include <sstream>
+
+namespace stemcp::env {
+
+using core::Value;
+using core::Variable;
+
+void ConstraintShell::register_variable(Variable& v) {
+  vars_[v.path()] = &v;
+}
+
+void ConstraintShell::register_variable(const std::string& alias,
+                                        Variable& v) {
+  vars_[alias] = &v;
+}
+
+Variable* ConstraintShell::find(const std::string& name) const {
+  const auto it = vars_.find(name);
+  return it == vars_.end() ? nullptr : it->second;
+}
+
+std::string ConstraintShell::usage() {
+  return "commands: show|set|probe|constraints|antecedents|consequences|dot "
+         "<var> [value], on, off, restore, warnings, vars, help\n";
+}
+
+std::string ConstraintShell::execute(const std::string& command_line) {
+  std::istringstream in(command_line);
+  std::string cmd;
+  if (!(in >> cmd)) return usage();
+
+  if (cmd == "help") return usage();
+  if (cmd == "on") {
+    ctx_->set_enabled(true);
+    return "propagation enabled\n";
+  }
+  if (cmd == "off") {
+    ctx_->set_enabled(false);
+    return "propagation disabled\n";
+  }
+  if (cmd == "restore") {
+    inspector_.restore_last_propagation();
+    return "restored\n";
+  }
+  if (cmd == "warnings") {
+    std::ostringstream out;
+    for (const auto& w : inspector_.warnings()) out << w << '\n';
+    if (inspector_.warnings().empty()) out << "(none)\n";
+    return out.str();
+  }
+  if (cmd == "vars") {
+    std::ostringstream out;
+    for (const auto& [name, var] : vars_) {
+      out << name << " = " << var->value().to_string() << '\n';
+    }
+    if (vars_.empty()) out << "(none registered)\n";
+    return out.str();
+  }
+
+  const bool variable_command =
+      cmd == "show" || cmd == "set" || cmd == "probe" ||
+      cmd == "constraints" || cmd == "antecedents" ||
+      cmd == "consequences" || cmd == "dot";
+  if (!variable_command) return usage();
+
+  std::string name;
+  if (!(in >> name)) return "error: '" + cmd + "' needs a variable\n";
+  Variable* var = find(name);
+  if (var == nullptr) return "error: unknown variable '" + name + "'\n";
+
+  if (cmd == "show") return ConstraintInspector::describe(*var) + "\n";
+  if (cmd == "constraints") {
+    std::ostringstream out;
+    for (const auto* c : ConstraintInspector::constraints_of(*var)) {
+      out << c->describe() << '\n';
+    }
+    return out.str();
+  }
+  if (cmd == "antecedents") {
+    return ConstraintInspector::antecedent_report(*var);
+  }
+  if (cmd == "consequences") {
+    return ConstraintInspector::consequence_report(*var);
+  }
+  if (cmd == "dot") return ConstraintInspector::to_dot({var});
+
+  if (cmd == "set" || cmd == "probe") {
+    double x = 0.0;
+    if (!(in >> x)) return "error: '" + cmd + "' needs a numeric value\n";
+    if (cmd == "probe") {
+      const bool ok = var->can_be_set_to(Value(x));
+      return name + (ok ? " can" : " canNOT") + " be set to " +
+             Value(x).to_string() + "\n";
+    }
+    const core::Status s = var->set_user(Value(x));
+    if (s.is_violation()) {
+      std::string report = "VIOLATION — restored";
+      if (ctx_->last_violation()) {
+        report += ": " + ctx_->last_violation()->to_string();
+      }
+      return report + "\n";
+    }
+    return ConstraintInspector::describe(*var) + "\n";
+  }
+
+  return usage();
+}
+
+}  // namespace stemcp::env

@@ -1,0 +1,50 @@
+// ConstraintShell: a command interpreter over the constraint inspector —
+// the scriptable equivalent of STEM's constraint editor windows (thesis
+// §5.4): walk networks, assign values, trace dependencies, toggle
+// propagation, restore.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "stem/editor.h"
+
+namespace stemcp::env {
+
+class ConstraintShell {
+ public:
+  explicit ConstraintShell(core::PropagationContext& ctx)
+      : ctx_(&ctx), inspector_(ctx) {}
+
+  /// Make a variable addressable by its path ("ADDER.delay(a->out)") or an
+  /// explicit alias.
+  void register_variable(core::Variable& v);
+  void register_variable(const std::string& alias, core::Variable& v);
+
+  /// Execute one command line; returns the textual response.  Unknown
+  /// commands return usage help; errors are reported as text, never thrown.
+  ///
+  ///   show <var>            value + justification
+  ///   set <var> <number>    user assignment (reports violations)
+  ///   probe <var> <number>  canBeSetTo — no side effects
+  ///   constraints <var>     attached constraints
+  ///   antecedents <var>     dependency trace backwards
+  ///   consequences <var>    dependency trace forwards
+  ///   dot <var>             Graphviz dump of the reachable network
+  ///   on | off              enable/disable propagation (CPSwitch)
+  ///   restore               undo the last propagation
+  ///   warnings              violation log
+  ///   vars                  list registered variables
+  ///   help                  this text
+  std::string execute(const std::string& command_line);
+
+ private:
+  core::Variable* find(const std::string& name) const;
+  static std::string usage();
+
+  core::PropagationContext* ctx_;
+  ConstraintInspector inspector_;
+  std::map<std::string, core::Variable*> vars_;
+};
+
+}  // namespace stemcp::env

@@ -1,0 +1,94 @@
+#include "stem/signal_type.h"
+
+#include <stdexcept>
+
+namespace stemcp::env {
+
+bool SignalType::is_ancestor_or_self_of(const SignalType& other) const {
+  for (const SignalType* t = &other; t != nullptr; t = t->parent()) {
+    if (t == this) return true;
+  }
+  return false;
+}
+
+bool SignalType::is_compatible_with(const SignalType& other) const {
+  return is_ancestor_or_self_of(other) || other.is_ancestor_or_self_of(*this);
+}
+
+bool SignalType::is_less_abstract_than(const SignalType& other) const {
+  return this != &other && other.is_ancestor_or_self_of(*this);
+}
+
+const SignalType* SignalType::least_abstract(const SignalType* a,
+                                             const SignalType* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->is_ancestor_or_self_of(*b)) return b;
+  if (b->is_ancestor_or_self_of(*a)) return a;
+  return nullptr;  // incompatible
+}
+
+SignalTypeRegistry::SignalTypeRegistry() {
+  // Standard hierarchy (thesis Fig 7.2).
+  const auto data = define("DataType", nullptr);
+  define("Bit", data);
+  define("FloatSignal", data);
+  const auto integer = define("IntegerSignal", data);
+  define("A2CIntSignal", integer);
+  define("BCDSignal", integer);
+  define("SignedMagIntSignal", integer);
+  define("WholeSignal", integer);
+
+  const auto elec = define("ElectricalType", nullptr);
+  define("Analog", elec);
+  const auto digital = define("Digital", elec);
+  define("BIPOLAR", digital);
+  define("TTL", digital);
+  define("CMOS", digital);
+}
+
+SignalTypePtr SignalTypeRegistry::define(const std::string& name,
+                                         const SignalType* parent) {
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("signal type already defined: " + name);
+  }
+  auto t = std::make_shared<const SignalType>(name, parent);
+  types_.push_back(t);
+  return t;
+}
+
+SignalTypePtr SignalTypeRegistry::find(const std::string& name) const {
+  for (const auto& t : types_) {
+    if (t->name() == name) return t;
+  }
+  return nullptr;
+}
+
+SignalTypePtr SignalTypeRegistry::at(const std::string& name) const {
+  auto t = find(name);
+  if (t == nullptr) throw std::out_of_range("unknown signal type: " + name);
+  return t;
+}
+
+core::Value type_value(const SignalTypePtr& t) {
+  return core::Value(std::static_pointer_cast<const core::Boxed>(t));
+}
+
+const SignalType* type_of(const core::Value& v) {
+  return v.as<SignalType>();
+}
+
+bool SignalTypeVar::can_change_value_to(
+    const core::Value& v, const core::Justification& incoming) const {
+  // "I can change value to or from NIL freely" (thesis Fig 7.4)...
+  if (value().is_nil() || v.is_nil()) return true;
+  const SignalType* current = type_of(value());
+  const SignalType* incoming_type = type_of(v);
+  if (current == nullptr || incoming_type == nullptr) {
+    return ClassVar::can_change_value_to(v, incoming);
+  }
+  // ...otherwise only refinement toward a less abstract type is allowed.
+  return incoming_type->is_less_abstract_than(*current);
+}
+
+}  // namespace stemcp::env

@@ -1,0 +1,95 @@
+// Signal type hierarchies (thesis §7.1, Fig 7.2).
+//
+// Data and electrical types are organized in trees, most abstract at the
+// root.  Two types are compatible iff one is an ancestor-or-self of the
+// other; a type is "less abstract" than another iff it is a proper
+// descendant.  The default hierarchy mirrors the thesis's Fig 7.2 and is
+// user-extensible, because STEM allows new types to be added as subclasses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "stem/hierarchy.h"
+
+namespace stemcp::env {
+
+class SignalType;
+using SignalTypePtr = std::shared_ptr<const SignalType>;
+
+class SignalType : public core::Boxed {
+ public:
+  SignalType(std::string name, const SignalType* parent)
+      : name_(std::move(name)), parent_(parent) {}
+
+  const std::string& name() const { return name_; }
+  const SignalType* parent() const { return parent_; }
+
+  /// Ancestor-or-self test.
+  bool is_ancestor_or_self_of(const SignalType& other) const;
+  /// `isCompatibleWith:` — true iff one type is a sub-type of the other
+  /// (thesis Fig 7.3).
+  bool is_compatible_with(const SignalType& other) const;
+  /// `isLessAbstractThan:` — this is a proper descendant of `other`.
+  bool is_less_abstract_than(const SignalType& other) const;
+
+  /// The less abstract of two compatible types; nullptr if incompatible.
+  static const SignalType* least_abstract(const SignalType* a,
+                                          const SignalType* b);
+
+  // Boxed protocol: types are registry singletons, so identity equality.
+  bool equals(const Boxed& other) const override { return this == &other; }
+  std::string to_string() const override { return name_; }
+
+ private:
+  std::string name_;
+  const SignalType* parent_;
+};
+
+/// Registry owning all signal types.  Constructs the standard hierarchy of
+/// thesis Fig 7.2 and accepts user-defined extensions.
+class SignalTypeRegistry {
+ public:
+  SignalTypeRegistry();
+
+  /// Define a new type under `parent` (nullptr = new root).  Returns the
+  /// shared singleton.  Throws std::invalid_argument on duplicate names.
+  SignalTypePtr define(const std::string& name, const SignalType* parent);
+  SignalTypePtr define(const std::string& name, const SignalTypePtr& parent) {
+    return define(name, parent.get());
+  }
+
+  /// Find by name; nullptr if absent.
+  SignalTypePtr find(const std::string& name) const;
+  /// Find by name; throws std::out_of_range if absent.
+  SignalTypePtr at(const std::string& name) const;
+
+  // The standard roots.
+  SignalTypePtr data_type_root() const { return at("DataType"); }
+  SignalTypePtr electrical_type_root() const { return at("ElectricalType"); }
+
+  std::size_t size() const { return types_.size(); }
+
+ private:
+  std::vector<SignalTypePtr> types_;
+};
+
+/// Wrap a type as a constraint-network Value.
+core::Value type_value(const SignalTypePtr& t);
+/// Unwrap; nullptr when nil or not a type.
+const SignalType* type_of(const core::Value& v);
+
+/// Signal-type variable with the overwrite rule of thesis Fig 7.4: values
+/// may change to or from nil freely; otherwise only refinement to a *less
+/// abstract* (more specific) type is permitted.
+class SignalTypeVar : public ClassVar {
+ public:
+  using ClassVar::ClassVar;
+
+  bool can_change_value_to(const core::Value& v,
+                           const core::Justification& incoming) const override;
+};
+
+}  // namespace stemcp::env

@@ -1,0 +1,181 @@
+#include "stem/variables.h"
+
+#include "stem/cell.h"
+#include "stem/net.h"
+
+namespace stemcp::env {
+
+using core::Justification;
+using core::Rect;
+using core::Status;
+using core::Value;
+using core::Variable;
+
+namespace {
+
+/// Dependency record + justification for a hierarchical (implicit) link:
+/// the source "constraint" is the dual variable whose change is being
+/// reflected.
+Justification implicit_justification(StemVariable& source_dual) {
+  return Justification::propagated(
+      source_dual, core::DependencyRecord::single(source_dual));
+}
+
+}  // namespace
+
+// ---- ClassBBoxVar -------------------------------------------------------------
+
+ClassBBoxVar::ClassBBoxVar(core::PropagationContext& ctx, CellClass& owner,
+                           const std::string& parent_name)
+    : ClassVar(ctx, parent_name, "boundingBox"), owner_(&owner) {}
+
+bool ClassBBoxVar::is_satisfied() const {
+  if (!value().is_rect()) return true;
+  for (InstanceVar* dual : instance_duals()) {
+    auto* ib = static_cast<InstanceBBoxVar*>(dual);
+    if (!ib->placement_fits()) return false;
+  }
+  return true;
+}
+
+// ---- InstanceBBoxVar -----------------------------------------------------------
+
+InstanceBBoxVar::InstanceBBoxVar(core::PropagationContext& ctx,
+                                 CellInstance& owner, ClassBBoxVar& dual,
+                                 const std::string& parent_name)
+    : InstanceVar(ctx, parent_name, "boundingBox", &dual), owner_(&owner) {}
+
+Status InstanceBBoxVar::immediate_inference_by_changing(Variable& changed) {
+  // Thesis Fig 7.7: if I hold a #USER placement, keep it (the final check
+  // verifies it still fits); otherwise default to the transformed class box.
+  if (&changed != class_dual()) return Status::ok();
+  if (has_value() && last_set_by().is_user()) return Status::ok();
+  if (!changed.value().is_rect()) return Status::ok();  // class box erased
+  const Rect placed = owner_->transform().apply(changed.value().as_rect());
+  return set_from_constraint(Value(placed), *class_dual(),
+                             implicit_justification(*class_dual()));
+}
+
+bool InstanceBBoxVar::placement_fits() const {
+  if (!value().is_rect()) return true;  // unplaced: nothing to violate
+  const Variable* cb = class_dual();
+  if (cb == nullptr || !cb->value().is_rect()) return true;
+  const Rect required = owner_->transform().apply(cb->value().as_rect());
+  return value().as_rect().extent_covers(required);
+}
+
+bool InstanceBBoxVar::is_satisfied() const { return placement_fits(); }
+
+Status InstanceBBoxVar::after_value_change(const Justification&) {
+  // Thesis Fig 7.8: a subcell placement change invalidates the containing
+  // cell's calculated bounding box (procedural update-constraint).
+  CellClass* parent = owner_->parent_cell();
+  if (parent == nullptr) return Status::ok();
+  return parent->bounding_box().erase_for_update(*this);
+}
+
+// ---- ClassBitWidthVar ------------------------------------------------------------
+
+bool ClassBitWidthVar::is_satisfied() const {
+  if (!value().is_int()) return true;  // parameterized width
+  for (InstanceVar* dual : instance_duals()) {
+    const Value& iv = dual->value();
+    if (iv.is_int() && iv != value()) return false;
+  }
+  return true;
+}
+
+// ---- InstanceBitWidthVar ----------------------------------------------------------
+
+Status InstanceBitWidthVar::immediate_inference_by_changing(Variable& changed) {
+  if (&changed != class_dual()) return Status::ok();
+  if (!changed.value().is_int()) return Status::ok();
+  if (has_value() && last_set_by().is_user()) return Status::ok();
+  return set_from_constraint(changed.value(), *class_dual(),
+                             implicit_justification(*class_dual()));
+}
+
+bool InstanceBitWidthVar::is_satisfied() const {
+  const Variable* cb = class_dual();
+  if (cb == nullptr || !cb->value().is_int() || !value().is_int()) return true;
+  return value() == cb->value();
+}
+
+// ---- ClassParamVar ------------------------------------------------------------------
+
+bool ClassParamVar::in_range(const Value& v) const {
+  if (!range_.has_value() || !v.is_number()) return true;
+  const double x = v.as_number();
+  return x >= range_->first && x <= range_->second;
+}
+
+bool ClassParamVar::is_satisfied() const {
+  for (InstanceVar* dual : instance_duals()) {
+    if (!in_range(dual->value())) return false;
+  }
+  return true;
+}
+
+// ---- InstanceParamVar --------------------------------------------------------------
+
+Status InstanceParamVar::immediate_inference_by_changing(Variable& changed) {
+  // Default values propagate from class parameter variables to unset
+  // instance parameters (thesis §5.1.1); nothing else flows.
+  if (&changed != class_dual()) return Status::ok();
+  if (changed.value().is_nil() || has_value()) return Status::ok();
+  return set_from_constraint(changed.value(), *class_dual(),
+                             implicit_justification(*class_dual()));
+}
+
+bool InstanceParamVar::is_satisfied() const {
+  const auto* cp = static_cast<const ClassParamVar*>(class_dual());
+  if (cp == nullptr) return true;
+  return cp->in_range(value());
+}
+
+// ---- ClassDelayVar -----------------------------------------------------------------
+
+ClassDelayVar::ClassDelayVar(core::PropagationContext& ctx, CellClass& owner,
+                             std::string from, std::string to,
+                             const std::string& parent_name)
+    : ClassVar(ctx, parent_name, "delay(" + from + "->" + to + ")"),
+      owner_(&owner),
+      from_(std::move(from)),
+      to_(std::move(to)) {}
+
+// ---- InstanceDelayVar ---------------------------------------------------------------
+
+InstanceDelayVar::InstanceDelayVar(core::PropagationContext& ctx,
+                                   CellInstance& owner, ClassDelayVar& dual,
+                                   const std::string& parent_name)
+    : InstanceVar(ctx, parent_name,
+                  "delay(" + dual.from() + "->" + dual.to() + ")", &dual),
+      owner_(&owner) {}
+
+ClassDelayVar& InstanceDelayVar::class_delay() const {
+  return *static_cast<ClassDelayVar*>(class_dual());
+}
+
+double InstanceDelayVar::rc_adjustment() const {
+  // RC delay model (thesis Fig 7.10): the class delay is adjusted by the
+  // transient delay this instance's driver pays into its context — its
+  // output resistance times the total load capacitance on the output net.
+  // The charge is booked at the driver only, so chains count each hop once.
+  const ClassDelayVar& cd = class_delay();
+  const IoSignal* to_sig = cd.owner().find_signal(cd.to());
+  if (to_sig == nullptr) return 0.0;
+  const Net* out_net = owner_->net_for(cd.to());
+  if (out_net == nullptr) return 0.0;
+  return to_sig->output_resistance() *
+         out_net->total_load_capacitance(owner_, cd.to());
+}
+
+Status InstanceDelayVar::immediate_inference_by_changing(Variable& changed) {
+  if (&changed != class_dual()) return Status::ok();
+  if (!changed.value().is_number()) return Status::ok();
+  const double adjusted = changed.value().as_number() + rc_adjustment();
+  return set_from_constraint(Value(adjusted), *class_dual(),
+                             implicit_justification(*class_dual()));
+}
+
+}  // namespace stemcp::env

@@ -1,0 +1,64 @@
+// Model/View consistency maintenance (thesis ch. 3 & 6).
+//
+// Views are calculated representations of a model.  Whenever the model
+// changes it broadcasts `changed` (or `changed:key` for selective erasure)
+// to its dependents, which respond by erasing their derived data;
+// recalculation is delayed until the data are next needed.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace stemcp::env {
+
+/// Broadcast keys used by the design database.
+inline constexpr const char* kChangedAny = "";
+inline constexpr const char* kChangedLayout = "layout";
+inline constexpr const char* kChangedStructure = "structure";
+inline constexpr const char* kChangedInterface = "interface";
+
+class View {
+ public:
+  virtual ~View() = default;
+  /// React to a model change by erasing derived data.  `key` is empty for
+  /// an unqualified `changed`, or one of the kChanged* keys for selective
+  /// erasure ("#changed:key", thesis §6.5.2).
+  virtual void update(const std::string& key) = 0;
+};
+
+/// Mixin giving a design object a dependents list and change broadcast.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  void add_dependent(View& v) {
+    if (std::find(dependents_.begin(), dependents_.end(), &v) ==
+        dependents_.end()) {
+      dependents_.push_back(&v);
+    }
+  }
+  void remove_dependent(View& v) {
+    dependents_.erase(std::remove(dependents_.begin(), dependents_.end(), &v),
+                      dependents_.end());
+  }
+  const std::vector<View*>& dependents() const { return dependents_; }
+
+  /// Broadcast a change to all dependent views.
+  void changed(const std::string& key = kChangedAny) {
+    // Copy: views may deregister while updating.
+    const auto list = dependents_;
+    for (View* v : list) v->update(key);
+    on_changed(key);
+  }
+
+ protected:
+  /// Hook for subclasses (e.g. cells propagate changes up the design
+  /// hierarchy, thesis §6.5.2).
+  virtual void on_changed(const std::string& key) { (void)key; }
+
+ private:
+  std::vector<View*> dependents_;
+};
+
+}  // namespace stemcp::env

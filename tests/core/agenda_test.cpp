@@ -1,0 +1,125 @@
+// Agenda scheduler semantics (thesis §4.2.1, Figs 4.7/4.8).
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class Dummy : public Constraint {
+ public:
+  explicit Dummy(PropagationContext& ctx) : Constraint(ctx) {}
+  bool is_satisfied() const override { return true; }
+
+ protected:
+  std::string kind() const override { return "dummy"; }
+};
+
+TEST(AgendaTest, FifoWithinOneAgenda) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  auto& c1 = ctx.make<Dummy>();
+  auto& c2 = ctx.make<Dummy>();
+  EXPECT_TRUE(sched.schedule("a", c1, nullptr));
+  EXPECT_TRUE(sched.schedule("a", c2, nullptr));
+  auto e1 = sched.pop_highest_priority();
+  auto e2 = sched.pop_highest_priority();
+  ASSERT_TRUE(e1 && e2);
+  EXPECT_EQ(e1->task, &c1);
+  EXPECT_EQ(e2->task, &c2);
+  EXPECT_FALSE(sched.pop_highest_priority().has_value());
+}
+
+TEST(AgendaTest, DuplicateEntriesSuppressed) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  auto& c = ctx.make<Dummy>();
+  EXPECT_TRUE(sched.schedule("a", c, nullptr));
+  EXPECT_FALSE(sched.schedule("a", c, nullptr));
+  EXPECT_EQ(sched.size(), 1u);
+  // Distinct variables make distinct entries.
+  Variable v(ctx, "t", "v");
+  EXPECT_TRUE(sched.schedule("a", c, &v));
+  EXPECT_EQ(sched.size(), 2u);
+}
+
+TEST(AgendaTest, PriorityOrderRespected) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  sched.set_priority_order({"high", "low"});
+  auto& hi = ctx.make<Dummy>();
+  auto& lo = ctx.make<Dummy>();
+  sched.schedule("low", lo, nullptr);
+  sched.schedule("high", hi, nullptr);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &hi);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &lo);
+}
+
+TEST(AgendaTest, UnknownAgendaAppendsAtLowestPriority) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  sched.set_priority_order({"known"});
+  auto& a = ctx.make<Dummy>();
+  auto& b = ctx.make<Dummy>();
+  sched.schedule("surprise", a, nullptr);
+  sched.schedule("known", b, nullptr);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &b);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &a);
+}
+
+TEST(AgendaTest, RescheduleAfterPopAllowed) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  auto& c = ctx.make<Dummy>();
+  sched.schedule("a", c, nullptr);
+  sched.pop_highest_priority();
+  EXPECT_TRUE(sched.schedule("a", c, nullptr))
+      << "popped entries no longer count as duplicates";
+}
+
+TEST(AgendaTest, DefaultOrderHasImplicitAboveFunctional) {
+  // Deviation from thesis §5.1.2 — see agenda.cpp: implicit duals must all
+  // settle before dependent functional constraints recompute, or repeated
+  // instances on one path trip the one-value-change rule.
+  AgendaScheduler sched;
+  const auto& order = sched.priority_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], kImplicitConstraintsAgenda);
+  EXPECT_EQ(order[1], kFunctionalConstraintsAgenda);
+}
+
+TEST(AgendaTest, ClearEmptiesEverything) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  auto& c = ctx.make<Dummy>();
+  sched.schedule("a", c, nullptr);
+  sched.schedule("b", c, nullptr);
+  sched.clear();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.size(), 0u);
+  EXPECT_TRUE(sched.schedule("a", c, nullptr)) << "dedup sets cleared too";
+}
+
+// Scheduling avoids redundant transient recomputation: with N inputs feeding
+// one adder via an equality fan-in, the adder runs once per session, not once
+// per input change.
+TEST(AgendaTest, FunctionalConstraintRunsOncePerSession) {
+  PropagationContext ctx;
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c"),
+      s(ctx, "t", "s");
+  // a drives b and c via equalities; s = b + c.
+  EqualityConstraint::among(ctx, {&a, &b});
+  EqualityConstraint::among(ctx, {&a, &c});
+  auto& add = ctx.make<UniAdditionConstraint>();
+  add.set_result(s);
+  add.basic_add_argument(b);
+  add.basic_add_argument(c);
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(2)));
+  EXPECT_EQ(s.value().as_int(), 4);
+  EXPECT_EQ(ctx.stats().scheduled_runs, 1u)
+      << "adder scheduled by both b and c but deduplicated to one run";
+}
+
+}  // namespace
+}  // namespace stemcp::core

@@ -1,0 +1,139 @@
+// One-value-change rule and cyclic constraint networks (thesis §4.2.2,
+// Fig 4.9).
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class CycleTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+// Thesis Fig 4.9: V2 = V1 + 1, V3 = V2 + 3, V1 = V3 + 2 — an unsatisfiable
+// cycle.  Setting V1 = 10 propagates 11 to V2, 14 to V3, and the attempt to
+// assign 16 to V1 (already changed this round) triggers a violation; all
+// variables restore to their original state.
+TEST_F(CycleTest, Fig4_9UnsatisfiableCycleDetectedAndRestored) {
+  Variable v1(ctx, "fig49", "V1"), v2(ctx, "fig49", "V2"),
+      v3(ctx, "fig49", "V3");
+  auto& c1 = ctx.make<UniAdditionConstraint>(1.0);
+  c1.set_result(v2);
+  c1.basic_add_argument(v1);
+  auto& c2 = ctx.make<UniAdditionConstraint>(3.0);
+  c2.set_result(v3);
+  c2.basic_add_argument(v2);
+  auto& c3 = ctx.make<UniAdditionConstraint>(2.0);
+  c3.set_result(v1);
+  c3.basic_add_argument(v3);
+
+  const Status s = v1.set_user(Value(10));
+  EXPECT_TRUE(s.is_violation());
+  EXPECT_TRUE(v1.value().is_nil()) << "V1 restored to its original nil state";
+  EXPECT_TRUE(v2.value().is_nil());
+  EXPECT_TRUE(v3.value().is_nil());
+  ASSERT_TRUE(ctx.last_violation().has_value());
+  EXPECT_EQ(ctx.last_violation()->variable, &v1);
+  EXPECT_NE(ctx.last_violation()->message.find("value-change rule"),
+            std::string::npos);
+}
+
+// A *satisfiable* cycle: V2 = V1 + 1, V1 = V2 - 1.  Propagation around the
+// loop reproduces V1's current value, which terminates as NoChange.
+TEST_F(CycleTest, SatisfiableCycleTerminatesQuietly) {
+  Variable v1(ctx, "t", "V1"), v2(ctx, "t", "V2");
+  auto& up = ctx.make<UniAdditionConstraint>(1.0);
+  up.set_result(v2);
+  up.basic_add_argument(v1);
+  auto& down = ctx.make<UniAdditionConstraint>(-1.0);
+  down.set_result(v1);
+  down.basic_add_argument(v2);
+
+  EXPECT_TRUE(v1.set_user(Value(10.0)));
+  EXPECT_DOUBLE_EQ(v2.value().as_number(), 11.0);
+  EXPECT_DOUBLE_EQ(v1.value().as_number(), 10.0);
+}
+
+// Equality ring: a == b == c == a.  Propagation travels the ring once and
+// stops where values agree.
+TEST_F(CycleTest, EqualityRingStable) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c");
+  EqualityConstraint::among(ctx, {&a, &b});
+  EqualityConstraint::among(ctx, {&b, &c});
+  EqualityConstraint::among(ctx, {&c, &a});
+  EXPECT_TRUE(a.set_user(Value(42)));
+  EXPECT_EQ(b.value().as_int(), 42);
+  EXPECT_EQ(c.value().as_int(), 42);
+}
+
+// Restore must reinstate justifications as well as values.
+TEST_F(CycleTest, RestoreReinstatesJustifications) {
+  Variable v1(ctx, "t", "V1"), v2(ctx, "t", "V2"), v3(ctx, "t", "V3");
+  auto& c1 = ctx.make<UniAdditionConstraint>(1.0);
+  c1.set_result(v2);
+  c1.basic_add_argument(v1);
+  auto& c3 = ctx.make<UniAdditionConstraint>(2.0);
+  c3.set_result(v1);
+  c3.basic_add_argument(v3);
+  auto& c2 = ctx.make<UniAdditionConstraint>(3.0);
+  c2.set_result(v3);
+  c2.basic_add_argument(v2);
+
+  // Pre-existing consistent state entered with propagation disabled.
+  ctx.set_enabled(false);
+  v1.set(Value(100.0), Justification::application());
+  ctx.set_enabled(true);
+
+  EXPECT_TRUE(v1.set_user(Value(10.0)).is_violation());
+  EXPECT_DOUBLE_EQ(v1.value().as_number(), 100.0);
+  EXPECT_EQ(v1.last_set_by().source(), Source::kApplication);
+}
+
+// Growing cycles: ring of N +0 adders is satisfiable (value carried around);
+// ring with a net positive offset is not.
+class RingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingTest, ZeroSumRingsPropagateAndPositiveRingsViolate) {
+  const int n = GetParam();
+  PropagationContext ctx;
+  std::vector<std::unique_ptr<Variable>> vars;
+  vars.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(
+        std::make_unique<Variable>(ctx, "ring", "v" + std::to_string(i)));
+  }
+  // Zero-offset ring.
+  for (int i = 0; i < n; ++i) {
+    auto& c = ctx.make<UniAdditionConstraint>(0.0);
+    c.set_result(*vars[(i + 1) % n]);
+    c.basic_add_argument(*vars[i]);
+  }
+  EXPECT_TRUE(vars[0]->set_user(Value(5.0)));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(vars[i]->value().as_number(), 5.0) << "index " << i;
+  }
+
+  // Positive-offset ring in a fresh context.
+  PropagationContext ctx2;
+  std::vector<std::unique_ptr<Variable>> vs;
+  for (int i = 0; i < n; ++i) {
+    vs.push_back(
+        std::make_unique<Variable>(ctx2, "ring", "w" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    auto& c = ctx2.make<UniAdditionConstraint>(1.0);
+    c.set_result(*vs[(i + 1) % n]);
+    c.basic_add_argument(*vs[i]);
+  }
+  EXPECT_TRUE(vs[0]->set_user(Value(0.0)).is_violation());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(vs[i]->value().is_nil()) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, RingTest, ::testing::Values(2, 3, 5, 16, 64));
+
+}  // namespace
+}  // namespace stemcp::core

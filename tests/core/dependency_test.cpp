@@ -1,0 +1,152 @@
+// Dependency records, antecedent/consequence analysis (thesis §4.2.4,
+// Figs 4.11/4.12).
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+TEST_F(DependencyTest, EqualityRecordsSingleActivatingVariable) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(a.set_user(Value(1)));
+  ASSERT_TRUE(b.is_dependent());
+  EXPECT_EQ(b.last_set_by().constraint(), &eq);
+  ASSERT_EQ(b.last_set_by().record().vars.size(), 1u);
+  EXPECT_EQ(b.last_set_by().record().vars[0], &a);
+}
+
+TEST_F(DependencyTest, FunctionalRecordsAllArguments) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), s(ctx, "t", "s");
+  UniAdditionConstraint::sum(ctx, s, {&x, &y});
+  EXPECT_TRUE(x.set_user(Value(1)));
+  EXPECT_TRUE(y.set_user(Value(2)));
+  ASSERT_TRUE(s.is_dependent());
+  EXPECT_TRUE(s.last_set_by().record().all_arguments);
+}
+
+TEST_F(DependencyTest, AntecedentsWalkBackwards) {
+  // chain: a ==eq== b, s = b + c
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c"),
+      s(ctx, "t", "s");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  auto& add = ctx.make<UniAdditionConstraint>();
+  add.set_result(s);
+  add.basic_add_argument(b);
+  add.basic_add_argument(c);
+  EXPECT_TRUE(c.set_user(Value(10)));
+  EXPECT_TRUE(a.set_user(Value(1)));
+  EXPECT_EQ(s.value().as_int(), 11);
+
+  const DependencyTrace t = s.antecedents();
+  EXPECT_TRUE(t.contains(s));
+  EXPECT_TRUE(t.contains(b));
+  EXPECT_TRUE(t.contains(c));
+  EXPECT_TRUE(t.contains(a)) << "a reached through the equality record";
+  EXPECT_TRUE(t.contains(add));
+  EXPECT_TRUE(t.contains(eq));
+}
+
+TEST_F(DependencyTest, AntecedentsOfIndependentValueIsJustItself) {
+  Variable a(ctx, "t", "a");
+  EXPECT_TRUE(a.set_user(Value(1)));
+  const DependencyTrace t = a.antecedents();
+  EXPECT_EQ(t.variables.size(), 1u);
+  EXPECT_TRUE(t.constraints.empty());
+}
+
+TEST_F(DependencyTest, ConsequencesWalkForward) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c"),
+      s(ctx, "t", "s");
+  EqualityConstraint::among(ctx, {&a, &b});
+  auto& add = ctx.make<UniAdditionConstraint>();
+  add.set_result(s);
+  add.basic_add_argument(b);
+  add.basic_add_argument(c);
+  EXPECT_TRUE(c.set_user(Value(10)));
+  EXPECT_TRUE(a.set_user(Value(1)));
+
+  const DependencyTrace t = a.consequences();
+  EXPECT_TRUE(t.contains(b));
+  EXPECT_TRUE(t.contains(s));
+  // c is an independent input, not a consequence of a.
+  EXPECT_FALSE(t.contains(c));
+}
+
+TEST_F(DependencyTest, ConsequencesRespectDependencyDirection) {
+  // a ==eq== b; set via b, so a depends on b, not the reverse.
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(b.set_user(Value(5)));
+  const DependencyTrace from_a = a.consequences();
+  EXPECT_FALSE(from_a.contains(b))
+      << "b was the source; it is not a consequence of a";
+  const DependencyTrace from_b = b.consequences();
+  EXPECT_TRUE(from_b.contains(a));
+}
+
+TEST_F(DependencyTest, DestroyConstraintErasesDependentValues) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), s(ctx, "t", "s"),
+      s2(ctx, "t", "s2");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  auto& add = ctx.make<UniAdditionConstraint>(100.0);
+  add.set_result(s);
+  add.basic_add_argument(b);
+  auto& add2 = ctx.make<UniAdditionConstraint>(1.0);
+  add2.set_result(s2);
+  add2.basic_add_argument(s);
+  EXPECT_TRUE(a.set_user(Value(1)));
+  EXPECT_EQ(b.value().as_int(), 1);
+  EXPECT_DOUBLE_EQ(s.value().as_number(), 101.0);
+  EXPECT_DOUBLE_EQ(s2.value().as_number(), 102.0);
+
+  // Removing the equality erases b (set by it) and transitively s, s2.
+  ctx.destroy_constraint(eq);
+  EXPECT_EQ(a.value().as_int(), 1) << "independent source survives";
+  EXPECT_TRUE(b.value().is_nil());
+  EXPECT_TRUE(s.value().is_nil());
+  EXPECT_TRUE(s2.value().is_nil());
+  EXPECT_EQ(b.constraints().size(), 1u) << "only the adder remains on b";
+}
+
+TEST_F(DependencyTest, RemoveArgumentResetsOnlyDownstreamOfThatPair) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c");
+  auto& eq = ctx.make<EqualityConstraint>();
+  eq.basic_add_argument(a);
+  eq.basic_add_argument(b);
+  eq.basic_add_argument(c);
+  eq.reinitialize_variables();
+  EXPECT_TRUE(a.set_user(Value(3)));
+  EXPECT_EQ(b.value().as_int(), 3);
+  EXPECT_EQ(c.value().as_int(), 3);
+
+  // Remove b: b's value depended on the constraint, so it is erased; the
+  // remaining a == c re-propagates and keeps c at 3.
+  eq.remove_argument(b);
+  EXPECT_TRUE(b.value().is_nil());
+  EXPECT_EQ(a.value().as_int(), 3);
+  EXPECT_EQ(c.value().as_int(), 3);
+  EXPECT_FALSE(eq.references(b));
+}
+
+TEST_F(DependencyTest, VariableDestructionDetachesFromConstraints) {
+  Variable a(ctx, "t", "a");
+  auto& eq = ctx.make<EqualityConstraint>();
+  eq.basic_add_argument(a);
+  {
+    Variable tmp(ctx, "t", "tmp");
+    eq.basic_add_argument(tmp);
+    EXPECT_EQ(eq.arguments().size(), 2u);
+  }
+  EXPECT_EQ(eq.arguments().size(), 1u) << "destroyed variable detached";
+  EXPECT_TRUE(a.set_user(Value(1)));  // no dangling access
+}
+
+}  // namespace
+}  // namespace stemcp::core

@@ -1,0 +1,239 @@
+// Core propagation engine semantics (thesis §4.1–4.2), including the worked
+// example of Fig 4.5.
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+TEST_F(EngineTest, VariableStartsNil) {
+  Variable v(ctx, "cell", "x");
+  EXPECT_TRUE(v.value().is_nil());
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(v.last_set_by().source(), Source::kNone);
+  EXPECT_EQ(v.path(), "cell.x");
+}
+
+TEST_F(EngineTest, SimpleUserAssignment) {
+  Variable v(ctx, "cell", "x");
+  EXPECT_TRUE(v.set_user(Value(5)));
+  EXPECT_EQ(v.value().as_int(), 5);
+  EXPECT_TRUE(v.last_set_by().is_user());
+}
+
+TEST_F(EngineTest, EqualityPropagatesValue) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c");
+  EqualityConstraint::among(ctx, {&a, &b, &c});
+  EXPECT_TRUE(a.set_user(Value(7)));
+  EXPECT_EQ(b.value().as_int(), 7);
+  EXPECT_EQ(c.value().as_int(), 7);
+  EXPECT_TRUE(b.is_dependent());
+  EXPECT_TRUE(c.is_dependent());
+}
+
+// Thesis Fig 4.5: V1 == V2, V4 = max(V2, V3).  Setting V1 = 9 drives V2 to 9
+// and V4 to max(9, 7) = 9.
+TEST_F(EngineTest, Fig4_5SimpleNetwork) {
+  Variable v1(ctx, "fig45", "V1"), v2(ctx, "fig45", "V2");
+  Variable v3(ctx, "fig45", "V3"), v4(ctx, "fig45", "V4");
+  EXPECT_TRUE(v3.set_user(Value(7)));
+  EXPECT_TRUE(v1.set_user(Value(5)));
+  EqualityConstraint::among(ctx, {&v1, &v2});
+  UniMaximumConstraint::max_of(ctx, v4, {&v2, &v3});
+  EXPECT_EQ(v2.value().as_int(), 5);
+  EXPECT_EQ(v4.value().as_int(), 7);
+
+  EXPECT_TRUE(v1.set_user(Value(9)));
+  EXPECT_EQ(v2.value().as_int(), 9);
+  EXPECT_EQ(v4.value().as_int(), 9);
+}
+
+TEST_F(EngineTest, PropagatedValueCannotOverwriteUser) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EXPECT_TRUE(b.set_user(Value(3)));
+  auto& eq = ctx.make<EqualityConstraint>();
+  eq.basic_add_argument(a);
+  eq.basic_add_argument(b);
+  eq.reinitialize_variables();
+  EXPECT_EQ(a.value().as_int(), 3);  // b's user value propagated into a
+
+  // Setting a to a conflicting value propagates to b, which is
+  // user-protected: violation, and a must be restored.
+  EXPECT_TRUE(a.set_user(Value(3)));  // same value: fine
+  const Status s = a.set(Value(9), Justification::application());
+  EXPECT_TRUE(s.is_violation());
+  EXPECT_EQ(a.value().as_int(), 3) << "restored after violation";
+  EXPECT_EQ(b.value().as_int(), 3);
+  ASSERT_TRUE(ctx.last_violation().has_value());
+  EXPECT_EQ(ctx.last_violation()->variable, &b);
+}
+
+TEST_F(EngineTest, ConflictingUserValuesOnBothEndsViolate) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(a.set_user(Value(1)));
+  EXPECT_EQ(b.value().as_int(), 1);
+  // Setting b disagrees with a's #USER value; the propagated 2 cannot
+  // overwrite it (thesis §4.2.4) and the designer is warned.
+  EXPECT_TRUE(b.set_user(Value(2)).is_violation());
+  EXPECT_EQ(a.value().as_int(), 1);
+  EXPECT_EQ(b.value().as_int(), 1) << "restored";
+  // Relaxing a to a calculated value lets the user drive b.
+  EXPECT_TRUE(a.set(Value(1), Justification::application()));
+  EXPECT_TRUE(b.set_user(Value(2)));
+  EXPECT_EQ(a.value().as_int(), 2);
+}
+
+TEST_F(EngineTest, NoChangeStopsWavefront) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c");
+  EqualityConstraint::among(ctx, {&a, &b});
+  EqualityConstraint::among(ctx, {&b, &c});
+  EXPECT_TRUE(a.set_user(Value(4)));
+  EXPECT_EQ(c.value().as_int(), 4);
+  ctx.reset_stats();
+  // b already equals 4; re-setting a to 4 must not ripple to c.
+  EXPECT_TRUE(a.set_user(Value(4)));
+  EXPECT_EQ(ctx.stats().assignments, 1u);  // only a itself
+}
+
+TEST_F(EngineTest, DisabledSwitchSkipsPropagationAndChecking) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(b.set_user(Value(1)));
+  ctx.set_enabled(false);
+  EXPECT_TRUE(a.set_user(Value(99)));  // inconsistent, but unchecked
+  EXPECT_EQ(a.value().as_int(), 99);
+  EXPECT_EQ(b.value().as_int(), 1);
+  ctx.set_enabled(true);
+}
+
+TEST_F(EngineTest, FunctionalConstraintComputesSum) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), sum(ctx, "t", "sum");
+  UniAdditionConstraint::sum(ctx, sum, {&x, &y});
+  EXPECT_TRUE(x.set_user(Value(3)));
+  EXPECT_TRUE(sum.value().is_nil()) << "y unknown: sum not computable";
+  EXPECT_TRUE(y.set_user(Value(4)));
+  EXPECT_EQ(sum.value().as_int(), 7);
+}
+
+TEST_F(EngineTest, FunctionalResultChangeDoesNotRecompute) {
+  Variable x(ctx, "t", "x"), result(ctx, "t", "r");
+  auto& add = ctx.make<UniAdditionConstraint>(1.0);
+  add.set_result(result);
+  add.basic_add_argument(x);
+  EXPECT_TRUE(x.set_user(Value(10)));
+  EXPECT_EQ(result.value().as_int(), 11);
+  // A user assignment to the result that satisfies the function is fine...
+  EXPECT_TRUE(result.set_user(Value(11)));
+  // ...but one that contradicts it is caught by the final isSatisfied sweep.
+  const Status s = result.set_user(Value(99));
+  EXPECT_TRUE(s.is_violation());
+  EXPECT_EQ(result.value().as_int(), 11) << "restored";
+}
+
+TEST_F(EngineTest, MixedIntRealSumIsReal) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), sum(ctx, "t", "sum");
+  UniAdditionConstraint::sum(ctx, sum, {&x, &y});
+  EXPECT_TRUE(x.set_user(Value(1)));
+  EXPECT_TRUE(y.set_user(Value(2.5)));
+  EXPECT_TRUE(sum.value().is_real());
+  EXPECT_DOUBLE_EQ(sum.value().as_real(), 3.5);
+}
+
+TEST_F(EngineTest, CanBeSetToProbesAndRestores) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  BoundConstraint::upper(ctx, b, Value(10));
+  EXPECT_TRUE(a.set_user(Value(5)));
+
+  EXPECT_TRUE(a.can_be_set_to(Value(8)));
+  EXPECT_EQ(a.value().as_int(), 5) << "probe restored on success";
+  EXPECT_EQ(b.value().as_int(), 5);
+  EXPECT_TRUE(a.last_set_by().is_user());
+
+  EXPECT_FALSE(a.can_be_set_to(Value(20))) << "20 violates b <= 10";
+  EXPECT_EQ(a.value().as_int(), 5) << "probe restored on violation";
+  EXPECT_EQ(b.value().as_int(), 5);
+}
+
+// External assignment from inside a running propagation session is API
+// misuse and must be reported loudly rather than corrupting visited state.
+class SetInHookVariable : public Variable {
+ public:
+  SetInHookVariable(PropagationContext& c, Variable& other)
+      : Variable(c, "t", "hooked"), other_(other) {}
+
+ protected:
+  Status after_value_change(const Justification&) override {
+    other_.set_user(Value(1));  // throws: nested external assignment
+    return Status::ok();
+  }
+
+ private:
+  Variable& other_;
+};
+
+TEST_F(EngineTest, NestedExternalAssignmentThrows) {
+  Variable other(ctx, "t", "other");
+  SetInHookVariable hooked(ctx, other);
+  EXPECT_THROW(hooked.set_user(Value(5)), std::logic_error);
+}
+
+TEST_F(EngineTest, ViolationLogAndHandlerInvoked) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  int handler_calls = 0;
+  ctx.set_violation_handler([&](const ViolationInfo&) { ++handler_calls; });
+  EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(b.set_user(Value(1)));
+  EXPECT_TRUE(a.set(Value(2), Justification::application()).is_violation());
+  EXPECT_EQ(handler_calls, 1);
+  ASSERT_FALSE(ctx.violation_log().empty());
+  EXPECT_NE(ctx.violation_log().back().find("equality"), std::string::npos);
+}
+
+TEST_F(EngineTest, StatsCountSessionsAndAssignments) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(1)));
+  EXPECT_EQ(ctx.stats().sessions, 1u);
+  EXPECT_EQ(ctx.stats().assignments, 2u);  // a and b
+  EXPECT_GE(ctx.stats().checks, 1u);
+}
+
+TEST_F(EngineTest, RectValuesPropagate) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  const Rect r{0, 0, 10, 20};
+  EXPECT_TRUE(a.set_user(Value(r)));
+  EXPECT_EQ(b.value().as_rect(), r);
+}
+
+TEST_F(EngineTest, UniMaximumIgnoresUnknownInputs) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), m(ctx, "t", "m");
+  UniMaximumConstraint::max_of(ctx, m, {&x, &y});
+  EXPECT_TRUE(x.set_user(Value(4.0)));
+  EXPECT_DOUBLE_EQ(m.value().as_number(), 4.0);
+  EXPECT_TRUE(y.set_user(Value(9.0)));
+  EXPECT_DOUBLE_EQ(m.value().as_number(), 9.0);
+}
+
+TEST_F(EngineTest, UniMaximumRecomputesWhenInputShrinks) {
+  // The shrink happens in its own session, so the max variable is free to
+  // change once and tracks the recomputed value.
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), m(ctx, "t", "m");
+  UniMaximumConstraint::max_of(ctx, m, {&x, &y});
+  EXPECT_TRUE(x.set_user(Value(4.0)));
+  EXPECT_TRUE(y.set_user(Value(9.0)));
+  EXPECT_TRUE(y.set_user(Value(2.0)));  // max recomputes to 4: one change, ok
+  EXPECT_DOUBLE_EQ(m.value().as_number(), 4.0);
+}
+
+}  // namespace
+}  // namespace stemcp::core

@@ -1,0 +1,356 @@
+// Extensions from the thesis's future-work chapter (§9.2.3/§9.3): the
+// relaxed N-value-change rule, per-constraint enable/disable, compiled
+// networks, and the relaxation solver.
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+// ---- relaxed value-change rule (§9.2.3 "quick fix") ------------------------
+
+// Reconvergent fanout with unfortunate constraint ordering: out = a + src is
+// activated before a = src + 1 refreshes, so out transiently computes from a
+// stale a.  Under the one-value-change rule the corrected value is rejected;
+// with N = 2 the second change lands.
+class ImmediateAddition : public UniAdditionConstraint {
+ public:
+  explicit ImmediateAddition(PropagationContext& ctx, double offset)
+      : UniAdditionConstraint(ctx, offset) {}
+
+  Status propagate_variable(Variable& changed) override {
+    if (!enabled()) return Status::ok();
+    context().mark_visited(*this);
+    if (!permit_changes_by(changed)) return Status::ok();
+    return propagate_scheduled(nullptr);  // eager, dependency-blind
+  }
+};
+
+struct Reconvergent {
+  PropagationContext& ctx;
+  Variable src, a, out;
+  Reconvergent(PropagationContext& c) : ctx(c), src(c, "r", "src"),
+                                        a(c, "r", "a"), out(c, "r", "out") {
+    // Order matters: the consumer (out = a + src) attaches to src FIRST so
+    // it fires before the producer (a = src + 1).
+    auto& consumer = ctx.make<ImmediateAddition>(0.0);
+    consumer.set_result(out);
+    consumer.basic_add_argument(a);
+    consumer.basic_add_argument(src);
+    auto& producer = ctx.make<ImmediateAddition>(1.0);
+    producer.set_result(a);
+    producer.basic_add_argument(src);
+  }
+};
+
+TEST_F(ExtensionsTest, OneValueChangeRejectsReconvergentCorrection) {
+  Reconvergent net(ctx);
+  EXPECT_TRUE(net.src.set_user(Value(10.0)));  // a, out both fresh: fine
+  // Second set: out computes from stale a first, then the corrected value
+  // needs a second change — refused under the default rule.
+  EXPECT_TRUE(net.src.set_user(Value(20.0)).is_violation());
+}
+
+TEST_F(ExtensionsTest, TwoValueChangesAcceptReconvergentCorrection) {
+  ctx.set_max_changes_per_variable(2);
+  Reconvergent net(ctx);
+  EXPECT_TRUE(net.src.set_user(Value(10.0)));
+  EXPECT_TRUE(net.src.set_user(Value(20.0)));
+  EXPECT_DOUBLE_EQ(net.a.value().as_number(), 21.0);
+  EXPECT_DOUBLE_EQ(net.out.value().as_number(), 41.0) << "corrected value";
+}
+
+TEST_F(ExtensionsTest, RaisedLimitStillCatchesTrueCycles) {
+  ctx.set_max_changes_per_variable(3);
+  Variable v1(ctx, "t", "V1"), v2(ctx, "t", "V2");
+  auto& up = ctx.make<UniAdditionConstraint>(1.0);
+  up.set_result(v2);
+  up.basic_add_argument(v1);
+  auto& also_up = ctx.make<UniAdditionConstraint>(1.0);
+  also_up.set_result(v1);
+  also_up.basic_add_argument(v2);
+  EXPECT_TRUE(v1.set_user(Value(0.0)).is_violation())
+      << "divergent cycle exhausts any finite change budget";
+  EXPECT_TRUE(v1.value().is_nil());
+  EXPECT_TRUE(v2.value().is_nil());
+}
+
+// ---- constraint strengths (§4.2.4's open suggestion) --------------------------
+
+TEST_F(ExtensionsTest, StrongConstraintResistsWeakOverwrite) {
+  Variable shared(ctx, "t", "shared");
+  Variable strong_src(ctx, "t", "strongSrc"), weak_src(ctx, "t", "weakSrc");
+  auto& strong = ctx.make<EqualityConstraint>();
+  strong.set_strength(Strength::kStrong);
+  strong.basic_add_argument(strong_src);
+  strong.basic_add_argument(shared);
+  auto& weak = ctx.make<EqualityConstraint>();
+  weak.set_strength(Strength::kWeak);
+  weak.basic_add_argument(weak_src);
+  weak.basic_add_argument(shared);
+
+  EXPECT_TRUE(strong_src.set_user(Value(10)));
+  EXPECT_EQ(shared.value().as_int(), 10);
+  // The weak source disagrees: its propagation cannot displace the strong
+  // value, so the session violates and restores.
+  EXPECT_TRUE(weak_src.set_user(Value(20)).is_violation());
+  EXPECT_EQ(shared.value().as_int(), 10);
+}
+
+TEST_F(ExtensionsTest, StrongOverwritesWeak) {
+  Variable shared(ctx, "t", "shared");
+  Variable strong_src(ctx, "t", "strongSrc"), weak_src(ctx, "t", "weakSrc");
+  auto& strong = ctx.make<EqualityConstraint>();
+  strong.set_strength(Strength::kStrong);
+  strong.basic_add_argument(strong_src);
+  strong.basic_add_argument(shared);
+  auto& weak = ctx.make<EqualityConstraint>();
+  weak.set_strength(Strength::kWeak);
+  weak.basic_add_argument(weak_src);
+  weak.basic_add_argument(shared);
+
+  // A weak default fills everything in first...
+  EXPECT_TRUE(weak_src.set_application(Value(20)));
+  EXPECT_EQ(shared.value().as_int(), 20);
+  EXPECT_EQ(shared.last_set_by().strength(), Strength::kWeak);
+  // ...then the strong source displaces it throughout.
+  EXPECT_TRUE(strong_src.set_user(Value(30)));
+  EXPECT_EQ(shared.value().as_int(), 30);
+  EXPECT_EQ(shared.last_set_by().strength(), Strength::kStrong);
+  EXPECT_EQ(weak_src.value().as_int(), 30) << "rippled on through";
+}
+
+TEST_F(ExtensionsTest, EqualStrengthBehavesAsBefore) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c");
+  EqualityConstraint::among(ctx, {&a, &b});
+  EqualityConstraint::among(ctx, {&b, &c});
+  EXPECT_TRUE(a.set(Value(1), Justification::application()));
+  EXPECT_EQ(c.value().as_int(), 1);
+  EXPECT_TRUE(c.set(Value(2), Justification::application()));
+  EXPECT_EQ(a.value().as_int(), 2) << "normal overwrites normal";
+}
+
+// ---- per-constraint enable/disable (§9.3 #2) ---------------------------------
+
+TEST_F(ExtensionsTest, DisabledConstraintNeitherPropagatesNorChecks) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(b.set_user(Value(1)));
+  eq.disable();
+  EXPECT_TRUE(a.set_user(Value(99)));  // no propagation, no check
+  EXPECT_EQ(b.value().as_int(), 1);
+}
+
+TEST_F(ExtensionsTest, ReEnableRepropagates) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  eq.disable();
+  EXPECT_TRUE(a.set_user(Value(5)));
+  EXPECT_TRUE(b.value().is_nil());
+  EXPECT_TRUE(eq.enable());
+  EXPECT_EQ(b.value().as_int(), 5) << "consistency restored on enable";
+}
+
+TEST_F(ExtensionsTest, ReEnableReportsLatentViolation) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  eq.disable();
+  EXPECT_TRUE(a.set_user(Value(5)));
+  EXPECT_TRUE(b.set_user(Value(7)));
+  EXPECT_TRUE(eq.enable().is_violation());
+}
+
+// ---- compiled networks (§9.3 #3) -----------------------------------------------
+
+TEST_F(ExtensionsTest, CompiledNetworkEvaluatesInTopologicalOrder) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), s(ctx, "t", "s"),
+      d(ctx, "t", "d");
+  // d = 2*s; s = x + y — registered deliberately out of order.
+  auto& dbl = ctx.make<UniLinearConstraint>(2.0, 0.0);
+  dbl.set_result(d);
+  dbl.basic_add_argument(s);
+  auto& add = ctx.make<UniAdditionConstraint>();
+  add.set_result(s);
+  add.basic_add_argument(x);
+  add.basic_add_argument(y);
+
+  auto compiled = CompiledNetwork::compile(ctx, {&dbl, &add});
+  ASSERT_TRUE(compiled.has_value());
+  ASSERT_EQ(compiled->order().size(), 2u);
+  EXPECT_EQ(compiled->order()[0], &add) << "producer sorted first";
+
+  ctx.set_enabled(false);  // values enter without propagation
+  x.set_user(Value(3.0));
+  y.set_user(Value(4.0));
+  ctx.set_enabled(true);
+  EXPECT_TRUE(compiled->evaluate());
+  EXPECT_DOUBLE_EQ(s.value().as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(d.value().as_number(), 14.0);
+}
+
+TEST_F(ExtensionsTest, CompiledNetworkRejectsCycles) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& c1 = ctx.make<UniAdditionConstraint>(1.0);
+  c1.set_result(b);
+  c1.basic_add_argument(a);
+  auto& c2 = ctx.make<UniAdditionConstraint>(1.0);
+  c2.set_result(a);
+  c2.basic_add_argument(b);
+  EXPECT_FALSE(CompiledNetwork::compile(ctx, {&c1, &c2}).has_value());
+}
+
+TEST_F(ExtensionsTest, CompiledNetworkRunsAttachedChecks) {
+  Variable x(ctx, "t", "x"), s(ctx, "t", "s");
+  auto& add = ctx.make<UniAdditionConstraint>(1.0);
+  add.set_result(s);
+  add.basic_add_argument(x);
+  BoundConstraint::upper(ctx, s, Value(10.0));
+  auto compiled = CompiledNetwork::compile(ctx, {&add});
+  ASSERT_TRUE(compiled.has_value());
+  EXPECT_EQ(compiled->checks().size(), 1u);
+
+  ctx.set_enabled(false);
+  x.set_user(Value(3.0));
+  ctx.set_enabled(true);
+  EXPECT_TRUE(compiled->evaluate());
+  EXPECT_DOUBLE_EQ(s.value().as_number(), 4.0);
+
+  ctx.set_enabled(false);
+  x.set_user(Value(50.0));
+  ctx.set_enabled(true);
+  EXPECT_TRUE(compiled->evaluate().is_violation()) << "bound check fired";
+}
+
+TEST_F(ExtensionsTest, CompiledResultsCarryDependencyRecords) {
+  Variable x(ctx, "t", "x"), s(ctx, "t", "s");
+  auto& add = ctx.make<UniAdditionConstraint>(1.0);
+  add.set_result(s);
+  add.basic_add_argument(x);
+  auto compiled = CompiledNetwork::compile(ctx, {&add});
+  ctx.set_enabled(false);
+  x.set_user(Value(3.0));
+  ctx.set_enabled(true);
+  ASSERT_TRUE(compiled->evaluate());
+  const DependencyTrace t = s.antecedents();
+  EXPECT_TRUE(t.contains(x)) << "dependency analysis works on compiled runs";
+}
+
+// ---- relaxation solver (§9.3 #4) --------------------------------------------------
+
+TEST_F(ExtensionsTest, RelaxationRepairsInconsistentEquality) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  ctx.set_enabled(false);
+  a.set_application(Value(2.0));
+  b.set_application(Value(8.0));
+  ctx.set_enabled(true);
+  EXPECT_FALSE(eq.is_satisfied());
+
+  const auto result = RelaxationSolver::solve(ctx, {&eq});
+  EXPECT_TRUE(result.solved);
+  EXPECT_TRUE(eq.is_satisfied());
+  EXPECT_DOUBLE_EQ(a.value().as_number(), 5.0) << "converged to the mean";
+  EXPECT_DOUBLE_EQ(b.value().as_number(), 5.0);
+}
+
+TEST_F(ExtensionsTest, RelaxationRespectsUserValues) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  ctx.set_enabled(false);
+  a.set_user(Value(10.0));
+  b.set_application(Value(2.0));
+  ctx.set_enabled(true);
+
+  const auto result = RelaxationSolver::solve(ctx, {&eq});
+  EXPECT_TRUE(result.solved);
+  EXPECT_DOUBLE_EQ(a.value().as_number(), 10.0) << "#USER never touched";
+  EXPECT_DOUBLE_EQ(b.value().as_number(), 10.0);
+}
+
+TEST_F(ExtensionsTest, RelaxationDistributesAdditionError) {
+  // sum pinned by the user; free inputs absorb the difference — the
+  // least-commitment budget split performed by satisfaction instead of
+  // hand-allocation.
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), sum(ctx, "t", "sum");
+  auto& add = ctx.make<UniAdditionConstraint>();
+  add.set_result(sum);
+  add.basic_add_argument(x);
+  add.basic_add_argument(y);
+  ctx.set_enabled(false);
+  x.set_application(Value(10.0));
+  y.set_application(Value(20.0));
+  sum.set_user(Value(100.0));
+  ctx.set_enabled(true);
+
+  const auto result = RelaxationSolver::solve(ctx, {&add});
+  EXPECT_TRUE(result.solved);
+  EXPECT_DOUBLE_EQ(x.value().as_number() + y.value().as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(x.value().as_number(), 45.0) << "error split evenly";
+  EXPECT_DOUBLE_EQ(y.value().as_number(), 55.0);
+}
+
+TEST_F(ExtensionsTest, RelaxationSolvesChainSystem) {
+  // a == b, c = b + 5, c bounded <= 40, with an inconsistent start.
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  auto& add = ctx.make<UniAdditionConstraint>(5.0);
+  add.set_result(c);
+  add.basic_add_argument(b);
+  auto& bound = BoundConstraint::upper(ctx, c, Value(40.0));
+  ctx.set_enabled(false);
+  a.set_application(Value(30.0));
+  b.set_application(Value(10.0));
+  c.set_application(Value(99.0));
+  ctx.set_enabled(true);
+
+  const auto result = RelaxationSolver::solve_around(ctx, {&a});
+  EXPECT_TRUE(result.solved);
+  EXPECT_TRUE(eq.is_satisfied());
+  EXPECT_TRUE(add.is_satisfied());
+  EXPECT_TRUE(bound.is_satisfied());
+}
+
+TEST_F(ExtensionsTest, RecoverRepairsAfterDisabledEditSpree) {
+  // The §5.3 scenario: extensive design revisions with propagation off,
+  // then recovery instead of living with a silently inconsistent database.
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), sum(ctx, "t", "sum");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  auto& add = ctx.make<UniAdditionConstraint>(1.0);
+  add.set_result(sum);
+  add.basic_add_argument(b);
+
+  ctx.set_enabled(false);
+  a.set_application(Value(4.0));
+  b.set_application(Value(10.0));   // inconsistent with a
+  sum.set_application(Value(99.0)); // inconsistent with b + 1
+  // (propagation still disabled here)
+  const auto result = RelaxationSolver::recover(ctx);
+  EXPECT_TRUE(result.solved);
+  EXPECT_TRUE(ctx.enabled()) << "propagation switched back on";
+  EXPECT_TRUE(eq.is_satisfied());
+  EXPECT_TRUE(add.is_satisfied());
+  EXPECT_DOUBLE_EQ(a.value().as_number(), b.value().as_number());
+  EXPECT_DOUBLE_EQ(sum.value().as_number(), b.value().as_number() + 1.0);
+}
+
+TEST_F(ExtensionsTest, RelaxationReportsUnsolvable) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& eq = EqualityConstraint::among(ctx, {&a, &b});
+  ctx.set_enabled(false);
+  a.set_user(Value(1.0));
+  b.set_user(Value(2.0));  // two pinned, disagreeing values
+  ctx.set_enabled(true);
+  const auto result = RelaxationSolver::solve(ctx, {&eq});
+  EXPECT_FALSE(result.solved);
+  ASSERT_EQ(result.unsatisfied.size(), 1u);
+  EXPECT_EQ(result.unsatisfied[0], &eq);
+}
+
+}  // namespace
+}  // namespace stemcp::core

@@ -1,0 +1,136 @@
+// Functional constraint family coverage: minimum, product, linear,
+// rect-union, and the shared FunctionalConstraint machinery.
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class FunctionalTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+TEST_F(FunctionalTest, UniMinimumTracksSmallestKnown) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), m(ctx, "t", "m");
+  auto& c = ctx.make<UniMinimumConstraint>();
+  c.set_result(m);
+  c.basic_add_argument(x);
+  c.basic_add_argument(y);
+  EXPECT_TRUE(x.set_user(Value(9.0)));
+  EXPECT_DOUBLE_EQ(m.value().as_number(), 9.0) << "min of known inputs";
+  EXPECT_TRUE(y.set_user(Value(4.0)));
+  EXPECT_DOUBLE_EQ(m.value().as_number(), 4.0);
+}
+
+TEST_F(FunctionalTest, UniProductMultiplies) {
+  Variable w(ctx, "t", "w"), h(ctx, "t", "h"), area(ctx, "t", "area");
+  auto& c = ctx.make<UniProductConstraint>();
+  c.set_result(area);
+  c.basic_add_argument(w);
+  c.basic_add_argument(h);
+  EXPECT_TRUE(w.set_user(Value(4.0)));
+  EXPECT_TRUE(area.value().is_nil()) << "h unknown: not computable";
+  EXPECT_TRUE(h.set_user(Value(5.0)));
+  EXPECT_DOUBLE_EQ(area.value().as_number(), 20.0);
+}
+
+TEST_F(FunctionalTest, UniProductWithScale) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y");
+  auto& c = ctx.make<UniProductConstraint>(0.5);
+  c.set_result(y);
+  c.basic_add_argument(x);
+  EXPECT_TRUE(x.set_user(Value(8.0)));
+  EXPECT_DOUBLE_EQ(y.value().as_number(), 4.0);
+}
+
+TEST_F(FunctionalTest, UniLinearScalesAndOffsets) {
+  Variable celsius(ctx, "t", "c"), fahrenheit(ctx, "t", "f");
+  auto& c = ctx.make<UniLinearConstraint>(1.8, 32.0);
+  c.set_result(fahrenheit);
+  c.basic_add_argument(celsius);
+  EXPECT_TRUE(celsius.set_user(Value(100.0)));
+  EXPECT_DOUBLE_EQ(fahrenheit.value().as_number(), 212.0);
+  EXPECT_TRUE(celsius.set_user(Value(0.0)));
+  EXPECT_DOUBLE_EQ(fahrenheit.value().as_number(), 32.0);
+}
+
+TEST_F(FunctionalTest, UniLinearRequiresSingleInput) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), r(ctx, "t", "r");
+  auto& c = ctx.make<UniLinearConstraint>(2.0, 0.0);
+  c.set_result(r);
+  c.basic_add_argument(a);
+  c.basic_add_argument(b);  // second input: function undefined
+  EXPECT_TRUE(a.set_user(Value(1.0)));
+  EXPECT_TRUE(b.set_user(Value(2.0)));
+  EXPECT_TRUE(r.value().is_nil());
+  EXPECT_TRUE(c.is_satisfied()) << "uncomputable is vacuously satisfied";
+}
+
+TEST_F(FunctionalTest, UniRectUnionAccumulatesBoxes) {
+  Variable b1(ctx, "t", "b1"), b2(ctx, "t", "b2"), u(ctx, "t", "u");
+  auto& c = ctx.make<UniRectUnionConstraint>();
+  c.set_result(u);
+  c.basic_add_argument(b1);
+  c.basic_add_argument(b2);
+  EXPECT_TRUE(b1.set_user(Value(Rect{0, 0, 5, 5})));
+  EXPECT_EQ(u.value().as_rect(), (Rect{0, 0, 5, 5}));
+  EXPECT_TRUE(b2.set_user(Value(Rect{10, 2, 12, 8})));
+  EXPECT_EQ(u.value().as_rect(), (Rect{0, 0, 12, 8}));
+}
+
+TEST_F(FunctionalTest, ResultVariableIdentified) {
+  Variable x(ctx, "t", "x"), r(ctx, "t", "r");
+  auto& c = ctx.make<UniAdditionConstraint>();
+  c.set_result(r);
+  c.basic_add_argument(x);
+  EXPECT_EQ(c.result_variable(), &r);
+  EXPECT_FALSE(c.permit_changes_by(r)) << "result change: nothing to do";
+  EXPECT_TRUE(c.permit_changes_by(x));
+}
+
+TEST_F(FunctionalTest, EvaluateFunctionIsPure) {
+  Variable x(ctx, "t", "x"), r(ctx, "t", "r");
+  auto& c = ctx.make<UniAdditionConstraint>(1.0);
+  c.set_result(r);
+  c.basic_add_argument(x);
+  ctx.set_enabled(false);
+  x.set_user(Value(5.0));
+  ctx.set_enabled(true);
+  EXPECT_DOUBLE_EQ(c.evaluate_function().as_number(), 6.0);
+  EXPECT_TRUE(r.value().is_nil()) << "no assignment happened";
+}
+
+TEST_F(FunctionalTest, ChainedMixedFunctions) {
+  // delay budget-style chain: worst = max(a, b); padded = worst * 1.1;
+  // total = padded + 2.
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), worst(ctx, "t", "worst"),
+      padded(ctx, "t", "padded"), total(ctx, "t", "total");
+  auto& mx = ctx.make<UniMaximumConstraint>();
+  mx.set_result(worst);
+  mx.basic_add_argument(a);
+  mx.basic_add_argument(b);
+  auto& pad = ctx.make<UniLinearConstraint>(1.1, 0.0);
+  pad.set_result(padded);
+  pad.basic_add_argument(worst);
+  auto& add = ctx.make<UniAdditionConstraint>(2.0);
+  add.set_result(total);
+  add.basic_add_argument(padded);
+  EXPECT_TRUE(a.set_user(Value(10.0)));
+  EXPECT_TRUE(b.set_user(Value(20.0)));
+  EXPECT_DOUBLE_EQ(total.value().as_number(), 20.0 * 1.1 + 2.0);
+}
+
+TEST_F(FunctionalTest, NonNumericInputsBlockComputation) {
+  Variable x(ctx, "t", "x"), r(ctx, "t", "r");
+  auto& c = ctx.make<UniAdditionConstraint>();
+  c.set_result(r);
+  c.basic_add_argument(x);
+  EXPECT_TRUE(x.set_user(Value("not a number")));
+  EXPECT_TRUE(r.value().is_nil());
+  EXPECT_TRUE(c.is_satisfied());
+}
+
+}  // namespace
+}  // namespace stemcp::core

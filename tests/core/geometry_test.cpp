@@ -1,0 +1,102 @@
+// Geometry substrate: rects, orientations, transforms.
+#include <gtest/gtest.h>
+
+#include "core/geometry.h"
+
+namespace stemcp::core {
+namespace {
+
+TEST(RectTest, BasicMetrics) {
+  const Rect r{0, 0, 10, 4};
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.area(), 40);
+  EXPECT_EQ(r.center(), (Point{5, 2}));
+}
+
+TEST(RectTest, DefaultIsEmpty) {
+  const Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.area(), 0);
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_FALSE(r.contains(Point{11, 0}));
+  EXPECT_TRUE(r.contains(Rect{2, 2, 8, 8}));
+  EXPECT_FALSE(r.contains(Rect{2, 2, 12, 8}));
+  EXPECT_TRUE(r.contains(Rect{}));
+  EXPECT_TRUE(r.intersects(Rect{5, 5, 20, 20}));
+  EXPECT_FALSE(r.intersects(Rect{20, 20, 30, 30}));
+}
+
+TEST(RectTest, UnionHandlesEmpty) {
+  const Rect r{0, 0, 5, 5};
+  EXPECT_EQ(r.union_with(Rect{}), r);
+  EXPECT_EQ(Rect{}.union_with(r), r);
+  EXPECT_EQ(r.union_with(Rect{3, 3, 10, 12}), (Rect{0, 0, 10, 12}));
+}
+
+TEST(RectTest, ExtentCovers) {
+  const Rect big{0, 0, 10, 10};
+  const Rect small{100, 100, 105, 105};
+  EXPECT_TRUE(big.extent_covers(small));
+  EXPECT_FALSE(small.extent_covers(big));
+  EXPECT_TRUE(big.extent_covers(big));
+}
+
+TEST(TransformTest, IdentityIsNeutral) {
+  const Transform id;
+  EXPECT_EQ(id.apply(Point{3, 4}), (Point{3, 4}));
+  EXPECT_EQ(id.apply(Rect{1, 2, 3, 4}), (Rect{1, 2, 3, 4}));
+}
+
+TEST(TransformTest, TranslationMoves) {
+  const Transform t = Transform::translate({10, 20});
+  EXPECT_EQ(t.apply(Point{1, 1}), (Point{11, 21}));
+  EXPECT_EQ(t.apply(Rect{0, 0, 2, 2}), (Rect{10, 20, 12, 22}));
+}
+
+TEST(TransformTest, RotationNormalizesRect) {
+  const Transform r90{Orientation::kR90, {}};
+  // R90 maps (x,y) -> (-y,x); the rect must be re-normalized.
+  EXPECT_EQ(r90.apply(Rect{0, 0, 4, 2}), (Rect{-2, 0, 0, 4}));
+}
+
+TEST(TransformTest, MirrorX) {
+  const Transform mx{Orientation::kMX, {}};
+  EXPECT_EQ(mx.apply(Point{3, 4}), (Point{3, -4}));
+}
+
+class OrientationRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrientationRoundTrip, InverseComposesToIdentity) {
+  const auto o = static_cast<Orientation>(GetParam());
+  const Transform t{o, {7, -3}};
+  const Transform inv = t.inverse();
+  const Point samples[] = {{0, 0}, {1, 0}, {0, 1}, {5, -9}, {-4, 13}};
+  for (Point p : samples) {
+    EXPECT_EQ(inv.apply(t.apply(p)), p) << to_string(o);
+    EXPECT_EQ(t.then(inv).apply(p), p) << to_string(o);
+  }
+}
+
+TEST_P(OrientationRoundTrip, CompositionIsAssociativeOnPoints) {
+  const auto o = static_cast<Orientation>(GetParam());
+  const Transform a{o, {2, 3}};
+  const Transform b{Orientation::kR90, {-1, 5}};
+  const Transform c{Orientation::kMX, {0, -2}};
+  const Point p{11, -7};
+  EXPECT_EQ(a.then(b).then(c).apply(p), a.then(b.then(c)).apply(p));
+  EXPECT_EQ(c.apply(b.apply(a.apply(p))), a.then(b).then(c).apply(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrientations, OrientationRoundTrip,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace stemcp::core

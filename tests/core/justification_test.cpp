@@ -1,0 +1,111 @@
+// Justifications, overwrite precedence and rendering (thesis §4.2.4).
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+TEST(JustificationTest, SourcesRenderAsSymbols) {
+  EXPECT_STREQ(to_string(Source::kUser), "#USER");
+  EXPECT_STREQ(to_string(Source::kApplication), "#APPLICATION");
+  EXPECT_STREQ(to_string(Source::kUpdate), "#UPDATE");
+  EXPECT_STREQ(to_string(Source::kTentative), "#TENTATIVE");
+  EXPECT_STREQ(to_string(Source::kDefault), "#DEFAULT");
+  EXPECT_STREQ(to_string(Source::kNone), "#NONE");
+}
+
+TEST(JustificationTest, PropagatedCarriesConstraintAndRecord) {
+  PropagationContext ctx;
+  auto& eq = ctx.make<EqualityConstraint>();
+  Variable v(ctx, "t", "v");
+  const Justification j =
+      Justification::propagated(eq, DependencyRecord::single(v));
+  EXPECT_TRUE(j.is_propagated());
+  EXPECT_EQ(j.constraint(), &eq);
+  ASSERT_EQ(j.record().vars.size(), 1u);
+  EXPECT_EQ(j.record().vars[0], &v);
+  EXPECT_NE(j.to_string().find("equality"), std::string::npos);
+}
+
+TEST(JustificationTest, DependencyRecordFactories) {
+  PropagationContext ctx;
+  Variable v(ctx, "t", "v");
+  EXPECT_TRUE(DependencyRecord::all().all_arguments);
+  EXPECT_FALSE(DependencyRecord::none().all_arguments);
+  EXPECT_TRUE(DependencyRecord::none().vars.empty());
+  EXPECT_EQ(DependencyRecord::single(v).vars.size(), 1u);
+}
+
+// The overwrite precedence matrix: current justification (rows) vs incoming
+// propagated assignment — may the value change?
+class PrecedenceCase
+    : public ::testing::TestWithParam<std::tuple<Source, bool>> {};
+
+TEST_P(PrecedenceCase, DefaultRule) {
+  const auto [current, expect_changeable] = GetParam();
+  PropagationContext ctx;
+  Variable v(ctx, "t", "v");
+  ctx.set_enabled(false);
+  v.set(Value(1), Justification(current));
+  ctx.set_enabled(true);
+  auto& eq = ctx.make<EqualityConstraint>();
+  const Justification incoming =
+      Justification::propagated(eq, DependencyRecord::all());
+  EXPECT_EQ(v.can_change_value_to(Value(2), incoming), expect_changeable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PrecedenceCase,
+    ::testing::Values(std::make_tuple(Source::kUser, false),
+                      std::make_tuple(Source::kApplication, true),
+                      std::make_tuple(Source::kUpdate, true),
+                      std::make_tuple(Source::kDefault, true),
+                      std::make_tuple(Source::kTentative, true),
+                      std::make_tuple(Source::kPropagated, true)));
+
+TEST(JustificationTest, UserIncomingAlwaysWins) {
+  PropagationContext ctx;
+  Variable v(ctx, "t", "v");
+  ctx.set_enabled(false);
+  v.set(Value(1), Justification::user());
+  ctx.set_enabled(true);
+  EXPECT_TRUE(v.can_change_value_to(Value(2), Justification::user()));
+}
+
+TEST(JustificationTest, NilValuesAreNeverProtected) {
+  PropagationContext ctx;
+  Variable v(ctx, "t", "v");
+  ctx.set_enabled(false);
+  v.set(Value::nil(), Justification::user());  // erased user estimate
+  ctx.set_enabled(true);
+  auto& eq = ctx.make<EqualityConstraint>();
+  EXPECT_TRUE(v.can_change_value_to(
+      Value(2), Justification::propagated(eq, DependencyRecord::all())));
+}
+
+TEST(StatusTest, TruthinessMirrorsNilConvention) {
+  EXPECT_TRUE(Status::ok());
+  EXPECT_TRUE(Status::no_change());
+  EXPECT_FALSE(Status::violation());
+  EXPECT_TRUE(Status::ok().is_ok());
+  EXPECT_TRUE(Status::violation().is_violation());
+  EXPECT_FALSE(Status::no_change().is_violation());
+}
+
+TEST(StatusTest, ViolationInfoRendering) {
+  PropagationContext ctx;
+  Variable v(ctx, "cell", "delay");
+  v.set_user(Value(5));
+  auto& eq = ctx.make<EqualityConstraint>();
+  const ViolationInfo info{&eq, &v, Value(9), "test message"};
+  const std::string s = info.to_string();
+  EXPECT_NE(s.find("equality"), std::string::npos);
+  EXPECT_NE(s.find("cell.delay"), std::string::npos);
+  EXPECT_NE(s.find("current 5"), std::string::npos);
+  EXPECT_NE(s.find("offered 9"), std::string::npos);
+  EXPECT_NE(s.find("test message"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stemcp::core

@@ -1,0 +1,124 @@
+// Predicate constraints: bounds, ranges, comparisons, aspect ratio
+// (thesis §7.2, Fig 7.9).
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+TEST_F(PredicateTest, UpperBoundAcceptsAndRejects) {
+  Variable d(ctx, "cell", "delay");
+  BoundConstraint::upper(ctx, d, Value(120.0));
+  EXPECT_TRUE(d.set_application(Value(100.0)));
+  EXPECT_TRUE(d.set_application(Value(120.0)));
+  EXPECT_TRUE(d.set_application(Value(121.0)).is_violation());
+  EXPECT_DOUBLE_EQ(d.value().as_number(), 120.0) << "restored";
+}
+
+TEST_F(PredicateTest, LowerBound) {
+  Variable v(ctx, "t", "v");
+  BoundConstraint::lower(ctx, v, Value(5));
+  EXPECT_TRUE(v.set_user(Value(5)));
+  EXPECT_TRUE(v.set_user(Value(4)).is_violation());
+}
+
+TEST_F(PredicateTest, NilValueIsVacuouslySatisfied) {
+  Variable v(ctx, "t", "v");
+  auto& c = BoundConstraint::upper(ctx, v, Value(10));
+  EXPECT_TRUE(c.is_satisfied());
+}
+
+TEST_F(PredicateTest, BoundOverMultipleArguments) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& c = ctx.make<BoundConstraint>(Relation::kLessEqual, Value(10));
+  c.add_argument(a);
+  c.add_argument(b);
+  EXPECT_TRUE(a.set_user(Value(3)));
+  EXPECT_TRUE(b.set_user(Value(11)).is_violation());
+}
+
+TEST_F(PredicateTest, RangeConstraintForParameters) {
+  Variable width(ctx, "inv", "width");
+  RangeConstraint::over(ctx, width, 1.0, 64.0);
+  EXPECT_TRUE(width.set_user(Value(8)));
+  EXPECT_TRUE(width.set_user(Value(0)).is_violation());
+  EXPECT_TRUE(width.set_user(Value(65)).is_violation());
+  EXPECT_EQ(width.value().as_int(), 8);
+}
+
+TEST_F(PredicateTest, ComparisonBetweenVariables) {
+  Variable fast(ctx, "t", "fast"), slow(ctx, "t", "slow");
+  ComparisonConstraint::between(ctx, Relation::kLessEqual, fast, slow);
+  EXPECT_TRUE(slow.set_user(Value(10.0)));
+  EXPECT_TRUE(fast.set_user(Value(3.0)));
+  EXPECT_TRUE(fast.set_user(Value(12.0)).is_violation());
+}
+
+TEST_F(PredicateTest, AspectRatioPredicate) {
+  Variable bbox(ctx, "cell", "boundingBox");
+  AspectRatioPredicate::ratio(ctx, 2.0, bbox);
+  EXPECT_TRUE(bbox.set_user(Value(Rect{0, 0, 20, 10})));
+  EXPECT_TRUE(bbox.set_user(Value(Rect{0, 0, 30, 10})).is_violation());
+  EXPECT_EQ(bbox.value().as_rect(), (Rect{0, 0, 20, 10}));
+}
+
+TEST_F(PredicateTest, MaxAreaPredicate) {
+  Variable bbox(ctx, "cell", "boundingBox");
+  MaxAreaPredicate::at_most(ctx, 100, bbox);
+  EXPECT_TRUE(bbox.set_user(Value(Rect{0, 0, 10, 10})));
+  EXPECT_TRUE(bbox.set_user(Value(Rect{0, 0, 11, 10})).is_violation());
+}
+
+TEST_F(PredicateTest, LambdaPredicateArbitraryCheck) {
+  // The thesis's open-ended extension point: any designer-defined check.
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  auto& even_sum = ctx.make<LambdaPredicate>(
+      "evenSum", [](const std::vector<Variable*>& args) {
+        std::int64_t sum = 0;
+        for (const Variable* v : args) {
+          if (!v->value().is_int()) return true;
+          sum += v->value().as_int();
+        }
+        return sum % 2 == 0;
+      });
+  even_sum.basic_add_argument(a);
+  even_sum.basic_add_argument(b);
+  EXPECT_TRUE(a.set_user(Value(2)));
+  EXPECT_TRUE(b.set_user(Value(4)));
+  EXPECT_TRUE(b.set_user(Value(5)).is_violation());
+  EXPECT_EQ(b.value().as_int(), 4);
+}
+
+class RelationCase
+    : public ::testing::TestWithParam<std::tuple<Relation, double, double,
+                                                 bool>> {};
+
+TEST_P(RelationCase, HoldsMatchesSemantics) {
+  const auto [r, lhs, rhs, expected] = GetParam();
+  EXPECT_EQ(holds(r, lhs, rhs), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRelations, RelationCase,
+    ::testing::Values(
+        std::make_tuple(Relation::kLess, 1.0, 2.0, true),
+        std::make_tuple(Relation::kLess, 2.0, 2.0, false),
+        std::make_tuple(Relation::kLessEqual, 2.0, 2.0, true),
+        std::make_tuple(Relation::kLessEqual, 3.0, 2.0, false),
+        std::make_tuple(Relation::kGreater, 3.0, 2.0, true),
+        std::make_tuple(Relation::kGreater, 2.0, 2.0, false),
+        std::make_tuple(Relation::kGreaterEqual, 2.0, 2.0, true),
+        std::make_tuple(Relation::kGreaterEqual, 1.0, 2.0, false),
+        std::make_tuple(Relation::kEqual, 2.0, 2.0, true),
+        std::make_tuple(Relation::kEqual, 2.0, 3.0, false),
+        std::make_tuple(Relation::kNotEqual, 2.0, 3.0, true),
+        std::make_tuple(Relation::kNotEqual, 2.0, 2.0, false)));
+
+}  // namespace
+}  // namespace stemcp::core

@@ -1,0 +1,106 @@
+// Engine accounting: the statistics counters the benchmark harness leans on
+// must mean exactly what they claim.
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+TEST_F(StatsTest, SessionCountsEachExternalAssignment) {
+  Variable a(ctx, "t", "a");
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(1)));
+  EXPECT_TRUE(a.set_user(Value(2)));
+  EXPECT_EQ(ctx.stats().sessions, 2u);
+}
+
+TEST_F(StatsTest, AssignmentsCountValueWrites) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c");
+  auto& eq = ctx.make<EqualityConstraint>();
+  eq.basic_add_argument(a);
+  eq.basic_add_argument(b);
+  eq.basic_add_argument(c);
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(5)));
+  EXPECT_EQ(ctx.stats().assignments, 3u) << "a, b and c";
+  // NoChange propagation writes nothing new.
+  EXPECT_TRUE(a.set_user(Value(5)));
+  EXPECT_EQ(ctx.stats().assignments, 4u) << "only a's own re-assertion";
+}
+
+TEST_F(StatsTest, ActivationsCountPropagateVariableSends) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(1)));
+  // a activates eq once; b's assignment skips its source.
+  EXPECT_EQ(ctx.stats().activations, 1u);
+}
+
+TEST_F(StatsTest, ScheduledRunsCountAgendaPops) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), s(ctx, "t", "s");
+  UniAdditionConstraint::sum(ctx, s, {&x, &y});
+  ctx.reset_stats();
+  EXPECT_TRUE(x.set_user(Value(1)));
+  EXPECT_EQ(ctx.stats().scheduled_runs, 1u);
+  EXPECT_TRUE(y.set_user(Value(2)));
+  // y's session: adder scheduled + its result assignment reschedules
+  // nothing further (s's only constraint is its producer).
+  EXPECT_EQ(ctx.stats().scheduled_runs, 2u);
+}
+
+TEST_F(StatsTest, ViolationsAndRestoresCounted) {
+  Variable a(ctx, "t", "a");
+  BoundConstraint::upper(ctx, a, Value(10));
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(99)).is_violation());
+  EXPECT_EQ(ctx.stats().violations, 1u);
+  EXPECT_EQ(ctx.stats().restores, 1u) << "only a itself was touched";
+}
+
+TEST_F(StatsTest, ChecksCountFinalSweepEvaluations) {
+  Variable a(ctx, "t", "a");
+  BoundConstraint::upper(ctx, a, Value(10));
+  BoundConstraint::lower(ctx, a, Value(0));
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(5)));
+  EXPECT_EQ(ctx.stats().checks, 2u) << "both bounds visited and checked";
+}
+
+TEST_F(StatsTest, DisabledContextDoesNoAccounting) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  EqualityConstraint::among(ctx, {&a, &b});
+  ctx.set_enabled(false);
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(1)));
+  EXPECT_EQ(ctx.stats().sessions, 0u);
+  EXPECT_EQ(ctx.stats().activations, 0u);
+}
+
+TEST_F(StatsTest, ProbeSessionsCounted) {
+  Variable a(ctx, "t", "a");
+  ctx.reset_stats();
+  EXPECT_TRUE(a.can_be_set_to(Value(1)));
+  EXPECT_EQ(ctx.stats().sessions, 1u) << "a probe is a session";
+}
+
+TEST_F(StatsTest, ViolationLogPersistsAcrossSessions) {
+  Variable a(ctx, "t", "a");
+  BoundConstraint::upper(ctx, a, Value(10));
+  EXPECT_TRUE(a.set_user(Value(99)).is_violation());
+  EXPECT_TRUE(a.set_user(Value(98)).is_violation());
+  EXPECT_EQ(ctx.violation_log().size(), 2u);
+  EXPECT_TRUE(a.set_user(Value(5)));
+  EXPECT_EQ(ctx.violation_log().size(), 2u) << "successes don't log";
+  EXPECT_FALSE(ctx.last_violation().has_value())
+      << "last_violation cleared by the successful session";
+}
+
+}  // namespace
+}  // namespace stemcp::core

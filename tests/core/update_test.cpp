@@ -1,0 +1,87 @@
+// Update-constraints: validity dependencies that erase derived values
+// (thesis ch. 6).
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+};
+
+TEST_F(UpdateTest, SourceChangeErasesTargets) {
+  Variable netlist(ctx, "cell", "netlist");
+  Variable extracted(ctx, "cell", "extractedParasitics");
+  UpdateConstraint::depends(ctx, {&extracted}, {&netlist});
+  EXPECT_TRUE(extracted.set_application(Value("C=4pF")));
+  EXPECT_TRUE(netlist.set_user(Value("deck-v2")));
+  EXPECT_TRUE(extracted.value().is_nil()) << "derived data invalidated";
+}
+
+TEST_F(UpdateTest, TargetRecalculationDoesNotReErase) {
+  Variable src(ctx, "cell", "src");
+  Variable derived(ctx, "cell", "derived");
+  UpdateConstraint::depends(ctx, {&derived}, {&src});
+  EXPECT_TRUE(src.set_user(Value(1)));
+  // Recalculating the target must not bounce back through the constraint.
+  EXPECT_TRUE(derived.set_application(Value(10)));
+  EXPECT_EQ(derived.value().as_int(), 10);
+}
+
+TEST_F(UpdateTest, MultipleTargetsAllErased) {
+  Variable src(ctx, "cell", "layout");
+  Variable t1(ctx, "cell", "bbox"), t2(ctx, "cell", "pins"),
+      t3(ctx, "cell", "area");
+  UpdateConstraint::depends(ctx, {&t1, &t2, &t3}, {&src});
+  EXPECT_TRUE(t1.set_application(Value(1)));
+  EXPECT_TRUE(t2.set_application(Value(2)));
+  EXPECT_TRUE(t3.set_application(Value(3)));
+  EXPECT_TRUE(src.set_user(Value("edited")));
+  EXPECT_TRUE(t1.value().is_nil());
+  EXPECT_TRUE(t2.value().is_nil());
+  EXPECT_TRUE(t3.value().is_nil());
+}
+
+TEST_F(UpdateTest, ErasureCascadesThroughChainedUpdates) {
+  // src -> mid -> leaf: invalidation must ripple (Fig 5.1 style chains).
+  Variable src(ctx, "c", "src"), mid(ctx, "c", "mid"), leaf(ctx, "c", "leaf");
+  UpdateConstraint::depends(ctx, {&mid}, {&src});
+  UpdateConstraint::depends(ctx, {&leaf}, {&mid});
+  EXPECT_TRUE(mid.set_application(Value(1)));
+  EXPECT_TRUE(leaf.set_application(Value(2)));
+  EXPECT_TRUE(src.set_user(Value(99)));
+  EXPECT_TRUE(mid.value().is_nil());
+  EXPECT_TRUE(leaf.value().is_nil());
+}
+
+TEST_F(UpdateTest, AlreadyNilTargetsSkipped) {
+  Variable src(ctx, "c", "src"), t(ctx, "c", "t");
+  UpdateConstraint::depends(ctx, {&t}, {&src});
+  ctx.reset_stats();
+  EXPECT_TRUE(src.set_user(Value(1)));
+  EXPECT_EQ(ctx.stats().assignments, 1u) << "nil target not re-erased";
+}
+
+TEST_F(UpdateTest, UserValueOnTargetProtectedFromErasure) {
+  Variable src(ctx, "c", "src"), t(ctx, "c", "t");
+  UpdateConstraint::depends(ctx, {&t}, {&src});
+  EXPECT_TRUE(t.set_user(Value(7)));
+  // The erasure cannot overwrite the designer's explicit value: violation
+  // feedback tells the tool its invalidation failed.
+  EXPECT_TRUE(src.set_user(Value(1)).is_violation());
+  EXPECT_EQ(t.value().as_int(), 7);
+}
+
+TEST_F(UpdateTest, UpdateConstraintAlwaysSatisfied) {
+  Variable src(ctx, "c", "src"), t(ctx, "c", "t");
+  auto& u = UpdateConstraint::depends(ctx, {&t}, {&src});
+  EXPECT_TRUE(u.is_satisfied());
+  EXPECT_TRUE(src.set_user(Value(1)));
+  EXPECT_TRUE(u.is_satisfied());
+}
+
+}  // namespace
+}  // namespace stemcp::core

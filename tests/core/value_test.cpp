@@ -1,0 +1,86 @@
+// Value semantics: the typed payload of constraint variables.
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace stemcp::core {
+namespace {
+
+TEST(ValueTest, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_EQ(v, Value::nil());
+  EXPECT_EQ(v.to_string(), "nil");
+}
+
+TEST(ValueTest, KindPredicates) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(5.0).is_real());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(Rect{0, 0, 1, 1}).is_rect());
+  EXPECT_TRUE(Value(5).is_number());
+  EXPECT_TRUE(Value(5.0).is_number());
+  EXPECT_FALSE(Value("hi").is_number());
+  EXPECT_FALSE(Value(true).is_number());
+}
+
+TEST(ValueTest, MixedNumericEquality) {
+  EXPECT_EQ(Value(5), Value(5.0));
+  EXPECT_EQ(Value(5.0), Value(5));
+  EXPECT_NE(Value(5), Value(5.5));
+  EXPECT_NE(Value(5), Value("5"));
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_DOUBLE_EQ(Value(7).as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+}
+
+TEST(ValueTest, StringAndRectEquality) {
+  EXPECT_EQ(Value("abc"), Value(std::string("abc")));
+  EXPECT_NE(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value(Rect{1, 2, 3, 4}), Value(Rect{1, 2, 3, 4}));
+  EXPECT_NE(Value(Rect{1, 2, 3, 4}), Value(Rect{0, 2, 3, 4}));
+}
+
+TEST(ValueTest, NilComparesOnlyToNil) {
+  EXPECT_EQ(Value::nil(), Value::nil());
+  EXPECT_NE(Value::nil(), Value(0));
+  EXPECT_NE(Value::nil(), Value(false));
+  EXPECT_NE(Value::nil(), Value(""));
+}
+
+class IntBox : public Boxed {
+ public:
+  explicit IntBox(int v) : v_(v) {}
+  bool equals(const Boxed& other) const override {
+    const auto* o = dynamic_cast<const IntBox*>(&other);
+    return o != nullptr && o->v_ == v_;
+  }
+  std::string to_string() const override { return "box:" + std::to_string(v_); }
+  int v_;
+};
+
+TEST(ValueTest, BoxedSemanticsAndTypedAccess) {
+  Value a(std::make_shared<const IntBox>(3));
+  Value b(std::make_shared<const IntBox>(3));
+  Value c(std::make_shared<const IntBox>(4));
+  EXPECT_EQ(a, b) << "semantic equality across distinct allocations";
+  EXPECT_NE(a, c);
+  const IntBox* box = a.as<IntBox>();
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(box->v_, 3);
+  EXPECT_EQ(a.as_boxed()->to_string(), "box:3");
+  EXPECT_EQ(Value(5).as<IntBox>(), nullptr);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(5).to_string(), "5");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value("x").to_string(), "'x'");
+  EXPECT_EQ(Value(Rect{0, 0, 2, 3}).to_string(), "[0,0 2,3]");
+}
+
+}  // namespace
+}  // namespace stemcp::core

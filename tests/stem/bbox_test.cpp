@@ -1,0 +1,151 @@
+// Bounding-box checking across the design hierarchy (thesis §7.2).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+class BBoxTest : public ::testing::Test {
+ protected:
+  Library lib;
+};
+
+TEST_F(BBoxTest, InstanceDefaultsToTransformedClassBox) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 4})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst =
+      top.add_subcell(leaf, "i1", Transform::translate({100, 200}));
+  ASSERT_TRUE(inst.bounding_box().value().is_rect());
+  EXPECT_EQ(inst.bounding_box().value().as_rect(), (Rect{100, 200, 110, 204}));
+}
+
+TEST_F(BBoxTest, ClassBoxChangePropagatesToInstances) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& i1 = top.add_subcell(leaf, "i1", Transform::translate({0, 0}));
+  auto& i2 = top.add_subcell(leaf, "i2", Transform::translate({50, 0}));
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  EXPECT_EQ(i1.bounding_box().value().as_rect(), (Rect{0, 0, 10, 10}));
+  EXPECT_EQ(i2.bounding_box().value().as_rect(), (Rect{50, 0, 60, 10}));
+}
+
+TEST_F(BBoxTest, RotatedPlacement) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 4})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(
+      leaf, "r", Transform{core::Orientation::kR90, {20, 0}});
+  // R90 maps [0,0 10,4] to [-4,0 0,10], then translate by (20,0).
+  EXPECT_EQ(inst.bounding_box().value().as_rect(), (Rect{16, 0, 20, 10}));
+}
+
+TEST_F(BBoxTest, ParentClassBoxCalculatedFromSubcells) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  top.add_subcell(leaf, "a", Transform::translate({0, 0}));
+  top.add_subcell(leaf, "b", Transform::translate({10, 0}));
+  const Value v = top.bounding_box().demand();
+  ASSERT_TRUE(v.is_rect());
+  EXPECT_EQ(v.as_rect(), (Rect{0, 0, 20, 10}));
+}
+
+TEST_F(BBoxTest, SubcellGrowthInvalidatesAndRecomputesParentBox) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  top.add_subcell(leaf, "a", Transform::translate({0, 0}));
+  EXPECT_EQ(top.bounding_box().demand().as_rect(), (Rect{0, 0, 10, 10}));
+
+  // Growing the leaf propagates to the instance box, which procedurally
+  // erases the parent's calculated box (thesis Fig 7.8)...
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 30, 10})));
+  EXPECT_TRUE(top.bounding_box().value().is_nil()) << "erased, not stale";
+  // ...and lazy recalculation picks up the new extent.
+  EXPECT_EQ(top.bounding_box().demand().as_rect(), (Rect{0, 0, 30, 10}));
+}
+
+TEST_F(BBoxTest, UserPlacementKeptWhenBigEnough) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(leaf, "i", Transform::translate({0, 0}));
+  // Designer stretches the placement area beyond the class box (io-pins
+  // stretch to the boundary, thesis Fig 7.6).
+  EXPECT_TRUE(inst.bounding_box().set_user(Value(Rect{0, 0, 40, 40})));
+  // Class box growth leaves the user placement alone as long as it fits.
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 20, 20})));
+  EXPECT_EQ(inst.bounding_box().value().as_rect(), (Rect{0, 0, 40, 40}));
+}
+
+TEST_F(BBoxTest, ClassGrowthBeyondUserPlacementViolates) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(leaf, "i", Transform::translate({0, 0}));
+  EXPECT_TRUE(inst.bounding_box().set_user(Value(Rect{0, 0, 15, 15})));
+  // The internal design grows past the committed placement: violation, and
+  // the class box change is rolled back.
+  EXPECT_TRUE(
+      leaf.bounding_box().set_user(Value(Rect{0, 0, 100, 100})).is_violation());
+  EXPECT_EQ(leaf.bounding_box().value().as_rect(), (Rect{0, 0, 10, 10}));
+  EXPECT_EQ(inst.bounding_box().value().as_rect(), (Rect{0, 0, 15, 15}));
+}
+
+TEST_F(BBoxTest, PlacementSmallerThanClassBoxViolates) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(leaf, "i", Transform::translate({0, 0}));
+  EXPECT_TRUE(
+      inst.bounding_box().set_user(Value(Rect{0, 0, 5, 5})).is_violation())
+      << "a cell instance cannot be placed in an area smaller than its class "
+         "bounding box";
+}
+
+TEST_F(BBoxTest, AspectRatioPredicateOnClassBox) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  core::AspectRatioPredicate::ratio(lib.context(), 2.0, leaf.bounding_box());
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 20, 10})));
+  EXPECT_TRUE(
+      leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})).is_violation());
+}
+
+TEST_F(BBoxTest, TwoLevelHierarchyRollsUp) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& mid = lib.define_cell("MID", nullptr);
+  mid.add_subcell(leaf, "a", Transform::translate({0, 0}));
+  mid.add_subcell(leaf, "b", Transform::translate({10, 0}));
+  auto& top = lib.define_cell("TOP", nullptr);
+  top.add_subcell(mid, "m1", Transform::translate({0, 0}));
+  top.add_subcell(mid, "m2", Transform::translate({0, 10}));
+  EXPECT_EQ(top.bounding_box().demand().as_rect(), (Rect{0, 0, 20, 20}))
+      << "recursive demand through two levels";
+}
+
+TEST_F(BBoxTest, MaxAreaSpecificationCatchesGrowth) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  top.add_subcell(leaf, "a", Transform::translate({0, 0}));
+  core::MaxAreaPredicate::at_most(lib.context(), 150, top.bounding_box());
+  EXPECT_EQ(top.bounding_box().demand().as_rect(), (Rect{0, 0, 10, 10}));
+  // Leaf growth ripples up; the parent's recalculated box now breaks the
+  // area specification at recalc time.
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 20, 10})));
+  EXPECT_TRUE(top.bounding_box().value().is_nil());
+  const Value recalced = top.bounding_box().demand();
+  EXPECT_TRUE(recalced.is_nil());
+  EXPECT_TRUE(top.bounding_box().value().is_nil())
+      << "recalculation hit the area violation and was rolled back";
+}
+
+}  // namespace
+}  // namespace stemcp::env

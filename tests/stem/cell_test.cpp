@@ -1,0 +1,173 @@
+// Design database structure: declarations, inheritance, instances
+// (thesis ch. 3, §3.3.2).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Transform;
+using core::Value;
+
+class CellTest : public ::testing::Test {
+ protected:
+  Library lib;
+};
+
+TEST_F(CellTest, DeclareAndFindSignals) {
+  auto& c = lib.define_cell("C", nullptr);
+  c.declare_signal("a", SignalDirection::kInput);
+  c.declare_signal("out", SignalDirection::kOutput);
+  EXPECT_NE(c.find_signal("a"), nullptr);
+  EXPECT_EQ(c.find_signal("zz"), nullptr);
+  EXPECT_TRUE(c.signal("a").is_input());
+  EXPECT_TRUE(c.signal("out").is_output());
+  EXPECT_THROW(c.declare_signal("a", SignalDirection::kInput),
+               std::invalid_argument);
+  EXPECT_THROW(c.signal("zz"), std::out_of_range);
+}
+
+TEST_F(CellTest, SubclassesInheritInterface) {
+  auto& base = lib.define_cell("ADDER", nullptr);
+  base.declare_signal("a", SignalDirection::kInput);
+  base.declare_signal("out", SignalDirection::kOutput);
+  base.declare_parameter("width", 1, 64, Value(8));
+  auto& rc = lib.define_cell("ADDER.RC", &base);
+  EXPECT_EQ(rc.superclass(), &base);
+  EXPECT_NE(rc.find_signal("a"), nullptr) << "inherited signal";
+  EXPECT_NE(rc.find_parameter("width"), nullptr) << "inherited parameter";
+  EXPECT_TRUE(rc.is_descendant_of(base));
+  EXPECT_FALSE(base.is_descendant_of(rc));
+  ASSERT_EQ(base.subclasses().size(), 1u);
+  EXPECT_EQ(base.subclasses()[0], &rc);
+}
+
+TEST_F(CellTest, AllSubclassesPreOrder) {
+  auto& g = lib.define_cell("G", nullptr);
+  auto& a = lib.define_cell("Ga", &g);
+  auto& a1 = lib.define_cell("Ga1", &a);
+  auto& b = lib.define_cell("Gb", &g);
+  const auto subs = g.all_subclasses();
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], &a);
+  EXPECT_EQ(subs[1], &a1);
+  EXPECT_EQ(subs[2], &b);
+}
+
+TEST_F(CellTest, SignalShadowingInSubclass) {
+  auto& base = lib.define_cell("BASE", nullptr);
+  base.declare_signal("x", SignalDirection::kInput);
+  auto& sub = lib.define_cell("SUB", &base);
+  sub.declare_signal("x", SignalDirection::kInOut);  // specialized
+  EXPECT_EQ(sub.find_signal("x")->direction(), SignalDirection::kInOut);
+  EXPECT_EQ(base.find_signal("x")->direction(), SignalDirection::kInput);
+  EXPECT_EQ(sub.all_signals().size(), 1u) << "shadowed, not duplicated";
+}
+
+TEST_F(CellTest, InstancesTrackedOnClass) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& i1 = top.add_subcell(leaf, "i1");
+  EXPECT_EQ(leaf.instances().size(), 1u);
+  EXPECT_EQ(i1.parent_cell(), &top);
+  EXPECT_EQ(&i1.cls(), &leaf);
+  top.remove_subcell(i1);
+  EXPECT_TRUE(leaf.instances().empty());
+  EXPECT_TRUE(top.subcells().empty());
+}
+
+TEST_F(CellTest, RemoveSubcellDisconnectsNets) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  leaf.declare_signal("p", SignalDirection::kInput);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(leaf, "i");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(inst, "p"));
+  ASSERT_EQ(net.connections().size(), 1u);
+  top.remove_subcell(inst);
+  EXPECT_TRUE(net.connections().empty());
+}
+
+TEST_F(CellTest, PlacedPinsTransformPositionsAndSides) {
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  auto& sig = leaf.declare_signal("p", SignalDirection::kInput);
+  sig.add_pin({0, 5}, Side::kLeft);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(
+      leaf, "i", Transform{core::Orientation::kMY, {100, 0}});
+  const auto pins = inst.placed_pins();
+  ASSERT_EQ(pins.size(), 1u);
+  EXPECT_EQ(pins[0].position, (core::Point{100, 5}));
+  EXPECT_EQ(pins[0].side, Side::kRight) << "mirror-Y flips left to right";
+}
+
+TEST_F(CellTest, GenericFlagAndRealizationList) {
+  auto& g = lib.define_cell("ADD8", nullptr);
+  g.set_generic(true);
+  EXPECT_TRUE(g.is_generic());
+  lib.define_cell("ADD8.RC", &g);
+  lib.define_cell("ADD8.CS", &g);
+  EXPECT_EQ(g.all_subclasses().size(), 2u);
+}
+
+TEST_F(CellTest, ChangeBroadcastReachesViews) {
+  struct Recorder : View {
+    std::vector<std::string> keys;
+    void update(const std::string& key) override { keys.push_back(key); }
+  };
+  auto& c = lib.define_cell("C", nullptr);
+  Recorder r;
+  c.add_dependent(r);
+  c.changed(kChangedLayout);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.keys[0], kChangedLayout);
+  c.remove_dependent(r);
+  c.changed(kChangedLayout);
+  EXPECT_EQ(r.keys.size(), 1u);
+}
+
+TEST_F(CellTest, ChangesPropagateUpDesignHierarchy) {
+  struct Recorder : View {
+    int updates = 0;
+    void update(const std::string&) override { ++updates; }
+  };
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  auto& mid = lib.define_cell("MID", nullptr);
+  mid.add_subcell(leaf, "l");
+  auto& top = lib.define_cell("TOP", nullptr);
+  top.add_subcell(mid, "m");
+  Recorder top_view;
+  top.add_dependent(top_view);
+  leaf.changed(kChangedStructure);
+  EXPECT_GE(top_view.updates, 1)
+      << "a leaf edit outdates views two levels up (thesis §6.5.2)";
+}
+
+TEST_F(CellTest, ParameterRangeEnforcedOnInstances) {
+  auto& c = lib.define_cell("C", nullptr);
+  c.declare_parameter("w", 1, 16, Value(4));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(c, "i");
+  EXPECT_EQ(inst.parameter("w").value().as_int(), 4) << "default propagated";
+  EXPECT_TRUE(inst.parameter("w").set_user(Value(8)));
+  EXPECT_TRUE(inst.parameter("w").set_user(Value(99)).is_violation());
+  EXPECT_EQ(inst.parameter("w").value().as_int(), 8);
+}
+
+TEST_F(CellTest, DuplicateCellNameRejected) {
+  lib.define_cell("X", nullptr);
+  EXPECT_THROW(lib.define_cell("X", nullptr), std::invalid_argument);
+  EXPECT_THROW(lib.cell("nope"), std::out_of_range);
+}
+
+TEST_F(CellTest, DeviceInfoMarksPrimitives) {
+  auto& r = lib.define_cell("R1K", nullptr);
+  EXPECT_FALSE(r.is_device());
+  r.device().kind = DeviceInfo::Kind::kResistor;
+  r.device().value = 1000.0;
+  EXPECT_TRUE(r.is_device());
+}
+
+}  // namespace
+}  // namespace stemcp::env

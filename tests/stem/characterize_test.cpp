@@ -1,0 +1,173 @@
+// Simulation-driven characterization feeding the constraint network — the
+// full tool-integration loop of thesis chapters 6 and 7.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stem/netlist/characterize.h"
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::BoundConstraint;
+using core::Value;
+using spice::CharacterizeOptions;
+using spice::characterize_delay;
+
+/// CMOS inverter built from device cells.
+CellClass& make_inverter(Library& lib, const std::string& name,
+                         double load_farads) {
+  auto& nmos = lib.find("NMOSD") != nullptr
+                   ? lib.cell("NMOSD")
+                   : [&]() -> CellClass& {
+    auto& n = lib.define_cell("NMOSD");
+    n.declare_signal("d", SignalDirection::kInOut);
+    n.declare_signal("g", SignalDirection::kInput);
+    n.declare_signal("s", SignalDirection::kInOut);
+    n.device().kind = DeviceInfo::Kind::kNmos;
+    auto& p = lib.define_cell("PMOSD");
+    p.declare_signal("d", SignalDirection::kInOut);
+    p.declare_signal("g", SignalDirection::kInput);
+    p.declare_signal("s", SignalDirection::kInOut);
+    p.device().kind = DeviceInfo::Kind::kPmos;
+    auto& v = lib.define_cell("VDDD");
+    v.declare_signal("p", SignalDirection::kOutput);
+    v.device().kind = DeviceInfo::Kind::kVoltageSource;
+    v.device().value = 5.0;
+    return n;
+  }();
+  (void)nmos;
+  auto& cap = lib.define_cell("CAP_" + name);
+  cap.declare_signal("p", SignalDirection::kInOut);
+  cap.device().kind = DeviceInfo::Kind::kCapacitor;
+  cap.device().value = load_farads;
+
+  auto& inv = lib.define_cell(name);
+  inv.declare_signal("in", SignalDirection::kInput);
+  inv.declare_signal("out", SignalDirection::kOutput);
+  inv.declare_signal("gnd", SignalDirection::kInOut);
+  auto& mp = inv.add_subcell(lib.cell("PMOSD"), "mp");
+  auto& mn = inv.add_subcell(lib.cell("NMOSD"), "mn");
+  auto& vs = inv.add_subcell(lib.cell("VDDD"), "vs");
+  auto& cl = inv.add_subcell(cap, "cl");
+  auto& a = inv.add_net("a");
+  a.connect_io("in");
+  a.connect(mp, "g");
+  a.connect(mn, "g");
+  auto& y = inv.add_net("y");
+  y.connect_io("out");
+  y.connect(mp, "d");
+  y.connect(mn, "d");
+  y.connect(cl, "p");
+  auto& pw = inv.add_net("pw");
+  pw.connect(vs, "p");
+  pw.connect(mp, "s");
+  auto& gn = inv.add_net("gn");
+  gn.connect_io("gnd");
+  gn.connect(mn, "s");
+  return inv;
+}
+
+TEST(CharacterizeTest, MeasuredDelayEntersConstraintNetwork) {
+  Library lib;
+  auto& inv = make_inverter(lib, "INV", 1e-13);
+  const auto result = characterize_delay(inv, "in", "out");
+  ASSERT_TRUE(result.measured.has_value());
+  EXPECT_GT(*result.measured, 0.0);
+  EXPECT_LT(*result.measured, 2e-9);
+  EXPECT_TRUE(result.status.is_ok());
+  ClassDelayVar* d = inv.find_delay("in", "out");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->value().as_number(), *result.measured);
+  EXPECT_EQ(d->last_set_by().source(), core::Source::kApplication);
+}
+
+TEST(CharacterizeTest, HeavierLoadMeasuresSlower) {
+  Library lib;
+  auto& light = make_inverter(lib, "INV_L", 5e-14);
+  auto& heavy = make_inverter(lib, "INV_H", 4e-13);
+  const auto rl = characterize_delay(light, "in", "out");
+  const auto rh = characterize_delay(heavy, "in", "out");
+  ASSERT_TRUE(rl.measured && rh.measured);
+  EXPECT_GT(*rh.measured, *rl.measured * 2)
+      << "8x the load is much slower";
+}
+
+TEST(CharacterizeTest, MeasurementCheckedAgainstSpecification) {
+  Library lib;
+  auto& inv = make_inverter(lib, "INV", 4e-13);
+  auto& d = inv.declare_delay("in", "out");
+  // An impossible spec: the measured value must be rejected and rolled
+  // back — simulation results obey the same discipline as manual entry.
+  BoundConstraint::upper(lib.context(), d, Value(1e-12));
+  const auto result = characterize_delay(inv, "in", "out");
+  ASSERT_TRUE(result.measured.has_value());
+  EXPECT_TRUE(result.status.is_violation());
+  EXPECT_TRUE(d.value().is_nil()) << "restored";
+}
+
+TEST(CharacterizeTest, NoOutputEdgeReported) {
+  Library lib;
+  // A cell whose output never moves (no devices driving it).
+  auto& dead = lib.define_cell("DEAD");
+  dead.declare_signal("in", SignalDirection::kInput);
+  dead.declare_signal("out", SignalDirection::kOutput);
+  const auto result = characterize_delay(dead, "in", "out");
+  EXPECT_FALSE(result.measured.has_value());
+  EXPECT_TRUE(result.status.is_violation());
+}
+
+TEST(CsvTest, ExportsAllNodes) {
+  spice::Waveforms w;
+  w.time = {0.0, 1e-9};
+  w.node_voltages["a"] = {0.0, 1.0};
+  w.node_voltages["b"] = {5.0, 4.0};
+  std::ostringstream out;
+  spice::write_csv(w, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("time,a,b"), std::string::npos);
+  EXPECT_NE(text.find("0,0,5"), std::string::npos);
+  EXPECT_NE(text.find("1e-09,1,4"), std::string::npos);
+}
+
+TEST(DeckParseTest, RoundTripsGeneratedText) {
+  Library lib;
+  auto& inv = make_inverter(lib, "INV", 1e-13);
+  const spice::Deck original = spice::extract(inv);
+  const spice::Deck parsed = spice::parse_deck(original.to_text());
+  ASSERT_EQ(parsed.cards.size(), original.cards.size());
+  for (std::size_t i = 0; i < parsed.cards.size(); ++i) {
+    EXPECT_EQ(parsed.cards[i].kind, original.cards[i].kind) << i;
+    EXPECT_EQ(parsed.cards[i].nodes, original.cards[i].nodes) << i;
+  }
+  EXPECT_EQ(parsed.title, "INV");
+}
+
+TEST(DeckParseTest, HandWrittenDeckSimulates) {
+  const char* text = R"(* rc divider
+V1 src DC 5
+R1 src out 1000
+C1 out 1e-12
+.END
+)";
+  const spice::Deck deck = spice::parse_deck(text);
+  EXPECT_EQ(deck.cards.size(), 3u);
+  spice::TransientSpec spec;
+  spec.tstop = 20e-9;
+  const auto w = spice::MiniSpiceEngine::run(deck, spec);
+  EXPECT_NEAR(w.value_at("out", 20e-9), 5.0, 0.05);
+}
+
+TEST(DeckParseTest, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(spice::parse_deck("Q1 a b c\n"), std::runtime_error);
+  try {
+    spice::parse_deck("* t\nR1 a\n");
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace stemcp::env

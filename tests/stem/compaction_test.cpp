@@ -1,0 +1,258 @@
+// Graph-based layout compaction (the specialized baseline of thesis §7.4)
+// and its equivalence with the general-framework encoding.
+#include <gtest/gtest.h>
+
+#include "stem/layout/compaction.h"
+#include "stem/stem.h"
+
+namespace stemcp::env::layout {
+namespace {
+
+TEST(CompactionTest, RowCompactsLeftJustified) {
+  CompactionGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  g.add_spacing(0, a, 0);    // a >= 0
+  g.add_spacing(a, b, 10);   // b >= a + 10
+  g.add_spacing(b, c, 15);   // c >= b + 15
+  const auto s = g.compact();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->position[static_cast<std::size_t>(a)], 0);
+  EXPECT_EQ(s->position[static_cast<std::size_t>(b)], 10);
+  EXPECT_EQ(s->position[static_cast<std::size_t>(c)], 25);
+  EXPECT_EQ(s->width, 25);
+  EXPECT_TRUE(g.satisfied_by(s->position));
+}
+
+TEST(CompactionTest, MaximallyConstrainedPathWins) {
+  // Two chains into one node: the longer dominates (the thesis's "solve for
+  // the maximally constrained paths").
+  CompactionGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId sink = g.add_node("sink");
+  g.add_spacing(0, a, 5);
+  g.add_spacing(0, b, 0);
+  g.add_spacing(a, sink, 10);  // path 1: 15
+  g.add_spacing(b, sink, 40);  // path 2: 40
+  const auto s = g.compact();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->position[static_cast<std::size_t>(sink)], 40);
+}
+
+TEST(CompactionTest, PinsFixPositions) {
+  CompactionGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.pin(a, 100);
+  g.add_spacing(a, b, 10);
+  const auto s = g.compact();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->position[static_cast<std::size_t>(a)], 100);
+  EXPECT_EQ(s->position[static_cast<std::size_t>(b)], 110);
+}
+
+TEST(CompactionTest, OverConstrainedDetected) {
+  CompactionGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.pin(a, 0);
+  g.pin(b, 5);
+  g.add_spacing(a, b, 10);  // needs b >= 10 but b pinned at 5
+  EXPECT_FALSE(g.compact().has_value());
+}
+
+TEST(CompactionTest, SatisfiedByRejectsBadAssignments) {
+  CompactionGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_spacing(a, b, 10);
+  EXPECT_TRUE(g.satisfied_by({0, 0, 10}));
+  EXPECT_FALSE(g.satisfied_by({0, 0, 9}));
+  EXPECT_FALSE(g.satisfied_by({0}));  // missing nodes
+}
+
+// The same row expressed in the general framework (SpacingConstraints +
+// relaxation) reaches an equivalent, feasible placement.
+TEST(CompactionTest, GeneralFrameworkAgreesOnFeasibility) {
+  core::PropagationContext ctx;
+  core::Variable a(ctx, "row", "a"), b(ctx, "row", "b"), c(ctx, "row", "c");
+  ctx.set_enabled(false);
+  a.set_user(core::Value(0.0));  // pinned origin
+  b.set_application(core::Value(0.0));
+  c.set_application(core::Value(0.0));
+  ctx.set_enabled(true);
+  auto& s1 = core::SpacingConstraint::apart(ctx, a, b, 10.0);
+  auto& s2 = core::SpacingConstraint::apart(ctx, b, c, 15.0);
+
+  const auto result = core::RelaxationSolver::solve(ctx, {&s1, &s2});
+  EXPECT_TRUE(result.solved);
+  EXPECT_GE(b.value().as_number() - a.value().as_number(), 10.0);
+  EXPECT_GE(c.value().as_number() - b.value().as_number(), 15.0);
+
+  // Same positions as the dedicated algorithm (left-justified).
+  CompactionGraph g;
+  const NodeId ga = g.add_node("a");
+  const NodeId gb = g.add_node("b");
+  const NodeId gc = g.add_node("c");
+  g.pin(ga, 0);
+  g.add_spacing(ga, gb, 10);
+  g.add_spacing(gb, gc, 15);
+  const auto sol = g.compact();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_DOUBLE_EQ(b.value().as_number(),
+                   static_cast<double>(
+                       sol->position[static_cast<std::size_t>(gb)]));
+  EXPECT_DOUBLE_EQ(c.value().as_number(),
+                   static_cast<double>(
+                       sol->position[static_cast<std::size_t>(gc)]));
+}
+
+TEST(CompactionTest, SpacingConstraintChecksIncrementally) {
+  core::PropagationContext ctx;
+  core::Variable a(ctx, "row", "a"), b(ctx, "row", "b");
+  core::SpacingConstraint::apart(ctx, a, b, 10.0);
+  EXPECT_TRUE(a.set_user(core::Value(0.0)));
+  EXPECT_TRUE(b.set_user(core::Value(10.0)));
+  EXPECT_TRUE(b.set_user(core::Value(9.0)).is_violation())
+      << "minimum spacing violated";
+  EXPECT_DOUBLE_EQ(b.value().as_number(), 10.0);
+}
+
+class RowSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowSize, DedicatedAndGeneralAgreeAcrossSizes) {
+  const int n = GetParam();
+  CompactionGraph g;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(g.add_node("n" + std::to_string(i)));
+  }
+  g.pin(nodes[0], 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_spacing(nodes[static_cast<std::size_t>(i)],
+                  nodes[static_cast<std::size_t>(i) + 1], 3 + i % 5);
+  }
+  const auto sol = g.compact();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(g.satisfied_by(sol->position));
+
+  core::PropagationContext ctx;
+  std::vector<std::unique_ptr<core::Variable>> vars;
+  std::vector<core::Constraint*> cons;
+  ctx.set_enabled(false);
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(std::make_unique<core::Variable>(
+        ctx, "row", "n" + std::to_string(i)));
+    vars.back()->set(core::Value(0.0), i == 0
+                                           ? core::Justification::user()
+                                           : core::Justification::application());
+  }
+  ctx.set_enabled(true);
+  for (int i = 0; i + 1 < n; ++i) {
+    cons.push_back(&core::SpacingConstraint::apart(
+        ctx, *vars[static_cast<std::size_t>(i)],
+        *vars[static_cast<std::size_t>(i) + 1], 3.0 + i % 5));
+  }
+  const auto result = core::RelaxationSolver::solve(ctx, cons);
+  ASSERT_TRUE(result.solved);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(
+        vars[static_cast<std::size_t>(i)]->value().as_number(),
+        static_cast<double>(
+            sol->position[static_cast<std::size_t>(nodes[i])]))
+        << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RowSize, ::testing::Values(2, 8, 32, 128));
+
+TEST(DeriveGraphTest, SpacingsDerivedFromPlacedGeometry) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  ASSERT_TRUE(
+      leaf.bounding_box().set_user(core::Value(core::Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP");
+  // Three cells in a row with wasteful gaps; one on another track.
+  top.add_subcell(leaf, "a", core::Transform::translate({0, 0}));
+  top.add_subcell(leaf, "b", core::Transform::translate({40, 0}));
+  top.add_subcell(leaf, "c", core::Transform::translate({90, 0}));
+  top.add_subcell(leaf, "d", core::Transform::translate({0, 50}));
+
+  const CompactionGraph g = derive_horizontal_graph(top, 3);
+  EXPECT_EQ(g.node_count(), 5u);  // left edge + four cells
+  // a<b, a<c, b<c overlap vertically; d overlaps nobody.
+  EXPECT_EQ(g.edge_count(), 4u + 3u);  // 4 left-edge anchors + 3 orderings
+
+  const auto sol = g.compact();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->position[1], 0);   // a
+  EXPECT_EQ(sol->position[2], 13);  // b: 10 + 3
+  EXPECT_EQ(sol->position[3], 26);  // c
+  EXPECT_EQ(sol->position[4], 0);   // d: free track, pulled to the edge
+}
+
+TEST(DeriveGraphTest, ApplyMovesSubcellsAndPreservesRules) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  ASSERT_TRUE(
+      leaf.bounding_box().set_user(core::Value(core::Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP");
+  top.add_subcell(leaf, "a", core::Transform::translate({5, 0}));
+  top.add_subcell(leaf, "b", core::Transform::translate({60, 0}));
+  EXPECT_EQ(top.bounding_box().demand().as_rect().width(), 65);
+
+  const CompactionGraph g = derive_horizontal_graph(top, 2);
+  const auto sol = g.compact();
+  ASSERT_TRUE(sol.has_value());
+  apply_horizontal_positions(top, *sol);
+
+  EXPECT_EQ(top.find_subcell("a")->transform().translation().x, 0);
+  EXPECT_EQ(top.find_subcell("b")->transform().translation().x, 12);
+  // The parent box recalculates to the compacted extent.
+  EXPECT_EQ(top.bounding_box().demand().as_rect().width(), 22);
+  // Re-deriving after compaction changes nothing (fixpoint).
+  const auto again = derive_horizontal_graph(top, 2).compact();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->width, sol->width);
+}
+
+TEST(DeriveGraphTest, VerticalPassStacksColumns) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  ASSERT_TRUE(
+      leaf.bounding_box().set_user(core::Value(core::Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP");
+  top.add_subcell(leaf, "lo", core::Transform::translate({0, 5}));
+  top.add_subcell(leaf, "hi", core::Transform::translate({0, 60}));
+  const auto sol = derive_vertical_graph(top, 4).compact();
+  ASSERT_TRUE(sol.has_value());
+  apply_vertical_positions(top, *sol);
+  EXPECT_EQ(top.find_subcell("lo")->transform().translation().y, 0);
+  EXPECT_EQ(top.find_subcell("hi")->transform().translation().y, 14);
+}
+
+TEST(DeriveGraphTest, CompactBothSquashesGrid) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  ASSERT_TRUE(
+      leaf.bounding_box().set_user(core::Value(core::Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP");
+  // A sparse 2x2 grid with big gaps both ways.
+  top.add_subcell(leaf, "a", core::Transform::translate({0, 0}));
+  top.add_subcell(leaf, "b", core::Transform::translate({50, 0}));
+  top.add_subcell(leaf, "c", core::Transform::translate({0, 70}));
+  top.add_subcell(leaf, "d", core::Transform::translate({50, 70}));
+  ASSERT_TRUE(compact_both(top, 2));
+  const core::Rect after = top.bounding_box().demand().as_rect();
+  EXPECT_EQ(after.width(), 22);   // 10 + 2 + 10
+  EXPECT_EQ(after.height(), 22);
+  // Spacing rules still hold everywhere.
+  const auto x = derive_horizontal_graph(top, 2).compact();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(x->width, 12) << "already left-justified";
+}
+
+}  // namespace
+}  // namespace stemcp::env::layout

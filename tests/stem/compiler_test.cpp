@@ -1,0 +1,199 @@
+// Module compilers and compiler views (thesis §6.4.1, Fig 6.2).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+/// One-bit full-adder slice tile: carry ripples left-to-right, a/b on top,
+/// sum at the bottom.
+class SliceFixture : public ::testing::Test {
+ protected:
+  Library lib;
+  CellClass* slice = nullptr;
+
+  void SetUp() override {
+    slice = &lib.define_cell("FAdder", nullptr);
+    EXPECT_TRUE(slice->bounding_box().set_user(Value(Rect{0, 0, 10, 20})));
+    auto& cin = slice->declare_signal("cin", SignalDirection::kInput);
+    cin.add_pin({0, 10}, Side::kLeft);
+    auto& cout = slice->declare_signal("cout", SignalDirection::kOutput);
+    cout.add_pin({10, 10}, Side::kRight);
+    auto& a = slice->declare_signal("a", SignalDirection::kInput);
+    a.add_pin({3, 20}, Side::kTop);
+    auto& b = slice->declare_signal("b", SignalDirection::kInput);
+    b.add_pin({7, 20}, Side::kTop);
+    auto& sum = slice->declare_signal("sum", SignalDirection::kOutput);
+    sum.add_pin({5, 0}, Side::kBottom);
+  }
+};
+
+TEST_F(SliceFixture, CompilerViewSortsPins) {
+  auto& top = lib.define_cell("T", nullptr);
+  auto& inst = top.add_subcell(*slice, "i", Transform::translate({100, 0}));
+  CompilerView view(inst);
+  EXPECT_EQ(view.bounding_box(), (Rect{100, 0, 110, 20}));
+  const auto& tops = view.pins_on(Side::kTop);
+  ASSERT_EQ(tops.size(), 2u);
+  EXPECT_EQ(tops[0].signal, "a");
+  EXPECT_EQ(tops[0].position, (core::Point{103, 20}));
+  EXPECT_EQ(tops[1].signal, "b");
+  ASSERT_EQ(view.pins_on(Side::kLeft).size(), 1u);
+  EXPECT_EQ(view.pins_on(Side::kLeft)[0].signal, "cin");
+}
+
+TEST_F(SliceFixture, CompilerViewInvalidatedByModelChange) {
+  auto& top = lib.define_cell("T", nullptr);
+  auto& inst = top.add_subcell(*slice, "i");
+  CompilerView view(inst);
+  (void)view.bounding_box();
+  EXPECT_TRUE(view.valid());
+  slice->changed(kChangedStructure);
+  EXPECT_FALSE(view.valid()) << "derived data erased on model change";
+  EXPECT_EQ(view.bounding_box(), (Rect{0, 0, 10, 20})) << "recalculated";
+}
+
+TEST_F(SliceFixture, VectorCompilerBuildsRippleChain) {
+  auto& adder5 = lib.define_cell("Adder5", nullptr);
+  VectorCompiler compiler(*slice, 5);
+  const CompileResult r = compiler.compile(adder5);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.instances, 5u);
+  EXPECT_EQ(adder5.subcells().size(), 5u);
+  // Four carry nets between five slices.
+  EXPECT_EQ(adder5.nets().size(), 4u);
+  // Each carry net joins cout of slice i with cin of slice i+1.
+  for (const auto& net : adder5.nets()) {
+    ASSERT_EQ(net->connections().size(), 2u);
+  }
+  // The compiled cell's bounding box spans the whole row.
+  EXPECT_EQ(adder5.bounding_box().demand().as_rect(), (Rect{0, 0, 50, 20}));
+}
+
+TEST_F(SliceFixture, VectorCompilerChainIsElectricallyOrdered) {
+  auto& adder3 = lib.define_cell("Adder3", nullptr);
+  VectorCompiler compiler(*slice, 3);
+  compiler.compile(adder3);
+  CellInstance* t0 = adder3.find_subcell("t0");
+  CellInstance* t1 = adder3.find_subcell("t1");
+  ASSERT_NE(t0, nullptr);
+  ASSERT_NE(t1, nullptr);
+  Net* carry01 = t0->net_for("cout");
+  ASSERT_NE(carry01, nullptr);
+  EXPECT_EQ(t1->net_for("cin"), carry01);
+  EXPECT_EQ(t0->net_for("cin"), nullptr) << "boundary carry stays open";
+}
+
+TEST_F(SliceFixture, GraphCompilerFiveBitAdderWithExposedCarry) {
+  // Thesis Fig 6.2: a 5-bit adder built by a GraphCompiler from 1-bit
+  // slices, with the boundary carries exposed as cell io.
+  auto& adder5 = lib.define_cell("Adder5G", nullptr);
+  GraphCompiler g;
+  g.add_node("slice", *slice, Transform{}, 5, Side::kRight);
+  g.expose("slice.0", "cin", "carryIn");
+  g.expose("slice.4", "cout", "carryOut");
+  const CompileResult r = g.compile(adder5);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_EQ(adder5.subcells().size(), 5u);
+  EXPECT_NE(adder5.find_signal("carryIn"), nullptr);
+  EXPECT_NE(adder5.find_signal("carryOut"), nullptr);
+  EXPECT_TRUE(adder5.signal("carryIn").is_input());
+  EXPECT_TRUE(adder5.signal("carryOut").is_output());
+  // carryIn's internal net reaches slice.0's cin.
+  Net* in_net = adder5.signal("carryIn").internal_net();
+  ASSERT_NE(in_net, nullptr);
+  EXPECT_TRUE(in_net->connects(*adder5.find_subcell("slice.0"), "cin"));
+}
+
+TEST_F(SliceFixture, GraphCompilerDisallowWithdrawsPin) {
+  // Disallowing a connection withdraws the pin from the boundary (thesis
+  // §6.4.1).
+  auto& cell = lib.define_cell("NoCarry", nullptr);
+  GraphCompiler g;
+  g.add_node("slice", *slice, Transform{}, 2, Side::kRight);
+  g.disallow("slice.0", "cout");
+  const CompileResult r = g.compile(cell);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_EQ(cell.nets().size(), 0u) << "the only butting pair was withdrawn";
+  EXPECT_EQ(cell.find_subcell("slice.0")->net_for("cout"), nullptr);
+}
+
+TEST_F(SliceFixture, MatrixCompilerConnectsBothDirections) {
+  // A tile with pins on all four sides meshes into a grid.
+  auto& tile = lib.define_cell("MeshTile", nullptr);
+  EXPECT_TRUE(tile.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  tile.declare_signal("w", SignalDirection::kInOut).add_pin({0, 5},
+                                                            Side::kLeft);
+  tile.declare_signal("e", SignalDirection::kInOut).add_pin({10, 5},
+                                                            Side::kRight);
+  tile.declare_signal("s", SignalDirection::kInOut).add_pin({5, 0},
+                                                            Side::kBottom);
+  tile.declare_signal("n", SignalDirection::kInOut).add_pin({5, 10},
+                                                            Side::kTop);
+  auto& mesh = lib.define_cell("Mesh", nullptr);
+  MatrixCompiler m(tile, 3, 4);
+  const CompileResult r = m.compile(mesh);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_EQ(mesh.subcells().size(), 12u);
+  // Horizontal nets: 3 rows x 3 gaps; vertical nets: 2 gaps x 4 cols.
+  EXPECT_EQ(mesh.nets().size(), 9u + 8u);
+  EXPECT_EQ(mesh.bounding_box().demand().as_rect(), (Rect{0, 0, 40, 30}));
+}
+
+TEST_F(SliceFixture, WordCompilerAddsEndCells) {
+  auto& begin = lib.define_cell("BeginCell", nullptr);
+  EXPECT_TRUE(begin.bounding_box().set_user(Value(Rect{0, 0, 4, 20})));
+  begin.declare_signal("cinit", SignalDirection::kOutput)
+      .add_pin({4, 10}, Side::kRight);
+  auto& end = lib.define_cell("EndCell", nullptr);
+  EXPECT_TRUE(end.bounding_box().set_user(Value(Rect{0, 0, 4, 20})));
+  end.declare_signal("cfinal", SignalDirection::kInput)
+      .add_pin({0, 10}, Side::kLeft);
+
+  auto& word = lib.define_cell("Word", nullptr);
+  WordCompiler w(begin, *slice, 3, end);
+  const CompileResult r = w.compile(word);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_EQ(word.subcells().size(), 5u);
+  // begin->t0, t0->t1, t1->t2, t2->end carries.
+  EXPECT_EQ(word.nets().size(), 4u);
+  EXPECT_EQ(word.bounding_box().demand().as_rect(), (Rect{0, 0, 38, 20}));
+}
+
+TEST_F(SliceFixture, TypeViolationSurfacesThroughCompileStatus) {
+  // A tile pair whose abutting pins have incompatible electrical types.
+  auto& reg = lib.types();
+  auto& t1 = lib.define_cell("TtlTile", nullptr);
+  EXPECT_TRUE(t1.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& o = t1.declare_signal("o", SignalDirection::kOutput);
+  o.add_pin({10, 5}, Side::kRight);
+  EXPECT_TRUE(o.electrical_type().set_user(type_value(reg.at("TTL"))));
+  auto& t2 = lib.define_cell("CmosTile", nullptr);
+  EXPECT_TRUE(t2.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& i = t2.declare_signal("i", SignalDirection::kInput);
+  i.add_pin({0, 5}, Side::kLeft);
+  EXPECT_TRUE(i.electrical_type().set_user(type_value(reg.at("CMOS"))));
+
+  auto& bad = lib.define_cell("Bad", nullptr);
+  GraphCompiler g;
+  g.add_node("a", t1, Transform{});
+  g.add_node("b", t2, Transform::translate({10, 0}));
+  const CompileResult r = g.compile(bad);
+  EXPECT_TRUE(r.status.is_violation())
+      << "incremental checking fires while the compiler wires the tiles";
+}
+
+TEST_F(SliceFixture, CompilerTileWithoutBBoxThrows) {
+  auto& nobox = lib.define_cell("NoBox", nullptr);
+  auto& target = lib.define_cell("Target", nullptr);
+  VectorCompiler v(nobox, 3);
+  EXPECT_THROW(v.compile(target), std::logic_error);
+}
+
+}  // namespace
+}  // namespace stemcp::env

@@ -1,0 +1,255 @@
+// Hierarchical delay networks (thesis §7.3, Figs 5.2, 7.10-7.12).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::BoundConstraint;
+using core::Transform;
+using core::Value;
+
+constexpr double kNs = 1e-9;
+
+class DelayTest : public ::testing::Test {
+ protected:
+  Library lib;
+
+  /// Leaf cell with one input, one output and a declared in->out delay.
+  CellClass& make_leaf(const std::string& name) {
+    auto& c = lib.define_cell(name, nullptr);
+    c.declare_signal("in", env::SignalDirection::kInput);
+    c.declare_signal("out", env::SignalDirection::kOutput);
+    c.declare_delay("in", "out");
+    return c;
+  }
+};
+
+TEST_F(DelayTest, LeafDelayPropagatesToInstanceDual) {
+  auto& leaf = make_leaf("INV");
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(leaf, "u1");
+  auto& idv = inst.delay("in", "out");
+  EXPECT_TRUE(leaf.set_leaf_delay("in", "out", 5 * kNs));
+  EXPECT_DOUBLE_EQ(idv.value().as_number(), 5 * kNs)
+      << "no RC context: adjusted delay equals class delay";
+}
+
+TEST_F(DelayTest, RcAdjustmentAddsLoadTerm) {
+  auto& drv = make_leaf("DRV");
+  drv.signal("out").set_output_resistance(1000.0);  // 1k ohm
+  auto& rcv = make_leaf("RCV");
+  rcv.signal("in").set_load_capacitance(2e-12);  // 2 pF
+
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& d = top.add_subcell(drv, "d");
+  auto& r = top.add_subcell(rcv, "r");
+  auto& mid = top.add_net("mid");
+  EXPECT_TRUE(mid.connect(d, "out"));
+  EXPECT_TRUE(mid.connect(r, "in"));
+
+  EXPECT_TRUE(drv.set_leaf_delay("in", "out", 10 * kNs));
+  // Adjustment: R_out(1k) * C_load(2p) = 2ns on the driver's instance delay.
+  EXPECT_DOUBLE_EQ(d.delay("in", "out").value().as_number(), 12 * kNs);
+}
+
+// Thesis Fig 5.2: ACCUMULATOR = REGISTER -> ADDER with an overall 160 ns
+// specification; REGISTER characterizes at 60 ns, ADDER at 110 ns (after
+// adjustment) — the combination violates at the accumulator level.
+TEST_F(DelayTest, Fig5_2AccumulatorViolation) {
+  auto& reg = make_leaf("REGISTER");
+  auto& adder = lib.define_cell("ADDER", nullptr);
+  adder.declare_signal("a", env::SignalDirection::kInput);
+  adder.declare_signal("b", env::SignalDirection::kInput);
+  adder.declare_signal("out", env::SignalDirection::kOutput);
+  adder.declare_delay("a", "out");
+  // Designer specification on the adder itself: 120 ns or less.
+  BoundConstraint::upper(lib.context(), *adder.find_delay("a", "out"),
+                         Value(120 * kNs));
+
+  auto& acc = lib.define_cell("ACCUMULATOR", nullptr);
+  acc.declare_signal("in", env::SignalDirection::kInput);
+  acc.declare_signal("out", env::SignalDirection::kOutput);
+  auto& acc_delay = acc.declare_delay("in", "out");
+  BoundConstraint::upper(lib.context(), acc_delay, Value(160 * kNs));
+
+  auto& r = acc.add_subcell(reg, "reg");
+  auto& a = acc.add_subcell(adder, "add");
+  auto& n_in = acc.add_net("n_in");
+  EXPECT_TRUE(n_in.connect_io("in"));
+  EXPECT_TRUE(n_in.connect(r, "in"));
+  auto& n_mid = acc.add_net("n_mid");
+  EXPECT_TRUE(n_mid.connect(r, "out"));
+  EXPECT_TRUE(n_mid.connect(a, "a"));
+  auto& n_out = acc.add_net("n_out");
+  EXPECT_TRUE(n_out.connect(a, "out"));
+  EXPECT_TRUE(n_out.connect_io("out"));
+
+  acc.build_delay_networks();
+
+  EXPECT_TRUE(reg.set_leaf_delay("in", "out", 60 * kNs));
+  EXPECT_TRUE(acc_delay.value().is_nil()) << "adder path still unknown";
+
+  // A 130 ns adder would exceed its own 120 ns spec: caught at the ADDER
+  // class level.
+  EXPECT_TRUE(adder.set_leaf_delay("a", "out", 130 * kNs).is_violation());
+  EXPECT_TRUE(adder.find_delay("a", "out")->value().is_nil()) << "restored";
+
+  // 110 ns respects the adder spec but blows the 160 ns accumulator budget
+  // (60 + 110 = 170 ns): caught one level up, in a global context.
+  EXPECT_TRUE(adder.set_leaf_delay("a", "out", 110 * kNs).is_violation());
+  EXPECT_TRUE(adder.find_delay("a", "out")->value().is_nil());
+  EXPECT_TRUE(acc_delay.value().is_nil());
+
+  // 90 ns satisfies everything; characteristics propagate up the hierarchy.
+  EXPECT_TRUE(adder.set_leaf_delay("a", "out", 90 * kNs));
+  EXPECT_DOUBLE_EQ(acc_delay.value().as_number(), 150 * kNs);
+}
+
+TEST_F(DelayTest, MaxOverParallelPaths) {
+  // Two parallel paths in->out: a slow one and a fast one; the class delay
+  // is the slower (thesis Fig 7.12's MAX node).
+  auto& slow = make_leaf("SLOW");
+  auto& fast = make_leaf("FAST");
+  auto& merge = lib.define_cell("MERGE", nullptr);
+  merge.declare_signal("a", env::SignalDirection::kInput);
+  merge.declare_signal("b", env::SignalDirection::kInput);
+  merge.declare_signal("out", env::SignalDirection::kOutput);
+  merge.declare_delay("a", "out");
+  merge.declare_delay("b", "out");
+
+  auto& top = lib.define_cell("TOP2", nullptr);
+  top.declare_signal("in", env::SignalDirection::kInput);
+  top.declare_signal("out", env::SignalDirection::kOutput);
+  auto& d = top.declare_delay("in", "out");
+
+  auto& s = top.add_subcell(slow, "s");
+  auto& f = top.add_subcell(fast, "f");
+  auto& m = top.add_subcell(merge, "m");
+  auto& n_in = top.add_net("n_in");
+  EXPECT_TRUE(n_in.connect_io("in"));
+  EXPECT_TRUE(n_in.connect(s, "in"));
+  EXPECT_TRUE(n_in.connect(f, "in"));
+  auto& n_s = top.add_net("n_s");
+  EXPECT_TRUE(n_s.connect(s, "out"));
+  EXPECT_TRUE(n_s.connect(m, "a"));
+  auto& n_f = top.add_net("n_f");
+  EXPECT_TRUE(n_f.connect(f, "out"));
+  EXPECT_TRUE(n_f.connect(m, "b"));
+  auto& n_out = top.add_net("n_out");
+  EXPECT_TRUE(n_out.connect(m, "out"));
+  EXPECT_TRUE(n_out.connect_io("out"));
+
+  top.build_delay_networks();
+  EXPECT_EQ(top.delay_paths("in", "out").size(), 2u);
+
+  EXPECT_TRUE(merge.set_leaf_delay("a", "out", 5 * kNs));
+  EXPECT_TRUE(merge.set_leaf_delay("b", "out", 5 * kNs));
+  EXPECT_TRUE(slow.set_leaf_delay("in", "out", 40 * kNs));
+  EXPECT_TRUE(fast.set_leaf_delay("in", "out", 10 * kNs));
+  EXPECT_DOUBLE_EQ(d.value().as_number(), 45 * kNs) << "max(40+5, 10+5)";
+}
+
+TEST_F(DelayTest, StructureEditInvalidatesNetworks) {
+  auto& leaf = make_leaf("L");
+  auto& top = lib.define_cell("TOPX", nullptr);
+  top.declare_signal("in", env::SignalDirection::kInput);
+  top.declare_signal("out", env::SignalDirection::kOutput);
+  auto& d = top.declare_delay("in", "out");
+  auto& u = top.add_subcell(leaf, "u");
+  auto& n1 = top.add_net("n1");
+  EXPECT_TRUE(n1.connect_io("in"));
+  EXPECT_TRUE(n1.connect(u, "in"));
+  auto& n2 = top.add_net("n2");
+  EXPECT_TRUE(n2.connect(u, "out"));
+  EXPECT_TRUE(n2.connect_io("out"));
+  top.build_delay_networks();
+  EXPECT_TRUE(leaf.set_leaf_delay("in", "out", 7 * kNs));
+  EXPECT_DOUBLE_EQ(d.value().as_number(), 7 * kNs);
+
+  // Adding another subcell edits the structure: derived delays are erased
+  // until the network is rebuilt (thesis §7.3 consistency rule).
+  auto& leaf2 = make_leaf("L2");
+  top.add_subcell(leaf2, "u2");
+  EXPECT_FALSE(top.delay_networks_built());
+  EXPECT_TRUE(d.value().is_nil()) << "derived class delay erased with network";
+
+  top.build_delay_networks();
+  EXPECT_DOUBLE_EQ(d.value().as_number(), 7 * kNs) << "rebuilt from leaves";
+}
+
+TEST_F(DelayTest, UserEstimateReplacedByCalculatedCharacteristic) {
+  // Thesis §7.3: before internal design, the designer estimates the delay;
+  // entering the structure and removing the estimate switches to the
+  // calculated value.
+  auto& leaf = make_leaf("LL");
+  auto& top = lib.define_cell("TOPY", nullptr);
+  top.declare_signal("in", env::SignalDirection::kInput);
+  top.declare_signal("out", env::SignalDirection::kOutput);
+  auto& d = top.declare_delay("in", "out");
+  EXPECT_TRUE(d.set_user(Value(100 * kNs)));  // estimate
+
+  auto& u = top.add_subcell(leaf, "u");
+  auto& n1 = top.add_net("n1");
+  EXPECT_TRUE(n1.connect_io("in"));
+  EXPECT_TRUE(n1.connect(u, "in"));
+  auto& n2 = top.add_net("n2");
+  EXPECT_TRUE(n2.connect(u, "out"));
+  EXPECT_TRUE(n2.connect_io("out"));
+  EXPECT_TRUE(leaf.set_leaf_delay("in", "out", 7 * kNs));
+
+  EXPECT_DOUBLE_EQ(d.value().as_number(), 100 * kNs)
+      << "user estimate survives structure edits";
+  // Remove the estimate, then build: the calculated 7 ns takes over.
+  EXPECT_TRUE(d.set(Value::nil(), core::Justification::user()));
+  top.build_delay_networks();
+  EXPECT_DOUBLE_EQ(d.value().as_number(), 7 * kNs);
+}
+
+TEST_F(DelayTest, ThreeLevelHierarchyPropagation) {
+  auto& inv = make_leaf("INV3");
+  auto& buf = lib.define_cell("BUF", nullptr);
+  buf.declare_signal("in", env::SignalDirection::kInput);
+  buf.declare_signal("out", env::SignalDirection::kOutput);
+  auto& bd = buf.declare_delay("in", "out");
+  auto& i1 = buf.add_subcell(inv, "i1");
+  auto& i2 = buf.add_subcell(inv, "i2");
+  auto& bn1 = buf.add_net("n1");
+  EXPECT_TRUE(bn1.connect_io("in"));
+  EXPECT_TRUE(bn1.connect(i1, "in"));
+  auto& bn2 = buf.add_net("n2");
+  EXPECT_TRUE(bn2.connect(i1, "out"));
+  EXPECT_TRUE(bn2.connect(i2, "in"));
+  auto& bn3 = buf.add_net("n3");
+  EXPECT_TRUE(bn3.connect(i2, "out"));
+  EXPECT_TRUE(bn3.connect_io("out"));
+  buf.build_delay_networks();
+
+  auto& chip = lib.define_cell("CHIP", nullptr);
+  chip.declare_signal("in", env::SignalDirection::kInput);
+  chip.declare_signal("out", env::SignalDirection::kOutput);
+  auto& cd = chip.declare_delay("in", "out");
+  auto& b1 = chip.add_subcell(buf, "b1");
+  auto& b2 = chip.add_subcell(buf, "b2");
+  auto& cn1 = chip.add_net("n1");
+  EXPECT_TRUE(cn1.connect_io("in"));
+  EXPECT_TRUE(cn1.connect(b1, "in"));
+  auto& cn2 = chip.add_net("n2");
+  EXPECT_TRUE(cn2.connect(b1, "out"));
+  EXPECT_TRUE(cn2.connect(b2, "in"));
+  auto& cn3 = chip.add_net("n3");
+  EXPECT_TRUE(cn3.connect(b2, "out"));
+  EXPECT_TRUE(cn3.connect_io("out"));
+  chip.build_delay_networks();
+
+  // One leaf characterization sweeps all three levels in one propagation.
+  EXPECT_TRUE(inv.set_leaf_delay("in", "out", 3 * kNs));
+  EXPECT_DOUBLE_EQ(bd.value().as_number(), 6 * kNs);
+  EXPECT_DOUBLE_EQ(cd.value().as_number(), 12 * kNs);
+  (void)bn2;
+  (void)cn2;
+}
+
+}  // namespace
+}  // namespace stemcp::env

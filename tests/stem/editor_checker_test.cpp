@@ -1,0 +1,136 @@
+// Constraint inspector (thesis §5.4) and batch design checker (ch. 7).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Value;
+
+TEST(EditorTest, DescribeVariableShowsValueAndJustification) {
+  core::PropagationContext ctx;
+  core::Variable v(ctx, "ADDER", "delay");
+  EXPECT_TRUE(v.set_user(Value(5)));
+  const std::string s = ConstraintInspector::describe(v);
+  EXPECT_NE(s.find("ADDER.delay"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+  EXPECT_NE(s.find("#USER"), std::string::npos);
+}
+
+TEST(EditorTest, AntecedentReportListsSources) {
+  core::PropagationContext ctx;
+  core::Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  core::EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(a.set_user(Value(3)));
+  const std::string report = ConstraintInspector::antecedent_report(b);
+  EXPECT_NE(report.find("t.a"), std::string::npos);
+  EXPECT_NE(report.find("equality"), std::string::npos);
+}
+
+TEST(EditorTest, ConsequenceReportListsDownstream) {
+  core::PropagationContext ctx;
+  core::Variable a(ctx, "t", "a"), b(ctx, "t", "b"), s(ctx, "t", "s");
+  core::EqualityConstraint::among(ctx, {&a, &b});
+  auto& add = ctx.make<core::UniAdditionConstraint>(1.0);
+  add.set_result(s);
+  add.basic_add_argument(b);
+  EXPECT_TRUE(a.set_user(Value(3)));
+  const std::string report = ConstraintInspector::consequence_report(a);
+  EXPECT_NE(report.find("t.b"), std::string::npos);
+  EXPECT_NE(report.find("t.s"), std::string::npos);
+}
+
+TEST(EditorTest, DotDumpContainsNodesAndEdges) {
+  core::PropagationContext ctx;
+  core::Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  core::EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(a.set_user(Value(1)));
+  const std::string dot = ConstraintInspector::to_dot({&a});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t.a"), std::string::npos);
+  EXPECT_NE(dot.find("t.b"), std::string::npos) << "reached via constraint";
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(EditorTest, ToggleAndRestore) {
+  core::PropagationContext ctx;
+  ConstraintInspector ed(ctx);
+  core::Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  core::EqualityConstraint::among(ctx, {&a, &b});
+  ed.disable_propagation();
+  EXPECT_FALSE(ed.propagation_enabled());
+  EXPECT_TRUE(a.set_user(Value(9)));
+  EXPECT_TRUE(b.value().is_nil()) << "no propagation while disabled";
+  ed.enable_propagation();
+  EXPECT_TRUE(a.set_user(Value(10)));
+  EXPECT_EQ(b.value().as_int(), 10);
+  // Designer-level undo of the last propagation.
+  ed.restore_last_propagation();
+  EXPECT_EQ(a.value().as_int(), 9);
+  EXPECT_TRUE(b.value().is_nil());
+}
+
+TEST(EditorTest, WarningsAccumulate) {
+  core::PropagationContext ctx;
+  ConstraintInspector ed(ctx);
+  core::Variable a(ctx, "t", "a");
+  core::BoundConstraint::upper(ctx, a, Value(10));
+  EXPECT_TRUE(a.set_user(Value(99)).is_violation());
+  ASSERT_EQ(ed.warnings().size(), 1u);
+  EXPECT_NE(ed.warnings()[0].find("bound"), std::string::npos);
+}
+
+TEST(CheckerTest, CleanDesignReportsClean) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  leaf.declare_signal("in", SignalDirection::kInput);
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(leaf, "i");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(inst, "in"));
+  const CheckReport report = DesignChecker::check(top);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.constraints_checked, 0u);
+}
+
+TEST(CheckerTest, BatchAuditFindsViolationsIntroducedWhileDisabled) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  leaf.declare_signal("in", SignalDirection::kInput);
+  EXPECT_TRUE(leaf.signal("in").bit_width().set_user(Value(8)));
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(leaf, "i");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(inst, "in"));
+
+  // Massive revision with propagation off (thesis §5.3): inconsistent
+  // widths slip in unchecked.
+  lib.context().set_enabled(false);
+  EXPECT_TRUE(net.bit_width().set_user(Value(4)));
+  lib.context().set_enabled(true);
+
+  const CheckReport report = DesignChecker::check(top);
+  EXPECT_EQ(report.violation_count(), 1u);
+  EXPECT_NE(report.to_string().find("equality"), std::string::npos);
+}
+
+TEST(CheckerTest, LibraryAuditDeduplicatesSharedConstraints) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  leaf.declare_signal("in", SignalDirection::kInput);
+  auto& t1 = lib.define_cell("T1", nullptr);
+  auto& i1 = t1.add_subcell(leaf, "i");
+  auto& n1 = t1.add_net("n");
+  EXPECT_TRUE(n1.connect(i1, "in"));
+  const CheckReport per_cell = DesignChecker::check(t1);
+  const CheckReport whole = DesignChecker::check(lib);
+  EXPECT_GE(whole.constraints_checked, per_cell.constraints_checked);
+  EXPECT_TRUE(whole.clean());
+}
+
+}  // namespace
+}  // namespace stemcp::env

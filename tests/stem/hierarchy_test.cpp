@@ -1,0 +1,167 @@
+// Hierarchical constraint propagation via dual variables (thesis ch. 5).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Justification;
+using core::Status;
+using core::Value;
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  core::PropagationContext ctx;
+};
+
+TEST_F(HierarchyTest, InstanceVarRegistersAndUnregisters) {
+  ClassVar cv(ctx, "CELL", "p");
+  {
+    InstanceVar iv(ctx, "top/i1", "p", &cv);
+    ASSERT_EQ(cv.instance_duals().size(), 1u);
+    EXPECT_EQ(cv.instance_duals()[0], &iv);
+    EXPECT_EQ(iv.class_dual(), &cv);
+  }
+  EXPECT_TRUE(cv.instance_duals().empty());
+}
+
+TEST_F(HierarchyTest, ImplicitPropagationScheduledOnLowestPriorityAgenda) {
+  // A class var change must reach its instance duals via the
+  // #implicitConstraints agenda (thesis §5.1.2).
+  ClassVar cv(ctx, "CELL", "p");
+  InstanceVar iv(ctx, "top/i1", "p", &cv);
+  ctx.reset_stats();
+  EXPECT_TRUE(cv.set_user(Value(1)));
+  // The instance var was scheduled and ran (even though its default
+  // inference assigns nothing).
+  EXPECT_EQ(ctx.stats().scheduled_runs, 1u);
+}
+
+// Custom pair that *does* propagate values downward, to exercise the full
+// hierarchical flow in isolation.
+class MirrorInstanceVar : public InstanceVar {
+ public:
+  using InstanceVar::InstanceVar;
+
+  Status immediate_inference_by_changing(core::Variable& changed) override {
+    if (&changed != class_dual() || changed.value().is_nil()) {
+      return Status::ok();
+    }
+    return set_from_constraint(
+        changed.value(), *class_dual(),
+        Justification::propagated(*class_dual(),
+                                  core::DependencyRecord::single(*class_dual())));
+  }
+};
+
+TEST_F(HierarchyTest, ClassValueFlowsToAllInstances) {
+  ClassVar cv(ctx, "CELL", "p");
+  MirrorInstanceVar i1(ctx, "top/i1", "p", &cv);
+  MirrorInstanceVar i2(ctx, "top/i2", "p", &cv);
+  MirrorInstanceVar i3(ctx, "other/i3", "p", &cv);
+  EXPECT_TRUE(cv.set_user(Value(42)));
+  EXPECT_EQ(i1.value().as_int(), 42);
+  EXPECT_EQ(i2.value().as_int(), 42);
+  EXPECT_EQ(i3.value().as_int(), 42);
+  EXPECT_EQ(i1.last_set_by().constraint(), &cv);
+}
+
+TEST_F(HierarchyTest, InstanceNetworksChainOnwardFromImplicitLink) {
+  // Fig 5.1: the class-side network result propagates into each instance's
+  // external network.
+  ClassVar cv(ctx, "CELL", "p");
+  MirrorInstanceVar i1(ctx, "top/i1", "p", &cv);
+  core::Variable ext(ctx, "top", "ext");
+  core::EqualityConstraint::among(ctx, {&i1, &ext});
+  EXPECT_TRUE(cv.set_user(Value(5)));
+  EXPECT_EQ(ext.value().as_int(), 5) << "crossed hierarchy then external net";
+}
+
+TEST_F(HierarchyTest, DependencyAnalysisCrossesHierarchy) {
+  ClassVar cv(ctx, "CELL", "p");
+  MirrorInstanceVar i1(ctx, "top/i1", "p", &cv);
+  EXPECT_TRUE(cv.set_user(Value(5)));
+  const core::DependencyTrace ants = i1.antecedents();
+  EXPECT_EQ(ants.variables.count(&cv), 1u) << "class var is the antecedent";
+  const core::DependencyTrace cons = cv.consequences();
+  EXPECT_EQ(cons.variables.count(&i1), 1u)
+      << "instance var is the consequence";
+}
+
+TEST_F(HierarchyTest, DemandRecalculatesLazily) {
+  StemVariable v(ctx, "CELL", "area");
+  int recalcs = 0;
+  v.set_recalculate([&] {
+    ++recalcs;
+    v.set_application(Value(100));
+  });
+  EXPECT_TRUE(v.value().is_nil());
+  EXPECT_EQ(v.demand().as_int(), 100);
+  EXPECT_EQ(recalcs, 1);
+  EXPECT_EQ(v.demand().as_int(), 100);
+  EXPECT_EQ(recalcs, 1) << "cached value served without recalculation";
+  v.reset_raw();
+  EXPECT_EQ(v.demand().as_int(), 100);
+  EXPECT_EQ(recalcs, 2) << "erasure forces recalculation on next demand";
+}
+
+TEST_F(HierarchyTest, DemandEvalFlagPreventsInfiniteLoops) {
+  StemVariable v(ctx, "CELL", "x");
+  int recalcs = 0;
+  v.set_recalculate([&] {
+    ++recalcs;
+    (void)v.demand();  // a careless recalculation that re-queries itself
+  });
+  EXPECT_TRUE(v.demand().is_nil());
+  EXPECT_EQ(recalcs, 1) << "evalFlag stopped the recursion";
+}
+
+TEST_F(HierarchyTest, ParamRangeViolationDetectedFromInstanceSide) {
+  ClassParamVar cp(ctx, "CELL", "width");
+  cp.set_range(1.0, 16.0);
+  InstanceParamVar ip(ctx, "top/i1", "width", &cp);
+  EXPECT_TRUE(ip.set_user(Value(8)));
+  EXPECT_TRUE(ip.set_user(Value(32)).is_violation())
+      << "instance value outside the class range";
+  EXPECT_EQ(ip.value().as_int(), 8);
+}
+
+TEST_F(HierarchyTest, ParamRangeTighteningCheckedAgainstInstances) {
+  ClassParamVar cp(ctx, "CELL", "width");
+  cp.set_range(1.0, 64.0);
+  InstanceParamVar ip(ctx, "top/i1", "width", &cp);
+  EXPECT_TRUE(ip.set_user(Value(32)));
+  // Tightening the range is a direct mutation followed by re-checking via a
+  // class-var touch; the instance value 32 now violates [1, 16].
+  cp.set_range(1.0, 16.0);
+  EXPECT_FALSE(ip.is_satisfied());
+}
+
+TEST_F(HierarchyTest, ParamDefaultPropagatesOnlyToUnsetInstances) {
+  ClassParamVar cp(ctx, "CELL", "width");
+  cp.set_range(1.0, 64.0);
+  InstanceParamVar unset(ctx, "top/i1", "width", &cp);
+  InstanceParamVar chosen(ctx, "top/i2", "width", &cp);
+  EXPECT_TRUE(chosen.set_user(Value(4)));
+  EXPECT_TRUE(cp.set(Value(8), Justification::default_value()));
+  EXPECT_EQ(unset.value().as_int(), 8) << "default filled in";
+  EXPECT_EQ(chosen.value().as_int(), 4) << "explicit choice preserved";
+}
+
+TEST_F(HierarchyTest, LevelsSettleBeforeCrossingHierarchy) {
+  // Functional constraints outrank implicit links, so a level's internal
+  // network finishes before values cross to instances (thesis §5.1.2).
+  ClassVar cv(ctx, "CELL", "p");
+  MirrorInstanceVar iv(ctx, "top/i1", "p", &cv);
+  core::Variable a(ctx, "CELL", "a");
+  auto& add = ctx.make<core::UniAdditionConstraint>(1.0);
+  add.set_result(cv);
+  add.basic_add_argument(a);
+  EXPECT_TRUE(a.set_user(Value(10.0)));
+  EXPECT_DOUBLE_EQ(cv.value().as_number(), 11.0);
+  EXPECT_DOUBLE_EQ(iv.value().as_number(), 11.0);
+}
+
+}  // namespace
+}  // namespace stemcp::env

@@ -1,0 +1,207 @@
+// End-to-end integration: one design exercising every subsystem together —
+// tile compilation, signal typing, bounding boxes, hierarchical delay
+// networks, netlist extraction + MiniSpice, module selection, the batch
+// checker and the constraint inspector.
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::BoundConstraint;
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+constexpr double kNs = 1e-9;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  Library lib{"integration"};
+
+  /// A characterized bit-slice tile with pins, types, widths and delay.
+  CellClass& make_slice(const std::string& name, double delay_ns,
+                        core::Coord width) {
+    auto& slice = lib.define_cell(name, nullptr);
+    slice.bounding_box().set_user(Value(Rect{0, 0, width, 20}));
+    auto& cin = slice.declare_signal("cin", SignalDirection::kInput);
+    cin.add_pin({0, 10}, Side::kLeft);
+    cin.set_load_capacitance(20e-15);
+    EXPECT_TRUE(cin.bit_width().set_user(Value(1)));
+    EXPECT_TRUE(cin.electrical_type().set_user(
+        type_value(lib.types().at("CMOS"))));
+    auto& cout = slice.declare_signal("cout", SignalDirection::kOutput);
+    cout.add_pin({width, 10}, Side::kRight);
+    cout.set_output_resistance(1e3);
+    EXPECT_TRUE(cout.bit_width().set_user(Value(1)));
+    EXPECT_TRUE(cout.electrical_type().set_user(
+        type_value(lib.types().at("CMOS"))));
+    slice.declare_delay("cin", "cout");
+    EXPECT_TRUE(slice.set_leaf_delay("cin", "cout", delay_ns * kNs));
+    return slice;
+  }
+};
+
+TEST_F(IntegrationTest, CompiledDatapathEndToEnd) {
+  auto& slice = make_slice("SLICE", 2.0, 10);
+
+  // 1. Compile an 8-bit datapath row from the slice.
+  auto& row = lib.define_cell("ROW8", nullptr);
+  GraphCompiler g;
+  g.add_node("s", slice, Transform{}, 8, Side::kRight);
+  g.expose("s.0", "cin", "cin");
+  g.expose("s.7", "cout", "cout");
+  const CompileResult res = g.compile(row);
+  ASSERT_TRUE(res.status.is_ok());
+  EXPECT_EQ(row.subcells().size(), 8u);
+
+  // 2. Geometry rolled up.
+  EXPECT_EQ(row.bounding_box().demand().as_rect(), (Rect{0, 0, 80, 20}));
+
+  // 3. Signal types and widths inferred onto the compiled interface.
+  Net* carry0 = row.find_subcell("s.0")->net_for("cout");
+  ASSERT_NE(carry0, nullptr);
+  EXPECT_EQ(carry0->bit_width().value().as_int(), 1);
+  EXPECT_EQ(type_of(carry0->electrical_type().value())->name(), "CMOS");
+
+  // 4. Hierarchical delay: carry ripples through 8 slices with RC loading
+  //    between stages (1k ohm driving 20 fF = 0.02 ns per internal hop).
+  auto& d = row.declare_delay("cin", "cout");
+  BoundConstraint::upper(lib.context(), d, Value(20 * kNs));
+  row.build_delay_networks();
+  ASSERT_TRUE(d.value().is_number());
+  EXPECT_NEAR(d.value().as_number(), 8 * 2.0 * kNs + 7 * 0.02 * kNs,
+              1e-12);
+
+  // 5. Least-commitment: a slower slice revision blows the row budget and
+  //    is rejected at the row level.
+  EXPECT_TRUE(slice.set_leaf_delay("cin", "cout", 3.0 * kNs).is_violation());
+  EXPECT_NEAR(d.value().as_number(), 16.14 * kNs, 1e-12) << "restored";
+
+  // 6. Batch audit agrees that everything is consistent.
+  const CheckReport report = DesignChecker::check(row);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+
+  // 7. The inspector can walk the delay network.
+  const std::string trace = ConstraintInspector::antecedent_report(d);
+  EXPECT_NE(trace.find("uniMaximum"), std::string::npos);
+  EXPECT_NE(trace.find("SLICE"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, GenericSlotSelectionWithinCompiledDesign) {
+  // A generic slice family: fast-wide vs slow-narrow realizations.
+  auto& gen = lib.define_cell("GSLICE", nullptr);
+  gen.set_generic(true);
+  gen.declare_signal("cin", SignalDirection::kInput);
+  gen.declare_signal("cout", SignalDirection::kOutput);
+  gen.declare_delay("cin", "cout");
+  auto& fast = lib.define_cell("GSLICE.F", &gen);
+  EXPECT_TRUE(fast.set_leaf_delay("cin", "cout", 1 * kNs));
+  EXPECT_TRUE(fast.bounding_box().set_user(Value(Rect{0, 0, 20, 20})));
+  auto& slow = lib.define_cell("GSLICE.S", &gen);
+  EXPECT_TRUE(slow.set_leaf_delay("cin", "cout", 4 * kNs));
+  EXPECT_TRUE(slow.bounding_box().set_user(Value(Rect{0, 0, 8, 20})));
+
+  auto& top = lib.define_cell("DP", nullptr);
+  top.declare_signal("in", SignalDirection::kInput);
+  top.declare_signal("out", SignalDirection::kOutput);
+  auto& d = top.declare_delay("in", "out");
+  auto& u = top.add_subcell(gen, "u");
+  auto& n1 = top.add_net("n1");
+  EXPECT_TRUE(n1.connect_io("in"));
+  EXPECT_TRUE(n1.connect(u, "cin"));
+  auto& n2 = top.add_net("n2");
+  EXPECT_TRUE(n2.connect(u, "cout"));
+  EXPECT_TRUE(n2.connect_io("out"));
+  top.build_delay_networks();
+
+  // Tight delay, tight area: only one candidate survives each regime.
+  BoundConstraint::upper(lib.context(), d, Value(2 * kNs));
+  EXPECT_TRUE(u.bounding_box().set_user(Value(Rect{0, 0, 30, 30})));
+  auto found = gen.select_realizations_for(u, {});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], &fast);
+
+  // Shrink the slot below the fast realization's width: nothing fits.
+  EXPECT_TRUE(u.bounding_box().set_user(Value(Rect{0, 0, 10, 30})));
+  found = gen.select_realizations_for(u, {});
+  EXPECT_TRUE(found.empty()) << "fast too wide, slow too slow";
+}
+
+TEST_F(IntegrationTest, ExtractAndSimulateCompiledInverterPair) {
+  // Devices.
+  auto& nmos = lib.define_cell("NMOSX", nullptr);
+  nmos.declare_signal("d", SignalDirection::kInOut);
+  nmos.declare_signal("g", SignalDirection::kInput);
+  nmos.declare_signal("s", SignalDirection::kInOut);
+  nmos.device().kind = DeviceInfo::Kind::kNmos;
+  auto& pmos = lib.define_cell("PMOSX", nullptr);
+  pmos.declare_signal("d", SignalDirection::kInOut);
+  pmos.declare_signal("g", SignalDirection::kInput);
+  pmos.declare_signal("s", SignalDirection::kInOut);
+  pmos.device().kind = DeviceInfo::Kind::kPmos;
+  auto& vdd = lib.define_cell("VDDX", nullptr);
+  vdd.declare_signal("p", SignalDirection::kOutput);
+  vdd.device().kind = DeviceInfo::Kind::kVoltageSource;
+  vdd.device().value = 5.0;
+  auto& cap = lib.define_cell("CX", nullptr);
+  cap.declare_signal("p", SignalDirection::kInOut);
+  cap.device().kind = DeviceInfo::Kind::kCapacitor;
+  cap.device().value = 2e-13;
+
+  auto& inv = lib.define_cell("INVX", nullptr);
+  inv.declare_signal("in", SignalDirection::kInput);
+  inv.declare_signal("out", SignalDirection::kOutput);
+  inv.declare_signal("gnd", SignalDirection::kInOut);
+  auto& mp = inv.add_subcell(pmos, "mp");
+  auto& mn = inv.add_subcell(nmos, "mn");
+  auto& vs = inv.add_subcell(vdd, "vs");
+  auto& cl = inv.add_subcell(cap, "cl");
+  auto& a = inv.add_net("a");
+  EXPECT_TRUE(a.connect_io("in"));
+  EXPECT_TRUE(a.connect(mp, "g"));
+  EXPECT_TRUE(a.connect(mn, "g"));
+  auto& y = inv.add_net("y");
+  EXPECT_TRUE(y.connect_io("out"));
+  EXPECT_TRUE(y.connect(mp, "d"));
+  EXPECT_TRUE(y.connect(mn, "d"));
+  EXPECT_TRUE(y.connect(cl, "p"));
+  auto& p = inv.add_net("p");
+  EXPECT_TRUE(p.connect(vs, "p"));
+  EXPECT_TRUE(p.connect(mp, "s"));
+  auto& gn = inv.add_net("gn");
+  EXPECT_TRUE(gn.connect_io("gnd"));
+  EXPECT_TRUE(gn.connect(mn, "s"));
+
+  // A buffer = two inverters.
+  auto& buf = lib.define_cell("BUFX", nullptr);
+  buf.declare_signal("in", SignalDirection::kInput);
+  buf.declare_signal("out", SignalDirection::kOutput);
+  auto& u0 = buf.add_subcell(inv, "u0");
+  auto& u1 = buf.add_subcell(inv, "u1");
+  auto& b0 = buf.add_net("b0");
+  EXPECT_TRUE(b0.connect_io("in"));
+  EXPECT_TRUE(b0.connect(u0, "in"));
+  auto& b1 = buf.add_net("b1");
+  EXPECT_TRUE(b1.connect(u0, "out"));
+  EXPECT_TRUE(b1.connect(u1, "in"));
+  auto& b2 = buf.add_net("b2");
+  EXPECT_TRUE(b2.connect(u1, "out"));
+  EXPECT_TRUE(b2.connect_io("out"));
+
+  spice::SpiceSimulation sim(buf);
+  sim.spec().tstop = 40e-9;
+  sim.spec().pulses.push_back({"in", 0.0, 5.0, 5e-9, 1e-9});
+  const auto& w = sim.run();
+  // A buffer: output follows input (two inversions).
+  EXPECT_LT(w.value_at("out", 4e-9), 1.0);
+  EXPECT_GT(w.value_at("out", 39e-9), 4.0);
+
+  // Editing the buffer invalidates the simulation view.
+  buf.changed(kChangedStructure);
+  EXPECT_TRUE(sim.outdated());
+}
+
+}  // namespace
+}  // namespace stemcp::env

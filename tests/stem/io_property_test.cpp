@@ -1,0 +1,129 @@
+// Property-based persistence: randomized libraries must survive
+// save -> load -> save with byte-identical text and equivalent behaviour.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "stem/io.h"
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+struct RandomLibrary {
+  Library lib;
+  std::mt19937 rng;
+
+  explicit RandomLibrary(unsigned seed) : rng(seed) {
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::uniform_int_distribution<core::Coord> dim(4, 30);
+    std::uniform_int_distribution<std::int64_t> width(1, 32);
+    const char* type_names[] = {"Bit", "IntegerSignal", "BCDSignal",
+                                "FloatSignal"};
+    const char* elec_names[] = {"Digital", "TTL", "CMOS"};
+    std::uniform_int_distribution<std::size_t> t4(0, 3);
+    std::uniform_int_distribution<std::size_t> t3(0, 2);
+
+    // Leaf cells with random interfaces.
+    std::vector<CellClass*> leaves;
+    for (int i = 0; i < 4; ++i) {
+      auto& c = lib.define_cell("LEAF" + std::to_string(i));
+      c.bounding_box().set_user(Value(Rect{0, 0, dim(rng), dim(rng)}));
+      auto& in = c.declare_signal("in", SignalDirection::kInput);
+      if (coin(rng)) in.bit_width().set_user(Value(width(rng)));
+      if (coin(rng)) {
+        in.data_type().set_user(
+            type_value(lib.types().at(type_names[t4(rng)])));
+      }
+      in.add_pin({0, dim(rng) % 8}, Side::kLeft);
+      auto& out = c.declare_signal("out", SignalDirection::kOutput);
+      if (coin(rng)) {
+        out.electrical_type().set_user(
+            type_value(lib.types().at(elec_names[t3(rng)])));
+      }
+      if (coin(rng)) out.set_output_resistance(100.0 * (1 + i));
+      if (coin(rng)) in.set_load_capacitance(1e-14 * (1 + i));
+      c.declare_delay("in", "out");
+      if (coin(rng)) {
+        c.set_leaf_delay("in", "out", 1e-9 * (1 + i));
+      }
+      leaves.push_back(&c);
+    }
+    // A generic family.
+    auto& gen = lib.define_cell("GEN");
+    gen.set_generic(true);
+    lib.define_cell("GEN.A", &gen);
+    lib.define_cell("GEN.B", &gen);
+
+    // A composite pipeline over random leaves.
+    auto& top = lib.define_cell("TOP");
+    top.declare_signal("in", SignalDirection::kInput);
+    top.declare_signal("out", SignalDirection::kOutput);
+    top.declare_delay("in", "out");
+    std::uniform_int_distribution<std::size_t> pick(0, leaves.size() - 1);
+    CellInstance* prev = nullptr;
+    const int stages = 3 + static_cast<int>(seed % 3);
+    for (int i = 0; i < stages; ++i) {
+      auto& inst = top.add_subcell(*leaves[pick(rng)],
+                                   "u" + std::to_string(i),
+                                   Transform::translate({40 * i, 0}));
+      auto& net = top.add_net("n" + std::to_string(i));
+      if (i == 0) {
+        net.connect_io("in");
+      } else {
+        net.connect(*prev, "out");
+      }
+      net.connect(inst, "in");
+      prev = &inst;
+    }
+    auto& n_out = top.add_net("n_out");
+    n_out.connect(*prev, "out");
+    n_out.connect_io("out");
+    top.build_delay_networks();
+  }
+};
+
+class IoSeeds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IoSeeds, SaveLoadSaveIsIdentity) {
+  RandomLibrary original(GetParam());
+  const std::string text1 = LibraryWriter::to_string(original.lib);
+  Library loaded;
+  LibraryReader::read_string(loaded, text1);
+  const std::string text2 = LibraryWriter::to_string(loaded);
+  EXPECT_EQ(text1, text2);
+}
+
+TEST_P(IoSeeds, LoadedLibraryAuditsSameAsOriginal) {
+  RandomLibrary original(GetParam());
+  const CheckReport before = DesignChecker::check(original.lib);
+  Library loaded;
+  LibraryReader::read_string(loaded, LibraryWriter::to_string(original.lib));
+  const CheckReport after = DesignChecker::check(loaded);
+  EXPECT_EQ(before.clean(), after.clean());
+}
+
+TEST_P(IoSeeds, LoadedDelaysMatchOriginal) {
+  RandomLibrary original(GetParam());
+  Library loaded;
+  LibraryReader::read_string(loaded, LibraryWriter::to_string(original.lib));
+  CellClass& top1 = original.lib.cell("TOP");
+  CellClass& top2 = loaded.cell("TOP");
+  ClassDelayVar* d1 = top1.find_delay("in", "out");
+  ClassDelayVar* d2 = top2.find_delay("in", "out");
+  ASSERT_NE(d1, nullptr);
+  ASSERT_NE(d2, nullptr);
+  EXPECT_EQ(d1->value().is_number(), d2->value().is_number());
+  if (d1->value().is_number()) {
+    EXPECT_NEAR(d1->value().as_number(), d2->value().as_number(), 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoSeeds, ::testing::Range(500u, 512u));
+
+}  // namespace
+}  // namespace stemcp::env

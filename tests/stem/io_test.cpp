@@ -1,0 +1,218 @@
+// Library persistence round trips (design database file-out / file-in).
+#include <gtest/gtest.h>
+
+#include "stem/io.h"
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+constexpr double kNs = 1e-9;
+
+/// Build the accumulator design used throughout the suite.
+void build_accumulator(Library& lib) {
+  auto& reg = lib.define_cell("REGISTER");
+  reg.declare_signal("in", SignalDirection::kInput)
+      .set_load_capacitance(1e-14);
+  reg.declare_signal("out", SignalDirection::kOutput)
+      .set_output_resistance(500.0);
+  reg.declare_delay("in", "out");
+  ASSERT_TRUE(reg.set_leaf_delay("in", "out", 60 * kNs));
+  ASSERT_TRUE(reg.bounding_box().set_user(Value(Rect{0, 0, 20, 10})));
+
+  auto& adder = lib.define_cell("ADDER");
+  adder.declare_signal("a", SignalDirection::kInput);
+  adder.declare_signal("out", SignalDirection::kOutput);
+  auto& ad = adder.declare_delay("a", "out");
+  core::BoundConstraint::upper(lib.context(), ad, Value(120 * kNs));
+
+  auto& acc = lib.define_cell("ACCUMULATOR");
+  acc.declare_signal("in", SignalDirection::kInput);
+  acc.declare_signal("out", SignalDirection::kOutput);
+  auto& acc_d = acc.declare_delay("in", "out");
+  core::BoundConstraint::upper(lib.context(), acc_d, Value(160 * kNs));
+  auto& r = acc.add_subcell(reg, "reg");
+  auto& a = acc.add_subcell(adder, "add", Transform::translate({20, 0}));
+  auto& n_in = acc.add_net("n_in");
+  ASSERT_TRUE(n_in.connect_io("in"));
+  ASSERT_TRUE(n_in.connect(r, "in"));
+  auto& mid = acc.add_net("n_mid");
+  ASSERT_TRUE(mid.connect(r, "out"));
+  ASSERT_TRUE(mid.connect(a, "a"));
+  auto& n_out = acc.add_net("n_out");
+  ASSERT_TRUE(n_out.connect(a, "out"));
+  ASSERT_TRUE(n_out.connect_io("out"));
+  acc.build_delay_networks();
+}
+
+TEST(IoTest, WriterEmitsReadableText) {
+  Library lib;
+  build_accumulator(lib);
+  const std::string text = LibraryWriter::to_string(lib);
+  EXPECT_NE(text.find("cell REGISTER"), std::string::npos);
+  EXPECT_NE(text.find("delay in out value"), std::string::npos);
+  EXPECT_NE(text.find("spec <="), std::string::npos);
+  EXPECT_NE(text.find("subcell reg REGISTER R0 0 0"), std::string::npos);
+  EXPECT_NE(text.find("io in"), std::string::npos);
+}
+
+TEST(IoTest, RoundTripPreservesStructureAndBehaviour) {
+  Library original;
+  build_accumulator(original);
+  const std::string text = LibraryWriter::to_string(original);
+
+  Library loaded;
+  LibraryReader::read_string(loaded, text);
+
+  // Structure.
+  CellClass& acc = loaded.cell("ACCUMULATOR");
+  EXPECT_EQ(acc.subcells().size(), 2u);
+  EXPECT_EQ(acc.nets().size(), 3u);
+  EXPECT_EQ(loaded.cell("REGISTER").bounding_box().value().as_rect(),
+            (Rect{0, 0, 20, 10}));
+
+  // Characteristics re-derived on load.
+  ClassDelayVar* acc_d = acc.find_delay("in", "out");
+  ASSERT_NE(acc_d, nullptr);
+  EXPECT_TRUE(acc_d->value().is_nil()) << "adder uncharacterized";
+
+  // Behaviour: the loaded constraint networks are live — the 110 ns adder
+  // still violates the 160 ns budget exactly as in the original.
+  CellClass& adder = loaded.cell("ADDER");
+  EXPECT_TRUE(adder.set_leaf_delay("a", "out", 110 * kNs).is_violation());
+  EXPECT_TRUE(adder.set_leaf_delay("a", "out", 90 * kNs));
+  EXPECT_DOUBLE_EQ(acc_d->value().as_number(), 150 * kNs);
+}
+
+TEST(IoTest, RoundTripIsIdempotent) {
+  Library original;
+  build_accumulator(original);
+  const std::string text1 = LibraryWriter::to_string(original);
+  Library loaded;
+  LibraryReader::read_string(loaded, text1);
+  const std::string text2 = LibraryWriter::to_string(loaded);
+  EXPECT_EQ(text1, text2) << "save(load(save(x))) == save(x)";
+}
+
+TEST(IoTest, InheritanceAndGenericFlagsSurvive) {
+  Library lib;
+  auto& g = lib.define_cell("ADD8");
+  g.set_generic(true);
+  g.declare_signal("in", SignalDirection::kInput);
+  lib.define_cell("ADD8.RC", &g);
+  const std::string text = LibraryWriter::to_string(lib);
+
+  Library loaded;
+  LibraryReader::read_string(loaded, text);
+  EXPECT_TRUE(loaded.cell("ADD8").is_generic());
+  EXPECT_EQ(loaded.cell("ADD8.RC").superclass(), &loaded.cell("ADD8"));
+  EXPECT_NE(loaded.cell("ADD8.RC").find_signal("in"), nullptr)
+      << "inherited interface resolves after load";
+}
+
+TEST(IoTest, SignalTypesAndPinsSurvive) {
+  Library lib;
+  auto& c = lib.define_cell("C");
+  auto& s = c.declare_signal("q", SignalDirection::kOutput);
+  s.add_pin({5, 0}, Side::kBottom);
+  ASSERT_TRUE(s.bit_width().set_user(Value(8)));
+  ASSERT_TRUE(s.data_type().set_user(type_value(lib.types().at("BCDSignal"))));
+  ASSERT_TRUE(
+      s.electrical_type().set_user(type_value(lib.types().at("CMOS"))));
+  const std::string text = LibraryWriter::to_string(lib);
+
+  Library loaded;
+  LibraryReader::read_string(loaded, text);
+  IoSignal& q = loaded.cell("C").signal("q");
+  EXPECT_EQ(q.bit_width().value().as_int(), 8);
+  EXPECT_EQ(type_of(q.data_type().value())->name(), "BCDSignal");
+  EXPECT_EQ(type_of(q.electrical_type().value())->name(), "CMOS");
+  ASSERT_EQ(q.pins().size(), 1u);
+  EXPECT_EQ(q.pins()[0].position, (core::Point{5, 0}));
+  EXPECT_EQ(q.pins()[0].side, Side::kBottom);
+}
+
+TEST(IoTest, ParametersSurvive) {
+  Library lib;
+  auto& c = lib.define_cell("C");
+  c.declare_parameter("width", 1, 64, Value(8));
+  c.declare_parameter("drive", 0.5, 4.0, Value());
+  const std::string text = LibraryWriter::to_string(lib);
+  EXPECT_NE(text.find("param drive 0.5 4"), std::string::npos);
+  EXPECT_NE(text.find("param width 1 64 default 8"), std::string::npos);
+
+  Library loaded;
+  LibraryReader::read_string(loaded, text);
+  ClassParamVar* w = loaded.cell("C").find_parameter("width");
+  ASSERT_NE(w, nullptr);
+  EXPECT_DOUBLE_EQ(w->lo(), 1.0);
+  EXPECT_DOUBLE_EQ(w->hi(), 64.0);
+  EXPECT_DOUBLE_EQ(w->value().as_number(), 8.0);
+  ClassParamVar* d = loaded.cell("C").find_parameter("drive");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->value().is_nil());
+  // The reloaded range is live: instances out of range still violate.
+  auto& top = loaded.define_cell("TOP");
+  auto& inst = top.add_subcell(loaded.cell("C"), "i");
+  EXPECT_TRUE(inst.parameter("width").set_user(Value(99)).is_violation());
+}
+
+TEST(IoTest, DeviceCellsSurvive) {
+  Library lib;
+  auto& r = lib.define_cell("R1K");
+  r.declare_signal("a", SignalDirection::kInOut);
+  r.declare_signal("b", SignalDirection::kInOut);
+  r.device().kind = DeviceInfo::Kind::kResistor;
+  r.device().value = 1000.0;
+  const std::string text = LibraryWriter::to_string(lib);
+  Library loaded;
+  LibraryReader::read_string(loaded, text);
+  EXPECT_TRUE(loaded.cell("R1K").is_device());
+  EXPECT_EQ(loaded.cell("R1K").device().kind, DeviceInfo::Kind::kResistor);
+  EXPECT_DOUBLE_EQ(loaded.cell("R1K").device().value, 1000.0);
+}
+
+TEST(IoTest, ParseErrorsCarryLineNumbers) {
+  Library lib;
+  EXPECT_THROW(LibraryReader::read_string(lib, "cell A\nbogus keyword\nend\n"),
+               std::runtime_error);
+  Library lib2;
+  try {
+    LibraryReader::read_string(lib2, "cell A\n  subcell x NOPE R0 0 0\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(IoTest, LoadedWidthViolationIsCaughtDuringParse) {
+  // The loaded text wires an 8-bit signal to a 4-bit-constrained one; the
+  // constraint networks re-instantiate during load, so the inconsistency is
+  // reported immediately via the violation log.
+  Library lib;
+  const char* text = R"(
+cell A
+  signal p input width 8
+end
+cell B
+  signal q output width 4
+end
+cell TOP
+  subcell ia A R0 0 0
+  subcell ib B R0 0 0
+  net n
+    conn ia p
+    conn ib q
+end
+)";
+  LibraryReader::read_string(lib, text);
+  EXPECT_FALSE(lib.context().violation_log().empty())
+      << "loading re-checks the design";
+}
+
+}  // namespace
+}  // namespace stemcp::env

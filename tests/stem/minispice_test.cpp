@@ -1,0 +1,194 @@
+// MiniSpice engine behaviour beyond the basic round trip: gate logic,
+// Elmore-style scaling on RC ladders, and pulse stimuli.
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using spice::Card;
+using spice::Deck;
+using spice::MiniSpiceEngine;
+using spice::PulseSource;
+using spice::SpicePlot;
+using spice::TransientSpec;
+
+Card mos(DeviceInfo::Kind kind, const std::string& d, const std::string& g,
+         const std::string& s, double ron = 1e3) {
+  Card c;
+  c.kind = kind;
+  c.nodes = {d, g, s};
+  c.ron = ron;
+  return c;
+}
+
+Card res(const std::string& a, const std::string& b, double ohms) {
+  Card c;
+  c.kind = DeviceInfo::Kind::kResistor;
+  c.nodes = {a, b};
+  c.value = ohms;
+  return c;
+}
+
+Card cap(const std::string& node, double farads) {
+  Card c;
+  c.kind = DeviceInfo::Kind::kCapacitor;
+  c.nodes = {node};
+  c.value = farads;
+  return c;
+}
+
+Card vsrc(const std::string& node, double volts) {
+  Card c;
+  c.kind = DeviceInfo::Kind::kVoltageSource;
+  c.nodes = {node};
+  c.value = volts;
+  return c;
+}
+
+TEST(MiniSpiceTest, PulseSourceShape) {
+  const PulseSource p{"in", 0.0, 5.0, 10e-9, 2e-9};
+  EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(10e-9), 0.0);
+  EXPECT_NEAR(p.at(11e-9), 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(p.at(12e-9), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 5.0);
+}
+
+TEST(MiniSpiceTest, Nand2Logic) {
+  // Standard CMOS NAND2: parallel PMOS to vdd, series NMOS to ground.
+  Deck deck;
+  deck.cards.push_back(vsrc("vdd", 5.0));
+  deck.cards.push_back(mos(DeviceInfo::Kind::kPmos, "y", "a", "vdd"));
+  deck.cards.push_back(mos(DeviceInfo::Kind::kPmos, "y", "b", "vdd"));
+  deck.cards.push_back(mos(DeviceInfo::Kind::kNmos, "y", "a", "m"));
+  deck.cards.push_back(mos(DeviceInfo::Kind::kNmos, "m", "b", "0"));
+  deck.cards.push_back(cap("y", 1e-13));
+  deck.cards.push_back(cap("m", 1e-14));
+
+  const auto truth = [&](double va, double vb) {
+    Deck d = deck;
+    d.cards.push_back(vsrc("a", va));
+    d.cards.push_back(vsrc("b", vb));
+    TransientSpec spec;
+    spec.tstop = 20e-9;
+    spec.tstep = 0.2e-9;
+    const auto w = MiniSpiceEngine::run(d, spec);
+    return w.value_at("y", 20e-9);
+  };
+
+  EXPECT_GT(truth(0, 0), 4.0) << "0 NAND 0 = 1";
+  EXPECT_GT(truth(0, 5), 4.0) << "0 NAND 1 = 1";
+  EXPECT_GT(truth(5, 0), 4.0) << "1 NAND 0 = 1";
+  EXPECT_LT(truth(5, 5), 1.0) << "1 NAND 1 = 0";
+}
+
+TEST(MiniSpiceTest, VoltageDividerSettles) {
+  Deck deck;
+  deck.cards.push_back(vsrc("vdd", 6.0));
+  deck.cards.push_back(res("vdd", "mid", 1e3));
+  deck.cards.push_back(res("mid", "0", 2e3));
+  deck.cards.push_back(cap("mid", 1e-13));
+  TransientSpec spec;
+  spec.tstop = 10e-9;
+  const auto w = MiniSpiceEngine::run(deck, spec);
+  EXPECT_NEAR(w.value_at("mid", 10e-9), 4.0, 0.1) << "6V * 2k/3k";
+}
+
+// RC ladder: delay to the far node grows roughly quadratically with ladder
+// length (the Elmore shape) — the waveform substrate reproduces textbook
+// interconnect behaviour.
+class LadderLength : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderLength, FarNodeDelayGrowsSuperlinearly) {
+  const int n = GetParam();
+  Deck deck;
+  deck.cards.push_back(vsrc("drive", 5.0));
+  std::string prev = "drive";
+  for (int i = 0; i < n; ++i) {
+    const std::string node = "n" + std::to_string(i);
+    deck.cards.push_back(res(prev, node, 1e3));
+    deck.cards.push_back(cap(node, 1e-14));
+    prev = node;
+  }
+  TransientSpec spec;
+  spec.tstop = 100e-9;
+  spec.tstep = 0.1e-9;
+  const auto w = MiniSpiceEngine::run(deck, spec);
+  SpicePlot plot(w);
+  const auto cross = plot.crossing_time(prev, 2.5, true);
+  ASSERT_TRUE(cross.has_value()) << "ladder of " << n << " settles";
+  // Elmore delay = sum_i R_total(i) * C_i = RC * n(n+1)/2.
+  const double elmore = 1e3 * 1e-14 * n * (n + 1) / 2.0;
+  EXPECT_GT(*cross, 0.5 * elmore);
+  EXPECT_LT(*cross, 3.0 * elmore);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LadderLength, ::testing::Values(2, 4, 8));
+
+TEST(MiniSpiceTest, PulseDrivesRepeatedSwitching) {
+  // An inverter driven by a rising pulse: output falls after input rises.
+  Deck deck;
+  deck.cards.push_back(vsrc("vdd", 5.0));
+  deck.cards.push_back(mos(DeviceInfo::Kind::kPmos, "y", "in", "vdd", 2e3));
+  deck.cards.push_back(mos(DeviceInfo::Kind::kNmos, "y", "in", "0", 1e3));
+  deck.cards.push_back(cap("y", 1e-13));
+  TransientSpec spec;
+  spec.tstop = 40e-9;
+  spec.tstep = 0.2e-9;
+  spec.pulses.push_back({"in", 0.0, 5.0, 20e-9, 1e-9});
+  const auto w = MiniSpiceEngine::run(deck, spec);
+  EXPECT_GT(w.value_at("y", 19e-9), 4.0);
+  EXPECT_LT(w.value_at("y", 39e-9), 1.0);
+  SpicePlot plot(w);
+  const auto d = plot.delay_between("in", "y", 2.5);
+  ASSERT_TRUE(d.has_value());
+  // RC = 1k * 100 fF = 0.1 ns; ln(2) RC ~ 0.07 ns.
+  EXPECT_GT(*d, 0.0);
+  EXPECT_LT(*d, 1e-9);
+}
+
+TEST(MiniSpiceTest, FloatingNodeHoldsCharge) {
+  // No DC path: the node keeps its (zero) initial condition.
+  Deck deck;
+  deck.cards.push_back(cap("lonely", 1e-13));
+  TransientSpec spec;
+  spec.tstop = 5e-9;
+  const auto w = MiniSpiceEngine::run(deck, spec);
+  EXPECT_DOUBLE_EQ(w.value_at("lonely", 5e-9), 0.0);
+}
+
+TEST(ReplaceSubcellTest, CommitsSelectionAndRewires) {
+  Library lib;
+  auto& gen = lib.define_cell("G");
+  gen.set_generic(true);
+  gen.declare_signal("in", SignalDirection::kInput);
+  gen.declare_signal("out", SignalDirection::kOutput);
+  auto& real = lib.define_cell("G.R", &gen);
+  EXPECT_TRUE(real.bounding_box().set_user(
+      core::Value(core::Rect{0, 0, 8, 8})));
+
+  auto& top = lib.define_cell("TOP");
+  top.declare_signal("in", SignalDirection::kInput);
+  auto& u = top.add_subcell(gen, "u",
+                            core::Transform::translate({10, 10}));
+  auto& n = top.add_net("n");
+  EXPECT_TRUE(n.connect_io("in"));
+  EXPECT_TRUE(n.connect(u, "in"));
+
+  CellInstance& committed = top.replace_subcell(u, real);
+  EXPECT_EQ(&committed.cls(), &real);
+  EXPECT_EQ(committed.name(), "u");
+  EXPECT_EQ(committed.transform(), core::Transform::translate({10, 10}));
+  EXPECT_TRUE(n.connects(committed, "in")) << "wiring carried over";
+  EXPECT_EQ(top.subcells().size(), 1u);
+  EXPECT_TRUE(gen.instances().empty());
+  ASSERT_EQ(real.instances().size(), 1u);
+  // The realization's class box defaults the new placement.
+  EXPECT_EQ(committed.bounding_box().value().as_rect(),
+            (core::Rect{10, 10, 18, 18}));
+}
+
+}  // namespace
+}  // namespace stemcp::env

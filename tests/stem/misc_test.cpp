@@ -1,0 +1,123 @@
+// Coverage for corners not exercised elsewhere: transforms on placed
+// instances, width-mismatch auditing, accessor plumbing.
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+TEST(MiscTest, SetTransformRedefaultsDerivedPlacement) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "i", Transform::translate({0, 0}));
+  EXPECT_EQ(inst.bounding_box().value().as_rect(), (Rect{0, 0, 10, 10}));
+  inst.set_transform(Transform::translate({30, 0}));
+  EXPECT_EQ(inst.bounding_box().value().as_rect(), (Rect{30, 0, 40, 10}));
+  EXPECT_EQ(top.bounding_box().demand().as_rect(), (Rect{30, 0, 40, 10}));
+}
+
+TEST(MiscTest, SetTransformKeepsUserPlacement) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "i");
+  EXPECT_TRUE(inst.bounding_box().set_user(Value(Rect{0, 0, 50, 50})));
+  inst.set_transform(Transform::translate({5, 5}));
+  EXPECT_EQ(inst.bounding_box().value().as_rect(), (Rect{0, 0, 50, 50}))
+      << "designer-pinned placements are not re-derived";
+}
+
+TEST(MiscTest, SameTransformIsNoOp) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "i", Transform::translate({5, 5}));
+  lib.context().reset_stats();
+  inst.set_transform(Transform::translate({5, 5}));
+  EXPECT_EQ(lib.context().stats().sessions, 0u);
+}
+
+TEST(MiscTest, QualifiedNames) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "u7");
+  EXPECT_EQ(inst.qualified_name(), "TOP/u7");
+}
+
+TEST(MiscTest, ClassWidthAuditCatchesDivergentInstances) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  leaf.declare_signal("p", SignalDirection::kInput);
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "i");
+  // Sneak in an inconsistent pair with propagation off.
+  lib.context().set_enabled(false);
+  EXPECT_TRUE(leaf.signal("p").bit_width().set_user(Value(8)));
+  EXPECT_TRUE(inst.bit_width("p").set_user(Value(4)));
+  lib.context().set_enabled(true);
+  EXPECT_FALSE(leaf.signal("p").bit_width().is_satisfied());
+  EXPECT_FALSE(inst.bit_width("p").is_satisfied());
+  const CheckReport report = DesignChecker::check(top);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(MiscTest, UpdateConstraintTargetAccessors) {
+  core::PropagationContext ctx;
+  core::Variable s(ctx, "t", "s"), t1(ctx, "t", "t1"), t2(ctx, "t", "t2");
+  auto& u = core::UpdateConstraint::depends(ctx, {&t1, &t2}, {&s});
+  EXPECT_EQ(u.targets().size(), 2u);
+  EXPECT_TRUE(u.is_target(t1));
+  EXPECT_FALSE(u.is_target(s));
+}
+
+TEST(MiscTest, CompatibleConstraintNetVariableAccessor) {
+  core::PropagationContext ctx;
+  SignalTypeVar net(ctx, "n", "dataType");
+  auto& c = ctx.make<CompatibleConstraint>();
+  EXPECT_EQ(c.net_variable(), nullptr);
+  c.set_net_variable(net);
+  EXPECT_EQ(c.net_variable(), &net);
+}
+
+TEST(MiscTest, TransformToStringRoundReadable) {
+  const core::Transform t{core::Orientation::kR90, {3, -4}};
+  EXPECT_EQ(t.to_string(), "R90+(3,-4)");
+  EXPECT_EQ((Rect{1, 2, 3, 4}).to_string(), "[1,2 3,4]");
+  EXPECT_EQ(Rect{}.to_string(), "[empty]");
+}
+
+TEST(MiscTest, VariableToStringShowsJustification) {
+  core::PropagationContext ctx;
+  core::Variable v(ctx, "ADDER", "area");
+  EXPECT_EQ(v.to_string(), "ADDER.area = nil (#NONE)");
+  EXPECT_TRUE(v.set_user(Value(12)));
+  EXPECT_EQ(v.to_string(), "ADDER.area = 12 (#USER)");
+}
+
+TEST(MiscTest, LibraryCellsEnumeration) {
+  Library lib("mylib");
+  EXPECT_EQ(lib.name(), "mylib");
+  lib.define_cell("A");
+  lib.define_cell("B");
+  EXPECT_EQ(lib.cells().size(), 2u);
+  EXPECT_EQ(lib.find("A")->name(), "A");
+}
+
+TEST(MiscTest, SideHelpers) {
+  EXPECT_EQ(opposite(Side::kLeft), Side::kRight);
+  EXPECT_EQ(opposite(Side::kTop), Side::kBottom);
+  EXPECT_STREQ(to_string(Side::kLeft), "left");
+  EXPECT_STREQ(to_string(SignalDirection::kInOut), "inout");
+}
+
+}  // namespace
+}  // namespace stemcp::env

@@ -1,0 +1,234 @@
+// Netlist extraction, MiniSpice transient simulation and the SPICE view
+// round trip (thesis §6.4.2, Fig 6.3).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Value;
+using spice::Deck;
+using spice::MiniSpiceEngine;
+using spice::SpiceNet;
+using spice::SpicePlot;
+using spice::SpiceSimulation;
+using spice::TransientSpec;
+
+/// Library with primitive devices and a CMOS inverter cell.
+class SpiceFixture : public ::testing::Test {
+ protected:
+  Library lib;
+  CellClass* nmos = nullptr;
+  CellClass* pmos = nullptr;
+  CellClass* inverter = nullptr;
+
+  void SetUp() override {
+    nmos = &lib.define_cell("NMOS", nullptr);
+    nmos->declare_signal("d", SignalDirection::kInOut);
+    nmos->declare_signal("g", SignalDirection::kInput);
+    nmos->declare_signal("s", SignalDirection::kInOut);
+    nmos->device().kind = DeviceInfo::Kind::kNmos;
+    nmos->device().ron = 1e3;
+
+    pmos = &lib.define_cell("PMOS", nullptr);
+    pmos->declare_signal("d", SignalDirection::kInOut);
+    pmos->declare_signal("g", SignalDirection::kInput);
+    pmos->declare_signal("s", SignalDirection::kInOut);
+    pmos->device().kind = DeviceInfo::Kind::kPmos;
+    pmos->device().ron = 2e3;
+
+    auto& vdd = lib.define_cell("VDD5", nullptr);
+    vdd.declare_signal("p", SignalDirection::kOutput);
+    vdd.device().kind = DeviceInfo::Kind::kVoltageSource;
+    vdd.device().value = 5.0;
+
+    auto& capc = lib.define_cell("C100F", nullptr);
+    capc.declare_signal("p", SignalDirection::kInOut);
+    capc.device().kind = DeviceInfo::Kind::kCapacitor;
+    capc.device().value = 1e-13;
+
+    inverter = &lib.define_cell("INV", nullptr);
+    inverter->declare_signal("in", SignalDirection::kInput);
+    inverter->declare_signal("out", SignalDirection::kOutput);
+    auto& mp = inverter->add_subcell(*pmos, "mp");
+    auto& mn = inverter->add_subcell(*nmos, "mn");
+    auto& vs = inverter->add_subcell(vdd, "vs");
+    auto& cl = inverter->add_subcell(capc, "cl");
+    auto& n_in = inverter->add_net("n_in");
+    EXPECT_TRUE(n_in.connect_io("in"));
+    EXPECT_TRUE(n_in.connect(mp, "g"));
+    EXPECT_TRUE(n_in.connect(mn, "g"));
+    auto& n_out = inverter->add_net("n_out");
+    EXPECT_TRUE(n_out.connect_io("out"));
+    EXPECT_TRUE(n_out.connect(mp, "d"));
+    EXPECT_TRUE(n_out.connect(mn, "d"));
+    EXPECT_TRUE(n_out.connect(cl, "p"));
+    auto& n_vdd = inverter->add_net("n_vdd");
+    EXPECT_TRUE(n_vdd.connect(vs, "p"));
+    EXPECT_TRUE(n_vdd.connect(mp, "s"));
+    // NMOS source to ground: a net wired to a "gnd"-named io.
+    inverter->declare_signal("gnd", SignalDirection::kInOut);
+    auto& n_gnd = inverter->add_net("n_gnd");
+    EXPECT_TRUE(n_gnd.connect_io("gnd"));
+    EXPECT_TRUE(n_gnd.connect(mn, "s"));
+  }
+};
+
+TEST_F(SpiceFixture, ExtractionProducesCards) {
+  const Deck deck = spice::extract(*inverter);
+  ASSERT_EQ(deck.cards.size(), 4u);
+  int mos = 0, caps = 0, sources = 0;
+  for (const auto& c : deck.cards) {
+    if (c.kind == DeviceInfo::Kind::kNmos ||
+        c.kind == DeviceInfo::Kind::kPmos) {
+      ++mos;
+      EXPECT_EQ(c.nodes.size(), 3u);
+    }
+    if (c.kind == DeviceInfo::Kind::kCapacitor) ++caps;
+    if (c.kind == DeviceInfo::Kind::kVoltageSource) ++sources;
+    EXPECT_NE(c.origin, nullptr) << "correspondence pointer maintained";
+  }
+  EXPECT_EQ(mos, 2);
+  EXPECT_EQ(caps, 1);
+  EXPECT_EQ(sources, 1);
+}
+
+TEST_F(SpiceFixture, IoSignalsBecomeTopLevelNodes) {
+  const Deck deck = spice::extract(*inverter);
+  const auto nodes = deck.nodes();
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), "in"), nodes.end());
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), "out"), nodes.end());
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), "0"), nodes.end())
+      << "gnd io mapped to the ground node";
+}
+
+TEST_F(SpiceFixture, HierarchicalExtractionFlattens) {
+  auto& chain = lib.define_cell("CHAIN3", nullptr);
+  chain.declare_signal("in", SignalDirection::kInput);
+  chain.declare_signal("out", SignalDirection::kOutput);
+  CellInstance* prev = nullptr;
+  for (int i = 0; i < 3; ++i) {
+    auto& inst = chain.add_subcell(*inverter, "u" + std::to_string(i));
+    auto& net = chain.add_net("n" + std::to_string(i));
+    if (i == 0) {
+      EXPECT_TRUE(net.connect_io("in"));
+    } else {
+      EXPECT_TRUE(net.connect(*prev, "out"));
+    }
+    EXPECT_TRUE(net.connect(inst, "in"));
+    prev = &inst;
+  }
+  auto& n_out = chain.add_net("n_out");
+  EXPECT_TRUE(n_out.connect(*prev, "out"));
+  EXPECT_TRUE(n_out.connect_io("out"));
+
+  const Deck deck = spice::extract(chain);
+  EXPECT_EQ(deck.cards.size(), 12u) << "3 inverters x 4 devices";
+}
+
+TEST_F(SpiceFixture, DeckTextLooksLikeSpice) {
+  SpiceNet net(*inverter);
+  const std::string& text = net.text();
+  EXPECT_NE(text.find("* INV"), std::string::npos);
+  EXPECT_NE(text.find("NMOS"), std::string::npos);
+  EXPECT_NE(text.find("PMOS"), std::string::npos);
+  EXPECT_NE(text.find(".END"), std::string::npos);
+}
+
+TEST_F(SpiceFixture, SpiceNetOutdatedByStructureNotLayout) {
+  SpiceNet net(*inverter);
+  (void)net.text();
+  EXPECT_FALSE(net.outdated());
+  inverter->changed(kChangedLayout);
+  EXPECT_FALSE(net.outdated()) << "layout-only edits keep the net-list";
+  inverter->changed(kChangedStructure);
+  EXPECT_TRUE(net.outdated());
+}
+
+TEST_F(SpiceFixture, InverterTransientSwitches) {
+  SpiceSimulation sim(*inverter);
+  sim.spec().tstop = 50e-9;
+  sim.spec().tstep = 0.5e-9;
+  sim.spec().pulses.push_back({"in", 0.0, 5.0, 10e-9, 1e-9});
+  const auto& w = sim.run();
+  ASSERT_TRUE(w.has("out"));
+  // Before the input rises the output is pulled high; afterwards low.
+  EXPECT_GT(w.value_at("out", 9e-9), 4.0);
+  EXPECT_LT(w.value_at("out", 49e-9), 1.0);
+}
+
+TEST_F(SpiceFixture, PlotMeasuresPropagationDelay) {
+  SpiceSimulation sim(*inverter);
+  sim.spec().tstop = 50e-9;
+  sim.spec().tstep = 0.25e-9;
+  sim.spec().pulses.push_back({"in", 0.0, 5.0, 10e-9, 1e-9});
+  SpicePlot plot(sim.run());
+  const auto t_in = plot.crossing_time("in", 2.5, true);
+  ASSERT_TRUE(t_in.has_value());
+  const auto d = plot.delay_between("in", "out", 2.5);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+  EXPECT_LT(*d, 10e-9) << "RC = 1k x 100f is well under 10 ns";
+}
+
+TEST_F(SpiceFixture, SimulationOutdatedOnModelEdit) {
+  SpiceSimulation sim(*inverter);
+  sim.spec().tstop = 10e-9;
+  sim.run();
+  EXPECT_FALSE(sim.outdated());
+  inverter->changed(kChangedStructure);
+  EXPECT_TRUE(sim.outdated()) << "thesis Fig 6.3: windows marked outdated";
+  EXPECT_NO_THROW(sim.result()) << "stale results still inspectable";
+}
+
+TEST_F(SpiceFixture, PlotRendersAscii) {
+  SpiceSimulation sim(*inverter);
+  sim.spec().tstop = 20e-9;
+  sim.spec().pulses.push_back({"in", 0.0, 5.0, 5e-9, 1e-9});
+  SpicePlot plot(sim.run());
+  const std::string art = plot.render("out", 40, 8);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find("out"), std::string::npos);
+}
+
+TEST_F(SpiceFixture, EngineRejectsMalformedCards) {
+  Deck deck;
+  spice::Card bad;
+  bad.kind = DeviceInfo::Kind::kNmos;
+  bad.nodes = {"a", "b"};  // missing source terminal
+  deck.cards.push_back(bad);
+  EXPECT_THROW(MiniSpiceEngine::run(deck, TransientSpec{}),
+               std::invalid_argument);
+}
+
+TEST_F(SpiceFixture, RcLowPassSettlesToDrive) {
+  // R from a 5 V source node to 'out' with C to ground: classic RC charge.
+  Deck deck;
+  spice::Card v;
+  v.kind = DeviceInfo::Kind::kVoltageSource;
+  v.nodes = {"src"};
+  v.value = 5.0;
+  deck.cards.push_back(v);
+  spice::Card r;
+  r.kind = DeviceInfo::Kind::kResistor;
+  r.nodes = {"src", "out"};
+  r.value = 1e3;
+  deck.cards.push_back(r);
+  spice::Card c;
+  c.kind = DeviceInfo::Kind::kCapacitor;
+  c.nodes = {"out"};
+  c.value = 1e-12;
+  deck.cards.push_back(c);
+
+  TransientSpec spec;
+  spec.tstop = 20e-9;  // 20 RC
+  spec.tstep = 0.1e-9;
+  const auto w = MiniSpiceEngine::run(deck, spec);
+  EXPECT_NEAR(w.value_at("out", 20e-9), 5.0, 0.05);
+  // At t = RC (1 ns) the charge is ~63%.
+  EXPECT_NEAR(w.value_at("out", 1e-9), 5.0 * 0.632, 0.25);
+}
+
+}  // namespace
+}  // namespace stemcp::env

@@ -1,0 +1,116 @@
+// Design report rendering.
+#include <gtest/gtest.h>
+
+#include "stem/report.h"
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Value;
+
+constexpr double kNs = 1e-9;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  Library lib;
+
+  CellClass& build_pipeline() {
+    auto& stage = lib.define_cell("STAGE");
+    stage.declare_signal("in", SignalDirection::kInput);
+    stage.declare_signal("out", SignalDirection::kOutput);
+    stage.declare_delay("in", "out");
+    EXPECT_TRUE(stage.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+
+    auto& top = lib.define_cell("PIPE");
+    top.declare_signal("in", SignalDirection::kInput);
+    top.declare_signal("out", SignalDirection::kOutput);
+    auto& d = top.declare_delay("in", "out");
+    core::BoundConstraint::upper(lib.context(), d, Value(10 * kNs));
+    auto& u0 = top.add_subcell(stage, "u0");
+    auto& u1 = top.add_subcell(stage, "u1",
+                               core::Transform::translate({10, 0}));
+    auto& n0 = top.add_net("n0");
+    EXPECT_TRUE(n0.connect_io("in"));
+    EXPECT_TRUE(n0.connect(u0, "in"));
+    auto& n1 = top.add_net("n1");
+    EXPECT_TRUE(n1.connect(u0, "out"));
+    EXPECT_TRUE(n1.connect(u1, "in"));
+    auto& n2 = top.add_net("n2");
+    EXPECT_TRUE(n2.connect(u1, "out"));
+    EXPECT_TRUE(n2.connect_io("out"));
+    top.build_delay_networks();
+    EXPECT_TRUE(stage.set_leaf_delay("in", "out", 3 * kNs));
+    return top;
+  }
+};
+
+TEST_F(ReportTest, CellReportCoversEverySection) {
+  CellClass& top = build_pipeline();
+  const std::string r = DesignReport::cell(top);
+  EXPECT_NE(r.find("== PIPE =="), std::string::npos);
+  EXPECT_NE(r.find("bounding box:"), std::string::npos);
+  EXPECT_NE(r.find("signal in (input)"), std::string::npos);
+  EXPECT_NE(r.find("2 subcells, 3 nets"), std::string::npos);
+  EXPECT_NE(r.find("u0: STAGE"), std::string::npos);
+  EXPECT_NE(r.find("delay in -> out: 6 ns"), std::string::npos);
+  EXPECT_NE(r.find("spec: <="), std::string::npos);
+  EXPECT_NE(r.find("critical path (6 ns): u0 u1"), std::string::npos);
+  EXPECT_EQ(r.find("VIOLATIONS"), std::string::npos) << "clean design";
+}
+
+TEST_F(ReportTest, OptionsSuppressSections) {
+  CellClass& top = build_pipeline();
+  DesignReport::Options options;
+  options.include_structure = false;
+  options.include_delays = false;
+  options.include_signals = false;
+  const std::string r = DesignReport::cell(top, options);
+  EXPECT_EQ(r.find("subcells"), std::string::npos);
+  EXPECT_EQ(r.find("delay in"), std::string::npos);
+  EXPECT_EQ(r.find("signal in"), std::string::npos);
+  EXPECT_NE(r.find("bounding box:"), std::string::npos);
+}
+
+TEST_F(ReportTest, ViolationsSurfaceInReport) {
+  CellClass& top = build_pipeline();
+  // Sneak in an inconsistency with propagation off.
+  lib.context().set_enabled(false);
+  auto* net = top.find_net("n1");
+  ASSERT_NE(net, nullptr);
+  EXPECT_TRUE(net->bit_width().set_user(Value(4)));
+  EXPECT_TRUE(
+      top.find_subcell("u0")->bit_width("out").set_user(Value(8)));
+  lib.context().set_enabled(true);
+  const std::string r = DesignReport::cell(top);
+  EXPECT_NE(r.find("VIOLATIONS"), std::string::npos);
+  EXPECT_NE(r.find("equality"), std::string::npos);
+}
+
+TEST_F(ReportTest, LibraryReportListsAllCells) {
+  build_pipeline();
+  const std::string r = DesignReport::library(lib);
+  EXPECT_NE(r.find("2 cells"), std::string::npos);
+  EXPECT_NE(r.find("  STAGE"), std::string::npos);
+  EXPECT_NE(r.find("  PIPE"), std::string::npos);
+  EXPECT_NE(r.find("== STAGE =="), std::string::npos);
+  EXPECT_NE(r.find("== PIPE =="), std::string::npos);
+}
+
+TEST_F(ReportTest, GenericAndDeviceAnnotations) {
+  auto& g = lib.define_cell("GEN");
+  g.set_generic(true);
+  auto& sub = lib.define_cell("GEN.A", &g);
+  (void)sub;
+  auto& r1k = lib.define_cell("R1K");
+  r1k.device().kind = DeviceInfo::Kind::kResistor;
+  const std::string r = DesignReport::library(lib);
+  EXPECT_NE(r.find("GEN (generic)"), std::string::npos);
+  EXPECT_NE(r.find("[1 subclasses]"), std::string::npos);
+  EXPECT_NE(r.find("GEN.A : GEN"), std::string::npos);
+  EXPECT_NE(r.find("[device]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stemcp::env

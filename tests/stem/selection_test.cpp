@@ -1,0 +1,276 @@
+// Module validation and selection (thesis ch. 8, Figs 8.1-8.4).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::BoundConstraint;
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+constexpr double kNs = 1e-9;
+
+/// Builds the thesis Fig 8.1 scenario: ALU = LU8 -> generic ADD8, where
+/// ADD8 has a ripple-carry realization (slow, small) and a carry-select
+/// realization (fast, large).
+class Fig81 {
+ public:
+  Library lib;
+  CellClass* add8;
+  CellClass* add8_rc;
+  CellClass* add8_cs;
+  CellClass* lu8;
+  CellClass* alu;
+  CellInstance* adder_inst;
+  ClassDelayVar* alu_delay;
+
+  Fig81() {
+    add8 = &lib.define_cell("ADD8", nullptr);
+    add8->set_generic(true);
+    add8->declare_signal("in", SignalDirection::kInput);
+    add8->declare_signal("out", SignalDirection::kOutput);
+    add8->declare_delay("in", "out");
+
+    // ADD8.RC: delay 8D (8 ns), area A (80).
+    add8_rc = &lib.define_cell("ADD8.RC", add8);
+    EXPECT_TRUE(add8_rc->set_leaf_delay("in", "out", 8 * kNs));
+    EXPECT_TRUE(add8_rc->bounding_box().set_user(Value(Rect{0, 0, 8, 10})));
+    // ADD8.CS: delay 5D (5 ns), area 2.2A (176).
+    add8_cs = &lib.define_cell("ADD8.CS", add8);
+    EXPECT_TRUE(add8_cs->set_leaf_delay("in", "out", 5 * kNs));
+    EXPECT_TRUE(add8_cs->bounding_box().set_user(Value(Rect{0, 0, 8, 22})));
+
+    lu8 = &lib.define_cell("LU8", nullptr);
+    lu8->declare_signal("in", SignalDirection::kInput);
+    lu8->declare_signal("out", SignalDirection::kOutput);
+    EXPECT_TRUE(lu8->set_leaf_delay("in", "out", 3 * kNs));
+    EXPECT_TRUE(lu8->bounding_box().set_user(Value(Rect{0, 0, 8, 20})));
+
+    alu = &lib.define_cell("ALU", nullptr);
+    alu->declare_signal("in", SignalDirection::kInput);
+    alu->declare_signal("out", SignalDirection::kOutput);
+    alu_delay = &alu->declare_delay("in", "out");
+
+    auto& lu = alu->add_subcell(*lu8, "lu", Transform::translate({0, 0}));
+    adder_inst =
+        &alu->add_subcell(*add8, "add", Transform::translate({0, 20}));
+    auto& n_in = alu->add_net("n_in");
+    EXPECT_TRUE(n_in.connect_io("in"));
+    EXPECT_TRUE(n_in.connect(lu, "in"));
+    auto& n_mid = alu->add_net("n_mid");
+    EXPECT_TRUE(n_mid.connect(lu, "out"));
+    EXPECT_TRUE(n_mid.connect(*adder_inst, "in"));
+    auto& n_out = alu->add_net("n_out");
+    EXPECT_TRUE(n_out.connect(*adder_inst, "out"));
+    EXPECT_TRUE(n_out.connect_io("out"));
+    alu->build_delay_networks();
+  }
+};
+
+TEST(SelectionTest, Fig8_1TightAreaSelectsRippleCarry) {
+  Fig81 f;
+  // Tight area: the adder slot is only A (8x10); relaxed delay: 11D.
+  EXPECT_TRUE(
+      f.adder_inst->bounding_box().set_user(Value(Rect{0, 20, 8, 30})));
+  BoundConstraint::upper(f.lib.context(), *f.alu_delay, Value(11 * kNs));
+
+  const auto found = f.add8->select_realizations_for(*f.adder_inst, {});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], f.add8_rc) << "carry-select is too big for the slot";
+}
+
+TEST(SelectionTest, Fig8_1TightDelaySelectsCarrySelect) {
+  Fig81 f;
+  // Relaxed area: 4.2A slot; tight delay: 8D overall (3 + 5 fits, 3 + 8
+  // does not).
+  EXPECT_TRUE(
+      f.adder_inst->bounding_box().set_user(Value(Rect{0, 20, 8, 62})));
+  BoundConstraint::upper(f.lib.context(), *f.alu_delay, Value(8 * kNs));
+
+  const auto found = f.add8->select_realizations_for(*f.adder_inst, {});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], f.add8_cs) << "ripple-carry is too slow";
+}
+
+TEST(SelectionTest, RelaxedConstraintsAcceptBoth) {
+  Fig81 f;
+  EXPECT_TRUE(
+      f.adder_inst->bounding_box().set_user(Value(Rect{0, 20, 8, 62})));
+  BoundConstraint::upper(f.lib.context(), *f.alu_delay, Value(20 * kNs));
+  const auto found = f.add8->select_realizations_for(*f.adder_inst, {});
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(SelectionTest, ImpossibleConstraintsRejectBoth) {
+  Fig81 f;
+  EXPECT_TRUE(
+      f.adder_inst->bounding_box().set_user(Value(Rect{0, 20, 8, 62})));
+  BoundConstraint::upper(f.lib.context(), *f.alu_delay, Value(6 * kNs));
+  const auto found = f.add8->select_realizations_for(*f.adder_inst, {});
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(SelectionTest, ProbeLeavesNetworkUntouched) {
+  Fig81 f;
+  EXPECT_TRUE(
+      f.adder_inst->bounding_box().set_user(Value(Rect{0, 20, 8, 30})));
+  BoundConstraint::upper(f.lib.context(), *f.alu_delay, Value(11 * kNs));
+  (void)f.add8->select_realizations_for(*f.adder_inst, {});
+  EXPECT_TRUE(f.alu_delay->value().is_nil())
+      << "tentative probes restored; no committed delay";
+  EXPECT_TRUE(f.adder_inst->delay("in", "out").value().is_nil());
+}
+
+TEST(SelectionTest, SelectiveTestingSkipsUnrequestedProperties) {
+  Fig81 f;
+  EXPECT_TRUE(
+      f.adder_inst->bounding_box().set_user(Value(Rect{0, 20, 8, 30})));
+  f.lib.reset_selection_stats();
+  (void)f.add8->select_realizations_for(*f.adder_inst, {"bBox"});
+  EXPECT_GT(f.lib.selection_stats().bbox_checks, 0u);
+  EXPECT_EQ(f.lib.selection_stats().delay_checks, 0u);
+  EXPECT_EQ(f.lib.selection_stats().signal_checks, 0u);
+}
+
+TEST(SelectionTest, OrderingAppliesMostCriticalTestFirst) {
+  Fig81 f;
+  EXPECT_TRUE(
+      f.adder_inst->bounding_box().set_user(Value(Rect{0, 20, 8, 30})));
+  BoundConstraint::upper(f.lib.context(), *f.alu_delay, Value(11 * kNs));
+  // bBox first: ADD8.CS fails on the box and never reaches the (expensive)
+  // delay probe.
+  f.lib.reset_selection_stats();
+  (void)f.add8->select_realizations_for(*f.adder_inst, {"bBox", "delays"});
+  const auto bbox_first_delay_probes = f.lib.selection_stats().delay_checks;
+  f.lib.reset_selection_stats();
+  (void)f.add8->select_realizations_for(*f.adder_inst, {"delays", "bBox"});
+  const auto delay_first_delay_probes = f.lib.selection_stats().delay_checks;
+  EXPECT_LT(bbox_first_delay_probes, delay_first_delay_probes);
+}
+
+// Thesis Fig 8.4: generic intermediate classes carry the best-case
+// characteristics of their subtrees; failing the generic prunes the whole
+// subtree.
+TEST(SelectionTest, Fig8_4GenericPruningCutsSubtree) {
+  Library lib;
+  auto& adder8 = lib.define_cell("Adder8", nullptr);
+  adder8.set_generic(true);
+  adder8.declare_signal("in", SignalDirection::kInput);
+  adder8.declare_signal("out", SignalDirection::kOutput);
+  adder8.declare_delay("in", "out");
+
+  // Ripple-carry subtree: best case delay 8D, area 8A.
+  auto& ripple = lib.define_cell("RippleCarryAdder8", &adder8);
+  ripple.set_generic(true);
+  EXPECT_TRUE(ripple.set_leaf_delay("in", "out", 8 * kNs));  // ideal estimate
+  EXPECT_TRUE(ripple.bounding_box().set_user(Value(Rect{0, 0, 8, 8})));
+  auto& rc_s = lib.define_cell("RCAdd8S", &ripple);
+  EXPECT_TRUE(rc_s.set_leaf_delay("in", "out", 16 * kNs));
+  EXPECT_TRUE(rc_s.bounding_box().set_user(Value(Rect{0, 0, 8, 8})));
+  auto& rc_f = lib.define_cell("RCAdd8F", &ripple);
+  EXPECT_TRUE(rc_f.set_leaf_delay("in", "out", 8 * kNs));
+  EXPECT_TRUE(rc_f.bounding_box().set_user(Value(Rect{0, 0, 16, 8})));
+  for (int i = 0; i < 3; ++i) {
+    auto& extra =
+        lib.define_cell("RCAdd8V" + std::to_string(i), &ripple);
+    EXPECT_TRUE(extra.set_leaf_delay("in", "out", (9 + i) * kNs));
+    EXPECT_TRUE(extra.bounding_box().set_user(Value(Rect{0, 0, 8, 8})));
+  }
+
+  // Carry-select subtree: best case delay 4D, area 16A.
+  auto& csel = lib.define_cell("CarrySelectAdder8", &adder8);
+  csel.set_generic(true);
+  EXPECT_TRUE(csel.set_leaf_delay("in", "out", 4 * kNs));
+  EXPECT_TRUE(csel.bounding_box().set_user(Value(Rect{0, 0, 16, 8})));
+  auto& cs_1 = lib.define_cell("CSAdd8A", &csel);
+  EXPECT_TRUE(cs_1.set_leaf_delay("in", "out", 4 * kNs));
+  EXPECT_TRUE(cs_1.bounding_box().set_user(Value(Rect{0, 0, 16, 8})));
+  auto& cs_2 = lib.define_cell("CSAdd8B", &csel);
+  EXPECT_TRUE(cs_2.set_leaf_delay("in", "out", 5 * kNs));
+  EXPECT_TRUE(cs_2.bounding_box().set_user(Value(Rect{0, 0, 16, 9})));
+
+  auto& top = lib.define_cell("TOP", nullptr);
+  top.declare_signal("in", SignalDirection::kInput);
+  top.declare_signal("out", SignalDirection::kOutput);
+  auto& d = top.declare_delay("in", "out");
+  auto& inst = top.add_subcell(adder8, "u");
+  auto& n1 = top.add_net("n1");
+  EXPECT_TRUE(n1.connect_io("in"));
+  EXPECT_TRUE(n1.connect(inst, "in"));
+  auto& n2 = top.add_net("n2");
+  EXPECT_TRUE(n2.connect(inst, "out"));
+  EXPECT_TRUE(n2.connect_io("out"));
+  top.build_delay_networks();
+
+  // Delay budget 6D: the whole ripple subtree is hopeless (best 8D); both
+  // carry-select leaves happen to pass.
+  BoundConstraint::upper(lib.context(), d, Value(6 * kNs));
+  // Generous placement.
+  EXPECT_TRUE(inst.bounding_box().set_user(Value(Rect{0, 0, 32, 32})));
+
+  lib.reset_selection_stats();
+  const auto pruned = adder8.valid_realizations_for(inst, {});
+  const auto pruned_tests = lib.selection_stats().candidates_tested;
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned[0], &cs_1);
+  EXPECT_EQ(pruned[1], &cs_2);
+
+  lib.reset_selection_stats();
+  const auto unpruned = adder8.valid_realizations_unpruned(inst, {});
+  const auto unpruned_tests = lib.selection_stats().candidates_tested;
+  EXPECT_EQ(unpruned, pruned) << "pruning never changes the result set";
+  EXPECT_LT(pruned_tests, unpruned_tests)
+      << "failing the ripple generic skipped its two leaves; tested " +
+             std::to_string(pruned_tests) + " vs " +
+             std::to_string(unpruned_tests);
+}
+
+TEST(SelectionTest, NonGenericCellRealizesItself) {
+  Library lib;
+  auto& c = lib.define_cell("C", nullptr);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(c, "i");
+  const auto found = c.select_realizations_for(inst, {});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], &c);
+}
+
+TEST(SelectionTest, SignalMismatchRejectsCandidate) {
+  Library lib;
+  auto& g = lib.define_cell("G", nullptr);
+  g.set_generic(true);
+  g.declare_signal("in", SignalDirection::kInput);
+  // Candidate lacking the generic's interface.
+  auto& bad = lib.define_cell("BAD", &g);
+  // CellClass inheritance would give BAD the signal; simulate a standalone
+  // incompatible candidate instead.
+  auto& standalone = lib.define_cell("LONER", nullptr);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(g, "i");
+  EXPECT_TRUE(bad.valid_signals_for(inst)) << "inherited interface matches";
+  EXPECT_FALSE(standalone.valid_signals_for(inst));
+}
+
+TEST(SelectionTest, WidthConflictRejectsCandidate) {
+  Library lib;
+  auto& g = lib.define_cell("G", nullptr);
+  g.set_generic(true);
+  g.declare_signal("d", SignalDirection::kInput);
+  auto& narrow = lib.define_cell("NARROW", &g);
+  narrow.declare_signal("d", SignalDirection::kInput);  // shadows
+  EXPECT_TRUE(narrow.signal("d").bit_width().set_user(Value(4)));
+
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(g, "i");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(inst, "d"));
+  EXPECT_TRUE(net.bit_width().set_user(Value(8)));
+  EXPECT_FALSE(narrow.valid_signals_for(inst))
+      << "4-bit candidate cannot serve an 8-bit net";
+}
+
+}  // namespace
+}  // namespace stemcp::env

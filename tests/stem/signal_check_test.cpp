@@ -1,0 +1,167 @@
+// Incremental signal checking through nets (thesis §7.1, Figs 7.1/7.5).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Value;
+
+class SignalCheckTest : public ::testing::Test {
+ protected:
+  Library lib;
+};
+
+// Thesis Fig 7.1: class A has an 8-bit-constrained input; connecting a 4-bit
+// net to the corresponding signal of an instance of A violates.
+TEST_F(SignalCheckTest, Fig7_1BitWidthViolation) {
+  auto& a = lib.define_cell("A", nullptr);
+  a.declare_signal("in1", SignalDirection::kInput);
+  EXPECT_TRUE(a.signal("in1").bit_width().set_user(Value(8)));
+
+  auto& top = lib.define_cell("NewCell", nullptr);
+  auto& inst = top.add_subcell(a, "instA");
+  auto& net = top.add_net("n4");
+  EXPECT_TRUE(net.bit_width().set_user(Value(4)));
+  EXPECT_TRUE(net.connect(inst, "in1").is_violation())
+      << "4-bit net against 8-bit constrained signal";
+  ASSERT_FALSE(lib.context().violation_log().empty());
+}
+
+TEST_F(SignalCheckTest, WidthInferredAcrossNet) {
+  auto& a = lib.define_cell("A", nullptr);
+  a.declare_signal("in1", SignalDirection::kInput);
+  auto& b = lib.define_cell("B", nullptr);
+  b.declare_signal("out1", SignalDirection::kOutput);
+  EXPECT_TRUE(b.signal("out1").bit_width().set_user(Value(16)));
+
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& ia = top.add_subcell(a, "ia");
+  auto& ib = top.add_subcell(b, "ib");
+  auto& net = top.add_net("bus");
+  EXPECT_TRUE(net.connect(ib, "out1"));
+  EXPECT_EQ(net.bit_width().value().as_int(), 16)
+      << "net width inferred from the driving signal";
+  EXPECT_TRUE(net.connect(ia, "in1"));
+  EXPECT_EQ(ia.bit_width("in1").value().as_int(), 16)
+      << "receiver instance width inferred; reduces data entry";
+}
+
+TEST_F(SignalCheckTest, ClassWidthReachesNetThroughInstanceDual) {
+  auto& a = lib.define_cell("A", nullptr);
+  a.declare_signal("io", SignalDirection::kInOut);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(a, "i");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(inst, "io"));
+  // Width decided at the class level after connection: flows class ->
+  // instance dual -> net equality.
+  EXPECT_TRUE(a.signal("io").bit_width().set_user(Value(12)));
+  EXPECT_EQ(net.bit_width().value().as_int(), 12);
+}
+
+TEST_F(SignalCheckTest, DataTypesInferredAcrossNet) {
+  auto& reg = lib.types();
+  auto& src = lib.define_cell("SRC", nullptr);
+  src.declare_signal("q", SignalDirection::kOutput);
+  EXPECT_TRUE(
+      src.signal("q").data_type().set_user(type_value(reg.at("BCDSignal"))));
+  auto& dst = lib.define_cell("DST", nullptr);
+  dst.declare_signal("d", SignalDirection::kInput);
+
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& is = top.add_subcell(src, "s");
+  auto& id = top.add_subcell(dst, "d");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(is, "q"));
+  EXPECT_TRUE(net.connect(id, "d"));
+  EXPECT_EQ(type_of(net.data_type().value()), reg.at("BCDSignal").get());
+  EXPECT_EQ(type_of(dst.signal("d").data_type().value()),
+            reg.at("BCDSignal").get())
+      << "unspecified interface type refined by use (least-commitment)";
+}
+
+TEST_F(SignalCheckTest, IncompatibleElectricalTypesRejected) {
+  auto& reg = lib.types();
+  auto& ttl_cell = lib.define_cell("TTLCELL", nullptr);
+  ttl_cell.declare_signal("o", SignalDirection::kOutput);
+  EXPECT_TRUE(ttl_cell.signal("o").electrical_type().set_user(
+      type_value(reg.at("TTL"))));
+  auto& cmos_cell = lib.define_cell("CMOSCELL", nullptr);
+  cmos_cell.declare_signal("i", SignalDirection::kInput);
+  EXPECT_TRUE(cmos_cell.signal("i").electrical_type().set_user(
+      type_value(reg.at("CMOS"))));
+
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& it = top.add_subcell(ttl_cell, "t");
+  auto& ic = top.add_subcell(cmos_cell, "c");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(it, "o"));
+  EXPECT_TRUE(net.connect(ic, "i").is_violation());
+}
+
+// Thesis Fig 7.5: two instances of class A in different contexts accumulate
+// typing constraints on the *class* variables of A.
+TEST_F(SignalCheckTest, Fig7_5PerInstanceConstraintsAccumulateOnClassVar) {
+  auto& reg = lib.types();
+  auto& a = lib.define_cell("A", nullptr);
+  a.declare_signal("p", SignalDirection::kInOut);
+
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& a1 = top.add_subcell(a, "a1");
+  auto& a2 = top.add_subcell(a, "a2");
+  auto& n1 = top.add_net("n1");
+  auto& n2 = top.add_net("n2");
+  EXPECT_TRUE(n1.connect(a1, "p"));
+  EXPECT_TRUE(n2.connect(a2, "p"));
+  // The class data-type variable of A.p sits in both nets' compatible
+  // constraints.
+  const auto& cons = a.signal("p").data_type().constraints();
+  EXPECT_EQ(cons.size(), 2u);
+
+  // Environment 1 narrows the type to IntegerSignal...
+  EXPECT_TRUE(n1.data_type().set_user(type_value(reg.at("IntegerSignal"))));
+  EXPECT_EQ(type_of(a.signal("p").data_type().value()),
+            reg.at("IntegerSignal").get());
+  // ...which immediately shows up in environment 2's net.
+  EXPECT_EQ(type_of(n2.data_type().value()), reg.at("IntegerSignal").get());
+}
+
+TEST_F(SignalCheckTest, DisconnectRemovesConstraintParticipation) {
+  auto& a = lib.define_cell("A", nullptr);
+  a.declare_signal("x", SignalDirection::kInput);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& inst = top.add_subcell(a, "i");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(inst, "x"));
+  EXPECT_TRUE(net.bit_width().set_user(Value(4)));
+  EXPECT_EQ(inst.bit_width("x").value().as_int(), 4);
+
+  net.disconnect(inst, "x");
+  EXPECT_TRUE(inst.bit_width("x").value().is_nil())
+      << "propagated width erased with the connection";
+  // The signal can now be used at a different width elsewhere.
+  EXPECT_TRUE(inst.bit_width("x").set_user(Value(8)));
+  EXPECT_EQ(net.bit_width().value().as_int(), 4) << "net unaffected";
+}
+
+TEST_F(SignalCheckTest, SharedClassVarKeptWhileSecondInstanceConnected) {
+  auto& a = lib.define_cell("A", nullptr);
+  a.declare_signal("x", SignalDirection::kInput);
+  auto& top = lib.define_cell("TOP", nullptr);
+  auto& i1 = top.add_subcell(a, "i1");
+  auto& i2 = top.add_subcell(a, "i2");
+  auto& net = top.add_net("n");
+  EXPECT_TRUE(net.connect(i1, "x"));
+  EXPECT_TRUE(net.connect(i2, "x"));
+  ASSERT_EQ(a.signal("x").data_type().constraints().size(), 1u);
+  net.disconnect(i1, "x");
+  EXPECT_EQ(a.signal("x").data_type().constraints().size(), 1u)
+      << "class var still referenced by i2's connection";
+  net.disconnect(i2, "x");
+  EXPECT_TRUE(a.signal("x").data_type().constraints().empty());
+}
+
+}  // namespace
+}  // namespace stemcp::env

@@ -1,0 +1,135 @@
+// Whole-system stress: a three-level datapath built by compilers, checked
+// incrementally, persisted, reloaded, audited, simulated and reported —
+// every subsystem in one deterministic scenario at a non-toy size.
+#include <gtest/gtest.h>
+
+#include "stem/io.h"
+#include "stem/report.h"
+#include "stem/compilers/generator.h"
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::BoundConstraint;
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+constexpr double kNs = 1e-9;
+
+TEST(StressTest, ThreeLevelDatapathLifecycle) {
+  Library lib("stress");
+
+  // Level 0: a characterized bit slice.
+  auto& slice = lib.define_cell("SLICE");
+  ASSERT_TRUE(slice.bounding_box().set_user(Value(Rect{0, 0, 10, 20})));
+  auto& cin = slice.declare_signal("cin", SignalDirection::kInput);
+  cin.add_pin({0, 10}, Side::kLeft);
+  cin.set_load_capacitance(10e-15);
+  ASSERT_TRUE(cin.bit_width().set_user(Value(1)));
+  auto& cout = slice.declare_signal("cout", SignalDirection::kOutput);
+  cout.add_pin({10, 10}, Side::kRight);
+  cout.set_output_resistance(500.0);
+  ASSERT_TRUE(cout.bit_width().set_user(Value(1)));
+  slice.declare_delay("cin", "cout");
+
+  // Level 1: sixteen 8-bit rows generated from the slice.
+  ParameterizedCellGenerator gen(lib, "ROW", slice);
+  std::vector<CellClass*> rows;
+  for (int w = 0; w < 16; ++w) rows.push_back(&gen.realize(8));
+  ASSERT_EQ(gen.cached_count(), 1u) << "same width: one realization";
+  CellClass& row = *rows[0];
+  auto& row_in = row.declare_signal("cin", SignalDirection::kInput);
+  (void)row_in;
+  auto& row_out = row.declare_signal("cout", SignalDirection::kOutput);
+  (void)row_out;
+  ASSERT_TRUE(row.find_net("auto0") != nullptr);
+  // Expose the boundary carries manually (the generator butts only).
+  auto& first = *row.find_subcell("t0");
+  auto& last = *row.find_subcell("t7");
+  auto& n_ci = row.add_net("n_ci");
+  ASSERT_TRUE(n_ci.connect_io("cin"));
+  ASSERT_TRUE(n_ci.connect(first, "cin"));
+  auto& n_co = row.add_net("n_co");
+  ASSERT_TRUE(n_co.connect(last, "cout"));
+  ASSERT_TRUE(n_co.connect_io("cout"));
+  auto& row_delay = row.declare_delay("cin", "cout");
+  row.build_delay_networks();
+
+  // Level 2: a block of 16 row instances with an overall budget.
+  auto& block = lib.define_cell("BLOCK");
+  block.declare_signal("cin", SignalDirection::kInput);
+  block.declare_signal("cout", SignalDirection::kOutput);
+  auto& block_delay = block.declare_delay("cin", "cout");
+  BoundConstraint::upper(lib.context(), block_delay, Value(300 * kNs));
+  CellInstance* prev = nullptr;
+  for (int i = 0; i < 16; ++i) {
+    auto& inst = block.add_subcell(row, "r" + std::to_string(i),
+                                   Transform::translate({0, 25 * i}));
+    auto& net = block.add_net("c" + std::to_string(i));
+    if (i == 0) {
+      ASSERT_TRUE(net.connect_io("cin"));
+    } else {
+      ASSERT_TRUE(net.connect(*prev, "cout"));
+    }
+    ASSERT_TRUE(net.connect(inst, "cin"));
+    prev = &inst;
+  }
+  auto& n_last = block.add_net("c_last");
+  ASSERT_TRUE(n_last.connect(*prev, "cout"));
+  ASSERT_TRUE(n_last.connect_io("cout"));
+  block.build_delay_networks();
+
+  // One leaf characterization sweeps all three levels in one propagation —
+  // and because all 16 block rows share ONE row class, the row's internal
+  // network propagates once (thesis Fig 5.1): 1 slice class + 8 slice duals
+  // + 1 row path sum + 1 row delay + 16 row duals + 1 block path sum +
+  // 1 block delay = 29 assignments, not the ~145 a flat replication would
+  // need.
+  lib.context().reset_stats();
+  ASSERT_TRUE(slice.set_leaf_delay("cin", "cout", 2 * kNs));
+  EXPECT_EQ(lib.context().stats().assignments, 29u);
+  ASSERT_TRUE(row_delay.value().is_number());
+  EXPECT_NEAR(row_delay.value().as_number(),
+              8 * 2 * kNs + 7 * 500.0 * 10e-15, 1e-12);
+  ASSERT_TRUE(block_delay.value().is_number());
+  EXPECT_GT(block_delay.value().as_number(), 16 * 8 * 2 * kNs);
+  EXPECT_LT(block_delay.value().as_number(), 300 * kNs);
+
+  // Geometry rolls up across the levels.
+  EXPECT_EQ(row.bounding_box().demand().as_rect(), (Rect{0, 0, 80, 20}));
+  const Rect block_box = block.bounding_box().demand().as_rect();
+  EXPECT_EQ(block_box.width(), 80);
+  EXPECT_GT(block_box.height(), 20 * 15);
+
+  // A too-slow slice revision is caught at the block level and rolled back
+  // (budget is 300 ns; 2.5 ns slices would need ~322 ns).
+  EXPECT_TRUE(slice.set_leaf_delay("cin", "cout", 2.5 * kNs).is_violation());
+  EXPECT_NEAR(row_delay.value().as_number(),
+              8 * 2 * kNs + 7 * 500.0 * 10e-15, 1e-12)
+      << "restored across all three levels";
+
+  // The whole library audits clean.
+  const CheckReport audit = DesignChecker::check(lib);
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
+  EXPECT_GT(audit.constraints_checked, 100u);
+
+  // Persistence round trip at this size.
+  const std::string text = LibraryWriter::to_string(lib);
+  Library reloaded("stress2");
+  LibraryReader::read_string(reloaded, text);
+  CellClass& row2 = reloaded.cell("ROWx8");
+  ASSERT_NE(row2.find_delay("cin", "cout"), nullptr);
+  EXPECT_NEAR(row2.find_delay("cin", "cout")->value().as_number(),
+              row_delay.value().as_number(), 1e-12)
+      << "loaded library re-derives the same characteristics";
+
+  // Reporting covers the whole thing without blowing up.
+  const std::string report = DesignReport::cell(block);
+  EXPECT_NE(report.find("16 subcells"), std::string::npos);
+  EXPECT_NE(report.find("critical path"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stemcp::env

@@ -1,0 +1,160 @@
+// Pin stretching (thesis Fig 7.6), critical-path extraction, and the
+// debugging violation handler (thesis §5.2).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::Rect;
+using core::Transform;
+using core::Value;
+
+constexpr double kNs = 1e-9;
+
+TEST(StretchTest, PinsExtendToPlacementBoundary) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  leaf.declare_signal("l", SignalDirection::kInput)
+      .add_pin({0, 5}, Side::kLeft);
+  leaf.declare_signal("r", SignalDirection::kOutput)
+      .add_pin({10, 5}, Side::kRight);
+  leaf.declare_signal("t", SignalDirection::kOutput)
+      .add_pin({5, 10}, Side::kTop);
+
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "i");
+  // Stretch the placement: 10x10 cell in a 30x20 slot.
+  EXPECT_TRUE(inst.bounding_box().set_user(Value(Rect{0, 0, 30, 20})));
+
+  const auto pins = inst.stretched_pins();
+  ASSERT_EQ(pins.size(), 3u);
+  for (const IoPin& pin : pins) {
+    if (pin.signal == "l") {
+      EXPECT_EQ(pin.position, (core::Point{0, 5})) << "left edge unchanged";
+    } else if (pin.signal == "r") {
+      EXPECT_EQ(pin.position, (core::Point{30, 5}))
+          << "right pin pushed to the slot boundary";
+    } else {
+      EXPECT_EQ(pin.position, (core::Point{5, 20}))
+          << "top pin raised to the slot boundary";
+    }
+  }
+}
+
+TEST(StretchTest, NoPlacementBoxMeansNoStretching) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  leaf.declare_signal("p", SignalDirection::kInput)
+      .add_pin({0, 5}, Side::kLeft);
+  auto& top = lib.define_cell("TOP");
+  auto& inst = top.add_subcell(leaf, "i");
+  const auto pins = inst.stretched_pins();
+  ASSERT_EQ(pins.size(), 1u);
+  EXPECT_EQ(pins[0].position, (core::Point{0, 5}));
+}
+
+TEST(StretchTest, StretchRespectsTransform) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF");
+  EXPECT_TRUE(leaf.bounding_box().set_user(Value(Rect{0, 0, 10, 10})));
+  leaf.declare_signal("r", SignalDirection::kOutput)
+      .add_pin({10, 5}, Side::kRight);
+  auto& top = lib.define_cell("TOP");
+  // Mirror-Y: the right pin becomes a left pin.
+  auto& inst = top.add_subcell(leaf, "i",
+                               Transform{core::Orientation::kMY, {50, 0}});
+  EXPECT_TRUE(inst.bounding_box().set_user(Value(Rect{30, 0, 50, 10})));
+  const auto pins = inst.stretched_pins();
+  ASSERT_EQ(pins.size(), 1u);
+  EXPECT_EQ(pins[0].side, Side::kLeft);
+  EXPECT_EQ(pins[0].position.x, 30) << "stretched to the slot's left edge";
+}
+
+TEST(CriticalPathTest, IdentifiesSlowestPath) {
+  Library lib;
+  auto& slow = lib.define_cell("SLOW");
+  slow.declare_signal("in", SignalDirection::kInput);
+  slow.declare_signal("out", SignalDirection::kOutput);
+  slow.declare_delay("in", "out");
+  auto& fast = lib.define_cell("FAST");
+  fast.declare_signal("in", SignalDirection::kInput);
+  fast.declare_signal("out", SignalDirection::kOutput);
+  fast.declare_delay("in", "out");
+
+  auto& top = lib.define_cell("TOP");
+  top.declare_signal("in", SignalDirection::kInput);
+  top.declare_signal("out", SignalDirection::kOutput);
+  top.declare_delay("in", "out");
+  auto& s = top.add_subcell(slow, "s");
+  auto& f = top.add_subcell(fast, "f");
+  auto& n_in = top.add_net("n_in");
+  EXPECT_TRUE(n_in.connect_io("in"));
+  EXPECT_TRUE(n_in.connect(s, "in"));
+  EXPECT_TRUE(n_in.connect(f, "in"));
+  auto& n_out = top.add_net("n_out");
+  EXPECT_TRUE(n_out.connect(s, "out"));
+  EXPECT_TRUE(n_out.connect(f, "out"));
+  EXPECT_TRUE(n_out.connect_io("out"));
+  top.build_delay_networks();
+
+  EXPECT_TRUE(slow.set_leaf_delay("in", "out", 40 * kNs));
+  EXPECT_TRUE(fast.set_leaf_delay("in", "out", 10 * kNs));
+
+  const auto critical = top.critical_path("in", "out");
+  ASSERT_EQ(critical.path.size(), 1u);
+  EXPECT_EQ(&critical.path[0]->owner(), &s) << "slow instance dominates";
+  EXPECT_DOUBLE_EQ(critical.total.as_number(), 40 * kNs);
+
+  // Speeding the slow cell past the fast one flips the critical path.
+  EXPECT_TRUE(slow.set_leaf_delay("in", "out", 5 * kNs));
+  const auto flipped = top.critical_path("in", "out");
+  ASSERT_EQ(flipped.path.size(), 1u);
+  EXPECT_EQ(&flipped.path[0]->owner(), &f);
+}
+
+TEST(CriticalPathTest, UncharacterizedPathsSkipped) {
+  Library lib;
+  auto& a = lib.define_cell("A");
+  a.declare_signal("in", SignalDirection::kInput);
+  a.declare_signal("out", SignalDirection::kOutput);
+  a.declare_delay("in", "out");
+  auto& top = lib.define_cell("TOP");
+  top.declare_signal("in", SignalDirection::kInput);
+  top.declare_signal("out", SignalDirection::kOutput);
+  top.declare_delay("in", "out");
+  auto& u = top.add_subcell(a, "u");
+  auto& n1 = top.add_net("n1");
+  EXPECT_TRUE(n1.connect_io("in"));
+  EXPECT_TRUE(n1.connect(u, "in"));
+  auto& n2 = top.add_net("n2");
+  EXPECT_TRUE(n2.connect(u, "out"));
+  EXPECT_TRUE(n2.connect_io("out"));
+  top.build_delay_networks();
+  const auto critical = top.critical_path("in", "out");
+  EXPECT_TRUE(critical.total.is_nil());
+  EXPECT_TRUE(critical.path.empty());
+}
+
+TEST(DebugHandlerTest, ReportContainsDiagnostics) {
+  core::PropagationContext ctx;
+  std::ostringstream report;
+  ctx.set_violation_handler(ConstraintInspector::debugging_handler(report));
+  core::Variable a(ctx, "cell", "a"), b(ctx, "cell", "b");
+  core::EqualityConstraint::among(ctx, {&a, &b});
+  EXPECT_TRUE(b.set_user(Value(1)));
+  EXPECT_TRUE(a.set(Value(2), core::Justification::application())
+                  .is_violation());
+  const std::string text = report.str();
+  EXPECT_NE(text.find("constraint violation"), std::string::npos);
+  EXPECT_NE(text.find("cell.b"), std::string::npos);
+  EXPECT_NE(text.find("equality"), std::string::npos);
+  EXPECT_NE(text.find("proceeding"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stemcp::env

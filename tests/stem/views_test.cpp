@@ -1,0 +1,137 @@
+// Model/View consistency maintenance and property variables (thesis ch. 6).
+#include <gtest/gtest.h>
+
+#include "stem/stem.h"
+
+namespace stemcp::env {
+namespace {
+
+using core::UpdateConstraint;
+using core::Value;
+
+struct RecordingView : View {
+  std::vector<std::string> keys;
+  void update(const std::string& key) override { keys.push_back(key); }
+};
+
+TEST(ViewsTest, BroadcastReachesAllDependents) {
+  struct M : Model {} model;
+  RecordingView v1, v2;
+  model.add_dependent(v1);
+  model.add_dependent(v2);
+  model.changed();
+  EXPECT_EQ(v1.keys.size(), 1u);
+  EXPECT_EQ(v2.keys.size(), 1u);
+  EXPECT_EQ(v1.keys[0], std::string(kChangedAny));
+}
+
+TEST(ViewsTest, SelectiveErasureCarriesKey) {
+  struct M : Model {} model;
+  RecordingView v;
+  model.add_dependent(v);
+  model.changed(kChangedLayout);
+  model.changed(kChangedStructure);
+  ASSERT_EQ(v.keys.size(), 2u);
+  EXPECT_EQ(v.keys[0], kChangedLayout);
+  EXPECT_EQ(v.keys[1], kChangedStructure);
+}
+
+TEST(ViewsTest, AddDependentIsIdempotent) {
+  struct M : Model {} model;
+  RecordingView v;
+  model.add_dependent(v);
+  model.add_dependent(v);
+  model.changed();
+  EXPECT_EQ(v.keys.size(), 1u);
+}
+
+TEST(ViewsTest, ViewMayDeregisterDuringUpdate) {
+  struct M : Model {} model;
+  struct SelfRemoving : View {
+    Model* m = nullptr;
+    int updates = 0;
+    void update(const std::string&) override {
+      ++updates;
+      m->remove_dependent(*this);
+    }
+  } v;
+  v.m = &model;
+  model.add_dependent(v);
+  model.changed();
+  model.changed();
+  EXPECT_EQ(v.updates, 1) << "deregistered after first update";
+}
+
+// The full consistency-maintenance combination (thesis §6.3): an
+// update-constraint erases a property variable whose implicit invocation
+// recalculates on demand.
+TEST(ViewsTest, UpdateConstraintPlusImplicitInvocation) {
+  core::PropagationContext ctx;
+  core::Variable layout(ctx, "cell", "layout");
+  StemVariable area(ctx, "cell", "area");
+  int recalcs = 0;
+  area.set_recalculate([&] {
+    ++recalcs;
+    area.set_application(Value(static_cast<std::int64_t>(
+        layout.value().is_int() ? layout.value().as_int() * 10 : 0)));
+  });
+  UpdateConstraint::depends(ctx, {&area}, {&layout});
+
+  EXPECT_TRUE(layout.set_user(Value(4)));
+  EXPECT_EQ(area.demand().as_int(), 40);
+  EXPECT_EQ(recalcs, 1);
+
+  // Three edits, zero recalculations until the next demand.
+  EXPECT_TRUE(layout.set_user(Value(5)));
+  EXPECT_TRUE(layout.set_user(Value(6)));
+  EXPECT_TRUE(layout.set_user(Value(7)));
+  EXPECT_EQ(recalcs, 1);
+  EXPECT_TRUE(area.value().is_nil()) << "erased, awaiting demand";
+  EXPECT_EQ(area.demand().as_int(), 70);
+  EXPECT_EQ(recalcs, 2) << "edits coalesced into one recalculation";
+}
+
+TEST(ViewsTest, ChainedPropertyVariables) {
+  // bbox -> area -> cost: erasure cascades; demand rebuilds the chain.
+  core::PropagationContext ctx;
+  core::Variable bbox(ctx, "cell", "bbox");
+  StemVariable area(ctx, "cell", "area");
+  StemVariable cost(ctx, "cell", "cost");
+  area.set_recalculate([&] {
+    if (bbox.value().is_rect()) {
+      area.set_application(Value(bbox.value().as_rect().area()));
+    }
+  });
+  cost.set_recalculate([&] {
+    const core::Value& a = area.demand();
+    if (a.is_int()) cost.set_application(Value(a.as_int() * 3));
+  });
+  UpdateConstraint::depends(ctx, {&area}, {&bbox});
+  UpdateConstraint::depends(ctx, {&cost}, {&area});
+
+  EXPECT_TRUE(bbox.set_user(Value(core::Rect{0, 0, 4, 5})));
+  EXPECT_EQ(cost.demand().as_int(), 60);
+  EXPECT_TRUE(bbox.set_user(Value(core::Rect{0, 0, 10, 10})));
+  EXPECT_TRUE(cost.value().is_nil()) << "cascaded erasure";
+  EXPECT_EQ(cost.demand().as_int(), 300);
+}
+
+TEST(ViewsTest, CellChangeBroadcastStopsAtUnaffectedLevels) {
+  Library lib;
+  auto& leaf = lib.define_cell("LEAF", nullptr);
+  auto& mid = lib.define_cell("MID", nullptr);
+  mid.add_subcell(leaf, "l");
+  RecordingView mid_view;
+  mid.add_dependent(mid_view);
+  leaf.changed(kChangedStructure);
+  EXPECT_EQ(mid_view.keys.size(), 1u);
+  // A cell with no instances broadcasts only to its own views.
+  RecordingView leaf_view;
+  leaf.add_dependent(leaf_view);
+  mid.changed(kChangedStructure);
+  EXPECT_TRUE(leaf_view.keys.empty())
+      << "changes flow up the hierarchy, never down";
+}
+
+}  // namespace
+}  // namespace stemcp::env
