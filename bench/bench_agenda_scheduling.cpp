@@ -107,4 +107,5 @@ static void BM_EagerFunctional(benchmark::State& state) {
 }
 BENCHMARK(BM_EagerFunctional)->RangeMultiplier(4)->Range(4, 256);
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

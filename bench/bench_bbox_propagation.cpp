@@ -103,4 +103,5 @@ static void BM_PlacementCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_PlacementCheck);
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -81,4 +81,5 @@ BENCHMARK(BM_CompilationCost)
     ->Range(16, 4096)
     ->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -76,4 +76,5 @@ BENCHMARK(BM_SumOfConstraintsOverVariables)
     ->Args({512, 16})
     ->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

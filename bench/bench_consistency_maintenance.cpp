@@ -98,4 +98,5 @@ static void BM_EditsWithoutDemand(benchmark::State& state) {
 }
 BENCHMARK(BM_EditsWithoutDemand)->RangeMultiplier(4)->Range(4, 256);
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -83,4 +83,5 @@ static void BM_RemovalErasure(benchmark::State& state) {
 }
 BENCHMARK(BM_RemovalErasure)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -6,13 +6,17 @@
 #include <memory>
 #include <vector>
 
+#include "bench_support.h"
 #include "core/core.h"
 
 using namespace stemcp::core;
 
 // The exact Fig 4.5 network: V1 == V2, V4 = max(V2, V3); toggle V1.
+// With STEMCP_TRACE=<file> the run is traced and exported as a Chrome
+// trace-event JSON (open in chrome://tracing or Perfetto).
 static void BM_Fig4_5_Network(benchmark::State& state) {
   PropagationContext ctx;
+  stemcp::benchsupport::maybe_enable_tracing(ctx);
   Variable v1(ctx, "f", "V1"), v2(ctx, "f", "V2"), v3(ctx, "f", "V3"),
       v4(ctx, "f", "V4");
   v3.set_user(Value(7));
@@ -28,6 +32,7 @@ static void BM_Fig4_5_Network(benchmark::State& state) {
   state.counters["assignments/op"] =
       benchmark::Counter(static_cast<double>(ctx.stats().assignments),
                          benchmark::Counter::kAvgIterations);
+  stemcp::benchsupport::maybe_export_trace(ctx);
 }
 BENCHMARK(BM_Fig4_5_Network);
 
@@ -100,4 +105,5 @@ static void BM_EqualityFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_EqualityFanout)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

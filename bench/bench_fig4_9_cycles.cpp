@@ -66,4 +66,5 @@ BENCHMARK(BM_SatisfiableRing)
     ->Range(4, 1024)
     ->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -137,4 +137,5 @@ BENCHMARK(BM_Flat)
     ->ArgsProduct({{1, 4, 16, 64}, {64}})
     ->ArgsProduct({{16}, {16, 64, 256}});
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -89,4 +89,5 @@ static void BM_BuildDelayNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildDelayNetwork);
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -131,4 +131,5 @@ BENCHMARK(BM_IncrementalWithRcModel)
     ->Range(4, 256)
     ->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

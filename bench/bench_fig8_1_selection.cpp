@@ -107,4 +107,5 @@ static void BM_TestOrdering_DelaysFirst(benchmark::State& state) {
 }
 BENCHMARK(BM_TestOrdering_DelaysFirst);
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -89,4 +89,5 @@ BENCHMARK(BM_Unpruned)
     ->ArgsProduct({{2, 8, 32}, {8}})
     ->ArgsProduct({{8}, {2, 32}});
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -74,4 +74,5 @@ BENCHMARK(BM_BatchCheckingPerEdit)
     ->Range(4, 256)
     ->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

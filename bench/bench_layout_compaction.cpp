@@ -73,4 +73,5 @@ BENCHMARK(BM_GeneralFrameworkCompaction)
     ->Range(16, 1024)
     ->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -82,4 +82,5 @@ static void BM_ArgumentJoinLeave(benchmark::State& state) {
 }
 BENCHMARK(BM_ArgumentJoinLeave)->RangeMultiplier(4)->Range(4, 256);
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -99,4 +99,5 @@ static void BM_WidthRipple(benchmark::State& state) {
 }
 BENCHMARK(BM_WidthRipple)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -1,0 +1,80 @@
+// Shared benchmark harness glue.
+//
+// Every bench binary uses STEMCP_BENCH_MAIN() instead of BENCHMARK_MAIN():
+// after the timing run it writes the process-global metrics registry —
+// which every PropagationContext folds its lifetime counters into on
+// destruction — as machine-readable JSON next to the Google-Benchmark
+// output, so BENCH_*.json trajectories stay comparable across PRs.
+//
+//   STEMCP_BENCH_STATS=<path>  stats JSON destination
+//                              (default: <exe-basename>.stats.json in cwd)
+//   STEMCP_BENCH_STATS=-       suppress the stats file
+//   STEMCP_TRACE=<path>        benches that call maybe_enable_tracing()
+//                              record a Chrome trace-event file there
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/core.h"
+
+namespace stemcp::benchsupport {
+
+inline const char* trace_path() { return std::getenv("STEMCP_TRACE"); }
+
+/// Turn on structured tracing (+ metrics) for this context when the run was
+/// started with STEMCP_TRACE=<file>.
+inline void maybe_enable_tracing(core::PropagationContext& ctx) {
+  if (trace_path() != nullptr) {
+    ctx.tracer().set_enabled(true);
+    ctx.metrics().set_enabled(true);
+  }
+}
+
+/// Export the context's ring buffer as Chrome trace-event JSON to the
+/// STEMCP_TRACE path.  Call after the measurement loop; the last caller in
+/// the binary wins.
+inline void maybe_export_trace(core::PropagationContext& ctx) {
+  if (const char* path = trace_path()) {
+    if (!core::export_chrome_trace(ctx.tracer(), path)) {
+      std::cerr << "bench_support: failed to write trace to " << path << '\n';
+    }
+  }
+}
+
+inline std::string stats_json_path(const char* argv0) {
+  if (const char* p = std::getenv("STEMCP_BENCH_STATS")) return p;
+  std::string exe = (argv0 != nullptr && *argv0) ? argv0 : "bench";
+  const auto slash = exe.find_last_of('/');
+  if (slash != std::string::npos) exe = exe.substr(slash + 1);
+  return exe + ".stats.json";
+}
+
+inline int bench_main(int argc, char** argv) {
+  const std::string stats_path =
+      stats_json_path(argc > 0 ? argv[0] : nullptr);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (stats_path != "-") {
+    std::ofstream out(stats_path, std::ios::out | std::ios::trunc);
+    out << core::global_metrics_json() << '\n';
+    if (!out.good()) {
+      std::cerr << "bench_support: failed to write " << stats_path << '\n';
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace stemcp::benchsupport
+
+#define STEMCP_BENCH_MAIN()                        \
+  int main(int argc, char** argv) {                \
+    return stemcp::benchsupport::bench_main(argc, argv); \
+  }

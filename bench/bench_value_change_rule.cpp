@@ -69,4 +69,5 @@ static void BM_ReconvergentLadder(benchmark::State& state) {
 BENCHMARK(BM_ReconvergentLadder)
     ->ArgsProduct({{1, 4, 16}, {1, 2, 8, 64}});
 
-BENCHMARK_MAIN();
+#include "bench_support.h"
+STEMCP_BENCH_MAIN();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/propagatable.h"
+#include "core/trace.h"
+
 namespace stemcp::core {
 
 AgendaScheduler::AgendaScheduler() {
@@ -25,33 +28,70 @@ void AgendaScheduler::set_priority_order(std::vector<std::string> names) {
   for (const auto& n : order_) queues_.push_back(Queue{n, {}, 0, {}});
 }
 
-AgendaScheduler::Queue& AgendaScheduler::queue_named(const std::string& name) {
-  for (auto& q : queues_) {
-    if (q.name == name) return q;
+std::size_t AgendaScheduler::queue_index(const std::string& name) {
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].name == name) return i;
   }
   // Unknown agendas are appended at the lowest priority.
   order_.push_back(name);
   queues_.push_back(Queue{name, {}, 0, {}});
-  return queues_.back();
+  return queues_.size() - 1;
+}
+
+void AgendaScheduler::bind_instrumentation(std::uint64_t* high_water,
+                                           std::uint64_t* scheduled_by_priority,
+                                           std::uint64_t* executed_by_priority,
+                                           std::size_t tracked_priorities,
+                                           Tracer* tracer,
+                                           MetricsRegistry* metrics) {
+  high_water_ = high_water;
+  scheduled_ = scheduled_by_priority;
+  executed_ = executed_by_priority;
+  tracked_priorities_ = tracked_priorities;
+  tracer_ = tracer;
+  metrics_ = metrics;
 }
 
 bool AgendaScheduler::schedule(const std::string& agenda, Propagatable& task,
                                Variable* variable) {
-  Queue& q = queue_named(agenda);
+  const std::size_t pri = queue_index(agenda);
+  Queue& q = queues_[pri];
   const Entry e{&task, variable};
   if (!q.members.insert(e).second) return false;  // duplicate suppression
   q.fifo.push_back(e);
+
+  // Always-on queue-pressure accounting (cheap: two compares, one store).
+  if (scheduled_ != nullptr && tracked_priorities_ > 0) {
+    ++scheduled_[std::min(pri, tracked_priorities_ - 1)];
+  }
+  if (high_water_ != nullptr) {
+    const std::size_t depth = size();
+    if (depth > *high_water_) *high_water_ = depth;
+  }
+
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->emit(TraceEventType::kAgendaSchedule, task.describe(), &task, 0,
+                  static_cast<std::uint8_t>(std::min<std::size_t>(pri, 255)));
+  }
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    metrics_->histogram("agenda_depth.p" + std::to_string(pri)).record(size());
+  }
   return true;
 }
 
 std::optional<AgendaScheduler::Entry> AgendaScheduler::pop_highest_priority() {
-  for (auto& q : queues_) {
+  for (std::size_t pri = 0; pri < queues_.size(); ++pri) {
+    Queue& q = queues_[pri];
     if (q.empty()) continue;
     Entry e = q.fifo[q.head++];
     q.members.erase(e);
     if (q.empty()) {
       q.fifo.clear();
       q.head = 0;
+    }
+    last_popped_priority_ = pri;
+    if (executed_ != nullptr && tracked_priorities_ > 0) {
+      ++executed_[std::min(pri, tracked_priorities_ - 1)];
     }
     return e;
   }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
@@ -14,7 +15,9 @@
 
 namespace stemcp::core {
 
+class MetricsRegistry;
 class Propagatable;
+class Tracer;
 class Variable;
 
 /// Well-known agenda names.
@@ -47,10 +50,25 @@ class AgendaScheduler {
   /// `removeHighestPriorityScheduledEntry` — first entry of the highest
   /// priority non-empty agenda.
   std::optional<Entry> pop_highest_priority();
+  /// Priority (queue index) of the most recent pop; meaningful only right
+  /// after a successful pop_highest_priority().
+  std::size_t last_popped_priority() const { return last_popped_priority_; }
 
   bool empty() const;
   std::size_t size() const;
   void clear();
+
+  // ---- instrumentation ----------------------------------------------------
+  /// Observability hookup (engine-owned).  `scheduled` / `executed` point at
+  /// per-priority counter arrays of `tracked_priorities` slots; overflowing
+  /// priorities accumulate in the last slot.  `high_water` tracks the max
+  /// total queue depth seen.  Any pointer may be null; tracer/metrics are
+  /// consulted only when enabled.
+  void bind_instrumentation(std::uint64_t* high_water,
+                            std::uint64_t* scheduled_by_priority,
+                            std::uint64_t* executed_by_priority,
+                            std::size_t tracked_priorities, Tracer* tracer,
+                            MetricsRegistry* metrics);
 
  private:
   struct Queue {
@@ -62,10 +80,18 @@ class AgendaScheduler {
     bool empty() const { return head >= fifo.size(); }
   };
 
-  Queue& queue_named(const std::string& name);
+  std::size_t queue_index(const std::string& name);
 
   std::vector<std::string> order_;
   std::vector<Queue> queues_;  // parallel to order_
+  std::size_t last_popped_priority_ = 0;
+
+  std::uint64_t* high_water_ = nullptr;
+  std::uint64_t* scheduled_ = nullptr;
+  std::uint64_t* executed_ = nullptr;
+  std::size_t tracked_priorities_ = 0;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace stemcp::core

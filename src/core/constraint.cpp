@@ -41,6 +41,10 @@ void Constraint::basic_add_argument(Variable& v) {
 }
 
 Status Constraint::add_argument(Variable& v) {
+  if (ctx_.tracing()) {
+    ctx_.tracer().emit(TraceEventType::kNetworkEdit,
+                       "addArgument " + v.path() + " to " + describe(), this);
+  }
   basic_add_argument(v);
   return reinitialize_variables();
 }
@@ -51,6 +55,11 @@ void Constraint::detach_argument_raw(Variable& v) {
 
 void Constraint::remove_argument(Variable& v) {
   if (!references(v)) return;
+  if (ctx_.tracing()) {
+    ctx_.tracer().emit(TraceEventType::kNetworkEdit,
+                       "removeArgument " + v.path() + " from " + describe(),
+                       this);
+  }
   detach_argument_raw(v);
   v.detach(*this);
   if (v.last_set_by().constraint() == this) {

@@ -69,6 +69,7 @@ class Constraint : public Propagatable {
                        DependencyTrace& out) const override;
 
   std::string describe() const override;
+  std::string type_name() const override { return kind(); }
 
  protected:
   /// Short type tag used in descriptions ("equality", "uniMax", ...).

@@ -14,5 +14,6 @@
 #include "core/propagatable.h"
 #include "core/relaxation.h"
 #include "core/status.h"
+#include "core/trace.h"
 #include "core/value.h"
 #include "core/variable.h"

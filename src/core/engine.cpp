@@ -8,8 +8,36 @@
 
 namespace stemcp::core {
 
-PropagationContext::PropagationContext() = default;
-PropagationContext::~PropagationContext() = default;
+PropagationContext::PropagationContext() {
+  agenda_.bind_instrumentation(
+      &stats_.agenda_high_water, stats_.scheduled_by_priority.data(),
+      stats_.executed_by_priority.data(), Stats::kTrackedPriorities, &tracer_,
+      &metrics_);
+}
+
+PropagationContext::~PropagationContext() {
+  // Fold this context's lifetime totals into the process-global registry so
+  // benchmark binaries can emit one aggregate stats JSON per run (see
+  // bench/bench_support.h).
+  MetricsRegistry totals;
+  totals.add_counter("ctx.contexts", 1);
+  totals.add_counter("ctx.sessions", stats_.sessions);
+  totals.add_counter("ctx.assignments", stats_.assignments);
+  totals.add_counter("ctx.activations", stats_.activations);
+  totals.add_counter("ctx.scheduled_runs", stats_.scheduled_runs);
+  totals.add_counter("ctx.checks", stats_.checks);
+  totals.add_counter("ctx.violations", stats_.violations);
+  totals.add_counter("ctx.restores", stats_.restores);
+  totals.histogram("ctx.agenda_high_water").record(stats_.agenda_high_water);
+  for (std::size_t i = 0; i < Stats::kTrackedPriorities; ++i) {
+    totals.add_counter("ctx.scheduled.p" + std::to_string(i),
+                       stats_.scheduled_by_priority[i]);
+    totals.add_counter("ctx.executed.p" + std::to_string(i),
+                       stats_.executed_by_priority[i]);
+  }
+  totals.merge(metrics_);
+  merge_into_global_metrics(totals);
+}
 
 std::vector<Constraint*> PropagationContext::all_constraints() const {
   std::vector<Constraint*> out;
@@ -19,6 +47,9 @@ std::vector<Constraint*> PropagationContext::all_constraints() const {
 }
 
 void PropagationContext::destroy_constraint(Constraint& c) {
+  if (tracing()) {
+    tracer_.emit(TraceEventType::kNetworkEdit, "destroy " + c.describe(), &c);
+  }
   // Collect every variable whose value transitively depends on this
   // constraint, before breaking any link.
   DependencyTrace trace;
@@ -56,6 +87,8 @@ Status PropagationContext::run_session(const std::function<Status()>& body) {
   agenda_.clear();
   last_violation_.reset();
 
+  if (tracing()) tracer_.emit(TraceEventType::kSessionBegin, "");
+
   Status s = body();
   if (s.is_ok()) s = drain_agendas();
   if (s.is_ok()) s = check_visited_constraints();
@@ -75,6 +108,11 @@ Status PropagationContext::run_session(const std::function<Status()>& body) {
     restore_visited();
   }
   in_propagation_ = false;
+
+  if (tracing()) {
+    tracer_.emit(TraceEventType::kSessionEnd,
+                 s.is_violation() ? "violation" : "ok");
+  }
   return s.is_violation() ? Status::violation() : Status::ok();
 }
 
@@ -104,27 +142,72 @@ void PropagationContext::mark_visited(Propagatable& c) {
 }
 
 void PropagationContext::restore_visited() {
+  const bool traced = tracing();
   for (auto& [var, saved] : visited_vars_) {
+    if (traced) {
+      tracer_.emit(TraceEventType::kRestore, var->path(), var);
+    }
     var->restore_state(saved.value, saved.justification);
     ++stats_.restores;
   }
 }
 
 Status PropagationContext::signal_violation(ViolationInfo info) {
-  if (!last_violation_) last_violation_ = std::move(info);
+  if (!last_violation_) {
+    if (tracing()) {
+      tracer_.emit(TraceEventType::kViolation, info.message,
+                   info.constraint);
+    }
+    last_violation_ = std::move(info);
+  }
   return Status::violation();
 }
 
 void PropagationContext::report_violation(const ViolationInfo& info) {
   violation_log_.push_back(info.to_string());
+  if (violation_log_.size() > violation_log_limit_) {
+    const std::size_t excess = violation_log_.size() - violation_log_limit_;
+    violation_log_.erase(violation_log_.begin(),
+                         violation_log_.begin() +
+                             static_cast<std::ptrdiff_t>(excess));
+    violation_log_dropped_ += excess;
+  }
   if (violation_handler_) violation_handler_(info);
+}
+
+void PropagationContext::set_violation_log_limit(std::size_t limit) {
+  violation_log_limit_ = limit < 1 ? 1 : limit;
+  if (violation_log_.size() > violation_log_limit_) {
+    const std::size_t excess = violation_log_.size() - violation_log_limit_;
+    violation_log_.erase(violation_log_.begin(),
+                         violation_log_.begin() +
+                             static_cast<std::ptrdiff_t>(excess));
+    violation_log_dropped_ += excess;
+  }
 }
 
 Status PropagationContext::drain_agendas() {
   while (auto entry = agenda_.pop_highest_priority()) {
     ++stats_.scheduled_runs;
-    const Status s = entry->task->propagate_scheduled(entry->variable);
-    if (s.is_violation()) return s;
+    if (observing()) {
+      const std::size_t pri = agenda_.last_popped_priority();
+      const std::uint64_t t0 = Tracer::now_ns();
+      const Status s = entry->task->propagate_scheduled(entry->variable);
+      const std::uint64_t dt = Tracer::now_ns() - t0;
+      if (tracing()) {
+        tracer_.emit(TraceEventType::kAgendaPop, entry->task->describe(),
+                     entry->task, dt,
+                     static_cast<std::uint8_t>(std::min<std::size_t>(pri,
+                                                                     255)));
+      }
+      if (metrics_.enabled()) {
+        metrics_.histogram("run_ns." + entry->task->type_name()).record(dt);
+      }
+      if (s.is_violation()) return s;
+    } else {
+      const Status s = entry->task->propagate_scheduled(entry->variable);
+      if (s.is_violation()) return s;
+    }
   }
   return Status::ok();
 }
@@ -133,9 +216,24 @@ Status PropagationContext::check_visited_constraints() {
   // The final sweep (thesis Fig 4.6): isSatisfied is sent to every visited
   // constraint.  Implicit-constraint scheduling may mark more constraints
   // visited while checking does not, so a simple index loop suffices.
+  const bool observed = observing();
   for (Propagatable* c : visited_constraints_) {
     ++stats_.checks;
-    if (!c->is_satisfied()) {
+    bool ok;
+    if (observed) {
+      const std::uint64_t t0 = Tracer::now_ns();
+      ok = c->is_satisfied();
+      const std::uint64_t dt = Tracer::now_ns() - t0;
+      if (tracing()) {
+        tracer_.emit(TraceEventType::kCheck, c->describe(), c, dt);
+      }
+      if (metrics_.enabled()) {
+        metrics_.histogram("check_ns." + c->type_name()).record(dt);
+      }
+    } else {
+      ok = c->is_satisfied();
+    }
+    if (!ok) {
       return signal_violation(
           {c, nullptr, Value::nil(),
            "constraint unsatisfied after propagation: " + c->describe()});

@@ -6,6 +6,7 @@
 // reporting, and restore-on-violation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -17,6 +18,7 @@
 #include "core/agenda.h"
 #include "core/justification.h"
 #include "core/status.h"
+#include "core/trace.h"
 #include "core/value.h"
 
 namespace stemcp::core {
@@ -68,6 +70,7 @@ class PropagationContext {
   Status run_session(const std::function<Status()>& body);
 
   AgendaScheduler& agenda() { return agenda_; }
+  const AgendaScheduler& agenda() const { return agenda_; }
 
   // ---- visited bookkeeping (one-value-change rule) -----------------------
   bool was_visited(const Variable& v) const;
@@ -109,10 +112,17 @@ class PropagationContext {
   /// Invoked by Propagatable::on_violation's default implementation.
   void report_violation(const ViolationInfo& info);
 
-  /// All violation messages reported since construction (the thesis's
-  /// warning text window).
+  /// Violation messages reported since construction (the thesis's warning
+  /// text window), capped at violation_log_limit(): once full, the oldest
+  /// entries are dropped and counted in violation_log_dropped().
   const std::vector<std::string>& violation_log() const {
     return violation_log_;
+  }
+  std::size_t violation_log_limit() const { return violation_log_limit_; }
+  /// Cap the warning window (minimum 1); trims the log immediately.
+  void set_violation_log_limit(std::size_t limit);
+  std::uint64_t violation_log_dropped() const {
+    return violation_log_dropped_;
   }
 
   // ---- drain / check helpers (exposed for network editing) ---------------
@@ -121,6 +131,9 @@ class PropagationContext {
 
   // ---- statistics (used by the benchmark harness) -------------------------
   struct Stats {
+    /// Priorities beyond this many share the last per-priority slot.
+    static constexpr std::size_t kTrackedPriorities = 4;
+
     std::uint64_t sessions = 0;
     std::uint64_t assignments = 0;   ///< successful value changes
     std::uint64_t activations = 0;   ///< propagateVariable: sends
@@ -128,10 +141,25 @@ class PropagationContext {
     std::uint64_t checks = 0;        ///< isSatisfied evaluations
     std::uint64_t violations = 0;
     std::uint64_t restores = 0;      ///< variables restored
+
+    // Queue-pressure accounting (always on; maintained by the scheduler).
+    std::uint64_t agenda_high_water = 0;  ///< max total queue depth seen
+    std::array<std::uint64_t, kTrackedPriorities> scheduled_by_priority{};
+    std::array<std::uint64_t, kTrackedPriorities> executed_by_priority{};
   };
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   Stats& mutable_stats() { return stats_; }
+
+  // ---- observability ------------------------------------------------------
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// Hot-path guard: is structured tracing on?  (One inlined bool load.)
+  bool tracing() const { return tracer_.enabled(); }
+  /// Hot-path guard for instrumentation that feeds either subsystem.
+  bool observing() const { return tracer_.enabled() || metrics_.enabled(); }
 
  private:
   struct SavedState {
@@ -154,8 +182,12 @@ class PropagationContext {
   std::optional<ViolationInfo> last_violation_;
   ViolationHandler violation_handler_;
   std::vector<std::string> violation_log_;
+  std::size_t violation_log_limit_ = 256;
+  std::uint64_t violation_log_dropped_ = 0;
 
   Stats stats_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace stemcp::core

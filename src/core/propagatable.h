@@ -63,6 +63,10 @@ class Propagatable {
   /// Human-readable identification for the constraint editor and violation
   /// messages.
   virtual std::string describe() const = 0;
+
+  /// Short type tag used as a metrics key ("equality", "uniMaximum", ...);
+  /// constraint subclasses forward their kind().
+  virtual std::string type_name() const { return "propagatable"; }
 };
 
 }  // namespace stemcp::core

@@ -1,0 +1,403 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace stemcp::core {
+
+// ---------------------------------------------------------------------------
+// TraceEvent
+
+const char* to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kSessionBegin: return "sessionBegin";
+    case TraceEventType::kSessionEnd: return "sessionEnd";
+    case TraceEventType::kAssignment: return "assignment";
+    case TraceEventType::kActivation: return "activation";
+    case TraceEventType::kAgendaSchedule: return "agendaSchedule";
+    case TraceEventType::kAgendaPop: return "agendaPop";
+    case TraceEventType::kCheck: return "check";
+    case TraceEventType::kViolation: return "violation";
+    case TraceEventType::kRestore: return "restore";
+    case TraceEventType::kNetworkEdit: return "networkEdit";
+  }
+  return "unknown";
+}
+
+void TraceEvent::set_label(std::string_view s) {
+  const std::size_t n = std::min(s.size(), kLabelCapacity - 1);
+  std::memcpy(label, s.data(), n);
+  label[n] = '\0';
+}
+
+std::string_view TraceEvent::label_view() const {
+  return std::string_view(label);
+}
+
+// ---------------------------------------------------------------------------
+// RingBufferSink
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : buf_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferSink::consume(const TraceEvent& e) {
+  const std::uint64_t w = write_.load(std::memory_order_relaxed);
+  buf_[w % buf_.size()] = e;
+  write_.store(w + 1, std::memory_order_release);
+}
+
+std::uint64_t RingBufferSink::overwritten() const {
+  const std::uint64_t total = total_consumed();
+  return total > buf_.size() ? total - buf_.size() : 0;
+}
+
+std::size_t RingBufferSink::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_consumed(), buf_.size()));
+}
+
+std::vector<TraceEvent> RingBufferSink::snapshot() const {
+  const std::uint64_t total = total_consumed();
+  const std::uint64_t n = std::min<std::uint64_t>(total, buf_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = total - n; i < total; ++i) {
+    out.push_back(buf_[i % buf_.size()]);
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  write_.store(0, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string trace_event_to_json(const TraceEvent& e) {
+  std::string out;
+  out += "{\"seq\":" + std::to_string(e.seq);
+  out += ",\"type\":" + json_string(to_string(e.type));
+  out += ",\"ts_ns\":" + std::to_string(e.timestamp_ns);
+  if (e.duration_ns != 0) {
+    out += ",\"dur_ns\":" + std::to_string(e.duration_ns);
+  }
+  out += ",\"priority\":" + std::to_string(e.priority);
+  out += ",\"label\":" + json_string(e.label_view());
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlFileSink
+
+struct JsonlFileSink::Impl {
+  std::ofstream out;
+};
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::out | std::ios::trunc);
+}
+
+JsonlFileSink::~JsonlFileSink() = default;
+
+bool JsonlFileSink::ok() const { return impl_->out.good(); }
+
+void JsonlFileSink::consume(const TraceEvent& e) {
+  impl_->out << trace_event_to_json(e) << '\n';
+}
+
+void JsonlFileSink::flush() { impl_->out.flush(); }
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer() = default;
+Tracer::~Tracer() = default;
+
+void Tracer::set_enabled(bool on) {
+  if (on && sinks_.empty()) {
+    default_ring_ = std::make_shared<RingBufferSink>();
+    sinks_.push_back(default_ring_);
+  }
+  enabled_ = on;
+}
+
+void Tracer::add_sink(std::shared_ptr<TraceSink> sink) {
+  if (!sink) return;
+  if (default_ring_ == nullptr) {
+    default_ring_ = std::dynamic_pointer_cast<RingBufferSink>(sink);
+  }
+  sinks_.push_back(std::move(sink));
+}
+
+void Tracer::clear_sinks() {
+  sinks_.clear();
+  default_ring_.reset();
+}
+
+RingBufferSink* Tracer::ring() const { return default_ring_.get(); }
+
+void Tracer::emit(TraceEventType type, std::string_view label,
+                  const void* subject, std::uint64_t duration_ns,
+                  std::uint8_t priority) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.type = type;
+  e.priority = priority;
+  e.seq = seq_++;
+  e.timestamp_ns = now_ns();
+  e.duration_ns = duration_ns;
+  e.subject = subject;
+  e.set_label(label);
+  for (auto& s : sinks_) s->consume(e);
+}
+
+void Tracer::flush() {
+  for (auto& s : sinks_) s->flush();
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+
+namespace {
+
+void write_chrome_event(std::ostream& out, const TraceEvent& e, bool& first) {
+  const double ts_us = static_cast<double>(e.timestamp_ns) / 1000.0;
+  const double dur_us = static_cast<double>(e.duration_ns) / 1000.0;
+  const char* cat = to_string(e.type);
+
+  std::string name(e.label_view());
+  if (name.empty()) name = cat;
+
+  const char* ph = "i";
+  switch (e.type) {
+    case TraceEventType::kSessionBegin: ph = "B"; name = "session"; break;
+    case TraceEventType::kSessionEnd: ph = "E"; name = "session"; break;
+    case TraceEventType::kCheck:
+    case TraceEventType::kAgendaPop: ph = "X"; break;
+    default: break;
+  }
+
+  if (!first) out << ",\n";
+  first = false;
+
+  out << "{\"name\":" << json_string(name) << ",\"cat\":" << json_string(cat)
+      << ",\"ph\":\"" << ph << "\",\"ts\":" << ts_us
+      << ",\"pid\":1,\"tid\":1";
+  if (*ph == 'X') out << ",\"dur\":" << dur_us;
+  if (*ph == 'i') out << ",\"s\":\"t\"";
+  out << ",\"args\":{\"seq\":" << e.seq
+      << ",\"priority\":" << static_cast<unsigned>(e.priority);
+  if (!e.label_view().empty()) {
+    out << ",\"label\":" << json_string(e.label_view());
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  // A wrapped ring may retain a sessionEnd without its begin; Perfetto
+  // tolerates unmatched E events, but skip a leading E for cleanliness.
+  bool saw_begin = false;
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kSessionBegin) saw_begin = true;
+    if (e.type == TraceEventType::kSessionEnd && !saw_begin) continue;
+    write_chrome_event(out, e, first);
+  }
+  out << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+bool export_chrome_trace(const Tracer& tracer, const std::string& path) {
+  RingBufferSink* ring = tracer.ring();
+  if (ring == nullptr) return false;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) return false;
+  write_chrome_trace(ring->snapshot(), out);
+  return out.good();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+void Histogram::record(std::uint64_t value) {
+  const std::size_t bucket =
+      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  buckets_[std::min(bucket, kBuckets - 1)] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double target = std::max(1.0, std::ceil(count_ * p / 100.0));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Upper bound of bucket i: values v with bit_width(v) == i.
+      if (i == 0) return 0;
+      if (i >= 63) return max_;
+      return std::min(max_, (std::uint64_t{1} << i) - 1);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::clear() { *this = Histogram{}; }
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << json_string(name) << ':' << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << json_string(name) << ":{\"count\":" << h.count()
+        << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+        << ",\"max\":" << h.max() << ",\"mean\":" << h.mean()
+        << ",\"p50\":" << h.percentile(50.0)
+        << ",\"p99\":" << h.percentile(99.0) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Process-global aggregation
+
+namespace {
+
+std::mutex& global_metrics_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+MetricsRegistry& global_metrics_unlocked() {
+  static MetricsRegistry r;
+  return r;
+}
+
+}  // namespace
+
+void merge_into_global_metrics(const MetricsRegistry& m) {
+  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
+  global_metrics_unlocked().merge(m);
+}
+
+void add_global_counter(const std::string& name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
+  global_metrics_unlocked().add_counter(name, delta);
+}
+
+std::string global_metrics_json() {
+  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
+  return global_metrics_unlocked().to_json();
+}
+
+void reset_global_metrics() {
+  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
+  global_metrics_unlocked().clear();
+}
+
+}  // namespace stemcp::core

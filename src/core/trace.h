@@ -1,0 +1,254 @@
+// Propagation observability (ROADMAP: production-scale instrumentation).
+//
+// The thesis sells propagation on its ability to explain itself — dependency
+// records, justifications, and a warning window (§4.2, ch. 6).  This header
+// extends that idea from "why does this value hold" to "what did the engine
+// do and how long did it take": structured trace events emitted by the
+// propagation engine, pluggable sinks (in-memory ring buffer, JSONL file,
+// Chrome trace-event export for chrome://tracing / Perfetto), and a metrics
+// registry with counters and log2-bucketed histograms.
+//
+// Design constraints:
+//  * Zero cost when disabled.  Every emission site is guarded by an inlined
+//    boolean check; a TraceEvent is a fixed-size POD (label is a truncated
+//    in-place copy, never a heap string) so the hot path never allocates.
+//  * Single-writer.  The engine is single-threaded per context; the ring
+//    buffer uses one atomic write index so concurrent readers (a UI thread
+//    snapshotting mid-run) see a consistent prefix.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stemcp::core {
+
+// ---------------------------------------------------------------------------
+// Trace events
+
+enum class TraceEventType : std::uint8_t {
+  kSessionBegin,    ///< run_session entered
+  kSessionEnd,      ///< run_session left (label carries the outcome)
+  kAssignment,      ///< a variable accepted a value
+  kActivation,      ///< propagateVariable: sent to a constraint
+  kAgendaSchedule,  ///< entry accepted onto an agenda (priority = queue index)
+  kAgendaPop,       ///< entry popped and executed; duration = run time
+  kCheck,           ///< final-sweep isSatisfied; duration = check time
+  kViolation,       ///< first violation of a session recorded
+  kRestore,         ///< a visited variable restored to its saved state
+  kNetworkEdit,     ///< constraint created/destroyed or argument add/remove
+};
+
+const char* to_string(TraceEventType t);
+
+struct TraceEvent {
+  static constexpr std::size_t kLabelCapacity = 64;
+
+  TraceEventType type = TraceEventType::kSessionBegin;
+  std::uint8_t priority = 0;      ///< agenda queue index where relevant
+  std::uint64_t seq = 0;          ///< monotonically increasing per tracer
+  std::uint64_t timestamp_ns = 0; ///< steady-clock nanoseconds
+  std::uint64_t duration_ns = 0;  ///< span length; 0 for instant events
+  const void* subject = nullptr;  ///< constraint/variable identity (never
+                                  ///< dereferenced by sinks)
+  char label[kLabelCapacity] = {};
+
+  void set_label(std::string_view s);
+  std::string_view label_view() const;
+};
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void consume(const TraceEvent& e) = 0;
+  virtual void flush() {}
+};
+
+/// Fixed-capacity ring that overwrites the oldest event once full.  One
+/// atomic write index; snapshot() returns events oldest-first.
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 65536);
+
+  void consume(const TraceEvent& e) override;
+
+  std::size_t capacity() const { return buf_.size(); }
+  /// Total events ever consumed (monotonic; exceeds capacity after wrap).
+  std::uint64_t total_consumed() const {
+    return write_.load(std::memory_order_acquire);
+  }
+  /// Events lost to wraparound.
+  std::uint64_t overwritten() const;
+  std::size_t size() const;
+
+  /// Copy of the retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::atomic<std::uint64_t> write_{0};
+};
+
+/// Appends one JSON object per line (JSONL) to a file.  Buffered; flushed on
+/// flush() and destruction.
+class JsonlFileSink : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  bool ok() const;
+  void consume(const TraceEvent& e) override;
+  void flush() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Serialize one event as a single-line JSON object (the JSONL row format).
+std::string trace_event_to_json(const TraceEvent& e);
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The one flag hot paths check (inlined single bool load).
+  bool enabled() const { return enabled_; }
+  /// Enabling with no sink installed attaches a default ring buffer.
+  void set_enabled(bool on);
+
+  void add_sink(std::shared_ptr<TraceSink> sink);
+  void clear_sinks();
+  /// The default ring buffer, if one was installed (by set_enabled or an
+  /// explicit add_sink of a RingBufferSink).  Null otherwise.
+  RingBufferSink* ring() const;
+
+  std::uint64_t events_emitted() const { return seq_; }
+
+  /// Build and dispatch one event; no-op while disabled.  `label` is
+  /// truncated into the event in place (no allocation).
+  void emit(TraceEventType type, std::string_view label,
+            const void* subject = nullptr, std::uint64_t duration_ns = 0,
+            std::uint8_t priority = 0);
+
+  void flush();
+
+  /// Steady-clock nanoseconds (the timebase of every event).
+  static std::uint64_t now_ns();
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t seq_ = 0;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+  std::shared_ptr<RingBufferSink> default_ring_;
+};
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export (chrome://tracing, Perfetto)
+
+/// Write events in Chrome trace-event JSON ("traceEvents" array form).
+/// Sessions become B/E duration pairs; checks and agenda runs become
+/// complete ("X") spans with their measured duration; everything else is an
+/// instant event.
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out);
+
+/// Convenience: snapshot the tracer's ring buffer and write it to `path`.
+/// Returns false when there is no ring sink or the file cannot be opened.
+bool export_chrome_trace(const Tracer& tracer, const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+/// Log2-bucketed histogram for nanosecond latencies and queue depths.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  /// Upper-bound estimate of the p-th percentile (0 < p <= 100) from the
+  /// bucket boundaries.
+  std::uint64_t percentile(double p) const;
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  void merge(const Histogram& other);
+  void clear();
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named monotonic counters plus named histograms, snapshotable to JSON.
+/// Not thread-safe (one registry per engine context); the process-global
+/// aggregation helpers below are.
+class MetricsRegistry {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t counter(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  const Histogram* find_histogram(const std::string& name) const;
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void merge(const MetricsRegistry& other);
+  void clear();
+
+  /// {"counters":{...},"histograms":{name:{count,sum,min,max,mean,p50,p99}}}
+  std::string to_json() const;
+
+ private:
+  bool enabled_ = false;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Process-global registry: engine contexts fold their lifetime statistics
+/// into it on destruction so benchmark binaries can emit one machine-readable
+/// stats JSON per run.  These helpers are mutex-protected.
+void merge_into_global_metrics(const MetricsRegistry& m);
+void add_global_counter(const std::string& name, std::uint64_t delta);
+std::string global_metrics_json();
+void reset_global_metrics();
+
+}  // namespace stemcp::core

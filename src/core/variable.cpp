@@ -40,6 +40,10 @@ Status Variable::set(Value v, Justification j) {
     value_ = std::move(v);
     last_set_by_ = std::move(j);
     ++ctx_.mutable_stats().assignments;
+    if (ctx_.tracing()) {
+      ctx_.tracer().emit(TraceEventType::kAssignment,
+                         path() + " = " + value_.to_string(), this);
+    }
     if (changed) {
       const Status hook = after_value_change(last_set_by_);
       if (hook.is_violation()) return hook;
@@ -83,6 +87,10 @@ Status Variable::set_from_constraint(Value v, Propagatable& source,
   value_ = std::move(v);
   last_set_by_ = std::move(j);
   ++ctx_.mutable_stats().assignments;
+  if (ctx_.tracing()) {
+    ctx_.tracer().emit(TraceEventType::kAssignment,
+                       path() + " = " + value_.to_string(), this);
+  }
   const Status hook = after_value_change(last_set_by_);
   if (hook.is_violation()) return hook;
   return propagate_to_constraints(&source);
@@ -172,6 +180,9 @@ void Variable::remove_constraint(Constraint& c) { c.remove_argument(*this); }
 
 Status Variable::propagate_along(Propagatable& c) {
   ++ctx_.mutable_stats().activations;
+  if (ctx_.tracing()) {
+    ctx_.tracer().emit(TraceEventType::kActivation, c.describe(), &c);
+  }
   Status s = c.propagate_variable(*this);
   if (s.is_violation()) return s;
   return ctx_.drain_agendas();
@@ -179,16 +190,23 @@ Status Variable::propagate_along(Propagatable& c) {
 
 Status Variable::propagate_to_constraints(Propagatable* except) {
   // Copy: violation handlers or procedural hooks may edit the list.
+  const bool traced = ctx_.tracing();
   const auto explicit_list = constraints_;
   for (Propagatable* c : explicit_list) {
     if (c == except) continue;
     ++ctx_.mutable_stats().activations;
+    if (traced) {
+      ctx_.tracer().emit(TraceEventType::kActivation, c->describe(), c);
+    }
     const Status s = c->propagate_variable(*this);
     if (s.is_violation()) return s;
   }
   for (Propagatable* ic : implicit_constraints()) {
     if (ic == except) continue;
     ++ctx_.mutable_stats().activations;
+    if (traced) {
+      ctx_.tracer().emit(TraceEventType::kActivation, ic->describe(), ic);
+    }
     const Status s = ic->propagate_variable(*this);
     if (s.is_violation()) return s;
   }

@@ -109,6 +109,38 @@ std::string DesignReport::cell(CellClass& c, const Options& options) {
       }
     }
   }
+
+  if (options.include_propagation_stats) {
+    out << propagation_stats(c.context());
+  }
+  return out.str();
+}
+
+std::string DesignReport::propagation_stats(
+    const core::PropagationContext& ctx) {
+  const auto& s = ctx.stats();
+  std::ostringstream out;
+  out << "propagation statistics:\n"
+      << "  sessions " << s.sessions << ", assignments " << s.assignments
+      << ", activations " << s.activations << '\n'
+      << "  scheduled runs " << s.scheduled_runs << ", checks " << s.checks
+      << ", violations " << s.violations << ", restores " << s.restores
+      << '\n'
+      << "  agenda high water " << s.agenda_high_water << '\n';
+  for (std::size_t i = 0;
+       i < core::PropagationContext::Stats::kTrackedPriorities; ++i) {
+    if (s.scheduled_by_priority[i] == 0 && s.executed_by_priority[i] == 0) {
+      continue;
+    }
+    const auto& order = ctx.agenda().priority_order();
+    out << "  priority " << i;
+    if (i < order.size()) out << " (" << order[i] << ")";
+    out << ": scheduled " << s.scheduled_by_priority[i] << ", executed "
+        << s.executed_by_priority[i] << '\n';
+  }
+  if (ctx.violation_log_dropped() > 0) {
+    out << "  warnings dropped: " << ctx.violation_log_dropped() << '\n';
+  }
   return out.str();
 }
 

@@ -22,6 +22,7 @@ class DesignReport {
     bool include_delays = true;      ///< delay variables, paths, specs
     bool include_signals = true;     ///< typing and electrical model
     bool include_violations = true;  ///< unsatisfied constraints
+    bool include_propagation_stats = false;  ///< engine counter section
   };
 
   /// Render one cell.
@@ -33,6 +34,10 @@ class DesignReport {
   static std::string library(Library& lib) {
     return library(lib, Options{});
   }
+
+  /// The propagation-statistics section on its own (also used by the
+  /// constraint shell's `stats` command consumers).
+  static std::string propagation_stats(const core::PropagationContext& ctx);
 };
 
 }  // namespace stemcp::env

@@ -23,7 +23,8 @@ Variable* ConstraintShell::find(const std::string& name) const {
 
 std::string ConstraintShell::usage() {
   return "commands: show|set|probe|constraints|antecedents|consequences|dot "
-         "<var> [value], on, off, restore, warnings, vars, help\n";
+         "<var> [value], on, off, restore, warnings, vars, trace on|off, "
+         "stats, export-trace <file>, help\n";
 }
 
 std::string ConstraintShell::execute(const std::string& command_line) {
@@ -57,6 +58,58 @@ std::string ConstraintShell::execute(const std::string& command_line) {
     }
     if (vars_.empty()) out << "(none registered)\n";
     return out.str();
+  }
+  if (cmd == "trace") {
+    std::string mode;
+    if (!(in >> mode) || (mode != "on" && mode != "off")) {
+      return "error: usage: trace on|off\n";
+    }
+    const bool on = mode == "on";
+    ctx_->tracer().set_enabled(on);
+    ctx_->metrics().set_enabled(on);
+    return std::string("tracing ") + (on ? "enabled" : "disabled") + "\n";
+  }
+  if (cmd == "stats") {
+    const auto& s = ctx_->stats();
+    std::ostringstream out;
+    out << "sessions: " << s.sessions << '\n'
+        << "assignments: " << s.assignments << '\n'
+        << "activations: " << s.activations << '\n'
+        << "scheduled runs: " << s.scheduled_runs << '\n'
+        << "checks: " << s.checks << '\n'
+        << "violations: " << s.violations << '\n'
+        << "restores: " << s.restores << '\n'
+        << "agenda high water: " << s.agenda_high_water << '\n';
+    for (std::size_t i = 0; i < core::PropagationContext::Stats::
+                                    kTrackedPriorities; ++i) {
+      if (s.scheduled_by_priority[i] == 0 && s.executed_by_priority[i] == 0) {
+        continue;
+      }
+      out << "priority " << i << ": scheduled "
+          << s.scheduled_by_priority[i] << ", executed "
+          << s.executed_by_priority[i] << '\n';
+    }
+    if (ctx_->violation_log_dropped() > 0) {
+      out << "warnings dropped: " << ctx_->violation_log_dropped() << '\n';
+    }
+    if (ctx_->tracer().enabled()) {
+      out << "trace events: " << ctx_->tracer().events_emitted() << '\n';
+    }
+    if (ctx_->metrics().enabled()) {
+      out << "metrics: " << ctx_->metrics().to_json() << '\n';
+    }
+    return out.str();
+  }
+  if (cmd == "export-trace") {
+    std::string path;
+    if (!(in >> path)) return "error: 'export-trace' needs a file path\n";
+    if (ctx_->tracer().ring() == nullptr) {
+      return "error: tracing was never enabled (use 'trace on')\n";
+    }
+    if (!core::export_chrome_trace(ctx_->tracer(), path)) {
+      return "error: could not write '" + path + "'\n";
+    }
+    return "trace written to " + path + "\n";
   }
 
   const bool variable_command =

@@ -35,6 +35,9 @@ class ConstraintShell {
   ///   restore               undo the last propagation
   ///   warnings              violation log
   ///   vars                  list registered variables
+  ///   trace on|off          structured propagation tracing (ring buffer)
+  ///   stats                 engine counters + metrics snapshot
+  ///   export-trace <file>   write the trace as Chrome trace-event JSON
   ///   help                  this text
   std::string execute(const std::string& command_line);
 

@@ -90,6 +90,91 @@ TEST_F(StatsTest, ProbeSessionsCounted) {
   EXPECT_EQ(ctx.stats().sessions, 1u) << "a probe is a session";
 }
 
+TEST_F(StatsTest, AgendaHighWaterMarkTracksQueuePressure) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y");
+  Variable s1(ctx, "t", "s1"), s2(ctx, "t", "s2");
+  // Two functional constraints fed by x: both are queued before either runs,
+  // so the agenda holds two entries at its peak.
+  UniAdditionConstraint::sum(ctx, s1, {&x});
+  UniAdditionConstraint::sum(ctx, s2, {&x});
+  ctx.reset_stats();
+  EXPECT_TRUE(x.set_user(Value(1)));
+  EXPECT_EQ(ctx.stats().agenda_high_water, 2u);
+  // A single-producer session cannot raise the mark.
+  EXPECT_TRUE(y.set_user(Value(1)));
+  EXPECT_EQ(ctx.stats().agenda_high_water, 2u);
+  ctx.reset_stats();
+  EXPECT_EQ(ctx.stats().agenda_high_water, 0u);
+}
+
+TEST_F(StatsTest, PerPriorityScheduledAndExecutedCounters) {
+  Variable x(ctx, "t", "x"), s(ctx, "t", "s");
+  UniAdditionConstraint::sum(ctx, s, {&x});
+  ctx.reset_stats();
+  EXPECT_TRUE(x.set_user(Value(3)));
+  // Functional agenda is queue index 1 in the default priority order
+  // (implicit first — see agenda.cpp).
+  EXPECT_EQ(ctx.stats().scheduled_by_priority[1], 1u);
+  EXPECT_EQ(ctx.stats().executed_by_priority[1], 1u);
+  EXPECT_EQ(ctx.stats().scheduled_by_priority[0], 0u);
+  EXPECT_EQ(ctx.stats().executed_by_priority[0], 0u);
+  // Executed totals agree with the aggregate scheduled_runs counter.
+  std::uint64_t executed = 0;
+  for (auto n : ctx.stats().executed_by_priority) executed += n;
+  EXPECT_EQ(executed, ctx.stats().scheduled_runs);
+}
+
+TEST_F(StatsTest, DuplicateSuppressedEntriesNotCountedScheduled) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), c(ctx, "t", "c"),
+      s(ctx, "t", "s");
+  EqualityConstraint::among(ctx, {&a, &b});
+  EqualityConstraint::among(ctx, {&a, &c});
+  auto& add = ctx.make<UniAdditionConstraint>();
+  add.set_result(s);
+  add.basic_add_argument(b);
+  add.basic_add_argument(c);
+  ctx.reset_stats();
+  EXPECT_TRUE(a.set_user(Value(2)));
+  EXPECT_EQ(ctx.stats().scheduled_by_priority[1], 1u)
+      << "b and c both try to queue the adder; the duplicate is suppressed";
+}
+
+TEST_F(StatsTest, ViolationLogCapDropsOldestAndCounts) {
+  ctx.set_violation_log_limit(2);
+  for (int i = 1; i <= 4; ++i) {
+    ctx.report_violation(
+        {nullptr, nullptr, Value(i), "m" + std::to_string(i)});
+  }
+  EXPECT_EQ(ctx.violation_log().size(), 2u);
+  EXPECT_EQ(ctx.violation_log_dropped(), 2u);
+  // The newest entries are the ones retained.
+  EXPECT_NE(ctx.violation_log().front().find("m3"), std::string::npos);
+  EXPECT_NE(ctx.violation_log().back().find("m4"), std::string::npos);
+}
+
+TEST_F(StatsTest, ViolationLogCapAppliesToEngineReports) {
+  Variable a(ctx, "t", "a");
+  BoundConstraint::upper(ctx, a, Value(10));
+  ctx.set_violation_log_limit(2);
+  for (int i = 91; i <= 94; ++i) {
+    EXPECT_TRUE(a.set_user(Value(i)).is_violation());
+  }
+  EXPECT_EQ(ctx.violation_log().size(), 2u);
+  EXPECT_EQ(ctx.violation_log_dropped(), 2u);
+}
+
+TEST_F(StatsTest, LoweringViolationLogLimitTrimsImmediately) {
+  Variable a(ctx, "t", "a");
+  BoundConstraint::upper(ctx, a, Value(10));
+  EXPECT_TRUE(a.set_user(Value(91)).is_violation());
+  EXPECT_TRUE(a.set_user(Value(92)).is_violation());
+  EXPECT_TRUE(a.set_user(Value(93)).is_violation());
+  ctx.set_violation_log_limit(1);
+  EXPECT_EQ(ctx.violation_log().size(), 1u);
+  EXPECT_EQ(ctx.violation_log_dropped(), 2u);
+  EXPECT_EQ(ctx.violation_log_limit(), 1u);
+}
+
 TEST_F(StatsTest, ViolationLogPersistsAcrossSessions) {
   Variable a(ctx, "t", "a");
   BoundConstraint::upper(ctx, a, Value(10));

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain RelWithDebInfo run and an opt-in
+# ASan/UBSan run (CMake option STEMCP_SANITIZE).  Intended as the CI entry
+# point; both runs must pass.
+#
+#   tools/run_tier1.sh            # plain + sanitized
+#   tools/run_tier1.sh --plain    # plain only
+#   tools/run_tier1.sh --sanitize # sanitized only
+#   STEMCP_SANITIZE=address tools/run_tier1.sh   # override sanitizer list
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
+RUN_PLAIN=1
+RUN_SANITIZED=1
+case "${1:-}" in
+  --plain) RUN_SANITIZED=0 ;;
+  --sanitize) RUN_PLAIN=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--plain|--sanitize]" >&2; exit 2 ;;
+esac
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+if [[ "$RUN_PLAIN" == 1 ]]; then
+  echo "== tier-1: plain =="
+  run_suite build
+fi
+
+if [[ "$RUN_SANITIZED" == 1 ]]; then
+  echo "== tier-1: sanitized ($SANITIZERS) =="
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+  run_suite build-sanitize "-DSTEMCP_SANITIZE=$SANITIZERS"
+fi
+
+echo "tier-1 verification passed"
