@@ -1,9 +1,14 @@
 // The constraint editor as a command shell (thesis §5.4).  Reads commands
 // from stdin when interactive; otherwise replays a demonstration script over
-// the Fig 5.2 accumulator design.
+// the Fig 5.2 accumulator design, then drives the design service through
+// eight concurrent sessions of mixed load/assign/edit/save traffic.
+#include <future>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "service/design_service.h"
+#include "service/protocol.h"
 #include "stem/shell.h"
 #include "stem/stem.h"
 
@@ -11,8 +16,117 @@ using namespace stemcp;
 using env::SignalDirection;
 
 namespace {
+
 constexpr double kNs = 1e-9;
+
+// A small pipeline design as service library text: one line per statement,
+// joined with the protocol's "\n" escape when sent through the shell.
+const char* kServiceDesign =
+    "cell STAGE\\n"
+    "signal in input\\n"
+    "signal out output\\n"
+    "delay in out\\n"
+    "spec <= 1e-7\\n"
+    "end\\n";
+
+// Drive N sessions concurrently through open → load → edits → batched
+// assignments → save → close, every request submitted asynchronously.
+void concurrent_sessions_demo(service::DesignService& svc, int n) {
+  using service::Request;
+  using service::RequestType;
+  std::cout << "\n-- design service: " << n << " concurrent sessions over "
+            << svc.worker_count() << " workers --\n";
+
+  std::vector<std::future<service::Response>> waves;
+  auto req = [](RequestType t, const std::string& session,
+                std::string text = {}) {
+    Request r;
+    r.type = t;
+    r.session = session;
+    r.text = std::move(text);
+    return r;
+  };
+
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) names.push_back("sess" + std::to_string(i));
+
+  for (const auto& s : names) {
+    waves.push_back(svc.submit(req(RequestType::kOpen, s, "metrics")));
+  }
+  for (auto& f : waves) f.get();
+  waves.clear();
+
+  // Mixed traffic, all in flight at once: edits build a two-stage pipeline
+  // with a per-session delay budget, then one batched assignment propagates
+  // both stage delays in a single wave.
+  for (int i = 0; i < n; ++i) {
+    const std::string& s = names[i];
+    waves.push_back(svc.submit(req(RequestType::kEdit, s, "cell STAGE")));
+  }
+  for (auto& f : waves) f.get();
+  waves.clear();
+  const char* build[] = {
+      "signal STAGE in input",   "signal STAGE out output",
+      "delay STAGE in out",      "cell PIPE",
+      "signal PIPE in input",    "signal PIPE out output",
+      "spec PIPE in out <= 2e-7",
+      "subcell PIPE s0 STAGE",   "subcell PIPE s1 STAGE 10 0",
+      "net PIPE n_in",           "io PIPE n_in in",
+      "conn PIPE n_in s0 in",    "net PIPE n_mid",
+      "conn PIPE n_mid s0 out",  "conn PIPE n_mid s1 in",
+      "net PIPE n_out",          "conn PIPE n_out s1 out",
+      "io PIPE n_out out",       "build-delays PIPE",
+  };
+  for (const char* step : build) {
+    for (const auto& s : names) {
+      waves.push_back(svc.submit(req(RequestType::kEdit, s, step)));
+    }
+    for (auto& f : waves) f.get();
+    waves.clear();
+  }
+
+  // Batched assignment: each session gets its own stage delays, coalesced
+  // into ONE propagation wave per request.
+  for (int i = 0; i < n; ++i) {
+    Request r = req(RequestType::kBatchAssign, names[i]);
+    const double d = (40 + i) * kNs;
+    r.assignments.push_back({"PIPE/s0.delay(in->out)", d});
+    r.assignments.push_back({"PIPE/s1.delay(in->out)", d + 5 * kNs});
+    waves.push_back(svc.submit(std::move(r)));
+  }
+  for (int i = 0; i < n; ++i) {
+    const service::Response resp = waves[i].get();
+    std::cout << names[i] << ": "
+              << (resp.ok ? "applied " + std::to_string(resp.assignments_applied)
+                          : "error " + resp.error)
+              << (resp.violation ? " VIOLATION" : "") << '\n';
+  }
+  waves.clear();
+
+  // Verify isolation: every session holds its own values.
+  for (int i = 0; i < n; ++i) {
+    waves.push_back(svc.submit(
+        req(RequestType::kQuery, names[i], "PIPE.delay(in->out)")));
+  }
+  for (int i = 0; i < n; ++i) {
+    std::cout << names[i] << " " << waves[i].get().text;
+  }
+  waves.clear();
+
+  for (const auto& s : names) {
+    waves.push_back(svc.submit(req(RequestType::kSave, s)));
+  }
+  for (auto& f : waves) f.get();
+  waves.clear();
+  for (const auto& s : names) {
+    waves.push_back(svc.submit(req(RequestType::kClose, s)));
+  }
+  for (auto& f : waves) f.get();
+  std::cout << "served " << svc.requests_served() << " requests, "
+            << svc.sessions().size() << " sessions remain\n";
 }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   env::Library lib("shell-demo");
@@ -48,9 +162,18 @@ int main(int argc, char** argv) {
   shell.register_variable("adder.delay", adder_delay);
   shell.register_variable("acc.delay", acc_delay);
 
+  service::DesignService svc(4);
+  service::ServiceFrontEnd front(svc);
+  shell.attach_service([&front](const std::string& l) {
+    return front.execute(l);
+  });
+
   const bool scripted = argc > 1 && std::string(argv[1]) == "--script";
   if (scripted || !std::cin.good()) {
-    // Demonstration script: the Fig 5.2 story as shell commands.
+    // Demonstration script: the Fig 5.2 story as shell commands, then the
+    // same engine as a multi-session service behind `service ...`.
+    const std::string load_a =
+        std::string("service load a text ") + kServiceDesign;
     const char* script[] = {
         "vars",
         "set reg.delay 60e-9",
@@ -61,10 +184,18 @@ int main(int argc, char** argv) {
         "antecedents acc.delay",
         "constraints acc.delay",
         "warnings",
+        "service open a metrics",
+        load_a.c_str(),
+        "service query a cells",
+        "service batch-assign a STAGE.delay(in->out) 4e-8",
+        "service query a STAGE.delay(in->out)",
+        "service sessions",
+        "service close a",
     };
     for (const char* cmd : script) {
       std::cout << "> " << cmd << "\n" << shell.execute(cmd);
     }
+    concurrent_sessions_demo(svc, 8);
     return 0;
   }
 

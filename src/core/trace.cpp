@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <mutex>
+#include <limits>
 #include <ostream>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
 namespace stemcp::core {
@@ -310,6 +312,18 @@ void Histogram::merge(const Histogram& other) {
 
 void Histogram::clear() { *this = Histogram{}; }
 
+Histogram Histogram::from_parts(
+    const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t count,
+    std::uint64_t sum, std::uint64_t min, std::uint64_t max) {
+  Histogram h;
+  h.buckets_ = buckets;
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = count ? min : 0;
+  h.max_ = max;
+  return h;
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 
@@ -368,36 +382,144 @@ std::string MetricsRegistry::to_json() const {
 
 namespace {
 
-std::mutex& global_metrics_mutex() {
-  static std::mutex m;
-  return m;
+void atomic_update_min(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
-MetricsRegistry& global_metrics_unlocked() {
-  static MetricsRegistry r;
-  return r;
+void atomic_update_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Atomic mirror of Histogram: every bucket and summary field is its own
+/// atomic, so concurrent sessions fold their histograms without a value lock.
+struct AtomicHistogram {
+  std::array<std::atomic<std::uint64_t>, Histogram::kBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+
+  void merge(const Histogram& h) {
+    if (h.count() == 0) return;
+    const auto& b = h.buckets();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (b[i] != 0) buckets[i].fetch_add(b[i], std::memory_order_relaxed);
+    }
+    count.fetch_add(h.count(), std::memory_order_relaxed);
+    sum.fetch_add(h.sum(), std::memory_order_relaxed);
+    atomic_update_min(min, h.min());
+    atomic_update_max(max, h.max());
+  }
+
+  Histogram snapshot() const {
+    std::array<std::uint64_t, Histogram::kBuckets> b;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      b[i] = buckets[i].load(std::memory_order_relaxed);
+    }
+    return Histogram::from_parts(b, count.load(std::memory_order_relaxed),
+                                 sum.load(std::memory_order_relaxed),
+                                 min.load(std::memory_order_relaxed),
+                                 max.load(std::memory_order_relaxed));
+  }
+};
+
+/// Process-global aggregate.  Counter values and histogram buckets are
+/// atomics; the shared mutex guards only the name→slot maps, so the common
+/// case (all names already registered) takes a reader lock and merges fully
+/// in parallel.  std::map never invalidates node references, so slots stay
+/// valid while any lock is held.
+class GlobalMetrics {
+ public:
+  void merge(const MetricsRegistry& m) {
+    ensure_slots(m);
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [name, v] : m.counters()) {
+      const auto it = counters_.find(name);
+      if (it != counters_.end()) {
+        it->second.fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    for (const auto& [name, h] : m.histograms()) {
+      const auto it = histograms_.find(name);
+      if (it != histograms_.end()) it->second.merge(h);
+    }
+  }
+
+  void add_counter(const std::string& name, std::uint64_t delta) {
+    {
+      const std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = counters_.find(name);
+      if (it != counters_.end()) {
+        it->second.fetch_add(delta, std::memory_order_relaxed);
+        return;
+      }
+    }
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    counters_[name].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::string to_json() const {
+    MetricsRegistry snap;
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [name, v] : counters_) {
+      snap.add_counter(name, v.load(std::memory_order_relaxed));
+    }
+    for (const auto& [name, h] : histograms_) {
+      snap.histogram(name) = h.snapshot();
+    }
+    return snap.to_json();
+  }
+
+  void reset() {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  /// Create any missing slots up front (writer lock), so the merge itself
+  /// can run under the reader lock.  A concurrent reset() may drop a slot
+  /// between the two phases; the merge then skips it — the reset wins.
+  void ensure_slots(const MetricsRegistry& m) {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [name, v] : m.counters()) {
+      (void)v;
+      counters_.try_emplace(name);
+    }
+    for (const auto& [name, h] : m.histograms()) {
+      (void)h;
+      histograms_.try_emplace(name);
+    }
+  }
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::atomic<std::uint64_t>> counters_;
+  std::map<std::string, AtomicHistogram> histograms_;
+};
+
+GlobalMetrics& global_metrics() {
+  static GlobalMetrics g;
+  return g;
 }
 
 }  // namespace
 
 void merge_into_global_metrics(const MetricsRegistry& m) {
-  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
-  global_metrics_unlocked().merge(m);
+  global_metrics().merge(m);
 }
 
 void add_global_counter(const std::string& name, std::uint64_t delta) {
-  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
-  global_metrics_unlocked().add_counter(name, delta);
+  global_metrics().add_counter(name, delta);
 }
 
-std::string global_metrics_json() {
-  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
-  return global_metrics_unlocked().to_json();
-}
+std::string global_metrics_json() { return global_metrics().to_json(); }
 
-void reset_global_metrics() {
-  const std::lock_guard<std::mutex> lock(global_metrics_mutex());
-  global_metrics_unlocked().clear();
-}
+void reset_global_metrics() { global_metrics().reset(); }
 
 }  // namespace stemcp::core

@@ -203,6 +203,12 @@ class Histogram {
   void merge(const Histogram& other);
   void clear();
 
+  /// Rebuild a histogram from raw parts.  Used by the process-global atomic
+  /// aggregation to snapshot its lock-free state into a plain value.
+  static Histogram from_parts(const std::array<std::uint64_t, kBuckets>& buckets,
+                              std::uint64_t count, std::uint64_t sum,
+                              std::uint64_t min, std::uint64_t max);
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
@@ -245,7 +251,10 @@ class MetricsRegistry {
 
 /// Process-global registry: engine contexts fold their lifetime statistics
 /// into it on destruction so benchmark binaries can emit one machine-readable
-/// stats JSON per run.  These helpers are mutex-protected.
+/// stats JSON per run, and concurrent design-service sessions aggregate here
+/// when they close.  Fully thread-safe: counter values and histogram buckets
+/// are atomics, so concurrent merges never serialize on a value lock (a
+/// shared mutex guards only the name→slot map shape).
 void merge_into_global_metrics(const MetricsRegistry& m);
 void add_global_counter(const std::string& name, std::uint64_t delta);
 std::string global_metrics_json();

@@ -33,23 +33,39 @@ Status Variable::set(Value v, Justification j) {
     throw std::logic_error("external assignment during propagation: " +
                            path());
   }
-  return ctx_.run_session([&]() -> Status {
-    ctx_.record_visited(*this);
-    ctx_.count_change(*this);
-    const bool changed = value_ != v;
+  return ctx_.run_session(
+      [&]() -> Status { return assign_externally(std::move(v), std::move(j)); });
+}
+
+Status Variable::set_in_session(Value v, Justification j) {
+  if (!ctx_.enabled()) {
     value_ = std::move(v);
     last_set_by_ = std::move(j);
-    ++ctx_.mutable_stats().assignments;
-    if (ctx_.tracing()) {
-      ctx_.tracer().emit(TraceEventType::kAssignment,
-                         path() + " = " + value_.to_string(), this);
-    }
-    if (changed) {
-      const Status hook = after_value_change(last_set_by_);
-      if (hook.is_violation()) return hook;
-    }
-    return propagate_to_constraints(nullptr);
-  });
+    return Status::ok();
+  }
+  if (!ctx_.in_propagation()) {
+    throw std::logic_error("set_in_session outside a propagation session: " +
+                           path());
+  }
+  return assign_externally(std::move(v), std::move(j));
+}
+
+Status Variable::assign_externally(Value v, Justification j) {
+  ctx_.record_visited(*this);
+  ctx_.count_change(*this);
+  const bool changed = value_ != v;
+  value_ = std::move(v);
+  last_set_by_ = std::move(j);
+  ++ctx_.mutable_stats().assignments;
+  if (ctx_.tracing()) {
+    ctx_.tracer().emit(TraceEventType::kAssignment,
+                       path() + " = " + value_.to_string(), this);
+  }
+  if (changed) {
+    const Status hook = after_value_change(last_set_by_);
+    if (hook.is_violation()) return hook;
+  }
+  return propagate_to_constraints(nullptr);
 }
 
 Status Variable::set_from_constraint(Value v, Propagatable& source,

@@ -52,6 +52,14 @@ class Variable {
     return set(std::move(v), Justification::application());
   }
 
+  /// External assignment inside an already-open run_session (batched
+  /// requests): identical to set() except the caller owns the session, so
+  /// many #USER assignments coalesce into one propagation wave, one agenda
+  /// drain and one final isSatisfied sweep.  Throws std::logic_error when no
+  /// session is open; with the CPSwitch off it degrades to a plain store
+  /// like set().
+  Status set_in_session(Value v, Justification j);
+
   /// `setTo:constraint:justification:` — assignment by a constraint during
   /// propagation.  Applies the termination criteria (§4.2.2), the
   /// one-value-change rule, and the overwrite precedence, then propagates to
@@ -125,6 +133,10 @@ class Variable {
   Status propagate_to_constraints(Propagatable* except);
 
  private:
+  /// Shared body of set() and set_in_session(): record visited state,
+  /// assign, run the change hook, fan out.  Requires an open session.
+  Status assign_externally(Value v, Justification j);
+
   void attach(Propagatable& c);
   void detach(Propagatable& c);
 

@@ -1,0 +1,562 @@
+#include "service/design_service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "core/core.h"
+#include "stem/cell.h"
+#include "stem/editor.h"
+#include "stem/io.h"
+#include "stem/net.h"
+#include "stem/report.h"
+
+namespace stemcp::service {
+
+using core::Status;
+using core::Value;
+
+const char* to_string(RequestType t) {
+  switch (t) {
+    case RequestType::kOpen: return "open";
+    case RequestType::kLoad: return "load";
+    case RequestType::kSave: return "save";
+    case RequestType::kAssign: return "assign";
+    case RequestType::kBatchAssign: return "batch-assign";
+    case RequestType::kEdit: return "edit";
+    case RequestType::kQuery: return "query";
+    case RequestType::kReport: return "report";
+    case RequestType::kClose: return "close";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+
+std::shared_ptr<DesignSession> SessionManager::open(const std::string& name,
+                                                    bool collect_metrics,
+                                                    bool collect_trace) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(name) != 0) return nullptr;
+  auto s = std::make_shared<DesignSession>(name, collect_metrics,
+                                           collect_trace);
+  sessions_.emplace(name, s);
+  return s;
+}
+
+std::shared_ptr<DesignSession> SessionManager::find(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionManager::close(const std::string& name) {
+  std::shared_ptr<DesignSession> victim;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end()) return false;
+    victim = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // `victim` dies here unless a request is still in flight; either way the
+  // session destructor (→ context destructor) folds its stats into the
+  // process-global metrics off the registry lock.
+  return true;
+}
+
+std::vector<std::string> SessionManager::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, s] : sessions_) out.push_back(name);
+  return out;
+}
+
+std::size_t SessionManager::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Request execution (session mutex held)
+
+namespace {
+
+void fill_propagation_outcome(Response& resp, core::PropagationContext& ctx,
+                              std::uint64_t restores_before, Status st) {
+  resp.violation = st.is_violation();
+  if (resp.violation && ctx.last_violation()) {
+    resp.violation_message = ctx.last_violation()->to_string();
+  }
+  resp.variables_restored = ctx.stats().restores - restores_before;
+}
+
+void do_load(DesignSession& s, const Request& r, Response& resp) {
+  try {
+    env::LibraryReader::read_string(s.library(), r.text);
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+    return;
+  }
+  resp.ok = true;
+  resp.text = "loaded " + std::to_string(s.library().cells().size()) +
+              " cell(s)";
+}
+
+void do_save(DesignSession& s, Response& resp) {
+  resp.text = env::LibraryWriter::to_string(s.library());
+  resp.ok = true;
+}
+
+void do_assign(DesignSession& s, const Request& r, Response& resp,
+               bool batched) {
+  core::PropagationContext& ctx = s.library().context();
+  std::vector<std::pair<core::Variable*, double>> targets;
+  targets.reserve(r.assignments.size());
+  for (const Assignment& a : r.assignments) {
+    core::Variable* v = s.find_variable(a.variable);
+    if (v == nullptr) {
+      resp.error = "unknown variable '" + a.variable + "'";
+      return;
+    }
+    targets.emplace_back(v, a.value);
+  }
+  const std::uint64_t restores_before = ctx.stats().restores;
+  Status st = Status::ok();
+  if (batched) {
+    // One propagation wave for the whole batch: every assignment lands
+    // before the single agenda drain and final check sweep; a violation
+    // restores the entire wave (all-or-nothing).
+    std::uint64_t applied = 0;
+    st = ctx.run_session([&]() -> Status {
+      for (auto& [var, value] : targets) {
+        const Status one =
+            var->set_in_session(Value(value), core::Justification::user());
+        if (one.is_violation()) return one;
+        ++applied;
+      }
+      return Status::ok();
+    });
+    resp.assignments_applied = st.is_violation() ? 0 : applied;
+  } else {
+    for (auto& [var, value] : targets) {
+      st = var->set_user(Value(value));
+      if (st.is_violation()) break;
+      ++resp.assignments_applied;
+    }
+  }
+  resp.ok = true;
+  fill_propagation_outcome(resp, ctx, restores_before, st);
+}
+
+env::CellClass* require_cell(DesignSession& s, const std::string& name,
+                             Response& resp) {
+  env::CellClass* c = s.library().find(name);
+  if (c == nullptr) resp.error = "unknown cell '" + name + "'";
+  return c;
+}
+
+/// Structural edit mini-language (docs/SERVICE.md).  One command per
+/// request; propagating edits report violation/restore outcomes like
+/// assignments do.
+void do_edit(DesignSession& s, const Request& r, Response& resp) {
+  core::PropagationContext& ctx = s.library().context();
+  const std::uint64_t restores_before = ctx.stats().restores;
+  std::istringstream in(r.text);
+  std::string op;
+  if (!(in >> op)) {
+    resp.error =
+        "edit needs a command: cell|signal|param|delay|leaf-delay|spec|"
+        "subcell|net|conn|io|build-delays";
+    return;
+  }
+  try {
+    if (op == "cell") {
+      std::string name;
+      if (!(in >> name)) {
+        resp.error = "edit cell <name> [super <class>] [generic]";
+        return;
+      }
+      env::CellClass* super = nullptr;
+      bool generic = false;
+      std::string word;
+      while (in >> word) {
+        if (word == "super") {
+          std::string sname;
+          if (!(in >> sname) ||
+              (super = require_cell(s, sname, resp)) == nullptr) {
+            if (resp.error.empty()) resp.error = "super needs a class name";
+            return;
+          }
+        } else if (word == "generic") {
+          generic = true;
+        } else {
+          resp.error = "unknown cell attribute '" + word + "'";
+          return;
+        }
+      }
+      env::CellClass& c = s.library().define_cell(name, super);
+      c.set_generic(generic);
+      resp.text = "defined cell " + name;
+    } else if (op == "signal") {
+      std::string cell, name, dir;
+      if (!(in >> cell >> name >> dir)) {
+        resp.error = "edit signal <cell> <name> <input|output|inout>";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      const env::SignalDirection d =
+          dir == "input" ? env::SignalDirection::kInput
+          : dir == "output" ? env::SignalDirection::kOutput
+                            : env::SignalDirection::kInOut;
+      c->declare_signal(name, d);
+      resp.text = "declared signal " + cell + "." + name;
+    } else if (op == "param") {
+      std::string cell, name;
+      double lo = 0.0, hi = 0.0;
+      if (!(in >> cell >> name >> lo >> hi)) {
+        resp.error = "edit param <cell> <name> <lo> <hi> [default <v>]";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      Value def;
+      std::string word;
+      if (in >> word) {
+        double v = 0.0;
+        if (word != "default" || !(in >> v)) {
+          resp.error = "expected: default <number>";
+          return;
+        }
+        def = Value(v);
+      }
+      c->declare_parameter(name, lo, hi, def);
+      resp.text = "declared param " + cell + "." + name;
+    } else if (op == "delay") {
+      std::string cell, from, to;
+      if (!(in >> cell >> from >> to)) {
+        resp.error = "edit delay <cell> <from> <to>";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      c->declare_delay(from, to);
+      resp.text = "declared delay " + cell + "." + from + "->" + to;
+    } else if (op == "leaf-delay") {
+      std::string cell, from, to;
+      double seconds = 0.0;
+      if (!(in >> cell >> from >> to >> seconds)) {
+        resp.error = "edit leaf-delay <cell> <from> <to> <seconds>";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      const Status st = c->set_leaf_delay(from, to, seconds);
+      resp.text = "leaf delay " + cell + "." + from + "->" + to;
+      resp.ok = true;
+      fill_propagation_outcome(resp, ctx, restores_before, st);
+      return;
+    } else if (op == "spec") {
+      std::string cell, from, to, rel;
+      double bound = 0.0;
+      if (!(in >> cell >> from >> to >> rel >> bound)) {
+        resp.error = "edit spec <cell> <from> <to> <=|>=|<|> <bound>";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      core::Relation relation;
+      if (rel == "<=") {
+        relation = core::Relation::kLessEqual;
+      } else if (rel == ">=") {
+        relation = core::Relation::kGreaterEqual;
+      } else if (rel == "<") {
+        relation = core::Relation::kLess;
+      } else if (rel == ">") {
+        relation = core::Relation::kGreater;
+      } else {
+        resp.error = "unknown spec relation '" + rel + "'";
+        return;
+      }
+      env::ClassDelayVar& d = c->declare_delay(from, to);
+      auto& bc = ctx.make<core::BoundConstraint>(relation, Value(bound));
+      const Status st = bc.add_argument(d);
+      resp.text = "spec " + cell + "." + from + "->" + to + " " + rel + " " +
+                  std::to_string(bound);
+      resp.ok = true;
+      fill_propagation_outcome(resp, ctx, restores_before, st);
+      return;
+    } else if (op == "subcell") {
+      std::string parent, name, cls;
+      if (!(in >> parent >> name >> cls)) {
+        resp.error = "edit subcell <parent> <name> <class> [<x> <y>]";
+        return;
+      }
+      env::CellClass* p = require_cell(s, parent, resp);
+      if (p == nullptr) return;
+      env::CellClass* c = require_cell(s, cls, resp);
+      if (c == nullptr) return;
+      core::Point t{0, 0};
+      in >> t.x >> t.y;  // optional placement
+      p->add_subcell(*c, name, core::Transform::translate(t));
+      resp.text = "placed " + parent + "." + name + " : " + cls;
+    } else if (op == "net") {
+      std::string cell, name;
+      if (!(in >> cell >> name)) {
+        resp.error = "edit net <cell> <name>";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      c->add_net(name);
+      resp.text = "added net " + cell + "." + name;
+    } else if (op == "conn" || op == "io") {
+      std::string cell, net;
+      if (!(in >> cell >> net)) {
+        resp.error = "edit " + op + " <cell> <net> ...";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      env::Net* n = c->find_net(net);
+      if (n == nullptr) {
+        resp.error = "unknown net '" + net + "' on " + cell;
+        return;
+      }
+      Status st = Status::ok();
+      if (op == "conn") {
+        std::string inst, sig;
+        if (!(in >> inst >> sig)) {
+          resp.error = "edit conn <cell> <net> <instance> <signal>";
+          return;
+        }
+        env::CellInstance* i = c->find_subcell(inst);
+        if (i == nullptr) {
+          resp.error = "unknown subcell '" + inst + "' on " + cell;
+          return;
+        }
+        st = n->connect(*i, sig);
+      } else {
+        std::string sig;
+        if (!(in >> sig)) {
+          resp.error = "edit io <cell> <net> <signal>";
+          return;
+        }
+        st = n->connect_io(sig);
+      }
+      resp.text = "connected " + cell + "." + net;
+      resp.ok = true;
+      fill_propagation_outcome(resp, ctx, restores_before, st);
+      return;
+    } else if (op == "build-delays") {
+      std::string cell;
+      if (!(in >> cell)) {
+        resp.error = "edit build-delays <cell>";
+        return;
+      }
+      env::CellClass* c = require_cell(s, cell, resp);
+      if (c == nullptr) return;
+      c->build_delay_networks();
+      resp.text = "built delay networks for " + cell;
+    } else {
+      resp.error = "unknown edit command '" + op + "'";
+      return;
+    }
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+    return;
+  }
+  resp.ok = true;
+}
+
+void do_query(DesignSession& s, const Request& r, Response& resp) {
+  std::istringstream in(r.text);
+  std::string what;
+  in >> what;
+  std::ostringstream out;
+  if (what.empty() || what == "cells") {
+    for (const auto& c : s.library().cells()) out << c->name() << '\n';
+    out << s.library().cells().size() << " cell(s)\n";
+  } else if (what == "vars") {
+    std::string cell;
+    in >> cell;
+    const std::string prefix = cell.empty() ? "" : cell + ".";
+    s.for_each_variable([&](core::Variable& v) {
+      if (!prefix.empty() && v.path().compare(0, prefix.size(), prefix) != 0) {
+        return;
+      }
+      out << env::ConstraintInspector::describe(v) << '\n';
+    });
+  } else if (what == "stats") {
+    core::PropagationContext& ctx = s.library().context();
+    out << env::DesignReport::propagation_stats(ctx);
+    if (ctx.metrics().enabled()) {
+      out << "metrics: " << ctx.metrics().to_json() << '\n';
+    }
+    out << "requests served: " << s.requests_served() << '\n';
+  } else {
+    core::Variable* v = s.find_variable(what);
+    if (v == nullptr) {
+      resp.error = "unknown query target '" + what +
+                   "' (try: cells, vars [cell], stats, <variable path>)";
+      return;
+    }
+    out << env::ConstraintInspector::describe(*v) << '\n';
+  }
+  resp.text = out.str();
+  resp.ok = true;
+}
+
+void do_report(DesignSession& s, const Request& r, Response& resp) {
+  env::DesignReport::Options opts;
+  opts.include_propagation_stats = true;
+  std::istringstream in(r.text);
+  std::string cell;
+  if (in >> cell) {
+    env::CellClass* c = require_cell(s, cell, resp);
+    if (c == nullptr) return;
+    resp.text = env::DesignReport::cell(*c, opts);
+  } else {
+    resp.text = env::DesignReport::library(s.library(), opts);
+  }
+  resp.ok = true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DesignService
+
+DesignService::DesignService(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DesignService::~DesignService() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<Response> DesignService::submit(Request r) {
+  Job job;
+  job.request = std::move(r);
+  std::future<Response> fut = job.done.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      Response resp;
+      resp.error = "service is shutting down";
+      job.done.set_value(std::move(resp));
+      return fut;
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+Response DesignService::call(Request r) { return submit(std::move(r)).get(); }
+
+void DesignService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Response resp;
+    try {
+      resp = execute(job.request);
+    } catch (const std::exception& e) {
+      resp.ok = false;
+      resp.error = e.what();
+      resp.session = job.request.session;
+    } catch (...) {
+      resp.ok = false;
+      resp.error = "unknown execution error";
+      resp.session = job.request.session;
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    job.done.set_value(std::move(resp));
+  }
+}
+
+Response DesignService::execute(const Request& r) {
+  Response resp;
+  resp.session = r.session;
+  if (r.session.empty()) {
+    resp.error = "request needs a session name";
+    return resp;
+  }
+
+  if (r.type == RequestType::kOpen) {
+    bool metrics = false;
+    bool trace = false;
+    std::istringstream in(r.text);
+    std::string opt;
+    while (in >> opt) {
+      if (opt == "metrics") {
+        metrics = true;
+      } else if (opt == "trace") {
+        trace = true;
+      } else {
+        resp.error = "unknown open option '" + opt + "'";
+        return resp;
+      }
+    }
+    if (sessions_.open(r.session, metrics, trace) == nullptr) {
+      resp.error = "session '" + r.session + "' already exists";
+      return resp;
+    }
+    resp.ok = true;
+    resp.text = "opened " + r.session;
+    return resp;
+  }
+
+  if (r.type == RequestType::kClose) {
+    if (!sessions_.close(r.session)) {
+      resp.error = "unknown session '" + r.session + "'";
+      return resp;
+    }
+    resp.ok = true;
+    resp.text = "closed " + r.session;
+    return resp;
+  }
+
+  const std::shared_ptr<DesignSession> s = sessions_.find(r.session);
+  if (s == nullptr) {
+    resp.error = "unknown session '" + r.session + "'";
+    return resp;
+  }
+  const std::lock_guard<std::mutex> lock(s->mutex());
+  s->count_request();
+  switch (r.type) {
+    case RequestType::kLoad: do_load(*s, r, resp); break;
+    case RequestType::kSave: do_save(*s, resp); break;
+    case RequestType::kAssign: do_assign(*s, r, resp, false); break;
+    case RequestType::kBatchAssign: do_assign(*s, r, resp, true); break;
+    case RequestType::kEdit: do_edit(*s, r, resp); break;
+    case RequestType::kQuery: do_query(*s, r, resp); break;
+    case RequestType::kReport: do_report(*s, r, resp); break;
+    case RequestType::kOpen:
+    case RequestType::kClose: break;  // handled above
+  }
+  return resp;
+}
+
+}  // namespace stemcp::service

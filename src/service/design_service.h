@@ -1,0 +1,144 @@
+// DesignService: the constraint-propagation engine as a service-grade
+// component (ROADMAP: production scale; cf. Schulte & Stuckey's treatment of
+// propagation engines as explicit, schedulable components and Goualard's
+// clean session/service solver boundary).
+//
+// Architecture:
+//   * SessionManager — owns many independent DesignSessions, each a Library
+//     (+ engine context, tracer, metrics) behind a per-session mutex.
+//   * DesignService — a fixed-size worker pool draining one request queue.
+//     Requests against different sessions execute in parallel; requests
+//     against the same session serialize on its mutex.
+//   * Typed request API — open / load / save / assign / batch-assign /
+//     edit / query / report / close, with structured results carrying
+//     violation and restore outcomes.
+//
+// Batching: a kBatchAssign request coalesces all of its #USER assignments
+// into ONE propagation session — one wave, one agenda drain, one final
+// isSatisfied sweep — so a violating batch restores every variable the wave
+// touched (all-or-nothing), and a clean batch costs one check sweep instead
+// of one per assignment.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/session.h"
+
+namespace stemcp::service {
+
+enum class RequestType : std::uint8_t {
+  kOpen,         ///< create a session (text: options "metrics" / "trace")
+  kLoad,         ///< parse library text into the session (text: the library)
+  kSave,         ///< serialize the session's library (response text)
+  kAssign,       ///< sequential #USER assignments, one wave each
+  kBatchAssign,  ///< all #USER assignments in one propagation wave
+  kEdit,         ///< structural edit command (text: see docs/SERVICE.md)
+  kQuery,        ///< "cells" | "vars [cell]" | "stats" | <variable path>
+  kReport,       ///< design documentation report (text: optional cell name)
+  kClose,        ///< destroy the session (folds its metrics into the
+                 ///< process-global registry)
+};
+
+const char* to_string(RequestType t);
+
+struct Assignment {
+  std::string variable;  ///< identification path, e.g. "ADDER.delay(a->out)"
+  double value = 0.0;
+};
+
+struct Request {
+  RequestType type = RequestType::kQuery;
+  std::string session;
+  std::string text;
+  std::vector<Assignment> assignments;
+};
+
+/// Structured result of one request.  `ok` is false only for request-level
+/// failures (unknown session/variable, parse error, bad command); a
+/// constraint violation is a *successful* request whose outcome is reported
+/// through `violation` / `violation_message` / `variables_restored`.
+struct Response {
+  bool ok = false;
+  std::string error;
+  std::string text;
+
+  bool violation = false;
+  std::string violation_message;
+  std::uint64_t assignments_applied = 0;  ///< accepted before any violation
+  std::uint64_t variables_restored = 0;   ///< restored by violation recovery
+
+  std::string session;
+};
+
+/// Thread-safe registry of named sessions.
+class SessionManager {
+ public:
+  /// Create a session; nullptr when the name is already taken.
+  std::shared_ptr<DesignSession> open(const std::string& name,
+                                      bool collect_metrics = false,
+                                      bool collect_trace = false);
+  std::shared_ptr<DesignSession> find(const std::string& name) const;
+  /// Remove a session from the registry.  The session object is destroyed
+  /// once the last in-flight request releases it; destruction folds its
+  /// stats into the process-global metrics.
+  bool close(const std::string& name);
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<DesignSession>> sessions_;
+};
+
+class DesignService {
+ public:
+  explicit DesignService(std::size_t workers = 4);
+  /// Drains the queue (every submitted request still gets a response), then
+  /// joins the workers.
+  ~DesignService();
+
+  DesignService(const DesignService&) = delete;
+  DesignService& operator=(const DesignService&) = delete;
+
+  /// Enqueue a request; the future resolves when a worker has executed it.
+  /// Never throws from execution — failures come back as Response::error.
+  std::future<Response> submit(Request r);
+  /// Synchronous convenience: submit and wait.
+  Response call(Request r);
+
+  SessionManager& sessions() { return sessions_; }
+  std::size_t worker_count() const { return workers_.size(); }
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> done;
+  };
+
+  void worker_loop();
+  Response execute(const Request& r);
+
+  SessionManager sessions_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> served_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stemcp::service

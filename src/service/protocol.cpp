@@ -1,0 +1,197 @@
+#include "service/protocol.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace stemcp::service {
+
+namespace {
+
+std::string unescape_newlines(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == 'n') {
+      out.push_back('\n');
+      ++i;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string rest_of(std::istringstream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  const auto first = rest.find_first_not_of(" \t");
+  return first == std::string::npos ? std::string() : rest.substr(first);
+}
+
+bool parse_assignments(std::istringstream& in, Request* out,
+                       std::string* error) {
+  std::string var;
+  double value = 0.0;
+  while (in >> var) {
+    if (!(in >> value)) {
+      *error = "assignment '" + var + "' needs a numeric value";
+      return false;
+    }
+    out->assignments.push_back({var, value});
+  }
+  if (out->assignments.empty()) {
+    *error = "expected one or more <variable> <value> pairs";
+    return false;
+  }
+  return true;
+}
+
+const char* usage() {
+  return "service commands: open <s> [metrics] [trace], "
+         "load <s> file <path> | text <lines>, save <s> [file <path>], "
+         "assign <s> <var> <value>..., batch-assign <s> <var> <value>..., "
+         "edit <s> <cmd...>, query <s> [cells|vars [cell]|stats|<var>], "
+         "report <s> [cell], close <s>, sessions, help\n";
+}
+
+}  // namespace
+
+bool ServiceFrontEnd::parse(const std::string& line, Request* out,
+                            std::string* error) {
+  *out = Request{};
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb)) {
+    *error = "empty command";
+    return false;
+  }
+  if (!(in >> out->session)) {
+    *error = "'" + verb + "' needs a session name";
+    return false;
+  }
+
+  if (verb == "open") {
+    out->type = RequestType::kOpen;
+    out->text = rest_of(in);
+    return true;
+  }
+  if (verb == "load") {
+    out->type = RequestType::kLoad;
+    std::string mode;
+    if (!(in >> mode) || (mode != "file" && mode != "text")) {
+      *error = "load needs 'file <path>' or 'text <lines>'";
+      return false;
+    }
+    if (mode == "file") {
+      std::string path;
+      if (!(in >> path)) {
+        *error = "load file needs a path";
+        return false;
+      }
+      std::ifstream f(path);
+      if (!f.good()) {
+        *error = "cannot read '" + path + "'";
+        return false;
+      }
+      std::ostringstream text;
+      text << f.rdbuf();
+      out->text = text.str();
+    } else {
+      out->text = unescape_newlines(rest_of(in));
+    }
+    return true;
+  }
+  if (verb == "save") {
+    out->type = RequestType::kSave;
+    out->text = rest_of(in);  // optional "file <path>", handled after call
+    return true;
+  }
+  if (verb == "assign" || verb == "batch-assign") {
+    out->type = verb == "assign" ? RequestType::kAssign
+                                 : RequestType::kBatchAssign;
+    return parse_assignments(in, out, error);
+  }
+  if (verb == "edit") {
+    out->type = RequestType::kEdit;
+    out->text = rest_of(in);
+    return true;
+  }
+  if (verb == "query") {
+    out->type = RequestType::kQuery;
+    out->text = rest_of(in);
+    return true;
+  }
+  if (verb == "report") {
+    out->type = RequestType::kReport;
+    out->text = rest_of(in);
+    return true;
+  }
+  if (verb == "close") {
+    out->type = RequestType::kClose;
+    return true;
+  }
+  *error = "unknown service command '" + verb + "'";
+  return false;
+}
+
+std::string ServiceFrontEnd::format(const Response& r) {
+  if (!r.ok) return "error: " + r.error + "\n";
+  std::ostringstream out;
+  out << "ok";
+  if (r.violation) {
+    out << " VIOLATION";
+    if (!r.violation_message.empty()) out << ": " << r.violation_message;
+    out << " (restored " << r.variables_restored << " variable(s))";
+  } else if (r.assignments_applied > 0) {
+    out << " (applied " << r.assignments_applied << " assignment(s))";
+  }
+  out << '\n';
+  if (!r.text.empty()) {
+    out << r.text;
+    if (r.text.back() != '\n') out << '\n';
+  }
+  return out.str();
+}
+
+std::string ServiceFrontEnd::execute(const std::string& line) {
+  std::istringstream peek(line);
+  std::string verb;
+  peek >> verb;
+  if (verb.empty() || verb == "help") return usage();
+  if (verb == "sessions") {
+    std::ostringstream out;
+    for (const std::string& name : svc_->sessions().names()) {
+      out << name << '\n';
+    }
+    out << svc_->sessions().size() << " session(s), "
+        << svc_->requests_served() << " request(s) served\n";
+    return out.str();
+  }
+
+  Request req;
+  std::string error;
+  if (!parse(line, &req, &error)) return "error: " + error + "\n";
+
+  // `save <s> file <path>`: run the save, then write the text out here —
+  // the service itself never touches the filesystem.
+  std::string save_path;
+  if (req.type == RequestType::kSave && !req.text.empty()) {
+    std::istringstream opts(req.text);
+    std::string kw;
+    if (!(opts >> kw) || kw != "file" || !(opts >> save_path)) {
+      return "error: save options are 'file <path>'\n";
+    }
+    req.text.clear();
+  }
+
+  Response resp = svc_->call(std::move(req));
+  if (resp.ok && !save_path.empty()) {
+    std::ofstream f(save_path);
+    f << resp.text;
+    if (!f.good()) return "error: cannot write '" + save_path + "'\n";
+    return "ok\nsaved to " + save_path + "\n";
+  }
+  return format(resp);
+}
+
+}  // namespace stemcp::service

@@ -1,0 +1,48 @@
+// Line protocol for the design service: one request per text line, one
+// textual response per request — the transport-agnostic front end that the
+// constraint shell's `service` command (and any future socket server)
+// speaks.  See docs/SERVICE.md for the grammar.
+#pragma once
+
+#include <string>
+
+#include "service/design_service.h"
+
+namespace stemcp::service {
+
+class ServiceFrontEnd {
+ public:
+  explicit ServiceFrontEnd(DesignService& svc) : svc_(&svc) {}
+
+  /// Execute one protocol line and return the textual response (always
+  /// newline-terminated; errors come back as "error: ...").
+  ///
+  ///   open <sess> [metrics] [trace]
+  ///   load <sess> file <path> | load <sess> text <line\nline...>
+  ///   save <sess> [file <path>]
+  ///   assign <sess> <var> <value> [<var> <value> ...]
+  ///   batch-assign <sess> <var> <value> [<var> <value> ...]
+  ///   edit <sess> <edit command...>
+  ///   query <sess> [cells | vars [cell] | stats | <variable path>]
+  ///   report <sess> [cell]
+  ///   close <sess>
+  ///   sessions
+  ///   help
+  ///
+  /// In `load ... text`, the two-character sequence "\n" separates library
+  /// lines, so a whole design fits on one protocol line.
+  std::string execute(const std::string& line);
+
+  /// Parse one protocol line into a typed Request.  Returns false (with
+  /// `error` set) for front-end syntax errors.  `sessions` and `help` are
+  /// front-end commands and not parseable as Requests.
+  static bool parse(const std::string& line, Request* out, std::string* error);
+
+  /// Render a structured response as protocol text.
+  static std::string format(const Response& r);
+
+ private:
+  DesignService* svc_;
+};
+
+}  // namespace stemcp::service

@@ -1,0 +1,64 @@
+// DesignSession: one independent design workspace inside the design
+// service — a Library (which owns its propagation context, tracer and
+// metrics registry) behind a per-session mutex.
+//
+// The propagation engine is single-threaded per context (ROADMAP: the STEM
+// image was a single-designer environment); the service scales by running
+// MANY engines, one per session, and serializing work within each session
+// with its mutex.  Cross-session work proceeds fully in parallel.  When a
+// session closes, its context destructor folds the session's lifetime
+// counters and histograms into the process-global metrics (core/trace.h),
+// which is atomic and safe to hit from many closing sessions at once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stem/library.h"
+
+namespace stemcp::core {
+class Variable;
+}
+
+namespace stemcp::service {
+
+class DesignSession {
+ public:
+  /// `collect_metrics` enables the per-session MetricsRegistry (and
+  /// `collect_trace` the structured tracer) from the first request on.
+  explicit DesignSession(std::string name, bool collect_metrics = false,
+                         bool collect_trace = false);
+
+  DesignSession(const DesignSession&) = delete;
+  DesignSession& operator=(const DesignSession&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// The session's design database.  Callers must hold mutex() while
+  /// touching it (the service's worker pool does so per request).
+  env::Library& library() { return lib_; }
+  std::mutex& mutex() { return mu_; }
+
+  /// Requests executed against this session (guarded by mutex()).
+  std::uint64_t requests_served() const { return requests_; }
+  void count_request() { ++requests_; }
+
+  /// Look up a variable of the design database by its identification path
+  /// ("ADDER.delay(a->out)", "ACC.reg.param(width)", ...).  Nullptr when
+  /// unknown.  Caller must hold mutex().
+  core::Variable* find_variable(const std::string& path);
+
+  /// Visit every addressable variable (class- and instance-side).
+  void for_each_variable(const std::function<void(core::Variable&)>& fn);
+
+ private:
+  std::string name_;
+  std::mutex mu_;
+  env::Library lib_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace stemcp::service

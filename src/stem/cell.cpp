@@ -151,6 +151,13 @@ std::vector<InstanceBitWidthVar*> CellInstance::bit_width_variables() const {
   return out;
 }
 
+std::vector<InstanceParamVar*> CellInstance::parameter_variables() const {
+  std::vector<InstanceParamVar*> out;
+  out.reserve(params_.size());
+  for (const auto& [name, var] : params_) out.push_back(var.get());
+  return out;
+}
+
 InstanceParamVar& CellInstance::parameter(const std::string& name) {
   auto it = params_.find(name);
   if (it != params_.end()) return *it->second;

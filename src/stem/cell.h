@@ -133,6 +133,8 @@ class CellInstance {
   std::vector<InstanceBitWidthVar*> bit_width_variables() const;
   /// Per-parameter instance value (created on demand).
   InstanceParamVar& parameter(const std::string& name);
+  /// Every instance parameter variable created so far (for audits).
+  std::vector<InstanceParamVar*> parameter_variables() const;
   /// Instance delay dual for a declared class delay (created on demand).
   InstanceDelayVar& delay(const std::string& from, const std::string& to);
   InstanceDelayVar* find_delay(const std::string& from,
@@ -306,6 +308,8 @@ class CellClass : public Model {
 
  private:
   friend class CellInstance;
+  friend class Library;  // rebind_library during Library::swap_contents
+  void rebind_library(Library& lib) { library_ = &lib; }
   void register_instance(CellInstance& i);
   void unregister_instance(CellInstance& i);
   void enumerate_paths(const std::string& from_signal, Net* net,

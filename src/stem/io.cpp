@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "stem/cell.h"
 #include "stem/net.h"
@@ -173,6 +174,7 @@ struct Parser {
   Library& lib;
   std::istream& in;
   int line_no = 0;
+  std::string line_text;
   CellClass* cell = nullptr;
   IoSignal* signal = nullptr;
   ClassDelayVar* delay = nullptr;
@@ -180,14 +182,17 @@ struct Parser {
   std::vector<std::string> deferred_builds;
 
   [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("library parse error, line " +
-                             std::to_string(line_no) + ": " + msg);
+    std::string what = "library parse error, line " +
+                       std::to_string(line_no) + ": " + msg;
+    if (!line_text.empty()) what += " in \"" + line_text + "\"";
+    throw std::runtime_error(what);
   }
 
   void run() {
     std::string line;
     while (std::getline(in, line)) {
       ++line_no;
+      line_text = line;
       const auto hash = line.find('#');
       if (hash != std::string::npos) line.erase(hash);
       std::istringstream ls(line);
@@ -195,6 +200,7 @@ struct Parser {
       if (!(ls >> keyword)) continue;
       dispatch(keyword, ls);
     }
+    line_text.clear();  // deferred builds below have no offending line
     // Rebuild delay networks for every structured cell so the loaded
     // design re-derives (and re-checks) its characteristics.
     for (const std::string& name : deferred_builds) {
@@ -428,8 +434,32 @@ std::string LibraryWriter::to_string(const Library& lib) {
 }
 
 void LibraryReader::read(Library& lib, std::istream& in) {
-  Parser parser{lib, in, 0, nullptr, nullptr, nullptr, nullptr, {}};
-  parser.run();
+  if (!lib.cells().empty()) {
+    // Reading into a populated library appends in place (the file may refer
+    // to already-defined superclasses), with only the basic guarantee.
+    Parser parser{lib, in};
+    parser.run();
+    return;
+  }
+  // Fresh target: strong guarantee.  Parse into a scratch library that
+  // borrows the target's type registry (so user-defined signal types
+  // resolve), and swap the parsed contents in only on success — a parse
+  // error mid-file leaves the target untouched.  The scratch context
+  // mirrors the target's engine/observability switches so they survive the
+  // swap (a metrics-enabled session stays metrics-enabled after a load).
+  Library scratch(lib.name());
+  scratch.context().set_enabled(lib.context().enabled());
+  scratch.context().metrics().set_enabled(lib.context().metrics().enabled());
+  scratch.context().tracer().set_enabled(lib.context().tracer().enabled());
+  std::swap(lib.types(), scratch.types());
+  try {
+    Parser parser{scratch, in};
+    parser.run();
+  } catch (...) {
+    std::swap(lib.types(), scratch.types());
+    throw;
+  }
+  lib.swap_contents(scratch);
 }
 
 void LibraryReader::read_string(Library& lib, const std::string& text) {

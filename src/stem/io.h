@@ -24,7 +24,12 @@ class LibraryWriter {
 class LibraryReader {
  public:
   /// Parse into `lib` (which supplies the context and type registry).
-  /// Throws std::runtime_error with a line number on malformed input.
+  /// Throws std::runtime_error carrying the line number and the offending
+  /// line's text on malformed input.  When `lib` is empty the load is
+  /// transactional (strong guarantee): the input is parsed into a scratch
+  /// library and swapped in only on success, so a parse error mid-file
+  /// leaves `lib` unmodified.  Reading into a non-empty library appends in
+  /// place with only the basic guarantee.
   static void read(Library& lib, std::istream& in);
   static void read_string(Library& lib, const std::string& text);
 };

@@ -1,18 +1,30 @@
 #include "stem/library.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "stem/cell.h"
 
 namespace stemcp::env {
 
-Library::Library(std::string name) : name_(std::move(name)) {}
+Library::Library(std::string name)
+    : name_(std::move(name)),
+      ctx_(std::make_unique<core::PropagationContext>()) {}
 
 Library::~Library() {
   // Cells must die newest-first: composite cells (defined later) hold
   // instances of earlier leaf cells and must release them before the leaf
   // classes disappear.
   while (!cells_.empty()) cells_.pop_back();
+}
+
+void Library::swap_contents(Library& other) {
+  std::swap(ctx_, other.ctx_);
+  std::swap(types_, other.types_);
+  std::swap(cells_, other.cells_);
+  std::swap(selection_stats_, other.selection_stats_);
+  for (auto& c : cells_) c->rebind_library(*this);
+  for (auto& c : other.cells_) c->rebind_library(other);
 }
 
 CellClass& Library::define_cell(const std::string& name,

@@ -22,9 +22,17 @@ class Library {
   Library& operator=(const Library&) = delete;
 
   const std::string& name() const { return name_; }
-  core::PropagationContext& context() { return ctx_; }
-  const core::PropagationContext& context() const { return ctx_; }
+  core::PropagationContext& context() { return *ctx_; }
+  const core::PropagationContext& context() const { return *ctx_; }
   SignalTypeRegistry& types() { return types_; }
+
+  /// Exchange design contents (engine context, type registry, cells, stats)
+  /// with another library; names stay put.  Cell back-pointers are re-bound
+  /// on both sides, and since the propagation contexts move by pointer, all
+  /// constraint/variable references into them stay valid.  Used by
+  /// LibraryReader to make loading transactional: parse into a scratch
+  /// library, swap only on success.
+  void swap_contents(Library& other);
 
   /// Define a cell class, optionally as a subclass of an existing one.
   CellClass& define_cell(const std::string& name,
@@ -48,7 +56,10 @@ class Library {
 
  private:
   std::string name_;
-  core::PropagationContext ctx_;
+  // Behind unique_ptr so swap_contents can exchange engine state without
+  // moving the context object itself (its address is baked into constraints
+  // and variables).
+  std::unique_ptr<core::PropagationContext> ctx_;
   SignalTypeRegistry types_;
   std::vector<std::unique_ptr<CellClass>> cells_;
   SelectionStats selection_stats_;

@@ -24,7 +24,7 @@ Variable* ConstraintShell::find(const std::string& name) const {
 std::string ConstraintShell::usage() {
   return "commands: show|set|probe|constraints|antecedents|consequences|dot "
          "<var> [value], on, off, restore, warnings, vars, trace on|off, "
-         "stats, export-trace <file>, help\n";
+         "stats, export-trace <file>, service <line>, help\n";
 }
 
 std::string ConstraintShell::execute(const std::string& command_line) {
@@ -33,6 +33,14 @@ std::string ConstraintShell::execute(const std::string& command_line) {
   if (!(in >> cmd)) return usage();
 
   if (cmd == "help") return usage();
+  if (cmd == "service" || cmd == "svc") {
+    if (!service_handler_) return "no design service attached\n";
+    std::string rest;
+    std::getline(in, rest);
+    const auto first = rest.find_first_not_of(" \t");
+    return service_handler_(first == std::string::npos ? std::string()
+                                                       : rest.substr(first));
+  }
   if (cmd == "on") {
     ctx_->set_enabled(true);
     return "propagation enabled\n";

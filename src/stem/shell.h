@@ -4,6 +4,7 @@
 // propagation, restore.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -38,8 +39,18 @@ class ConstraintShell {
   ///   trace on|off          structured propagation tracing (ring buffer)
   ///   stats                 engine counters + metrics snapshot
   ///   export-trace <file>   write the trace as Chrome trace-event JSON
+  ///   service <line>        forward <line> to the attached design service
   ///   help                  this text
   std::string execute(const std::string& command_line);
+
+  /// Attach a design-service front end: `service <line>` (alias `svc`)
+  /// forwards <line> to the handler and prints its response.  The shell
+  /// lives in the env layer and must not depend on stemcp_service, so the
+  /// binding is a plain function — examples/constraint_shell.cpp wires a
+  /// ServiceFrontEnd in here.
+  void attach_service(std::function<std::string(const std::string&)> handler) {
+    service_handler_ = std::move(handler);
+  }
 
  private:
   core::Variable* find(const std::string& name) const;
@@ -48,6 +59,7 @@ class ConstraintShell {
   core::PropagationContext* ctx_;
   ConstraintInspector inspector_;
   std::map<std::string, core::Variable*> vars_;
+  std::function<std::string(const std::string&)> service_handler_;
 };
 
 }  // namespace stemcp::env

@@ -2,6 +2,10 @@
 // must mean exactly what they claim.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "core/core.h"
 
 namespace stemcp::core {
@@ -185,6 +189,73 @@ TEST_F(StatsTest, ViolationLogPersistsAcrossSessions) {
   EXPECT_EQ(ctx.violation_log().size(), 2u) << "successes don't log";
   EXPECT_FALSE(ctx.last_violation().has_value())
       << "last_violation cleared by the successful session";
+}
+
+// The process-global metrics aggregation is the one piece of the tracing
+// subsystem shared across threads (every engine context folds into it on
+// destruction, and the design service folds whole sessions concurrently).
+// Hammer it from many threads and check nothing is lost; run under
+// tools/run_tier1.sh --tsan for the data-race proof.
+TEST(GlobalMetricsTest, ConcurrentMergesLoseNothing) {
+  reset_global_metrics();
+  constexpr int kThreads = 8;
+  constexpr int kMergesPerThread = 50;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kMergesPerThread; ++i) {
+        MetricsRegistry m;
+        m.set_enabled(true);
+        m.add_counter("shared", 2);
+        m.add_counter("per_thread_" + std::to_string(t), 1);
+        m.histogram("lat").record(static_cast<std::uint64_t>(i + 1));
+        merge_into_global_metrics(m);
+        add_global_counter("direct", 3);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::string json = global_metrics_json();
+  const auto expect_count = [&json](const std::string& needle) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << " in " << json;
+  };
+  expect_count("\"shared\":" +
+               std::to_string(2 * kThreads * kMergesPerThread));
+  expect_count("\"direct\":" +
+               std::to_string(3 * kThreads * kMergesPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    expect_count("\"per_thread_" + std::to_string(t) +
+                 "\":" + std::to_string(kMergesPerThread));
+  }
+  // Histogram count = total records; min/max span the recorded range.
+  expect_count("\"count\":" + std::to_string(kThreads * kMergesPerThread));
+  expect_count("\"min\":1");
+  expect_count("\"max\":" + std::to_string(kMergesPerThread));
+
+  reset_global_metrics();
+  EXPECT_EQ(global_metrics_json().find("shared"), std::string::npos);
+}
+
+TEST(GlobalMetricsTest, ResetRacingMergeStaysConsistent) {
+  reset_global_metrics();
+  std::thread merger([] {
+    for (int i = 0; i < 200; ++i) {
+      MetricsRegistry m;
+      m.set_enabled(true);
+      m.add_counter("racy", 1);
+      merge_into_global_metrics(m);
+    }
+  });
+  std::thread resetter([] {
+    for (int i = 0; i < 50; ++i) reset_global_metrics();
+  });
+  merger.join();
+  resetter.join();
+  // No crash, no TSan report; the value is whatever survived the last reset.
+  reset_global_metrics();
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+// ServiceFrontEnd tests: line-protocol parsing, response formatting, and an
+// end-to-end drive of the service through protocol text.
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stemcp::service {
+namespace {
+
+TEST(ServiceProtocolTest, ParseAssignments) {
+  Request r;
+  std::string err;
+  ASSERT_TRUE(ServiceFrontEnd::parse("batch-assign s A.delay(x->y) 1e-9 B.w 4",
+                                     &r, &err))
+      << err;
+  EXPECT_EQ(r.type, RequestType::kBatchAssign);
+  EXPECT_EQ(r.session, "s");
+  ASSERT_EQ(r.assignments.size(), 2u);
+  EXPECT_EQ(r.assignments[0].variable, "A.delay(x->y)");
+  EXPECT_DOUBLE_EQ(r.assignments[0].value, 1e-9);
+  EXPECT_EQ(r.assignments[1].variable, "B.w");
+  EXPECT_DOUBLE_EQ(r.assignments[1].value, 4.0);
+
+  EXPECT_FALSE(ServiceFrontEnd::parse("assign s", &r, &err));
+  EXPECT_FALSE(ServiceFrontEnd::parse("assign s A.w notanumber", &r, &err));
+  EXPECT_FALSE(ServiceFrontEnd::parse("", &r, &err));
+  EXPECT_FALSE(ServiceFrontEnd::parse("open", &r, &err));
+  EXPECT_FALSE(ServiceFrontEnd::parse("frobnicate s", &r, &err));
+}
+
+TEST(ServiceProtocolTest, ParseLoadTextUnescapesNewlines) {
+  Request r;
+  std::string err;
+  ASSERT_TRUE(ServiceFrontEnd::parse(
+      "load s text cell A\\nsignal p input\\nend", &r, &err))
+      << err;
+  EXPECT_EQ(r.type, RequestType::kLoad);
+  EXPECT_EQ(r.text, "cell A\nsignal p input\nend");
+}
+
+TEST(ServiceProtocolTest, FormatResponses) {
+  Response r;
+  r.ok = false;
+  r.error = "boom";
+  EXPECT_EQ(ServiceFrontEnd::format(r), "error: boom\n");
+
+  r = Response{};
+  r.ok = true;
+  r.text = "hello";
+  EXPECT_EQ(ServiceFrontEnd::format(r), "ok\nhello\n");
+
+  r = Response{};
+  r.ok = true;
+  r.assignments_applied = 3;
+  EXPECT_EQ(ServiceFrontEnd::format(r), "ok (applied 3 assignment(s))\n");
+
+  r = Response{};
+  r.ok = true;
+  r.violation = true;
+  r.violation_message = "over budget";
+  r.variables_restored = 2;
+  EXPECT_EQ(ServiceFrontEnd::format(r),
+            "ok VIOLATION: over budget (restored 2 variable(s))\n");
+}
+
+TEST(ServiceProtocolTest, EndToEndOverProtocolText) {
+  DesignService svc(2);
+  ServiceFrontEnd fe(svc);
+
+  EXPECT_EQ(fe.execute("open a metrics"), "ok\nopened a\n");
+  EXPECT_EQ(fe.execute("open a"), "error: session 'a' already exists\n");
+
+  std::string out = fe.execute(
+      "load a text cell STAGE\\nsignal in input\\nsignal out output\\n"
+      "delay in out\\nspec <= 1e-7\\nend");
+  EXPECT_EQ(out, "ok\nloaded 1 cell(s)\n") << out;
+
+  out = fe.execute("batch-assign a STAGE.delay(in->out) 4e-8");
+  EXPECT_EQ(out, "ok (applied 1 assignment(s))\n") << out;
+
+  out = fe.execute("query a STAGE.delay(in->out)");
+  EXPECT_NE(out.find("4e-08"), std::string::npos) << out;
+
+  // A violating batch reports the outcome on the status line.
+  out = fe.execute("batch-assign a STAGE.delay(in->out) 2e-7");
+  EXPECT_NE(out.find("ok VIOLATION"), std::string::npos) << out;
+  EXPECT_NE(out.find("restored"), std::string::npos) << out;
+
+  out = fe.execute("query a stats");
+  EXPECT_NE(out.find("requests served"), std::string::npos) << out;
+  EXPECT_NE(out.find("metrics:"), std::string::npos) << out;
+
+  out = fe.execute("save a");
+  EXPECT_NE(out.find("cell STAGE"), std::string::npos) << out;
+
+  out = fe.execute("sessions");
+  EXPECT_NE(out.find("a\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 session(s)"), std::string::npos) << out;
+
+  EXPECT_EQ(fe.execute("close a"), "ok\nclosed a\n");
+  EXPECT_NE(fe.execute("query a cells").find("error: unknown session"),
+            std::string::npos);
+
+  EXPECT_NE(fe.execute("help").find("service commands"), std::string::npos);
+  EXPECT_NE(fe.execute("bogus x").find("error:"), std::string::npos);
+}
+
+TEST(ServiceProtocolTest, SaveToFile) {
+  DesignService svc(1);
+  ServiceFrontEnd fe(svc);
+  fe.execute("open f");
+  fe.execute("load f text cell A\\nsignal p input\\nend");
+  const std::string path = ::testing::TempDir() + "/stemcp_proto_save.lib";
+  std::string out = fe.execute("save f file " + path);
+  EXPECT_NE(out.find("saved to"), std::string::npos) << out;
+
+  // Round-trip through `load file`.
+  fe.execute("open g");
+  out = fe.execute("load g file " + path);
+  EXPECT_EQ(out, "ok\nloaded 1 cell(s)\n") << out;
+  out = fe.execute("load g file /no/such/file");
+  EXPECT_NE(out.find("error: cannot read"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace stemcp::service

@@ -189,6 +189,71 @@ TEST(IoTest, ParseErrorsCarryLineNumbers) {
   }
 }
 
+TEST(IoTest, ParseErrorsIncludeTheOffendingLineText) {
+  Library lib;
+  try {
+    LibraryReader::read_string(lib, "cell A\nbogus keyword here\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("in \"bogus keyword here\""), std::string::npos)
+        << what;
+  }
+}
+
+TEST(IoTest, ParseErrorLeavesLibraryUntouched) {
+  // Reading into an empty library is transactional: a parse error on line
+  // 2000 of a big file must not leave half a design behind.
+  Library lib("target");
+  lib.types().define("customSignal", lib.types().find("DataType"));
+  try {
+    LibraryReader::read_string(lib,
+                               "cell GOOD\n  signal p input\nend\n"
+                               "cell BAD\n  frobnicate\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_TRUE(lib.cells().empty()) << "failed load must not leave cells";
+  EXPECT_EQ(lib.find("GOOD"), nullptr);
+  EXPECT_EQ(lib.name(), "target");
+  // The caller's registered signal types survive the rollback.
+  EXPECT_NE(lib.types().find("customSignal"), nullptr);
+  // And the library is still fully usable afterwards.
+  LibraryReader::read_string(lib, "cell GOOD\n  signal p input\nend\n");
+  EXPECT_NE(lib.find("GOOD"), nullptr);
+}
+
+TEST(IoTest, SuccessfulLoadIntoEmptyLibraryKeepsEngineWiring) {
+  // The transactional swap moves cells built against a scratch context into
+  // the target; constraints must keep firing afterwards.
+  Library src;
+  build_accumulator(src);
+  const std::string text = LibraryWriter::to_string(src);
+
+  Library lib;
+  LibraryReader::read_string(lib, text);
+  auto& adder = lib.cell("ADDER");
+  auto* d = adder.find_delay("a", "out");
+  ASSERT_NE(d, nullptr);
+  // The 120 ns upper bound survived the move: propagation still rejects.
+  EXPECT_TRUE(d->set_user(Value(200 * kNs)).is_violation());
+  EXPECT_TRUE(d->set_user(Value(100 * kNs)));
+}
+
+TEST(IoTest, ReadIntoNonEmptyLibraryStillAppends) {
+  Library lib;
+  LibraryReader::read_string(lib, "cell FIRST\n  signal p input\nend\n");
+  LibraryReader::read_string(lib, "cell SECOND\n  signal q output\nend\n");
+  EXPECT_NE(lib.find("FIRST"), nullptr);
+  EXPECT_NE(lib.find("SECOND"), nullptr);
+  // A failed append keeps what was already there (basic guarantee).
+  EXPECT_THROW(LibraryReader::read_string(lib, "cell X\n  junk\nend\n"),
+               std::runtime_error);
+  EXPECT_NE(lib.find("FIRST"), nullptr);
+  EXPECT_NE(lib.find("SECOND"), nullptr);
+}
+
 TEST(IoTest, LoadedWidthViolationIsCaughtDuringParse) {
   // The loaded text wires an 8-bit signal to a 4-bit-constrained one; the
   // constraint networks re-instantiate during load, so the inconsistency is

@@ -1,24 +1,30 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a plain RelWithDebInfo run and an opt-in
-# ASan/UBSan run (CMake option STEMCP_SANITIZE).  Intended as the CI entry
-# point; both runs must pass.
+# Tier-1 verification, three ways: a plain RelWithDebInfo run, an opt-in
+# ASan/UBSan run, and a ThreadSanitizer pass over the concurrency suites
+# (CMake option STEMCP_SANITIZE).  Intended as the CI entry point.
 #
-#   tools/run_tier1.sh            # plain + sanitized
+#   tools/run_tier1.sh            # plain + sanitized + tsan
 #   tools/run_tier1.sh --plain    # plain only
-#   tools/run_tier1.sh --sanitize # sanitized only
+#   tools/run_tier1.sh --sanitize # ASan/UBSan only
+#   tools/run_tier1.sh --tsan     # ThreadSanitizer concurrency pass only
 #   STEMCP_SANITIZE=address tools/run_tier1.sh   # override sanitizer list
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
+# Tests exercising shared state from multiple threads: the design service,
+# the line-protocol front end over it, and the process-global metrics.
+TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics'
 RUN_PLAIN=1
 RUN_SANITIZED=1
+RUN_TSAN=1
 case "${1:-}" in
-  --plain) RUN_SANITIZED=0 ;;
-  --sanitize) RUN_PLAIN=0 ;;
+  --plain) RUN_SANITIZED=0; RUN_TSAN=0 ;;
+  --sanitize) RUN_PLAIN=0; RUN_TSAN=0 ;;
+  --tsan) RUN_PLAIN=0; RUN_SANITIZED=0 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--sanitize]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--sanitize|--tsan]" >&2; exit 2 ;;
 esac
 
 run_suite() {
@@ -38,6 +44,15 @@ if [[ "$RUN_SANITIZED" == 1 ]]; then
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
   run_suite build-sanitize "-DSTEMCP_SANITIZE=$SANITIZERS"
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== tier-1: thread sanitizer ($TSAN_FILTER) =="
+  cmake -B build-tsan -S . -DSTEMCP_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R "$TSAN_FILTER"
 fi
 
 echo "tier-1 verification passed"
