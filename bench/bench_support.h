@@ -1,12 +1,18 @@
 // Shared benchmark harness glue.
 //
 // Every bench binary uses STEMCP_BENCH_MAIN() instead of BENCHMARK_MAIN():
-// after the timing run it writes the process-global metrics registry —
-// which every PropagationContext folds its lifetime counters into on
-// destruction — as machine-readable JSON next to the Google-Benchmark
-// output, so BENCH_*.json trajectories stay comparable across PRs.
+// the run goes through a collecting console reporter, and afterwards the
+// binary writes ONE consolidated JSON document combining
+//   - per-benchmark timings (name, iterations, ns/iter real + cpu, user
+//     counters such as items_per_second), and
+//   - the process-global metrics registry, which every PropagationContext
+//     folds its lifetime engine Stats into on destruction,
+// so a single file per binary captures both wall time and engine work.
+// tools/bench_compare.py diffs two such files (or directories of them) and
+// flags regressions; `tools/bench_compare.py merge` concatenates several
+// into one BENCH.json.
 //
-//   STEMCP_BENCH_STATS=<path>  stats JSON destination
+//   STEMCP_BENCH_STATS=<path>  consolidated JSON destination
 //                              (default: <exe-basename>.stats.json in cwd)
 //   STEMCP_BENCH_STATS=-       suppress the stats file
 //   STEMCP_TRACE=<path>        benches that call maybe_enable_tracing()
@@ -15,10 +21,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/core.h"
 
@@ -54,16 +65,113 @@ inline std::string stats_json_path(const char* argv0) {
   return exe + ".stats.json";
 }
 
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One measured benchmark repetition, normalized to ns/iteration.
+struct BenchResult {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_time_ns_per_iter = 0;
+  double cpu_time_ns_per_iter = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Console reporter that additionally collects every non-aggregate run so
+/// bench_main can serialize them alongside the engine metrics.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.error_occurred) continue;
+      BenchResult r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<std::int64_t>(run.iterations);
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      r.real_time_ns_per_iter = run.real_accumulated_time * 1e9 / iters;
+      r.cpu_time_ns_per_iter = run.cpu_accumulated_time * 1e9 / iters;
+      for (const auto& [cname, counter] : run.counters) {
+        r.counters.emplace_back(cname, static_cast<double>(counter.value));
+      }
+      results_.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+ private:
+  std::vector<BenchResult> results_;
+};
+
+/// The consolidated per-binary document: benchmark timings + the global
+/// metrics registry (engine Stats folded in by every context destructor).
+inline std::string consolidated_json(const std::string& bench_name,
+                                     const std::vector<BenchResult>& results) {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << json_escape(bench_name) << "\",\"benchmarks\":[";
+  bool first = true;
+  for (const BenchResult& r : results) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(r.name) << "\""
+        << ",\"iterations\":" << r.iterations
+        << ",\"real_time_ns_per_iter\":" << r.real_time_ns_per_iter
+        << ",\"cpu_time_ns_per_iter\":" << r.cpu_time_ns_per_iter;
+    if (!r.counters.empty()) {
+      out << ",\"counters\":{";
+      bool cfirst = true;
+      for (const auto& [cname, v] : r.counters) {
+        if (!cfirst) out << ',';
+        cfirst = false;
+        out << '"' << json_escape(cname) << "\":" << v;
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "],\"metrics\":" << core::global_metrics_json() << '}';
+  return out.str();
+}
+
 inline int bench_main(int argc, char** argv) {
   const std::string stats_path =
       stats_json_path(argc > 0 ? argv[0] : nullptr);
+  std::string exe = (argc > 0 && argv[0] != nullptr) ? argv[0] : "bench";
+  if (const auto slash = exe.find_last_of('/'); slash != std::string::npos) {
+    exe = exe.substr(slash + 1);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   if (stats_path != "-") {
     std::ofstream out(stats_path, std::ios::out | std::ios::trunc);
-    out << core::global_metrics_json() << '\n';
+    out << consolidated_json(exe, reporter.results()) << '\n';
     if (!out.good()) {
       std::cerr << "bench_support: failed to write " << stats_path << '\n';
       return 1;

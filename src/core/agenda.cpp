@@ -7,7 +7,8 @@
 
 namespace stemcp::core {
 
-AgendaScheduler::AgendaScheduler() {
+AgendaScheduler::AgendaScheduler()
+    : epoch_(next_global_stamp()), generation_(next_global_stamp()) {
   // Deviation from thesis §5.1.2, which puts #implicitConstraints at the
   // LOWEST priority: that ordering lets a functional constraint recompute
   // between the implicit updates of its own inputs, so re-characterizing a
@@ -25,17 +26,21 @@ void AgendaScheduler::set_priority_order(std::vector<std::string> names) {
   order_ = std::move(names);
   queues_.clear();
   queues_.reserve(order_.size());
-  for (const auto& n : order_) queues_.push_back(Queue{n, {}, 0, {}});
+  for (const auto& n : order_) queues_.push_back(Queue{n, {}, 0});
+  // Every interned id and every queued-entry stamp is now stale.
+  generation_ = next_global_stamp();
+  epoch_ = next_global_stamp();
 }
 
-std::size_t AgendaScheduler::queue_index(const std::string& name) {
+AgendaScheduler::AgendaId AgendaScheduler::intern(std::string_view name) {
   for (std::size_t i = 0; i < queues_.size(); ++i) {
-    if (queues_[i].name == name) return i;
+    if (queues_[i].name == name) return static_cast<AgendaId>(i);
   }
-  // Unknown agendas are appended at the lowest priority.
-  order_.push_back(name);
-  queues_.push_back(Queue{name, {}, 0, {}});
-  return queues_.size() - 1;
+  // Unknown agendas are appended at the lowest priority.  Existing ids keep
+  // their meaning, so the generation does not move.
+  order_.emplace_back(name);
+  queues_.push_back(Queue{std::string(name), {}, 0});
+  return static_cast<AgendaId>(queues_.size() - 1);
 }
 
 void AgendaScheduler::bind_instrumentation(std::uint64_t* high_water,
@@ -50,15 +55,40 @@ void AgendaScheduler::bind_instrumentation(std::uint64_t* high_water,
   tracked_priorities_ = tracked_priorities;
   tracer_ = tracer;
   metrics_ = metrics;
+  for (Queue& q : queues_) {
+    q.depth_hist = nullptr;
+    q.depth_hist_gen = 0;
+  }
 }
 
-bool AgendaScheduler::schedule(const std::string& agenda, Propagatable& task,
+bool AgendaScheduler::schedule_cached(Propagatable& task, const char* name,
+                                      Variable* variable) {
+  if (task.agenda_cache_gen_ != generation_ ||
+      task.agenda_cache_name_ != name) {
+    task.agenda_cache_id_ = intern(name);
+    task.agenda_cache_gen_ = generation_;
+    task.agenda_cache_name_ = name;
+  }
+  return schedule(task.agenda_cache_id_, task, variable);
+}
+
+bool AgendaScheduler::schedule(AgendaId agenda, Propagatable& task,
                                Variable* variable) {
-  const std::size_t pri = queue_index(agenda);
+  const std::size_t pri = agenda;
   Queue& q = queues_[pri];
-  const Entry e{&task, variable};
-  if (!q.members.insert(e).second) return false;  // duplicate suppression
-  q.fifo.push_back(e);
+  // Duplicate suppression without a per-queue set: the task carries the
+  // (queue, variable) pairs currently queued for it, valid only while its
+  // stamp matches this scheduler's epoch.
+  if (task.sched_epoch_ != epoch_) {
+    task.sched_epoch_ = epoch_;
+    task.queued_.clear();
+  } else {
+    for (const auto& [qid, var] : task.queued_) {
+      if (qid == agenda && var == variable) return false;
+    }
+  }
+  task.queued_.emplace_back(agenda, variable);
+  q.fifo.push_back(Entry{&task, variable});
 
   // Always-on queue-pressure accounting (cheap: two compares, one store).
   if (scheduled_ != nullptr && tracked_priorities_ > 0) {
@@ -74,7 +104,13 @@ bool AgendaScheduler::schedule(const std::string& agenda, Propagatable& task,
                   static_cast<std::uint8_t>(std::min<std::size_t>(pri, 255)));
   }
   if (metrics_ != nullptr && metrics_->enabled()) {
-    metrics_->histogram("agenda_depth.p" + std::to_string(pri)).record(size());
+    if (q.depth_hist == nullptr ||
+        q.depth_hist_gen != metrics_->generation()) {
+      q.depth_hist =
+          metrics_->histogram_handle("agenda_depth.p" + std::to_string(pri));
+      q.depth_hist_gen = metrics_->generation();
+    }
+    q.depth_hist->record(size());
   }
   return true;
 }
@@ -84,7 +120,18 @@ std::optional<AgendaScheduler::Entry> AgendaScheduler::pop_highest_priority() {
     Queue& q = queues_[pri];
     if (q.empty()) continue;
     Entry e = q.fifo[q.head++];
-    q.members.erase(e);
+    // Un-mark the popped entry so the task may be re-scheduled within the
+    // same session (swap-remove; FIFO order lives in q.fifo, not here).
+    if (e.task->sched_epoch_ == epoch_) {
+      auto& queued = e.task->queued_;
+      for (auto it = queued.begin(); it != queued.end(); ++it) {
+        if (it->first == pri && it->second == e.variable) {
+          *it = queued.back();
+          queued.pop_back();
+          break;
+        }
+      }
+    }
     if (q.empty()) {
       q.fifo.clear();
       q.head = 0;
@@ -113,8 +160,9 @@ void AgendaScheduler::clear() {
   for (auto& q : queues_) {
     q.fifo.clear();
     q.head = 0;
-    q.members.clear();
   }
+  // One stamp invalidates every task's queued-entry list at once.
+  epoch_ = next_global_stamp();
 }
 
 }  // namespace stemcp::core

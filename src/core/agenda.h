@@ -4,17 +4,24 @@
 // adds the #implicitConstraints agenda (§5.1.2), drained ahead of the
 // functional agenda here so all duals of a changed class variable settle
 // before dependent recomputation (see agenda.cpp for the deviation note).
+//
+// Hot-path design (docs/PERFORMANCE.md): agenda names are interned to small
+// integer ids once, duplicate suppression rides on per-task epoch stamps
+// instead of a std::set per queue, and the queue-depth histogram is recorded
+// through a pre-resolved handle — the steady-state schedule()/pop path
+// touches no strings and performs no heap allocation.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace stemcp::core {
 
+class Histogram;
 class MetricsRegistry;
 class Propagatable;
 class Tracer;
@@ -28,6 +35,12 @@ inline constexpr const char* kImplicitConstraintsAgenda =
 
 class AgendaScheduler {
  public:
+  /// Interned agenda identity: the queue index, which doubles as the
+  /// priority (0 = drained first).  Stable until set_priority_order()
+  /// rebuilds the table (appending a previously-unknown agenda does NOT
+  /// invalidate existing ids).
+  using AgendaId = std::uint32_t;
+
   struct Entry {
     Propagatable* task = nullptr;
     Variable* variable = nullptr;  ///< changed variable; null for functional
@@ -38,14 +51,35 @@ class AgendaScheduler {
   AgendaScheduler();
 
   /// Priority order, highest first.  Unknown agenda names used in schedule()
-  /// are appended at the lowest priority.
+  /// are appended at the lowest priority.  Invalidates every interned
+  /// AgendaId (generation() changes).
   void set_priority_order(std::vector<std::string> names);
   const std::vector<std::string>& priority_order() const { return order_; }
 
+  /// Resolve an agenda name to its id, appending unknown names at the
+  /// lowest priority.  The only string-matching step; callers hold the id.
+  AgendaId intern(std::string_view name);
+  /// Interning-table generation: ids cached under an older generation must
+  /// be re-interned.  Globally unique per scheduler instance and per
+  /// set_priority_order() call.
+  std::uint64_t generation() const { return generation_; }
+
   /// `scheduleConstraint:variable:onAgendaNamed:` — returns false if an equal
-  /// entry was already queued (duplicate suppression).
+  /// entry was already queued (duplicate suppression).  A task tracks its
+  /// queued entries for one scheduler at a time (the engine binds every task
+  /// to exactly one context's scheduler); stamps are globally unique, so a
+  /// foreign scheduler's stamp never reads as "already queued" here.
+  bool schedule(AgendaId agenda, Propagatable& task, Variable* variable);
   bool schedule(const std::string& agenda, Propagatable& task,
-                Variable* variable);
+                Variable* variable) {
+    return schedule(intern(agenda), task, variable);
+  }
+  /// Steady-state entry point: resolves and caches the agenda id inside the
+  /// task itself (keyed by the name pointer and generation()), so repeat
+  /// schedules never touch the string.  `name` should be a long-lived
+  /// literal such as kFunctionalConstraintsAgenda.
+  bool schedule_cached(Propagatable& task, const char* name,
+                       Variable* variable);
 
   /// `removeHighestPriorityScheduledEntry` — first entry of the highest
   /// priority non-empty agenda.
@@ -75,16 +109,24 @@ class AgendaScheduler {
     std::string name;
     std::vector<Entry> fifo;
     std::size_t head = 0;  // pop index; fifo compacted when drained
-    std::set<Entry> members;
+
+    // Pre-resolved "agenda_depth.p<i>" histogram (lazy; re-resolved when the
+    // metrics generation moves).
+    Histogram* depth_hist = nullptr;
+    std::uint64_t depth_hist_gen = 0;
 
     bool empty() const { return head >= fifo.size(); }
   };
 
-  std::size_t queue_index(const std::string& name);
-
   std::vector<std::string> order_;
   std::vector<Queue> queues_;  // parallel to order_
   std::size_t last_popped_priority_ = 0;
+
+  /// Dedup epoch: entries stamped into a task under an older epoch no
+  /// longer count as queued.  Globally unique (next_global_stamp), so a
+  /// task touched by two schedulers can never cross-match.
+  std::uint64_t epoch_;
+  std::uint64_t generation_;
 
   std::uint64_t* high_water_ = nullptr;
   std::uint64_t* scheduled_ = nullptr;

@@ -15,7 +15,8 @@ Status FunctionalConstraint::propagate_variable(Variable& changed) {
   if (!enabled()) return Status::ok();
   context().mark_visited(*this);
   if (permit_changes_by(changed)) {
-    context().agenda().schedule(kFunctionalConstraintsAgenda, *this, nullptr);
+    context().agenda().schedule_cached(*this, kFunctionalConstraintsAgenda,
+                                       nullptr);
   }
   return Status::ok();
 }
@@ -38,15 +39,6 @@ bool FunctionalConstraint::test_membership(
     const Variable& var, const DependencyRecord& record) const {
   if (record.all_arguments) return &var != result_;
   return Constraint::test_membership(var, record);
-}
-
-std::vector<const Variable*> FunctionalConstraint::inputs() const {
-  std::vector<const Variable*> in;
-  in.reserve(args_.size());
-  for (const Variable* a : args_) {
-    if (a != result_) in.push_back(a);
-  }
-  return in;
 }
 
 // ---- UniAddition -----------------------------------------------------------

@@ -43,8 +43,57 @@ class FunctionalConstraint : public Constraint {
   /// computable yet" and suppresses assignment.
   virtual Value compute() const = 0;
 
-  /// Arguments excluding the result variable.
-  std::vector<const Variable*> inputs() const;
+  /// Lazily-filtered view over the argument list that skips the result
+  /// variable.  compute() runs on every agenda pop and every final-sweep
+  /// check, so the inputs must be walkable without building a vector
+  /// (docs/PERFORMANCE.md).
+  class InputRange {
+   public:
+    class iterator {
+     public:
+      iterator(const Variable* const* p, const Variable* const* end,
+               const Variable* skip)
+          : p_(p), end_(end), skip_(skip) {
+        advance();
+      }
+      const Variable* operator*() const { return *p_; }
+      iterator& operator++() {
+        ++p_;
+        advance();
+        return *this;
+      }
+      bool operator==(const iterator& o) const { return p_ == o.p_; }
+      bool operator!=(const iterator& o) const { return p_ != o.p_; }
+
+     private:
+      void advance() {
+        while (p_ != end_ && *p_ == skip_) ++p_;
+      }
+      const Variable* const* p_;
+      const Variable* const* end_;
+      const Variable* skip_;
+    };
+
+    InputRange(const std::vector<Variable*>& args, const Variable* skip)
+        : data_(args.data()), size_(args.size()), skip_(skip) {}
+
+    iterator begin() const { return {data_, data_ + size_, skip_}; }
+    iterator end() const { return {data_ + size_, data_ + size_, skip_}; }
+    std::size_t size() const {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < size_; ++i) n += data_[i] != skip_;
+      return n;
+    }
+    const Variable* front() const { return *begin(); }
+
+   private:
+    const Variable* const* data_;
+    std::size_t size_;
+    const Variable* skip_;
+  };
+
+  /// Arguments excluding the result variable (allocation-free view).
+  InputRange inputs() const { return InputRange(args_, result_); }
 
   Variable* result_ = nullptr;
 };

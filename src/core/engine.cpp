@@ -8,7 +8,7 @@
 
 namespace stemcp::core {
 
-PropagationContext::PropagationContext() {
+PropagationContext::PropagationContext() : epoch_(next_global_stamp()) {
   agenda_.bind_instrumentation(
       &stats_.agenda_high_water, stats_.scheduled_by_priority.data(),
       stats_.executed_by_priority.data(), Stats::kTrackedPriorities, &tracer_,
@@ -75,21 +75,24 @@ void PropagationContext::destroy_constraint(Constraint& c) {
   constraints_.erase(it);
 }
 
-Status PropagationContext::run_session(const std::function<Status()>& body) {
+Status PropagationContext::run_session_impl(Status (*invoke)(void*),
+                                            void* body) {
   if (in_propagation_) {
     throw std::logic_error("nested propagation session");
   }
   in_propagation_ = true;
   ++stats_.sessions;
-  visited_vars_.clear();
-  visited_constraint_set_.clear();
+  // A fresh epoch invalidates every variable/constraint stamp at once — the
+  // O(size) map clears of the old visited dictionary become O(1).
+  epoch_ = next_global_stamp();
+  trail_size_ = 0;
   visited_constraints_.clear();
   agenda_.clear();
   last_violation_.reset();
 
   if (tracing()) tracer_.emit(TraceEventType::kSessionBegin, "");
 
-  Status s = body();
+  Status s = invoke(body);
   if (s.is_ok()) s = drain_agendas();
   if (s.is_ok()) s = check_visited_constraints();
 
@@ -117,40 +120,62 @@ Status PropagationContext::run_session(const std::function<Status()>& body) {
 }
 
 bool PropagationContext::was_visited(const Variable& v) const {
-  return visited_vars_.count(const_cast<Variable*>(&v)) != 0;
+  return v.visit_epoch_ == epoch_;
 }
 
 void PropagationContext::record_visited(Variable& v) {
-  visited_vars_.try_emplace(&v, SavedState{v.value(), v.last_set_by(), 0});
+  if (v.visit_epoch_ == epoch_) return;  // putIfAbsent
+  v.visit_epoch_ = epoch_;
+  v.session_changes_ = 0;
+  // Reuse a retired trail slot when one exists: assigning into the old
+  // Value/Justification keeps their heap capacity warm, so steady-state
+  // sessions do not allocate here.
+  if (trail_size_ < trail_.size()) {
+    TrailEntry& slot = trail_[trail_size_];
+    slot.var = &v;
+    slot.value = v.value();
+    slot.justification = v.last_set_by();
+  } else {
+    trail_.push_back(TrailEntry{&v, v.value(), v.last_set_by()});
+  }
+  ++trail_size_;
 }
 
 bool PropagationContext::may_change_again(const Variable& v) const {
-  const auto it = visited_vars_.find(const_cast<Variable*>(&v));
-  if (it == visited_vars_.end()) return true;
-  return it->second.changes < max_changes_per_variable_;
+  if (v.visit_epoch_ != epoch_) return true;
+  return v.session_changes_ < max_changes_per_variable_;
 }
 
 void PropagationContext::count_change(Variable& v) {
-  auto it = visited_vars_.find(&v);
-  if (it != visited_vars_.end()) ++it->second.changes;
+  if (v.visit_epoch_ == epoch_) ++v.session_changes_;
 }
 
 void PropagationContext::mark_visited(Propagatable& c) {
-  if (visited_constraint_set_.try_emplace(&c, true).second) {
-    visited_constraints_.push_back(&c);
-  }
+  if (c.visit_epoch_ == epoch_) return;
+  c.visit_epoch_ = epoch_;
+  visited_constraints_.push_back(&c);
 }
 
 void PropagationContext::restore_visited() {
   const bool traced = tracing();
-  for (auto& [var, saved] : visited_vars_) {
+  for (std::size_t i = 0; i < trail_size_; ++i) {
+    TrailEntry& slot = trail_[i];
     if (traced) {
-      tracer_.emit(TraceEventType::kRestore, var->path(), var);
+      tracer_.emit(TraceEventType::kRestore, slot.var->path(), slot.var);
     }
-    var->restore_state(saved.value, saved.justification);
+    slot.var->restore_state(slot.value, slot.justification);
     ++stats_.restores;
   }
 }
+
+std::vector<Propagatable*>& PropagationContext::borrow_fanout_scratch() {
+  if (fanout_depth_ == fanout_pool_.size()) {
+    fanout_pool_.push_back(std::make_unique<std::vector<Propagatable*>>());
+  }
+  return *fanout_pool_[fanout_depth_++];
+}
+
+void PropagationContext::release_fanout_scratch() { --fanout_depth_; }
 
 Status PropagationContext::signal_violation(ViolationInfo info) {
   if (!last_violation_) {
@@ -165,24 +190,18 @@ Status PropagationContext::signal_violation(ViolationInfo info) {
 
 void PropagationContext::report_violation(const ViolationInfo& info) {
   violation_log_.push_back(info.to_string());
-  if (violation_log_.size() > violation_log_limit_) {
-    const std::size_t excess = violation_log_.size() - violation_log_limit_;
-    violation_log_.erase(violation_log_.begin(),
-                         violation_log_.begin() +
-                             static_cast<std::ptrdiff_t>(excess));
-    violation_log_dropped_ += excess;
+  while (violation_log_.size() > violation_log_limit_) {
+    violation_log_.pop_front();
+    ++violation_log_dropped_;
   }
   if (violation_handler_) violation_handler_(info);
 }
 
 void PropagationContext::set_violation_log_limit(std::size_t limit) {
   violation_log_limit_ = limit < 1 ? 1 : limit;
-  if (violation_log_.size() > violation_log_limit_) {
-    const std::size_t excess = violation_log_.size() - violation_log_limit_;
-    violation_log_.erase(violation_log_.begin(),
-                         violation_log_.begin() +
-                             static_cast<std::ptrdiff_t>(excess));
-    violation_log_dropped_ += excess;
+  while (violation_log_.size() > violation_log_limit_) {
+    violation_log_.pop_front();
+    ++violation_log_dropped_;
   }
 }
 
@@ -201,7 +220,14 @@ Status PropagationContext::drain_agendas() {
                                                                      255)));
       }
       if (metrics_.enabled()) {
-        metrics_.histogram("run_ns." + entry->task->type_name()).record(dt);
+        Propagatable& task = *entry->task;
+        if (task.run_hist_ == nullptr ||
+            task.run_hist_gen_ != metrics_.generation()) {
+          task.run_hist_ =
+              metrics_.histogram_handle("run_ns." + task.type_name());
+          task.run_hist_gen_ = metrics_.generation();
+        }
+        task.run_hist_->record(dt);
       }
       if (s.is_violation()) return s;
     } else {
@@ -217,7 +243,8 @@ Status PropagationContext::check_visited_constraints() {
   // constraint.  Implicit-constraint scheduling may mark more constraints
   // visited while checking does not, so a simple index loop suffices.
   const bool observed = observing();
-  for (Propagatable* c : visited_constraints_) {
+  for (std::size_t i = 0; i < visited_constraints_.size(); ++i) {
+    Propagatable* c = visited_constraints_[i];
     ++stats_.checks;
     bool ok;
     if (observed) {
@@ -228,7 +255,13 @@ Status PropagationContext::check_visited_constraints() {
         tracer_.emit(TraceEventType::kCheck, c->describe(), c, dt);
       }
       if (metrics_.enabled()) {
-        metrics_.histogram("check_ns." + c->type_name()).record(dt);
+        if (c->check_hist_ == nullptr ||
+            c->check_hist_gen_ != metrics_.generation()) {
+          c->check_hist_ =
+              metrics_.histogram_handle("check_ns." + c->type_name());
+          c->check_hist_gen_ = metrics_.generation();
+        }
+        c->check_hist_->record(dt);
       }
     } else {
       ok = c->is_satisfied();

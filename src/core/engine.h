@@ -4,15 +4,22 @@
 // VisitedConstraintsAndVariables dictionary that enforces the
 // one-value-change rule, the CPSwitch enable flag (§5.3), violation
 // reporting, and restore-on-violation.
+//
+// Hot-path design (docs/PERFORMANCE.md): the visited dictionary is an epoch
+// stamp intruded into every Variable/Propagatable plus an undo trail owned
+// here — was_visited / record_visited / may_change_again / mark_visited are
+// O(1) stamp compares, and after warm-up a steady-state propagation session
+// performs no heap allocation in the schedule/pop/record-visited path.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/agenda.h"
@@ -67,7 +74,14 @@ class PropagationContext {
   /// Run `body` as one propagation session: clear visited state, execute,
   /// drain agendas, final isSatisfied sweep over visited constraints, and on
   /// violation invoke the handler and restore every visited variable.
-  Status run_session(const std::function<Status()>& body);
+  /// `body` is any callable returning Status; it is invoked through a thin
+  /// thunk, so no std::function (and no allocation) is involved.
+  template <typename F>
+  Status run_session(F&& body) {
+    using Body = std::remove_reference_t<F>;
+    return run_session_impl(
+        [](void* b) -> Status { return (*static_cast<Body*>(b))(); }, &body);
+  }
 
   AgendaScheduler& agenda() { return agenda_; }
   const AgendaScheduler& agenda() const { return agenda_; }
@@ -91,7 +105,7 @@ class PropagationContext {
   const std::vector<Propagatable*>& visited_constraints() const {
     return visited_constraints_;
   }
-  std::size_t visited_variable_count() const { return visited_vars_.size(); }
+  std::size_t visited_variable_count() const { return trail_size_; }
 
   /// Restore every visited variable to its pre-propagation state (thesis
   /// Fig 4.10).  Public so the constraint editor can offer "restore".
@@ -114,8 +128,9 @@ class PropagationContext {
 
   /// Violation messages reported since construction (the thesis's warning
   /// text window), capped at violation_log_limit(): once full, the oldest
-  /// entries are dropped and counted in violation_log_dropped().
-  const std::vector<std::string>& violation_log() const {
+  /// entries are dropped — in O(1), the log is a ring — and counted in
+  /// violation_log_dropped().  Oldest first.
+  const std::deque<std::string>& violation_log() const {
     return violation_log_;
   }
   std::size_t violation_log_limit() const { return violation_log_limit_; }
@@ -161,11 +176,26 @@ class PropagationContext {
   /// Hot-path guard for instrumentation that feeds either subsystem.
   bool observing() const { return tracer_.enabled() || metrics_.enabled(); }
 
+  /// Depth-pooled scratch buffers for constraint fan-out snapshots
+  /// (internal, used by Variable::propagate_to_constraints): re-entrant
+  /// propagation borrows one buffer per recursion depth; capacities persist,
+  /// so steady-state fan-out copies allocate nothing.  Every borrow must be
+  /// matched by exactly one release.
+  std::vector<Propagatable*>& borrow_fanout_scratch();
+  void release_fanout_scratch();
+
  private:
-  struct SavedState {
+  friend class Variable;
+
+  Status run_session_impl(Status (*invoke)(void*), void* body);
+
+  /// One undo-trail slot: a visited variable and its pre-change state.
+  /// Slots are reused across sessions (trail_size_ is the live prefix), so
+  /// Value/Justification capacities stay warm.
+  struct TrailEntry {
+    Variable* var = nullptr;
     Value value;
     Justification justification;
-    int changes = 0;
   };
 
   bool enabled_ = true;
@@ -175,13 +205,19 @@ class PropagationContext {
   std::vector<std::unique_ptr<Constraint>> constraints_;
   AgendaScheduler agenda_;
 
-  std::map<Variable*, SavedState> visited_vars_;
-  std::map<const Propagatable*, bool> visited_constraint_set_;
+  /// Current session stamp; a Variable/Propagatable whose visit_epoch_
+  /// equals it is "in the visited dictionary".  Globally unique.
+  std::uint64_t epoch_;
+  std::vector<TrailEntry> trail_;
+  std::size_t trail_size_ = 0;
   std::vector<Propagatable*> visited_constraints_;
+
+  std::vector<std::unique_ptr<std::vector<Propagatable*>>> fanout_pool_;
+  std::size_t fanout_depth_ = 0;
 
   std::optional<ViolationInfo> last_violation_;
   ViolationHandler violation_handler_;
-  std::vector<std::string> violation_log_;
+  std::deque<std::string> violation_log_;
   std::size_t violation_log_limit_ = 256;
   std::uint64_t violation_log_dropped_ = 0;
 

@@ -6,6 +6,8 @@
 // consequence analysis over the dependency graph.
 #pragma once
 
+#include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -35,12 +37,57 @@ enum class Strength { kWeak, kNormal, kStrong };
 
 const char* to_string(Strength s);
 
+/// Small-buffer list of antecedent variables.  Nearly every dependency
+/// record holds zero or one entry (equality and implicit constraints record
+/// the single activating variable; functional constraints record none), so
+/// the common case lives entirely in place — formulating and copying a
+/// record in the propagation hot path never touches the heap
+/// (docs/PERFORMANCE.md).  Rare multi-entry records spill to a vector that
+/// holds all elements, keeping iteration contiguous.
+class DependencyVarList {
+ public:
+  DependencyVarList() = default;
+  DependencyVarList(std::initializer_list<const Variable*> init) {
+    for (const Variable* v : init) push_back(v);
+  }
+
+  void push_back(const Variable* v) {
+    if (size_ == 0) {
+      inline_ = v;
+    } else {
+      if (size_ == 1) {
+        overflow_.clear();
+        overflow_.push_back(inline_);
+      }
+      overflow_.push_back(v);
+    }
+    ++size_;
+  }
+  void clear() {
+    size_ = 0;
+    overflow_.clear();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Variable* operator[](std::size_t i) const { return begin()[i]; }
+  const Variable* const* begin() const {
+    return size_ <= 1 ? &inline_ : overflow_.data();
+  }
+  const Variable* const* end() const { return begin() + size_; }
+
+ private:
+  const Variable* inline_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<const Variable*> overflow_;
+};
+
 /// Dependency record for a propagated value (thesis §4.2.4).  Interpreted
 /// only by the source constraint: an equality constraint stores the single
 /// activating variable; a functional constraint stores nothing and declares
 /// `all_arguments`, meaning the result depends on every argument.
 struct DependencyRecord {
-  std::vector<const Variable*> vars;
+  DependencyVarList vars;
   bool all_arguments = false;
 
   static DependencyRecord single(const Variable& v) { return {{&v}, false}; }

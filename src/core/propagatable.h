@@ -4,14 +4,19 @@
 // propagation messages like isSatisfied and propagateVariable:").
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/justification.h"
 #include "core/status.h"
 
 namespace stemcp::core {
 
+class AgendaScheduler;
+class Histogram;
 class PropagationContext;
 class Variable;
 
@@ -67,6 +72,39 @@ class Propagatable {
   /// Short type tag used as a metrics key ("equality", "uniMaximum", ...);
   /// constraint subclasses forward their kind().
   virtual std::string type_name() const { return "propagatable"; }
+
+ private:
+  // ---- intrusive hot-path state (docs/PERFORMANCE.md) ---------------------
+  // Epoch stamps and cached handles maintained by the engine and scheduler;
+  // a stamp is live only while it equals the owner's current epoch, so none
+  // of this needs clearing between sessions.  All stamps draw from
+  // next_global_stamp() and are therefore unique across owners.
+  friend class AgendaScheduler;
+  friend class PropagationContext;
+
+  /// mark_visited dedup: equals the context's session epoch once this
+  /// constraint is on the visited list.
+  std::uint64_t visit_epoch_ = 0;
+
+  /// Agenda duplicate suppression: the (queue, variable) pairs currently
+  /// queued for this task, valid while sched_epoch_ matches the scheduler's
+  /// epoch.  Capacity persists across sessions (steady state: no allocation).
+  std::uint64_t sched_epoch_ = 0;
+  std::vector<std::pair<std::uint32_t, Variable*>> queued_;
+
+  /// Interned agenda id (AgendaScheduler::schedule_cached), keyed by the
+  /// literal name pointer and the scheduler's interning generation.
+  const char* agenda_cache_name_ = nullptr;
+  std::uint64_t agenda_cache_gen_ = 0;
+  std::uint32_t agenda_cache_id_ = 0;
+
+  /// Pre-resolved per-type timing histograms ("run_ns.<type>",
+  /// "check_ns.<type>"), each validated by the metrics generation it was
+  /// resolved under.
+  Histogram* run_hist_ = nullptr;
+  std::uint64_t run_hist_gen_ = 0;
+  Histogram* check_hist_ = nullptr;
+  std::uint64_t check_hist_gen_ = 0;
 };
 
 }  // namespace stemcp::core

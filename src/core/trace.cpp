@@ -15,6 +15,11 @@
 
 namespace stemcp::core {
 
+std::uint64_t next_global_stamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 // ---------------------------------------------------------------------------
 // TraceEvent
 
@@ -351,6 +356,9 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
 void MetricsRegistry::clear() {
   counters_.clear();
   histograms_.clear();
+  // Handles resolved before the clear dangle; the new generation tells
+  // every cache site to re-resolve.
+  generation_ = next_global_stamp();
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -30,6 +30,13 @@
 
 namespace stemcp::core {
 
+/// Process-wide monotonic stamp source (never returns the same value twice,
+/// never returns 0).  Session epochs, agenda epochs, and metric-registry
+/// generations all draw from it, so a stamp taken from one object can never
+/// collide with a stamp taken from another — cached handles and epoch marks
+/// stay self-validating across contexts, schedulers, and registries.
+std::uint64_t next_global_stamp();
+
 // ---------------------------------------------------------------------------
 // Trace events
 
@@ -222,6 +229,8 @@ class Histogram {
 /// aggregation helpers below are.
 class MetricsRegistry {
  public:
+  MetricsRegistry() : generation_(next_global_stamp()) {}
+
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
@@ -237,6 +246,24 @@ class MetricsRegistry {
     return histograms_;
   }
 
+  // ---- pre-resolved handles (hot-path recording without string lookups) ---
+  //
+  // A handle is a stable pointer at the named slot: std::map nodes never
+  // move, so it stays valid until clear().  Resolve once (creating the slot
+  // if needed), then record through the pointer with no string construction
+  // or map walk per event.  clear() destroys all slots and bumps
+  // generation(); cache a handle together with the generation it was
+  // resolved under and re-resolve on mismatch.  Generations are globally
+  // unique stamps, so a handle cached against one registry can never be
+  // mistaken for a handle into another.
+  std::uint64_t generation() const { return generation_; }
+  std::uint64_t* counter_handle(const std::string& name) {
+    return &counters_[name];
+  }
+  Histogram* histogram_handle(const std::string& name) {
+    return &histograms_[name];
+  }
+
   void merge(const MetricsRegistry& other);
   void clear();
 
@@ -245,6 +272,7 @@ class MetricsRegistry {
 
  private:
   bool enabled_ = false;
+  std::uint64_t generation_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Histogram> histograms_;
 };

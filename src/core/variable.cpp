@@ -205,9 +205,16 @@ Status Variable::propagate_along(Propagatable& c) {
 }
 
 Status Variable::propagate_to_constraints(Propagatable* except) {
-  // Copy: violation handlers or procedural hooks may edit the list.
+  // Snapshot: violation handlers or procedural hooks may edit the list.  The
+  // snapshot lives in a context-owned scratch buffer pooled by recursion
+  // depth, so steady-state fan-out copies nothing onto the heap.
   const bool traced = ctx_.tracing();
-  const auto explicit_list = constraints_;
+  std::vector<Propagatable*>& explicit_list = ctx_.borrow_fanout_scratch();
+  struct ScratchGuard {
+    PropagationContext& ctx;
+    ~ScratchGuard() { ctx.release_fanout_scratch(); }
+  } guard{ctx_};
+  explicit_list.assign(constraints_.begin(), constraints_.end());
   for (Propagatable* c : explicit_list) {
     if (c == except) continue;
     ++ctx_.mutable_stats().activations;

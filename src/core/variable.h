@@ -3,6 +3,7 @@
 // value, a constraint list, and a lastSetBy justification.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,13 @@ class Variable {
   Value value_;
   Justification last_set_by_;
   std::vector<Propagatable*> constraints_;
+
+  // Intrusive visited-dictionary state (docs/PERFORMANCE.md): this variable
+  // is "visited" iff visit_epoch_ equals the context's current session epoch;
+  // session_changes_ counts value changes under that epoch.  Stamps are
+  // globally unique, so stale values from other sessions can never match.
+  std::uint64_t visit_epoch_ = 0;
+  int session_changes_ = 0;
 };
 
 }  // namespace stemcp::core

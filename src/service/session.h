@@ -42,9 +42,22 @@ class DesignSession {
   env::Library& library() { return lib_; }
   std::mutex& mutex() { return mu_; }
 
-  /// Requests executed against this session (guarded by mutex()).
+  /// Requests executed against this session (guarded by mutex()).  When the
+  /// session collects metrics, the count is mirrored into the "svc.requests"
+  /// counter through a pre-resolved handle — resolved once per metrics
+  /// generation, so the per-request path does no string lookup.
   std::uint64_t requests_served() const { return requests_; }
-  void count_request() { ++requests_; }
+  void count_request() {
+    ++requests_;
+    auto& m = lib_.context().metrics();
+    if (m.enabled()) {
+      if (req_counter_ == nullptr || req_counter_gen_ != m.generation()) {
+        req_counter_ = m.counter_handle("svc.requests");
+        req_counter_gen_ = m.generation();
+      }
+      ++*req_counter_;
+    }
+  }
 
   /// Look up a variable of the design database by its identification path
   /// ("ADDER.delay(a->out)", "ACC.reg.param(width)", ...).  Nullptr when
@@ -59,6 +72,8 @@ class DesignSession {
   std::mutex mu_;
   env::Library lib_;
   std::uint64_t requests_ = 0;
+  std::uint64_t* req_counter_ = nullptr;
+  std::uint64_t req_counter_gen_ = 0;
 };
 
 }  // namespace stemcp::service

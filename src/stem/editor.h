@@ -5,6 +5,7 @@
 // editor windows.
 #pragma once
 
+#include <deque>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -52,7 +53,7 @@ class ConstraintInspector {
   /// original states.
   void restore_last_propagation() { ctx_->restore_visited(); }
   /// The violation warnings accumulated so far (the default text window).
-  const std::vector<std::string>& warnings() const {
+  const std::deque<std::string>& warnings() const {
     return ctx_->violation_log();
   }
 

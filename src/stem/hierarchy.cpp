@@ -14,8 +14,8 @@ using core::Variable;
 Status StemVariable::propagate_variable(Variable& changed) {
   context().mark_visited(*this);
   if (permit_changes_by_implicit_propagation(changed)) {
-    context().agenda().schedule(core::kImplicitConstraintsAgenda, *this,
-                                &changed);
+    context().agenda().schedule_cached(*this, core::kImplicitConstraintsAgenda,
+                                       &changed);
   }
   return Status::ok();
 }

@@ -100,6 +100,122 @@ TEST(AgendaTest, ClearEmptiesEverything) {
   EXPECT_TRUE(sched.schedule("a", c, nullptr)) << "dedup sets cleared too";
 }
 
+TEST(AgendaTest, InternResolvesIdsAndAppendKeepsGeneration) {
+  AgendaScheduler sched;
+  sched.set_priority_order({"high", "low"});
+  const auto gen = sched.generation();
+  EXPECT_EQ(sched.intern("high"), 0u);
+  EXPECT_EQ(sched.intern("low"), 1u);
+  // Unknown names are appended at the lowest priority WITHOUT invalidating
+  // previously interned ids.
+  const auto surprise = sched.intern("surprise");
+  EXPECT_EQ(surprise, 2u);
+  EXPECT_EQ(sched.generation(), gen) << "append must not move the generation";
+  EXPECT_EQ(sched.intern("high"), 0u);
+  ASSERT_EQ(sched.priority_order().size(), 3u);
+  EXPECT_EQ(sched.priority_order().back(), "surprise");
+  // Reordering rebuilds the table and must invalidate cached ids.
+  sched.set_priority_order({"low", "high"});
+  EXPECT_NE(sched.generation(), gen);
+  EXPECT_EQ(sched.intern("low"), 0u);
+}
+
+TEST(AgendaTest, ScheduleByIdAndByNameShareDedup) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  sched.set_priority_order({"a", "b"});
+  auto& c = ctx.make<Dummy>();
+  const auto a = sched.intern("a");
+  EXPECT_TRUE(sched.schedule(a, c, nullptr));
+  EXPECT_FALSE(sched.schedule("a", c, nullptr))
+      << "name and id must address the same duplicate-suppression state";
+  EXPECT_TRUE(sched.schedule("b", c, nullptr))
+      << "same task on a different agenda is a distinct entry";
+  EXPECT_EQ(sched.size(), 2u);
+}
+
+TEST(AgendaTest, ScheduleCachedDedupsAndSurvivesReorder) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  auto& c = ctx.make<Dummy>();
+  EXPECT_TRUE(sched.schedule_cached(c, kFunctionalConstraintsAgenda, nullptr));
+  EXPECT_FALSE(sched.schedule_cached(c, kFunctionalConstraintsAgenda, nullptr));
+  auto e = sched.pop_highest_priority();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->task, &c);
+  // Reordering invalidates the cached id; schedule_cached must re-intern and
+  // land on the right queue.
+  sched.set_priority_order(
+      {kFunctionalConstraintsAgenda, kImplicitConstraintsAgenda});
+  EXPECT_TRUE(sched.schedule_cached(c, kFunctionalConstraintsAgenda, nullptr));
+  sched.pop_highest_priority();
+  EXPECT_EQ(sched.last_popped_priority(), 0u)
+      << "functional agenda is now the highest priority";
+}
+
+TEST(AgendaTest, LastPoppedPriorityStableUntilNextPop) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  sched.set_priority_order({"high", "low"});
+  auto& hi = ctx.make<Dummy>();
+  auto& lo = ctx.make<Dummy>();
+  sched.schedule("low", lo, nullptr);
+  sched.schedule("high", hi, nullptr);
+  sched.pop_highest_priority();
+  EXPECT_EQ(sched.last_popped_priority(), 0u);
+  // Scheduling more work must not disturb the last-popped record.
+  sched.schedule("high", hi, nullptr);
+  EXPECT_EQ(sched.last_popped_priority(), 0u);
+  sched.pop_highest_priority();
+  EXPECT_EQ(sched.last_popped_priority(), 0u);
+  sched.pop_highest_priority();
+  EXPECT_EQ(sched.last_popped_priority(), 1u);
+}
+
+TEST(AgendaTest, DuplicateSuppressionIsPerSchedulerEpoch) {
+  PropagationContext ctx;
+  AgendaScheduler s1;
+  AgendaScheduler s2;
+  auto& c = ctx.make<Dummy>();
+  // The same task scheduled on two schedulers must not cross-suppress: the
+  // dedup stamps are globally unique per scheduler epoch, so a stamp from s1
+  // can never read as "already queued" on s2.  (A task tracks dedup state
+  // for the scheduler it was most recently stamped by; in the engine every
+  // task lives on exactly one context's scheduler.)
+  EXPECT_TRUE(s1.schedule("a", c, nullptr));
+  EXPECT_TRUE(s2.schedule("a", c, nullptr));
+  EXPECT_FALSE(s2.schedule("a", c, nullptr));
+  // s1's entry is still queued and pops normally.
+  EXPECT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1.pop_highest_priority()->task, &c);
+  // clear() starts a new epoch: everything may be scheduled afresh.
+  s2.clear();
+  EXPECT_TRUE(s2.schedule("a", c, nullptr));
+  EXPECT_FALSE(s2.schedule("a", c, nullptr));
+}
+
+TEST(AgendaTest, RescheduleAfterPopWithinOneSessionPinnedOrder) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  sched.set_priority_order({"hi", "lo"});
+  auto& c1 = ctx.make<Dummy>();
+  auto& c2 = ctx.make<Dummy>();
+  auto& c3 = ctx.make<Dummy>();
+  // Pin the exact pop sequence of an interleaved schedule/pop run — the
+  // equivalence contract for the interned fast path.
+  sched.schedule("lo", c1, nullptr);
+  sched.schedule("hi", c2, nullptr);
+  sched.schedule("lo", c3, nullptr);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &c2);
+  sched.schedule("hi", c2, nullptr);  // re-schedule after pop: allowed
+  EXPECT_EQ(sched.pop_highest_priority()->task, &c2);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &c1);
+  sched.schedule("lo", c1, nullptr);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &c3);
+  EXPECT_EQ(sched.pop_highest_priority()->task, &c1);
+  EXPECT_FALSE(sched.pop_highest_priority().has_value());
+}
+
 // Scheduling avoids redundant transient recomputation: with N inputs feeding
 // one adder via an equality fan-in, the adder runs once per session, not once
 // per input change.

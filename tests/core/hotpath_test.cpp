@@ -1,0 +1,204 @@
+// Allocation-free hot path (docs/PERFORMANCE.md): after warm-up, a
+// steady-state propagation session — schedule, pop, record-visited, assign,
+// check — must perform zero heap allocations.  This binary overrides the
+// global allocator to count; each test binary is standalone (see
+// tests/CMakeLists.txt), so the override affects only this suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/core.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace stemcp::core {
+namespace {
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+// The Fig 4.5-style shape every bench hits: a fan-in of equalities feeding a
+// functional adder.  a drives b and c; s = b + c.
+struct Diamond {
+  PropagationContext ctx;
+  Variable a{ctx, "t", "a"}, b{ctx, "t", "b"}, c{ctx, "t", "c"},
+      s{ctx, "t", "s"};
+
+  Diamond() {
+    EqualityConstraint::among(ctx, {&a, &b});
+    EqualityConstraint::among(ctx, {&a, &c});
+    auto& add = ctx.make<UniAdditionConstraint>();
+    add.set_result(s);
+    add.basic_add_argument(b);
+    add.basic_add_argument(c);
+  }
+};
+
+TEST(HotPathTest, SteadyStateSessionAllocatesNothing) {
+  Diamond d;
+  // Warm-up: first sessions size the trail, agenda FIFOs, per-task queued_
+  // lists, and the fan-out scratch pool.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(d.a.set_user(Value(i)));
+  }
+  const std::uint64_t before = alloc_count();
+  for (int i = 4; i < 64; ++i) {
+    ASSERT_TRUE(d.a.set_user(Value(i)));
+    ASSERT_EQ(d.s.value().as_int(), 2 * i);
+  }
+  EXPECT_EQ(alloc_count(), before)
+      << "steady-state schedule/pop/record-visited must not allocate";
+}
+
+TEST(HotPathTest, SteadyStateCanBeSetToAllocatesNothing) {
+  Diamond d;
+  ASSERT_TRUE(d.a.set_user(Value(1)));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(d.a.can_be_set_to(Value(100 + i)));
+  }
+  const std::uint64_t before = alloc_count();
+  for (int i = 4; i < 32; ++i) {
+    ASSERT_TRUE(d.a.can_be_set_to(Value(100 + i)));
+    ASSERT_EQ(d.a.value().as_int(), 1) << "probe must restore";
+  }
+  EXPECT_EQ(alloc_count(), before);
+}
+
+TEST(HotPathTest, SteadyStateSchedulerPathAllocatesNothing) {
+  PropagationContext ctx;
+  AgendaScheduler sched;
+  auto& c1 = ctx.make<EqualityConstraint>();
+  auto& c2 = ctx.make<EqualityConstraint>();
+  // Warm-up: intern, grow fifos and queued_ capacity.
+  for (int i = 0; i < 4; ++i) {
+    sched.schedule_cached(c1, kFunctionalConstraintsAgenda, nullptr);
+    sched.schedule_cached(c2, kImplicitConstraintsAgenda, nullptr);
+    while (sched.pop_highest_priority()) {
+    }
+    sched.clear();
+  }
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        sched.schedule_cached(c1, kFunctionalConstraintsAgenda, nullptr));
+    ASSERT_FALSE(
+        sched.schedule_cached(c1, kFunctionalConstraintsAgenda, nullptr));
+    ASSERT_TRUE(
+        sched.schedule_cached(c2, kImplicitConstraintsAgenda, nullptr));
+    ASSERT_TRUE(sched.pop_highest_priority().has_value());
+    ASSERT_TRUE(sched.pop_highest_priority().has_value());
+    ASSERT_FALSE(sched.pop_highest_priority().has_value());
+    sched.clear();
+  }
+  EXPECT_EQ(alloc_count(), before);
+}
+
+// The pop order of a full session must match the pre-optimization engine:
+// implicit agenda drains before functional, FIFO within each, duplicates
+// suppressed.  stats().scheduled_runs pins exactly how many entries ran.
+TEST(HotPathTest, SessionPopOrderEquivalence) {
+  Diamond d;
+  d.ctx.reset_stats();
+  ASSERT_TRUE(d.a.set_user(Value(3)));
+  EXPECT_EQ(d.s.value().as_int(), 6);
+  EXPECT_EQ(d.ctx.stats().scheduled_runs, 1u)
+      << "adder scheduled by both equalities, deduplicated to one run";
+  EXPECT_EQ(d.ctx.stats().sessions, 1u);
+  EXPECT_EQ(d.ctx.visited_variable_count(), 4u) << "a, b, c, s";
+}
+
+TEST(HotPathTest, MetricHandlesAreStableUntilClear) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const auto gen = reg.generation();
+  std::uint64_t* c = reg.counter_handle("requests");
+  Histogram* h = reg.histogram_handle("latency");
+  *c += 5;
+  h->record(100);
+  // Creating more slots must not move existing handles (std::map nodes).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter_handle("other." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter_handle("requests"), c);
+  EXPECT_EQ(reg.histogram_handle("latency"), h);
+  EXPECT_EQ(reg.counter("requests"), 5u);
+  EXPECT_EQ(reg.generation(), gen);
+  // clear() invalidates: the generation moves, so cached handles re-resolve.
+  reg.clear();
+  EXPECT_NE(reg.generation(), gen);
+  EXPECT_EQ(reg.counter("requests"), 0u);
+}
+
+// Per-constraint-type timing histograms must survive the switch to cached
+// handles: the same run_ns.* / check_ns.* keys appear, with sane counts.
+TEST(HotPathTest, PerTypeTimingKeysUnchanged) {
+  Diamond d;
+  d.ctx.metrics().set_enabled(true);
+  ASSERT_TRUE(d.a.set_user(Value(2)));
+  ASSERT_TRUE(d.a.set_user(Value(5)));
+  const auto* run = d.ctx.metrics().find_histogram("run_ns.uniAddition");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->count(), 2u) << "one scheduled adder run per session";
+  const auto* chk = d.ctx.metrics().find_histogram("check_ns.equality");
+  ASSERT_NE(chk, nullptr);
+  EXPECT_GE(chk->count(), 2u);
+  EXPECT_EQ(d.ctx.metrics().find_histogram("check_ns.propagatable"), nullptr)
+      << "no stray keys from eager handle resolution";
+}
+
+// Metric recording stays correct across a mid-run clear(): the engine's
+// cached handles must notice the generation change and re-resolve instead of
+// writing through dangling pointers.
+TEST(HotPathTest, TimingHandlesSurviveRegistryClear) {
+  Diamond d;
+  d.ctx.metrics().set_enabled(true);
+  ASSERT_TRUE(d.a.set_user(Value(2)));
+  d.ctx.metrics().clear();
+  ASSERT_TRUE(d.a.set_user(Value(7)));
+  const auto* run = d.ctx.metrics().find_histogram("run_ns.uniAddition");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->count(), 1u) << "only the post-clear session is recorded";
+}
+
+// Violation log ring semantics: oldest entries drop in O(1), oldest-first
+// view, dropped counter advances.
+TEST(HotPathTest, ViolationLogRingDropsOldestFirst) {
+  PropagationContext ctx;
+  ctx.set_violation_log_limit(3);
+  for (int i = 0; i < 5; ++i) {
+    ctx.report_violation(
+        {nullptr, nullptr, Value(i), "warn " + std::to_string(i)});
+  }
+  EXPECT_EQ(ctx.violation_log().size(), 3u);
+  EXPECT_EQ(ctx.violation_log_dropped(), 2u);
+  EXPECT_NE(ctx.violation_log().front().find("warn 2"), std::string::npos);
+  EXPECT_NE(ctx.violation_log().back().find("warn 4"), std::string::npos);
+  // Shrinking the limit trims immediately, still oldest-first.
+  ctx.set_violation_log_limit(1);
+  EXPECT_EQ(ctx.violation_log().size(), 1u);
+  EXPECT_EQ(ctx.violation_log_dropped(), 4u);
+  EXPECT_NE(ctx.violation_log().front().find("warn 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stemcp::core

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Compare (or merge) stemcp BENCH.json files.
+
+Every bench binary built with bench/bench_support.h writes one consolidated
+JSON per run: per-benchmark wall time plus the process-global engine metrics
+(see docs/PERFORMANCE.md).  This tool diffs two such files — or two merged
+BENCH.json files, or two directories of *.stats.json — and flags regressions.
+
+Usage:
+  tools/bench_compare.py OLD NEW [--threshold 0.10] [--metrics]
+      OLD / NEW are bench JSON files, merged BENCH.json files, or
+      directories containing *.stats.json.  Exit code 1 when any benchmark's
+      per-iteration real time regressed by more than --threshold.
+
+  tools/bench_compare.py merge OUT.json IN.json [IN.json ...]
+      Consolidate several per-binary bench JSONs into one BENCH.json
+      ({"benches": [...]}) for trajectory tracking.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    """Return {benchmark_name: record} from a bench JSON, a merged
+    BENCH.json, or a directory of *.stats.json files."""
+    files = []
+    if os.path.isdir(path):
+        files = [
+            os.path.join(path, f)
+            for f in sorted(os.listdir(path))
+            if f.endswith(".json")
+        ]
+        if not files:
+            sys.exit(f"bench_compare: no *.json files in directory {path}")
+    else:
+        files = [path]
+
+    time_unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    out = {}
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if "context" in doc and "benchmarks" in doc:
+            # Google Benchmark --benchmark_out format: real_time is already
+            # per-iteration, expressed in time_unit.
+            exe = os.path.basename(f).split(".")[0]
+            for rec in doc["benchmarks"]:
+                if rec.get("run_type", "iteration") != "iteration":
+                    continue
+                scale = time_unit_ns.get(rec.get("time_unit", "ns"), 1.0)
+                out[f"{exe}:{rec['name']}"] = {
+                    "name": rec["name"],
+                    "iterations": rec.get("iterations", 0),
+                    "real_time_ns_per_iter": rec["real_time"] * scale,
+                    "cpu_time_ns_per_iter": rec.get("cpu_time", 0) * scale,
+                }
+            continue
+        for bench_doc in doc.get("benches", [doc]):
+            exe = bench_doc.get("bench", os.path.basename(f))
+            for rec in bench_doc.get("benchmarks", []):
+                # Qualify by binary so equal benchmark names never collide.
+                out[f"{exe}:{rec['name']}"] = rec
+    return out
+
+
+def merge(out_path, in_paths):
+    benches = []
+    for p in in_paths:
+        with open(p, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        benches.extend(doc.get("benches", [doc]))
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump({"benches": benches}, fh, indent=1)
+        fh.write("\n")
+    print(f"bench_compare: wrote {out_path} ({len(benches)} bench binaries)")
+
+
+def fmt_ns(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def compare(old_path, new_path, threshold, show_metrics):
+    old = load_benchmarks(old_path)
+    new = load_benchmarks(new_path)
+    common = [k for k in old if k in new]
+    if not common:
+        sys.exit("bench_compare: no common benchmarks between the two runs")
+
+    width = max(len(k) for k in common)
+    print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  {'delta':>8}")
+    regressions = []
+    for name in common:
+        o = old[name]["real_time_ns_per_iter"]
+        n = new[name]["real_time_ns_per_iter"]
+        if o <= 0:
+            continue
+        delta = (n - o) / o
+        flag = ""
+        if delta > threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -threshold:
+            flag = "  improved"
+        print(
+            f"{name:<{width}}  {fmt_ns(o):>10}  {fmt_ns(n):>10}  "
+            f"{delta * 100:>+7.1f}%{flag}"
+        )
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in old run: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in new run: {', '.join(only_new)}")
+
+    if show_metrics:
+        print("\nengine counters (old -> new):")
+        o_counters = collect_counters(old_path)
+        n_counters = collect_counters(new_path)
+        for key in sorted(set(o_counters) | set(n_counters)):
+            print(f"  {key}: {o_counters.get(key, 0)} -> {n_counters.get(key, 0)}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{threshold * 100:.0f}%:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta * 100:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {threshold * 100:.0f}%")
+    return 0
+
+
+def collect_counters(path):
+    """Sum the engine metric counters over every bench doc under `path`."""
+    files = (
+        [
+            os.path.join(path, f)
+            for f in sorted(os.listdir(path))
+            if f.endswith(".json")
+        ]
+        if os.path.isdir(path)
+        else [path]
+    )
+    totals = {}
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for bench_doc in doc.get("benches", [doc]):
+            for key, v in bench_doc.get("metrics", {}).get("counters", {}).items():
+                totals[key] = totals.get(key, 0) + v
+    return totals
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "merge":
+        if len(sys.argv) < 4:
+            sys.exit("usage: bench_compare.py merge OUT.json IN.json [IN.json ...]")
+        merge(sys.argv[2], sys.argv[3:])
+        return 0
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old", help="baseline bench JSON (file or directory)")
+    ap.add_argument("new", help="candidate bench JSON (file or directory)")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative slowdown that counts as a regression (default 0.10)",
+    )
+    ap.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the engine counter totals of both runs",
+    )
+    args = ap.parse_args()
+    return compare(args.old, args.new, args.threshold, args.metrics)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,10 @@
 #   tools/run_tier1.sh --plain    # plain only
 #   tools/run_tier1.sh --sanitize # ASan/UBSan only
 #   tools/run_tier1.sh --tsan     # ThreadSanitizer concurrency pass only
+#   tools/run_tier1.sh --bench    # opt-in Release bench smoke: runs the three
+#                                 hottest benches and merges their stats into
+#                                 build-bench/BENCH.json (see
+#                                 docs/PERFORMANCE.md and tools/bench_compare.py)
 #   STEMCP_SANITIZE=address tools/run_tier1.sh   # override sanitizer list
 set -euo pipefail
 
@@ -16,15 +20,19 @@ SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
 # Tests exercising shared state from multiple threads: the design service,
 # the line-protocol front end over it, and the process-global metrics.
 TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics'
+# The three hottest benchmarks, smoked by --bench.
+BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service"
 RUN_PLAIN=1
 RUN_SANITIZED=1
 RUN_TSAN=1
+RUN_BENCH=0
 case "${1:-}" in
   --plain) RUN_SANITIZED=0; RUN_TSAN=0 ;;
   --sanitize) RUN_PLAIN=0; RUN_TSAN=0 ;;
   --tsan) RUN_PLAIN=0; RUN_SANITIZED=0 ;;
+  --bench) RUN_PLAIN=0; RUN_SANITIZED=0; RUN_TSAN=0; RUN_BENCH=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--sanitize|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--sanitize|--tsan|--bench]" >&2; exit 2 ;;
 esac
 
 run_suite() {
@@ -53,6 +61,20 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
     -R "$TSAN_FILTER"
+fi
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "== tier-1: bench smoke (Release) =="
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-bench -j "$(nproc)" --target $BENCH_SMOKE
+  stats_files=()
+  for b in $BENCH_SMOKE; do
+    STEMCP_BENCH_STATS="build-bench/$b.stats.json" \
+      "build-bench/bench/$b" --benchmark_min_time=0.05
+    stats_files+=("build-bench/$b.stats.json")
+  done
+  tools/bench_compare.py merge build-bench/BENCH.json "${stats_files[@]}"
+  echo "bench smoke written to build-bench/BENCH.json"
 fi
 
 echo "tier-1 verification passed"
