@@ -1,0 +1,141 @@
+// Durability-layer cost: requests/second through one session with the
+// operation journal off versus attached under each fsync policy.  The
+// journal-off arm is the PR-3 hot path and must not regress; the three
+// journaled arms price the durability spectrum (none < interval <
+// every-record) so operators can pick a policy with eyes open.  A final
+// benchmark times recovery replay itself.
+#include <cstdio>
+#include <string>
+
+#include "bench_support.h"
+#include "service/design_service.h"
+
+namespace {
+
+using namespace stemcp;
+using service::DesignService;
+using service::Request;
+using service::RequestType;
+
+constexpr double kNs = 1e-9;
+
+const char* kPipeline = R"(cell STAGE
+  signal in input
+  signal out output
+  delay in out
+end
+cell PIPE
+  signal in input
+  signal out output
+  delay in out
+    spec <= 1
+  subcell s0 STAGE R0 0 0
+  subcell s1 STAGE R0 10 0
+  net n_in
+    io in
+    conn s0 in
+  net n_mid
+    conn s0 out
+    conn s1 in
+  net n_out
+    conn s1 out
+    io out
+end
+)";
+
+Request make(RequestType t, const std::string& session, std::string text = {}) {
+  Request r;
+  r.type = t;
+  r.session = session;
+  r.text = std::move(text);
+  return r;
+}
+
+std::string bench_base(const char* tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  if (base.back() != '/') base.push_back('/');
+  return base + "stemcp_bench_persistence_" + tag;
+}
+
+void remove_base(const std::string& base) {
+  std::remove((base + ".ckpt").c_str());
+  std::remove((base + ".journal").c_str());
+}
+
+// state.range(0): 0 = journal off, 1 = fsync none, 2 = fsync interval,
+// 3 = fsync every-record.
+const char* kPolicyArg[] = {"off", "none", "interval 32", "every-record"};
+const char* kPolicyTag[] = {"off", "none", "interval", "every"};
+
+void BM_JournaledAssign(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const std::string base = bench_base(kPolicyTag[mode]);
+  remove_base(base);
+  DesignService svc(1);
+  svc.call(make(RequestType::kOpen, "b"));
+  svc.call(make(RequestType::kLoad, "b", kPipeline));
+  if (mode != 0) {
+    service::Response r = svc.call(make(
+        RequestType::kJournal, "b", base + " " + kPolicyArg[mode]));
+    if (!r.ok) {
+      state.SkipWithError(("journal attach failed: " + r.error).c_str());
+      return;
+    }
+  }
+  double d = 1 * kNs;
+  for (auto _ : state) {
+    d += kNs;  // new value every wave (one-value-change rule)
+    Request r = make(RequestType::kAssign, "b");
+    r.assignments.push_back({"PIPE/s0.delay(in->out)", d});
+    benchmark::DoNotOptimize(svc.call(std::move(r)).ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  svc.call(make(RequestType::kClose, "b"));
+  remove_base(base);
+}
+BENCHMARK(BM_JournaledAssign)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+/// Recovery replay throughput: rebuild a session from a checkpoint plus a
+/// journal of `range(0)` assignment records.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  const std::string base = bench_base("replay");
+  remove_base(base);
+  {
+    DesignService svc(1);
+    svc.call(make(RequestType::kOpen, "b"));
+    svc.call(make(RequestType::kJournal, "b", base + " none"));
+    svc.call(make(RequestType::kLoad, "b", kPipeline));
+    double d = 1 * kNs;
+    for (int i = 0; i < records; ++i) {
+      d += kNs;
+      Request r = make(RequestType::kAssign, "b");
+      r.assignments.push_back({"PIPE/s0.delay(in->out)", d});
+      svc.call(std::move(r));
+    }
+    // No close: leave the log as a crash would.
+  }
+  for (auto _ : state) {
+    DesignService svc(1);
+    service::Response r = svc.call(make(RequestType::kRecover, "b", base));
+    if (!r.ok) {
+      state.SkipWithError(("recover failed: " + r.error).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.text.size());
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+  state.counters["records"] = records;
+  state.counters["replay_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * records),
+      benchmark::Counter::kIsRate);
+  remove_base(base);
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(64)->Arg(512);
+
+}  // namespace
+
+STEMCP_BENCH_MAIN()

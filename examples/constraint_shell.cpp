@@ -190,6 +190,16 @@ int main(int argc, char** argv) {
         "service batch-assign a STAGE.delay(in->out) 4e-8",
         "service query a STAGE.delay(in->out)",
         "service sessions",
+        // Durability: journal the session, checkpoint, journal one more
+        // wave, then close and rebuild it by replaying the log through the
+        // engine (docs/PERSISTENCE.md).
+        "service journal a /tmp/stemcp_shell_demo none",
+        "service batch-assign a STAGE.delay(in->out) 5e-8",
+        "service checkpoint a",
+        "service batch-assign a STAGE.delay(in->out) 6e-8",
+        "service close a",
+        "service recover a /tmp/stemcp_shell_demo",
+        "service query a STAGE.delay(in->out)",
         "service close a",
     };
     for (const char* cmd : script) {

@@ -1,0 +1,345 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/trace.h"
+
+namespace stemcp::persist {
+
+namespace {
+
+/// Escape so any payload fits one space-delimited, single-line field run.
+std::string escape_text(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out.push_back(s[i] == 'n' ? '\n' : s[i]);
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* to_string(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kEveryRecord: return "every-record";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kNone: return "none";
+  }
+  return "?";
+}
+
+bool fsync_policy_from(const std::string& s, FsyncPolicy* out) {
+  if (s == "every-record") {
+    *out = FsyncPolicy::kEveryRecord;
+  } else if (s == "interval") {
+    *out = FsyncPolicy::kInterval;
+  } else if (s == "none") {
+    *out = FsyncPolicy::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string encode_record(const JournalRecord& r) {
+  std::ostringstream body;
+  body << r.seq << ' ' << r.op << ' ' << r.session << ' ' << r.justification
+       << ' ' << (r.violation ? "violation" : "ok") << ' ' << r.applied << ' '
+       << r.restored << ' ' << r.assignments.size();
+  body << std::setprecision(17);
+  for (const auto& [var, value] : r.assignments) {
+    body << ' ' << var << ' ' << value;
+  }
+  if (!r.text.empty()) body << " text " << escape_text(r.text);
+  const std::string b = body.str();
+  std::ostringstream line;
+  line << "J1 " << std::hex << std::setw(8) << std::setfill('0') << crc32(b)
+       << ' ' << b << '\n';
+  return line.str();
+}
+
+bool decode_record(std::string_view line, JournalRecord* out,
+                   std::string* error) {
+  *out = JournalRecord{};
+  std::istringstream in{std::string(line)};
+  std::string magic, crc_hex;
+  if (!(in >> magic >> crc_hex) || magic != "J1" || crc_hex.size() != 8) {
+    *error = "bad record framing";
+    return false;
+  }
+  // The body is everything after "J1 <crc8> ".
+  const std::size_t body_at = 3 + 8 + 1;
+  if (line.size() < body_at) {
+    *error = "bad record framing";
+    return false;
+  }
+  const std::string_view body = line.substr(body_at);
+  std::uint32_t want = 0;
+  try {
+    want = static_cast<std::uint32_t>(std::stoul(crc_hex, nullptr, 16));
+  } catch (...) {
+    *error = "bad record checksum field";
+    return false;
+  }
+  if (crc32(body) != want) {
+    *error = "record checksum mismatch";
+    return false;
+  }
+  std::istringstream bs{std::string(body)};
+  std::string outcome;
+  std::size_t n_assign = 0;
+  if (!(bs >> out->seq >> out->op >> out->session >> out->justification >>
+        outcome >> out->applied >> out->restored >> n_assign)) {
+    *error = "truncated record body";
+    return false;
+  }
+  if (outcome != "ok" && outcome != "violation") {
+    *error = "bad outcome '" + outcome + "'";
+    return false;
+  }
+  out->violation = outcome == "violation";
+  out->assignments.reserve(n_assign);
+  for (std::size_t i = 0; i < n_assign; ++i) {
+    std::string var;
+    double value = 0.0;
+    if (!(bs >> var >> value)) {
+      *error = "truncated assignment list";
+      return false;
+    }
+    out->assignments.emplace_back(std::move(var), value);
+  }
+  std::string kw;
+  if (bs >> kw) {
+    if (kw != "text") {
+      *error = "unexpected trailing field '" + kw + "'";
+      return false;
+    }
+    std::string rest;
+    std::getline(bs, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+    out->text = unescape_text(rest);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+
+Journal::Journal(std::string path, int fd, Options opts)
+    : path_(std::move(path)),
+      fd_(fd),
+      opts_(opts),
+      next_seq_(opts.next_seq),
+      fail_after_(~0ull) {}
+
+std::unique_ptr<Journal> Journal::open(const std::string& path, Options opts,
+                                       std::string* error) {
+  int flags = O_CREAT | O_WRONLY | O_APPEND;
+  if (opts.truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open journal '" + path + "': " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  if (opts.fsync_interval_records == 0) opts.fsync_interval_records = 1;
+  auto j = std::unique_ptr<Journal>(new Journal(path, fd, opts));
+  // Crash-point knob: cut the write path after N more bytes, process-wide.
+  if (const char* knob = std::getenv("STEMCP_JOURNAL_CRASH_AFTER")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(knob, &end, 10);
+    if (end != knob) j->set_fail_after(n);
+  }
+  return j;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    if (!dead_ && opts_.fsync != FsyncPolicy::kNone) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void Journal::set_fail_after(std::uint64_t bytes) { fail_after_ = bytes; }
+
+bool Journal::append(JournalRecord& record) {
+  if (dead_) {
+    ++append_failures_;
+    return false;
+  }
+  record.seq = next_seq_;
+  const std::string line = encode_record(record);
+  std::size_t want = line.size();
+  if (fail_after_ != ~0ull && fail_after_ < want) {
+    // Injected crash: the device accepts only the head of this write, then
+    // the journal goes dead — leaving exactly the torn tail a real crash
+    // mid-write leaves.
+    want = static_cast<std::size_t>(fail_after_);
+  }
+  std::size_t done = 0;
+  while (done < want) {
+    const ssize_t n = ::write(fd_, line.data() + done, want - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      dead_ = true;
+      ++append_failures_;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  bytes_written_ += done;
+  if (fail_after_ != ~0ull) {
+    fail_after_ -= done;
+    if (done < line.size()) {
+      ::fsync(fd_);  // make the torn tail itself durable, like a crash would
+      dead_ = true;
+      ++append_failures_;
+      return false;
+    }
+  }
+  ++next_seq_;
+  ++records_written_;
+  ++records_since_sync_;
+
+  core::MetricsRegistry* m = opts_.metrics;
+  const bool observe = m != nullptr && m->enabled();
+  if (observe) {
+    m->add_counter("journal.bytes", done);
+    m->add_counter("journal.records");
+  }
+  const bool want_sync =
+      opts_.fsync == FsyncPolicy::kEveryRecord ||
+      (opts_.fsync == FsyncPolicy::kInterval &&
+       records_since_sync_ >= opts_.fsync_interval_records);
+  if (want_sync) {
+    const std::uint64_t t0 = observe ? core::Tracer::now_ns() : 0;
+    if (::fsync(fd_) != 0) {
+      dead_ = true;
+      ++append_failures_;
+      return false;
+    }
+    records_since_sync_ = 0;
+    if (observe) {
+      m->histogram("journal.fsync_ns").record(core::Tracer::now_ns() - t0);
+    }
+  }
+  return true;
+}
+
+bool Journal::sync() {
+  if (dead_) return false;
+  if (::fsync(fd_) != 0) {
+    dead_ = true;
+    return false;
+  }
+  records_since_sync_ = 0;
+  return true;
+}
+
+bool Journal::truncate_all(std::uint64_t seq) {
+  if (dead_) return false;
+  if (::ftruncate(fd_, 0) != 0 || ::fsync(fd_) != 0) {
+    dead_ = true;
+    return false;
+  }
+  next_seq_ = seq + 1;
+  records_since_sync_ = 0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+
+JournalScan scan_journal(const std::string& path) {
+  JournalScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return scan;  // absent file == empty journal
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos < contents.size()) {
+    const std::size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Unterminated final line: the classic torn tail.
+      scan.torn_tail = true;
+      break;
+    }
+    const std::string_view line(contents.data() + pos, nl - pos);
+    JournalRecord rec;
+    std::string error;
+    if (!decode_record(line, &rec, &error)) {
+      // A bad record is only tolerable as the very last line — a torn write
+      // that happened to end in '\n'.  Valid data after it means the middle
+      // of the log is corrupt, which replay must refuse.
+      if (contents.find('\n', nl + 1) != std::string::npos) {
+        scan.error = "journal corrupt at byte " + std::to_string(pos) + ": " +
+                     error;
+        return scan;
+      }
+      scan.torn_tail = true;
+      break;
+    }
+    scan.records.push_back(std::move(rec));
+    pos = nl + 1;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+bool truncate_journal(const std::string& path, std::uint64_t valid_bytes) {
+  return ::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) == 0;
+}
+
+}  // namespace stemcp::persist

@@ -1,0 +1,180 @@
+// Durability layer, part 1: the operation journal (ROADMAP: production
+// scale; cf. the append-only / explicit-sync-policy / torn-tail-handling
+// idioms of log-structured I/O engines).
+//
+// The paper's propagation semantics make every mutating service request
+// deterministic and replayable — justification records say *why* a value
+// holds, the one-value-change rule makes a wave's effect a pure function of
+// its inputs, and restore-on-violation means a violating request leaves no
+// residue.  A journal of the requests is therefore a complete redo log: to
+// rebuild a session, replay the requests through the real engine and every
+// derived value, violation and restore re-derives identically.
+//
+// File format: one record per line,
+//
+//   J1 <crc32-hex8> <body>
+//   body := <seq> <op> <session> <justification>
+//           <ok|violation> <applied> <restored>
+//           <n-assignments> [<var> <value>]... [text <escaped-rest-of-line>]
+//
+// The CRC covers exactly <body>.  `text` payloads (library text, edit
+// commands, open options) escape backslash and newline ("\\", "\n") so a
+// record is always a single line.  A record is valid iff it is newline-
+// terminated and its CRC matches; scanning tolerates a torn FINAL record
+// (the write was cut mid-line — the crash case) but treats a bad CRC with
+// valid records after it as corruption.
+//
+// Sync policy: kEveryRecord fsyncs after each append (durability boundary =
+// append returning true), kInterval fsyncs every N records, kNone leaves
+// syncing to the OS.  Fault injection for crash tests: set_fail_after(n)
+// makes the journal write at most n more bytes — a partial final write —
+// then go dead; the STEMCP_JOURNAL_CRASH_AFTER environment knob applies the
+// same limit to every journal opened afterwards, so a test (or an operator
+// reproducing a field crash) can cut the write path at an arbitrary byte
+// without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stemcp::core {
+class MetricsRegistry;
+}
+
+namespace stemcp::persist {
+
+enum class FsyncPolicy : std::uint8_t {
+  kEveryRecord,  ///< fsync after every append (full durability)
+  kInterval,     ///< fsync every Options::fsync_interval_records appends
+  kNone,         ///< never fsync explicitly (OS page cache decides)
+};
+
+const char* to_string(FsyncPolicy p);
+/// Parse "every-record" / "interval" / "none"; false on unknown text.
+bool fsync_policy_from(const std::string& s, FsyncPolicy* out);
+
+/// One journaled operation: what the service executed and how it came out.
+/// `op` mirrors the mutating request verbs (open / load / assign /
+/// batch-assign / edit / close); `justification` tags whose authority the
+/// assignments carried (always "#USER" today — the field exists so replay
+/// diagnostics and future application-sourced records stay self-describing).
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  std::string op;
+  std::string session;
+  std::string justification = "#USER";
+  std::string text;  ///< op payload: library text, edit command, open options
+  std::vector<std::pair<std::string, double>> assignments;
+
+  // Outcome, for replay verification (a replayed record must re-derive the
+  // same violation/restore behaviour).
+  bool violation = false;
+  std::uint64_t applied = 0;
+  std::uint64_t restored = 0;
+
+  bool operator==(const JournalRecord&) const = default;
+};
+
+/// CRC-32 (IEEE, reflected) over `data` — the per-record checksum.
+std::uint32_t crc32(std::string_view data);
+
+/// Serialize one record as its single journal line (newline included).
+std::string encode_record(const JournalRecord& r);
+/// Parse one journal line (without the trailing newline).  Returns false
+/// with `error` set on framing or checksum mismatch.
+bool decode_record(std::string_view line, JournalRecord* out,
+                   std::string* error);
+
+/// Append-only journal writer over one file descriptor.
+class Journal {
+ public:
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+    std::uint32_t fsync_interval_records = 32;  ///< kInterval cadence
+    bool truncate = false;  ///< start a fresh log (attach/checkpoint path)
+    std::uint64_t next_seq = 1;
+    /// When set and enabled, appends record journal.bytes / journal.records
+    /// counters and the journal.fsync_ns histogram here.
+    core::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Open (creating if needed) `path` for appending.  Returns nullptr with
+  /// `error` set when the file cannot be opened.  Honors the
+  /// STEMCP_JOURNAL_CRASH_AFTER environment knob (decimal byte count).
+  static std::unique_ptr<Journal> open(const std::string& path, Options opts,
+                                       std::string* error);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Encode, write and (per policy) fsync one record; assigns it the next
+  /// sequence number (returned via record.seq... see below).  Returns false
+  /// once the journal is dead (fault injection or a write error) — the
+  /// in-memory session keeps working, the log just stops growing, exactly
+  /// like a crashed disk.
+  bool append(JournalRecord& record);
+
+  /// Explicit fsync (no-op when dead).  Returns false on fsync failure.
+  bool sync();
+
+  /// Truncate the log to empty and restart sequence numbering after `seq`
+  /// (the checkpoint path: state up to `seq` now lives in the checkpoint).
+  bool truncate_all(std::uint64_t seq);
+
+  /// Fault injection: write at most `bytes` more bytes — the final write is
+  /// cut short mid-record — then refuse all further writes.
+  void set_fail_after(std::uint64_t bytes);
+
+  /// Re-point the metrics sink.  The owner must call this whenever the
+  /// registry it handed to open() is replaced (a fresh-target library load
+  /// swaps the whole PropagationContext, registry included).
+  void set_metrics(core::MetricsRegistry* metrics) { opts_.metrics = metrics; }
+
+  bool dead() const { return dead_; }
+  const std::string& path() const { return path_; }
+  FsyncPolicy policy() const { return opts_.fsync; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t records_written() const { return records_written_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t append_failures() const { return append_failures_; }
+
+ private:
+  Journal(std::string path, int fd, Options opts);
+
+  std::string path_;
+  int fd_ = -1;
+  Options opts_;
+  bool dead_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t records_written_ = 0;
+  std::uint64_t records_since_sync_ = 0;
+  std::uint64_t append_failures_ = 0;
+  std::uint64_t fail_after_ = 0;  ///< remaining byte budget; ~0 = unlimited
+};
+
+/// Result of scanning a journal file front to back.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  std::uint64_t valid_bytes = 0;  ///< end offset of the last valid record
+  bool torn_tail = false;  ///< trailing partial/corrupt record was dropped
+  std::string error;  ///< non-empty: corruption BEFORE the tail (fatal)
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Read every valid record of `path` (a missing file scans as empty).
+/// Tolerates a torn final record; a checksum mismatch with valid records
+/// after it is reported through `error`.
+JournalScan scan_journal(const std::string& path);
+
+/// Cut the file back to `valid_bytes` — recovery calls this before
+/// re-attaching so new records never follow torn bytes.
+bool truncate_journal(const std::string& path, std::uint64_t valid_bytes);
+
+}  // namespace stemcp::persist

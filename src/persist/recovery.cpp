@@ -1,0 +1,33 @@
+#include "persist/recovery.h"
+
+namespace stemcp::persist {
+
+RecoveredLog load_recovered_log(const std::string& base) {
+  RecoveredLog log;
+
+  std::string ckpt;
+  std::string read_error;
+  if (read_file(checkpoint_path(base), &ckpt, &read_error)) {
+    if (!parse_checkpoint_header(ckpt, &log.meta)) {
+      log.error = "checkpoint '" + checkpoint_path(base) +
+                  "' has no valid stemcp-checkpoint header";
+      return log;
+    }
+    log.has_checkpoint = true;
+    const std::size_t nl = ckpt.find('\n');
+    log.checkpoint_text = nl == std::string::npos ? "" : ckpt.substr(nl + 1);
+  }
+
+  log.scan = scan_journal(journal_path(base));
+  if (!log.scan.ok()) {
+    log.error = log.scan.error;
+    return log;
+  }
+  for (const JournalRecord& r : log.scan.records) {
+    if (!log.has_checkpoint || r.seq > log.meta.seq) log.replay.push_back(r);
+  }
+  log.ok = true;
+  return log;
+}
+
+}  // namespace stemcp::persist

@@ -1,0 +1,40 @@
+// Durability layer, part 3: loading what recovery needs.
+//
+// Recovery itself — replaying records through the real engine — lives in the
+// service layer (persist cannot depend on service).  This module does the
+// durable-state half: locate checkpoint + journal for a base path, verify
+// them, drop the torn tail, and hand back the exact record sequence replay
+// must apply.  See docs/PERSISTENCE.md for the full protocol.
+#pragma once
+
+#include <string>
+
+#include "persist/checkpoint.h"
+#include "persist/journal.h"
+
+namespace stemcp::persist {
+
+/// Everything on disk for one durable session, validated and tail-trimmed.
+struct RecoveredLog {
+  bool has_checkpoint = false;
+  CheckpointMeta meta;          ///< valid when has_checkpoint
+  std::string checkpoint_text;  ///< library text (header line excluded)
+
+  JournalScan scan;  ///< raw scan of the journal file
+  /// Records replay must apply: scan.records filtered to seq > meta.seq
+  /// (a crash between checkpoint-rename and journal-truncate leaves stale
+  /// low-seq records behind; the filter makes that window harmless).
+  std::vector<JournalRecord> replay;
+
+  bool ok = false;
+  std::string error;
+};
+
+/// Load "<base>.ckpt" + "<base>.journal".  Missing checkpoint means cold
+/// start from an empty library (fine); a corrupt checkpoint header or
+/// mid-journal corruption sets ok=false.  A torn final journal record is
+/// tolerated and reported via scan.torn_tail; the caller should
+/// truncate_journal(journal_path(base), scan.valid_bytes) before appending.
+RecoveredLog load_recovered_log(const std::string& base);
+
+}  // namespace stemcp::persist

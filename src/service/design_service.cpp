@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "core/core.h"
+#include "core/trace.h"
+#include "persist/checkpoint.h"
+#include "persist/recovery.h"
 #include "stem/cell.h"
 #include "stem/editor.h"
 #include "stem/io.h"
@@ -26,6 +29,9 @@ const char* to_string(RequestType t) {
     case RequestType::kQuery: return "query";
     case RequestType::kReport: return "report";
     case RequestType::kClose: return "close";
+    case RequestType::kJournal: return "journal";
+    case RequestType::kCheckpoint: return "checkpoint";
+    case RequestType::kRecover: return "recover";
   }
   return "unknown";
 }
@@ -399,6 +405,12 @@ void do_query(DesignSession& s, const Request& r, Response& resp) {
       out << "metrics: " << ctx.metrics().to_json() << '\n';
     }
     out << "requests served: " << s.requests_served() << '\n';
+    if (const persist::Journal* j = s.journal()) {
+      out << "journal: base " << s.journal_config().base << " fsync "
+          << persist::to_string(j->policy()) << " records "
+          << j->records_written() << " bytes " << j->bytes_written()
+          << (j->dead() ? " DEAD" : "") << '\n';
+    }
   } else {
     core::Variable* v = s.find_variable(what);
     if (v == nullptr) {
@@ -425,6 +437,291 @@ void do_report(DesignSession& s, const Request& r, Response& resp) {
     resp.text = env::DesignReport::library(s.library(), opts);
   }
   resp.ok = true;
+}
+
+// ---------------------------------------------------------------------------
+// Durability (docs/PERSISTENCE.md)
+
+/// Checkpoint header options: the open options plus the fsync policy, so
+/// recovery reopens the session AND its journal exactly as configured.
+std::string durable_options(DesignSession& s) {
+  std::ostringstream out;
+  out << s.open_options();
+  const JournalConfig& cfg = s.journal_config();
+  if (out.tellp() > 0) out << ' ';
+  out << "fsync " << persist::to_string(cfg.policy);
+  if (cfg.policy == persist::FsyncPolicy::kInterval) {
+    out << " interval " << cfg.interval_records;
+  }
+  return out.str();
+}
+
+/// Snapshot the library into "<base>.ckpt" (atomic rename), stamped with the
+/// last journal sequence the snapshot contains, then empty the journal.  A
+/// crash between the rename and the truncate is harmless: replay skips
+/// records with seq <= the checkpoint's.
+bool checkpoint_session(DesignSession& s, std::uint64_t* seq,
+                        std::string* error) {
+  persist::Journal* j = s.journal();
+  persist::CheckpointMeta meta;
+  meta.seq = j->next_seq() - 1;
+  meta.session = s.name();
+  meta.options = durable_options(s);
+  const std::string text = env::LibraryWriter::to_string(s.library());
+  if (!persist::write_checkpoint(
+          persist::checkpoint_path(s.journal_config().base), meta, text,
+          error)) {
+    return false;
+  }
+  if (!j->truncate_all(meta.seq)) {
+    *error = "journal truncate failed after checkpoint";
+    return false;
+  }
+  *seq = meta.seq;
+  return true;
+}
+
+void do_journal(DesignSession& s, const Request& r, Response& resp) {
+  if (s.journal() != nullptr) {
+    resp.error = "session '" + s.name() + "' is already journaling to '" +
+                 s.journal_config().base + "'";
+    return;
+  }
+  JournalConfig cfg;
+  std::istringstream in(r.text);
+  if (!(in >> cfg.base)) {
+    resp.error = "journal needs a base path";
+    return;
+  }
+  std::string policy;
+  if (in >> policy) {
+    if (!persist::fsync_policy_from(policy, &cfg.policy)) {
+      resp.error = "unknown fsync policy '" + policy +
+                   "' (every-record|interval|none)";
+      return;
+    }
+    std::uint32_t n = 0;
+    if (in >> n && n > 0) cfg.interval_records = n;
+  }
+  persist::Journal::Options opts;
+  opts.fsync = cfg.policy;
+  opts.fsync_interval_records = cfg.interval_records;
+  opts.truncate = true;
+  opts.next_seq = 1;
+  opts.metrics = &s.library().context().metrics();
+  std::string error;
+  auto j = persist::Journal::open(persist::journal_path(cfg.base), opts,
+                                  &error);
+  if (j == nullptr) {
+    resp.error = error;
+    return;
+  }
+  const std::string base = cfg.base;
+  const persist::FsyncPolicy pol = cfg.policy;
+  s.attach_journal(std::move(j), std::move(cfg));
+  // Checkpoint immediately: from this instant, checkpoint + journal together
+  // always describe the session's full state.
+  std::uint64_t seq = 0;
+  if (!checkpoint_session(s, &seq, &error)) {
+    s.detach_journal();
+    resp.error = error;
+    return;
+  }
+  persist::JournalRecord rec;
+  rec.op = "open";
+  rec.session = s.name();
+  rec.text = s.open_options();
+  s.journal()->append(rec);
+  resp.ok = true;
+  resp.text = "journaling " + s.name() + " to " + base + " (fsync " +
+              persist::to_string(pol) + ")";
+}
+
+void do_checkpoint(DesignSession& s, Response& resp) {
+  if (s.journal() == nullptr) {
+    resp.error = "session '" + s.name() +
+                 "' has no journal (use: journal <sess> <base>)";
+    return;
+  }
+  if (s.journal()->dead()) {
+    resp.error = "journal is dead (write failure); cannot checkpoint";
+    return;
+  }
+  std::string error;
+  std::uint64_t seq = 0;
+  if (!checkpoint_session(s, &seq, &error)) {
+    resp.error = error;
+    return;
+  }
+  resp.ok = true;
+  resp.text = "checkpoint of " + s.name() + " at seq " + std::to_string(seq);
+}
+
+/// Append one record per SUCCESSFUL mutating request.  A violating batch is
+/// still journaled (it mutated stats and must re-derive its restore on
+/// replay); a failed request mutated nothing and is not.
+void journal_mutation(DesignSession& s, const Request& r, Response& resp) {
+  persist::Journal* j = s.journal();
+  if (j == nullptr || !resp.ok) return;
+  const bool mutating =
+      r.type == RequestType::kLoad || r.type == RequestType::kAssign ||
+      r.type == RequestType::kBatchAssign || r.type == RequestType::kEdit;
+  if (!mutating) return;
+  // A fresh-target load swaps the library's whole PropagationContext
+  // (metrics registry included), so the sink the journal captured at attach
+  // time may no longer exist — re-point it at the live registry.
+  j->set_metrics(&s.library().context().metrics());
+  persist::JournalRecord rec;
+  rec.op = to_string(r.type);
+  rec.session = s.name();
+  if (r.type == RequestType::kLoad || r.type == RequestType::kEdit) {
+    rec.text = r.text;
+  }
+  rec.assignments.reserve(r.assignments.size());
+  for (const Assignment& a : r.assignments) {
+    rec.assignments.emplace_back(a.variable, a.value);
+  }
+  rec.violation = resp.violation;
+  rec.applied = resp.assignments_applied;
+  rec.restored = resp.variables_restored;
+  if (!j->append(rec)) {
+    // The in-memory session keeps serving (a dead log is a dead disk, not a
+    // dead design), but the caller must know durability is gone.
+    if (!resp.text.empty() && resp.text.back() != '\n') resp.text += '\n';
+    resp.text += "WARNING: journal write failed; session is no longer durable";
+  }
+}
+
+/// Rebuild session `r.session` from "<base>.ckpt" + "<base>.journal": load
+/// the checkpoint library, replay every journal record past the checkpoint
+/// through the real engine, verify each record's recorded outcome re-derives
+/// identically, drop the torn tail, and resume journaling where the log
+/// left off.
+Response do_recover(SessionManager& sessions, const Request& r) {
+  Response resp;
+  resp.session = r.session;
+  std::istringstream in(r.text);
+  std::string base;
+  if (!(in >> base)) {
+    resp.error = "recover needs a base path";
+    return resp;
+  }
+  persist::RecoveredLog log = persist::load_recovered_log(base);
+  if (!log.ok) {
+    resp.error = "recover failed: " + log.error;
+    return resp;
+  }
+  bool metrics = false;
+  bool trace = false;
+  JournalConfig cfg;
+  cfg.base = base;
+  {
+    std::istringstream opts(log.meta.options);
+    std::string word;
+    while (opts >> word) {
+      if (word == "metrics") {
+        metrics = true;
+      } else if (word == "trace") {
+        trace = true;
+      } else if (word == "fsync") {
+        std::string p;
+        if (opts >> p) persist::fsync_policy_from(p, &cfg.policy);
+      } else if (word == "interval") {
+        std::uint32_t n = 0;
+        if (opts >> n && n > 0) cfg.interval_records = n;
+      }
+    }
+  }
+  const std::shared_ptr<DesignSession> s =
+      sessions.open(r.session, metrics, trace);
+  if (s == nullptr) {
+    resp.error = "session '" + r.session + "' already exists";
+    return resp;
+  }
+  const std::lock_guard<std::mutex> lock(s->mutex());
+  const std::uint64_t t0 = core::Tracer::now_ns();
+  std::uint64_t mismatches = 0;
+  std::uint64_t replayed = 0;
+  try {
+    if (log.has_checkpoint && !log.checkpoint_text.empty()) {
+      env::LibraryReader::read_string(s->library(), log.checkpoint_text);
+    }
+    for (const persist::JournalRecord& rec : log.replay) {
+      if (rec.op == "open" || rec.op == "close") continue;  // markers
+      Request rr;
+      rr.session = r.session;
+      rr.text = rec.text;
+      rr.assignments.reserve(rec.assignments.size());
+      for (const auto& [var, value] : rec.assignments) {
+        rr.assignments.push_back({var, value});
+      }
+      Response rresp;
+      if (rec.op == "load") {
+        do_load(*s, rr, rresp);
+      } else if (rec.op == "assign") {
+        do_assign(*s, rr, rresp, false);
+      } else if (rec.op == "batch-assign") {
+        do_assign(*s, rr, rresp, true);
+      } else if (rec.op == "edit") {
+        do_edit(*s, rr, rresp);
+      } else {
+        sessions.close(r.session);
+        resp.error = "journal record " + std::to_string(rec.seq) +
+                     " has unknown op '" + rec.op + "'";
+        return resp;
+      }
+      ++replayed;
+      // The engine is deterministic: the replayed outcome must re-derive
+      // the recorded one.  A mismatch means the log and the code disagree.
+      if (!rresp.ok || rresp.violation != rec.violation ||
+          rresp.assignments_applied != rec.applied ||
+          rresp.variables_restored != rec.restored) {
+        ++mismatches;
+      }
+    }
+  } catch (const std::exception& e) {
+    sessions.close(r.session);
+    resp.error = std::string("recover replay failed: ") + e.what();
+    return resp;
+  }
+  // NB: fetch the context only now — replaying a load into the fresh session
+  // swapped the whole PropagationContext, so a reference bound before the
+  // replay loop would dangle.
+  core::PropagationContext& ctx = s->library().context();
+  if (ctx.metrics().enabled()) {
+    ctx.metrics().histogram("recover.replay_ns")
+        .record(core::Tracer::now_ns() - t0);
+  }
+  // Cut the torn bytes off before appending, so new records never follow
+  // garbage, then continue the log where it left off.
+  if (log.scan.torn_tail) {
+    persist::truncate_journal(persist::journal_path(base),
+                              log.scan.valid_bytes);
+  }
+  persist::Journal::Options jopts;
+  jopts.fsync = cfg.policy;
+  jopts.fsync_interval_records = cfg.interval_records;
+  jopts.truncate = false;
+  jopts.next_seq = (log.scan.records.empty() ? log.meta.seq
+                                             : log.scan.records.back().seq) +
+                   1;
+  jopts.metrics = &ctx.metrics();
+  std::string error;
+  auto j = persist::Journal::open(persist::journal_path(base), jopts, &error);
+  std::ostringstream out;
+  out << "recovered " << r.session << " from " << base << ": checkpoint seq "
+      << (log.has_checkpoint ? log.meta.seq : 0) << ", replayed " << replayed
+      << " record(s), " << mismatches << " outcome mismatch(es)";
+  if (log.scan.torn_tail) out << ", torn tail dropped";
+  if (j == nullptr) {
+    // State is rebuilt; only re-attachment failed.  Keep the session, say so.
+    out << "; journal re-attach failed: " << error;
+  } else {
+    s->attach_journal(std::move(j), std::move(cfg));
+  }
+  resp.ok = true;
+  resp.text = out.str();
+  return resp;
 }
 
 }  // namespace
@@ -528,7 +825,26 @@ Response DesignService::execute(const Request& r) {
     return resp;
   }
 
+  if (r.type == RequestType::kRecover) return do_recover(sessions_, r);
+
   if (r.type == RequestType::kClose) {
+    const std::shared_ptr<DesignSession> victim = sessions_.find(r.session);
+    if (victim == nullptr) {
+      resp.error = "unknown session '" + r.session + "'";
+      return resp;
+    }
+    {
+      // A journaled session marks its clean shutdown, then flushes and
+      // closes the log before the registry lets the session die.
+      const std::lock_guard<std::mutex> lock(victim->mutex());
+      if (victim->journal() != nullptr) {
+        persist::JournalRecord rec;
+        rec.op = "close";
+        rec.session = r.session;
+        victim->journal()->append(rec);
+        victim->detach_journal();
+      }
+    }
     if (!sessions_.close(r.session)) {
       resp.error = "unknown session '" + r.session + "'";
       return resp;
@@ -553,9 +869,13 @@ Response DesignService::execute(const Request& r) {
     case RequestType::kEdit: do_edit(*s, r, resp); break;
     case RequestType::kQuery: do_query(*s, r, resp); break;
     case RequestType::kReport: do_report(*s, r, resp); break;
+    case RequestType::kJournal: do_journal(*s, r, resp); break;
+    case RequestType::kCheckpoint: do_checkpoint(*s, resp); break;
     case RequestType::kOpen:
-    case RequestType::kClose: break;  // handled above
+    case RequestType::kClose:
+    case RequestType::kRecover: break;  // handled above
   }
+  journal_mutation(*s, r, resp);
   return resp;
 }
 

@@ -46,7 +46,12 @@ enum class RequestType : std::uint8_t {
   kQuery,        ///< "cells" | "vars [cell]" | "stats" | <variable path>
   kReport,       ///< design documentation report (text: optional cell name)
   kClose,        ///< destroy the session (folds its metrics into the
-                 ///< process-global registry)
+                 ///< process-global registry; flushes and closes the journal)
+  kJournal,      ///< attach a journal (text: "<base> [policy [interval]]");
+                 ///< writes an initial checkpoint, then logs every mutation
+  kCheckpoint,   ///< snapshot the library atomically, truncate the journal
+  kRecover,      ///< rebuild a session from disk (text: "<base>"); replays
+                 ///< checkpoint + journal through the engine
 };
 
 const char* to_string(RequestType t);

@@ -3,9 +3,21 @@
 #include <fstream>
 #include <sstream>
 
+#include "persist/checkpoint.h"
+
 namespace stemcp::service {
 
 namespace {
+
+/// Byte offset where parsing stopped — appended to every parse error so
+/// replay diagnostics (recovery reuses this parser) point at the offending
+/// token, not just the line.
+std::string at_byte(std::istringstream& in, const std::string& line) {
+  const auto pos = in.tellg();
+  const std::size_t off =
+      pos < 0 ? line.size() : static_cast<std::size_t>(pos);
+  return " (at byte " + std::to_string(off) + ")";
+}
 
 std::string unescape_newlines(const std::string& s) {
   std::string out;
@@ -28,19 +40,22 @@ std::string rest_of(std::istringstream& in) {
   return first == std::string::npos ? std::string() : rest.substr(first);
 }
 
-bool parse_assignments(std::istringstream& in, Request* out,
-                       std::string* error) {
+bool parse_assignments(std::istringstream& in, const std::string& line,
+                       Request* out, std::string* error) {
   std::string var;
   double value = 0.0;
   while (in >> var) {
     if (!(in >> value)) {
-      *error = "assignment '" + var + "' needs a numeric value";
+      in.clear();
+      *error = "assignment '" + var + "' needs a numeric value" +
+               at_byte(in, line);
       return false;
     }
     out->assignments.push_back({var, value});
   }
   if (out->assignments.empty()) {
-    *error = "expected one or more <variable> <value> pairs";
+    in.clear();
+    *error = "expected one or more <variable> <value> pairs" + at_byte(in, line);
     return false;
   }
   return true;
@@ -51,7 +66,9 @@ const char* usage() {
          "load <s> file <path> | text <lines>, save <s> [file <path>], "
          "assign <s> <var> <value>..., batch-assign <s> <var> <value>..., "
          "edit <s> <cmd...>, query <s> [cells|vars [cell]|stats|<var>], "
-         "report <s> [cell], close <s>, sessions, help\n";
+         "report <s> [cell], journal <s> <base> [every-record|interval|none "
+         "[records]], checkpoint <s>, recover <s> <base>, close <s>, "
+         "sessions, help\n";
 }
 
 }  // namespace
@@ -62,11 +79,12 @@ bool ServiceFrontEnd::parse(const std::string& line, Request* out,
   std::istringstream in(line);
   std::string verb;
   if (!(in >> verb)) {
-    *error = "empty command";
+    *error = "empty command (at byte 0)";
     return false;
   }
   if (!(in >> out->session)) {
-    *error = "'" + verb + "' needs a session name";
+    in.clear();
+    *error = "'" + verb + "' needs a session name" + at_byte(in, line);
     return false;
   }
 
@@ -79,13 +97,15 @@ bool ServiceFrontEnd::parse(const std::string& line, Request* out,
     out->type = RequestType::kLoad;
     std::string mode;
     if (!(in >> mode) || (mode != "file" && mode != "text")) {
-      *error = "load needs 'file <path>' or 'text <lines>'";
+      in.clear();
+      *error = "load needs 'file <path>' or 'text <lines>'" + at_byte(in, line);
       return false;
     }
     if (mode == "file") {
       std::string path;
       if (!(in >> path)) {
-        *error = "load file needs a path";
+        in.clear();
+        *error = "load file needs a path" + at_byte(in, line);
         return false;
       }
       std::ifstream f(path);
@@ -109,7 +129,7 @@ bool ServiceFrontEnd::parse(const std::string& line, Request* out,
   if (verb == "assign" || verb == "batch-assign") {
     out->type = verb == "assign" ? RequestType::kAssign
                                  : RequestType::kBatchAssign;
-    return parse_assignments(in, out, error);
+    return parse_assignments(in, line, out, error);
   }
   if (verb == "edit") {
     out->type = RequestType::kEdit;
@@ -126,11 +146,35 @@ bool ServiceFrontEnd::parse(const std::string& line, Request* out,
     out->text = rest_of(in);
     return true;
   }
+  if (verb == "journal") {
+    out->type = RequestType::kJournal;
+    out->text = rest_of(in);
+    if (out->text.empty()) {
+      *error = "journal needs a base path" + at_byte(in, line);
+      return false;
+    }
+    return true;
+  }
+  if (verb == "checkpoint") {
+    out->type = RequestType::kCheckpoint;
+    return true;
+  }
+  if (verb == "recover") {
+    out->type = RequestType::kRecover;
+    out->text = rest_of(in);
+    if (out->text.empty()) {
+      *error = "recover needs a base path" + at_byte(in, line);
+      return false;
+    }
+    return true;
+  }
   if (verb == "close") {
     out->type = RequestType::kClose;
     return true;
   }
-  *error = "unknown service command '" + verb + "'";
+  const std::size_t verb_at = line.find(verb);
+  *error = "unknown service command '" + verb + "' (at byte " +
+           std::to_string(verb_at == std::string::npos ? 0 : verb_at) + ")";
   return false;
 }
 
@@ -186,9 +230,12 @@ std::string ServiceFrontEnd::execute(const std::string& line) {
 
   Response resp = svc_->call(std::move(req));
   if (resp.ok && !save_path.empty()) {
-    std::ofstream f(save_path);
-    f << resp.text;
-    if (!f.good()) return "error: cannot write '" + save_path + "'\n";
+    // Atomic save: tmp file + fsync + rename, so a crash mid-save can never
+    // leave a truncated library file behind.
+    std::string werror;
+    if (!persist::atomic_write_file(save_path, resp.text, &werror)) {
+      return "error: " + werror + "\n";
+    }
     return "ok\nsaved to " + save_path + "\n";
   }
   return format(resp);

@@ -25,6 +25,9 @@ class ServiceFrontEnd {
   ///   edit <sess> <edit command...>
   ///   query <sess> [cells | vars [cell] | stats | <variable path>]
   ///   report <sess> [cell]
+  ///   journal <sess> <base> [every-record|interval|none [records]]
+  ///   checkpoint <sess>
+  ///   recover <sess> <base>
   ///   close <sess>
   ///   sessions
   ///   help

@@ -7,9 +7,19 @@ namespace stemcp::service {
 
 DesignSession::DesignSession(std::string name, bool collect_metrics,
                              bool collect_trace)
-    : name_(std::move(name)), lib_(name_) {
+    : name_(std::move(name)),
+      lib_(name_),
+      opt_metrics_(collect_metrics),
+      opt_trace_(collect_trace) {
   if (collect_metrics) lib_.context().metrics().set_enabled(true);
   if (collect_trace) lib_.context().tracer().set_enabled(true);
+}
+
+std::string DesignSession::open_options() const {
+  std::string opts;
+  if (opt_metrics_) opts = "metrics";
+  if (opt_trace_) opts += opts.empty() ? "trace" : " trace";
+  return opts;
 }
 
 void DesignSession::for_each_variable(

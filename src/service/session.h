@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "persist/journal.h"
 #include "stem/library.h"
 
 namespace stemcp::core {
@@ -24,6 +26,14 @@ class Variable;
 }
 
 namespace stemcp::service {
+
+/// Where and how a session journals (docs/PERSISTENCE.md).  `base` names the
+/// durable-state pair "<base>.ckpt" / "<base>.journal".
+struct JournalConfig {
+  std::string base;
+  persist::FsyncPolicy policy = persist::FsyncPolicy::kEveryRecord;
+  std::uint32_t interval_records = 32;
+};
 
 class DesignSession {
  public:
@@ -67,6 +77,29 @@ class DesignSession {
   /// Visit every addressable variable (class- and instance-side).
   void for_each_variable(const std::function<void(core::Variable&)>& fn);
 
+  // -- durability (callers hold mutex(); see docs/PERSISTENCE.md) ----------
+
+  /// The attached operation journal, or nullptr for an in-memory-only
+  /// session.  The service appends one record per successful mutating
+  /// request while this is set.
+  persist::Journal* journal() { return journal_.get(); }
+  const JournalConfig& journal_config() const { return journal_cfg_; }
+
+  void attach_journal(std::unique_ptr<persist::Journal> j, JournalConfig cfg) {
+    journal_ = std::move(j);
+    journal_cfg_ = std::move(cfg);
+  }
+  /// Release the journal (its destructor flushes and closes the file).
+  std::unique_ptr<persist::Journal> detach_journal() {
+    return std::move(journal_);
+  }
+
+  bool collects_metrics() const { return opt_metrics_; }
+  bool collects_trace() const { return opt_trace_; }
+  /// The open options as protocol text ("", "metrics", "metrics trace", ...)
+  /// — recorded in checkpoint headers so recovery reopens identically.
+  std::string open_options() const;
+
  private:
   std::string name_;
   std::mutex mu_;
@@ -74,6 +107,10 @@ class DesignSession {
   std::uint64_t requests_ = 0;
   std::uint64_t* req_counter_ = nullptr;
   std::uint64_t req_counter_gen_ = 0;
+  bool opt_metrics_ = false;
+  bool opt_trace_ = false;
+  std::unique_ptr<persist::Journal> journal_;
+  JournalConfig journal_cfg_;
 };
 
 }  // namespace stemcp::service

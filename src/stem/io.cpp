@@ -436,9 +436,28 @@ std::string LibraryWriter::to_string(const Library& lib) {
 void LibraryReader::read(Library& lib, std::istream& in) {
   if (!lib.cells().empty()) {
     // Reading into a populated library appends in place (the file may refer
-    // to already-defined superclasses), with only the basic guarantee.
-    Parser parser{lib, in};
-    parser.run();
+    // to already-defined superclasses).  Scratch-parsing can't work here —
+    // every Variable is bound to the target's PropagationContext by
+    // reference, so parsed cells cannot be spliced across contexts — but
+    // the strong guarantee holds anyway, by rollback: every parse handler
+    // only mutates cells defined by THIS parse, so on error it suffices to
+    // destroy the constraints made since the snapshot (retracting any value
+    // they propagated, including into pre-existing cells) and then the
+    // appended cells newest-first.
+    const std::size_t cells_before = lib.cells().size();
+    const std::size_t constraints_before = lib.context().constraint_count();
+    try {
+      Parser parser{lib, in};
+      parser.run();
+    } catch (...) {
+      const std::vector<core::Constraint*> cs =
+          lib.context().all_constraints();
+      for (std::size_t i = cs.size(); i > constraints_before; --i) {
+        lib.context().destroy_constraint(*cs[i - 1]);
+      }
+      lib.rollback_cells_to(cells_before);
+      throw;
+    }
     return;
   }
   // Fresh target: strong guarantee.  Parse into a scratch library that

@@ -25,11 +25,11 @@ class LibraryReader {
  public:
   /// Parse into `lib` (which supplies the context and type registry).
   /// Throws std::runtime_error carrying the line number and the offending
-  /// line's text on malformed input.  When `lib` is empty the load is
-  /// transactional (strong guarantee): the input is parsed into a scratch
-  /// library and swapped in only on success, so a parse error mid-file
-  /// leaves `lib` unmodified.  Reading into a non-empty library appends in
-  /// place with only the basic guarantee.
+  /// line's text on malformed input.  The load is transactional (strong
+  /// guarantee) in both directions: an empty `lib` is parsed into a scratch
+  /// library and swapped in only on success, and an append into a non-empty
+  /// `lib` rolls back the cells and constraints it created if the parse
+  /// fails mid-file — either way a parse error leaves `lib` as it was.
   static void read(Library& lib, std::istream& in);
   static void read_string(Library& lib, const std::string& text);
 };

@@ -27,6 +27,10 @@ void Library::swap_contents(Library& other) {
   for (auto& c : other.cells_) c->rebind_library(other);
 }
 
+void Library::rollback_cells_to(std::size_t count) {
+  while (cells_.size() > count) cells_.pop_back();
+}
+
 CellClass& Library::define_cell(const std::string& name,
                                 CellClass* superclass) {
   if (find(name) != nullptr) {

@@ -43,6 +43,12 @@ class Library {
     return cells_;
   }
 
+  /// Destroy every cell defined after the first `count`, newest-first (so
+  /// composites release their instances of earlier cells before those die).
+  /// LibraryReader's append-rollback path; destructors deregister cleanly
+  /// (subclass lists, instance registries, constraint arguments).
+  void rollback_cells_to(std::size_t count);
+
   /// Module-selection instrumentation (used by the pruning/selective-testing
   /// ablation benches).
   struct SelectionStats {

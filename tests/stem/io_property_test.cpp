@@ -1,7 +1,10 @@
-// Property-based persistence: randomized libraries must survive
-// save -> load -> save with byte-identical text and equivalent behaviour.
+// Property-based persistence: randomized libraries AND every checked-in
+// examples/designs/*.lib must survive write -> read -> write with
+// byte-identical text and equivalent behaviour (this idempotence is what
+// makes journal checkpoints trustworthy — see docs/PERSISTENCE.md).
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <random>
 
 #include "stem/io.h"
@@ -47,9 +50,13 @@ struct RandomLibrary {
       }
       if (coin(rng)) out.set_output_resistance(100.0 * (1 + i));
       if (coin(rng)) in.set_load_capacitance(1e-14 * (1 + i));
-      c.declare_delay("in", "out");
+      auto& d = c.declare_delay("in", "out");
       if (coin(rng)) {
         c.set_leaf_delay("in", "out", 1e-9 * (1 + i));
+      }
+      if (coin(rng)) {
+        // A generous spec so randomized leaf delays never violate it.
+        core::BoundConstraint::upper(lib.context(), d, Value(1e-3));
       }
       leaves.push_back(&c);
     }
@@ -124,6 +131,41 @@ TEST_P(IoSeeds, LoadedDelaysMatchOriginal) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IoSeeds, ::testing::Range(500u, 512u));
+
+// Every checked-in example design: the first write normalizes the
+// hand-written file, and from then on write -> read -> write must be a
+// byte-identical fixed point.
+class ExampleDesigns : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExampleDesigns, WriteReadWriteIsIdentity) {
+  const std::string path =
+      std::string(STEMCP_SOURCE_DIR) + "/examples/designs/" + GetParam();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing example design: " << path;
+  Library first;
+  LibraryReader::read(first, in);
+  ASSERT_FALSE(first.cells().empty());
+  const std::string text1 = LibraryWriter::to_string(first);
+  Library second;
+  LibraryReader::read_string(second, text1);
+  const std::string text2 = LibraryWriter::to_string(second);
+  EXPECT_EQ(text1, text2);
+}
+
+TEST_P(ExampleDesigns, LoadedDesignAuditsClean) {
+  const std::string path =
+      std::string(STEMCP_SOURCE_DIR) + "/examples/designs/" + GetParam();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  Library lib;
+  LibraryReader::read(lib, in);
+  EXPECT_TRUE(lib.context().violation_log().empty())
+      << "example designs must load violation-free";
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ExampleDesigns,
+                         ::testing::Values("pipeline.lib", "inverter.lib",
+                                           "alu.lib"));
 
 }  // namespace
 }  // namespace stemcp::env

@@ -247,11 +247,60 @@ TEST(IoTest, ReadIntoNonEmptyLibraryStillAppends) {
   LibraryReader::read_string(lib, "cell SECOND\n  signal q output\nend\n");
   EXPECT_NE(lib.find("FIRST"), nullptr);
   EXPECT_NE(lib.find("SECOND"), nullptr);
-  // A failed append keeps what was already there (basic guarantee).
+  // A failed append keeps what was already there.
   EXPECT_THROW(LibraryReader::read_string(lib, "cell X\n  junk\nend\n"),
                std::runtime_error);
   EXPECT_NE(lib.find("FIRST"), nullptr);
   EXPECT_NE(lib.find("SECOND"), nullptr);
+}
+
+TEST(IoTest, FailedAppendRollsBackCompletely) {
+  // Appending into a populated library is transactional too (strong
+  // guarantee by rollback): the failing text below instantiates an EXISTING
+  // class and attaches a spec constraint before hitting the bad line, so the
+  // rollback must unwind the instance registration, the new constraints and
+  // every value they propagated — the save image must come back bit-equal.
+  Library lib;
+  build_accumulator(lib);
+  const std::string before = LibraryWriter::to_string(lib);
+  const std::size_t cells_before = lib.cells().size();
+  const std::size_t constraints_before = lib.context().constraint_count();
+  EXPECT_THROW(LibraryReader::read_string(lib,
+                                          "cell WRAP\n"
+                                          "  signal in input\n"
+                                          "  signal out output\n"
+                                          "  delay in out\n"
+                                          "    spec <= 1e-6\n"
+                                          "  subcell inner ACCUMULATOR R0 0 0\n"
+                                          "  junk\n"
+                                          "end\n"),
+               std::runtime_error);
+  EXPECT_EQ(lib.find("WRAP"), nullptr);
+  EXPECT_EQ(lib.cells().size(), cells_before);
+  EXPECT_EQ(lib.context().constraint_count(), constraints_before);
+  EXPECT_EQ(LibraryWriter::to_string(lib), before);
+  // And the library is still fully usable: the fixed text appends cleanly.
+  LibraryReader::read_string(
+      lib, "cell WRAP\n  subcell inner ACCUMULATOR R0 0 0\nend\n");
+  EXPECT_NE(lib.find("WRAP"), nullptr);
+}
+
+TEST(IoTest, FailedAppendUnwindsAcrossMultipleNewCells) {
+  Library lib;
+  LibraryReader::read_string(lib, "cell BASE\n  signal p input\nend\n");
+  const std::string before = LibraryWriter::to_string(lib);
+  // Two good cells (the second subclassing BASE) parse before the third
+  // fails; all three must vanish, newest-first.
+  EXPECT_THROW(
+      LibraryReader::read_string(lib,
+                                 "cell ONE\n  signal a input\nend\n"
+                                 "cell TWO super BASE\n  param w 1 8\nend\n"
+                                 "cell THREE\n  delay a\nend\n"),
+      std::runtime_error);
+  EXPECT_EQ(lib.find("ONE"), nullptr);
+  EXPECT_EQ(lib.find("TWO"), nullptr);
+  EXPECT_EQ(lib.find("THREE"), nullptr);
+  EXPECT_EQ(LibraryWriter::to_string(lib), before);
 }
 
 TEST(IoTest, LoadedWidthViolationIsCaughtDuringParse) {

@@ -67,11 +67,20 @@ def load_benchmarks(path):
 
 
 def merge(out_path, in_paths):
+    # Tolerate missing inputs (a bench that was skipped or crashed should
+    # not lose the stats of the ones that ran) — but refuse to write an
+    # empty BENCH.json, which would silently wipe the trajectory.
     benches = []
     for p in in_paths:
+        if not os.path.exists(p):
+            print(f"bench_compare: warning: skipping missing input {p}",
+                  file=sys.stderr)
+            continue
         with open(p, encoding="utf-8") as fh:
             doc = json.load(fh)
         benches.extend(doc.get("benches", [doc]))
+    if not benches:
+        sys.exit("bench_compare: merge found no readable bench JSONs")
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump({"benches": benches}, fh, indent=1)
         fh.write("\n")

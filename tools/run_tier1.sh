@@ -7,7 +7,11 @@
 #   tools/run_tier1.sh --plain    # plain only
 #   tools/run_tier1.sh --sanitize # ASan/UBSan only
 #   tools/run_tier1.sh --tsan     # ThreadSanitizer concurrency pass only
-#   tools/run_tier1.sh --bench    # opt-in Release bench smoke: runs the three
+#   tools/run_tier1.sh --asan     # fast ASan/UBSan pass over the durability
+#                                 suites only (journal/checkpoint/recovery
+#                                 code does raw fd I/O and manual rollback —
+#                                 the memory-bug surface of this repo)
+#   tools/run_tier1.sh --bench    # opt-in Release bench smoke: runs the
 #                                 hottest benches and merges their stats into
 #                                 build-bench/BENCH.json (see
 #                                 docs/PERFORMANCE.md and tools/bench_compare.py)
@@ -20,19 +24,25 @@ SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
 # Tests exercising shared state from multiple threads: the design service,
 # the line-protocol front end over it, and the process-global metrics.
 TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics'
-# The three hottest benchmarks, smoked by --bench.
-BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service"
+# The durability layer: raw-fd journal I/O, checkpoint rename dance, replay,
+# and the reader's append-rollback path — everything that touches memory by
+# hand.  Run under ASan/UBSan by --asan.
+ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns'
+# The hottest benchmarks, smoked by --bench.
+BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence"
 RUN_PLAIN=1
 RUN_SANITIZED=1
 RUN_TSAN=1
+RUN_ASAN=0
 RUN_BENCH=0
 case "${1:-}" in
   --plain) RUN_SANITIZED=0; RUN_TSAN=0 ;;
   --sanitize) RUN_PLAIN=0; RUN_TSAN=0 ;;
   --tsan) RUN_PLAIN=0; RUN_SANITIZED=0 ;;
+  --asan) RUN_PLAIN=0; RUN_SANITIZED=0; RUN_TSAN=0; RUN_ASAN=1 ;;
   --bench) RUN_PLAIN=0; RUN_SANITIZED=0; RUN_TSAN=0; RUN_BENCH=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--sanitize|--tsan|--bench]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--sanitize|--tsan|--asan|--bench]" >&2; exit 2 ;;
 esac
 
 run_suite() {
@@ -61,6 +71,16 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
     -R "$TSAN_FILTER"
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== tier-1: asan durability pass ($ASAN_FILTER) =="
+  cmake -B build-sanitize -S . -DSTEMCP_SANITIZE=address,undefined
+  cmake --build build-sanitize -j "$(nproc)"
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+  ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)" \
+    -R "$ASAN_FILTER"
 fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
