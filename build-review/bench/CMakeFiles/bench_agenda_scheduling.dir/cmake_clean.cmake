@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agenda_scheduling.dir/bench_agenda_scheduling.cpp.o"
+  "CMakeFiles/bench_agenda_scheduling.dir/bench_agenda_scheduling.cpp.o.d"
+  "bench_agenda_scheduling"
+  "bench_agenda_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agenda_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

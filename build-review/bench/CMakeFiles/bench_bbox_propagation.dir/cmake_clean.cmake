@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bbox_propagation.dir/bench_bbox_propagation.cpp.o"
+  "CMakeFiles/bench_bbox_propagation.dir/bench_bbox_propagation.cpp.o.d"
+  "bench_bbox_propagation"
+  "bench_bbox_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bbox_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complexity_9_2_3.dir/bench_complexity_9_2_3.cpp.o"
+  "CMakeFiles/bench_complexity_9_2_3.dir/bench_complexity_9_2_3.cpp.o.d"
+  "bench_complexity_9_2_3"
+  "bench_complexity_9_2_3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complexity_9_2_3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consistency_maintenance.dir/bench_consistency_maintenance.cpp.o"
+  "CMakeFiles/bench_consistency_maintenance.dir/bench_consistency_maintenance.cpp.o.d"
+  "bench_consistency_maintenance"
+  "bench_consistency_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consistency_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

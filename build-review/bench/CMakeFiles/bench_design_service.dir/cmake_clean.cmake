@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_service.dir/bench_design_service.cpp.o"
+  "CMakeFiles/bench_design_service.dir/bench_design_service.cpp.o.d"
+  "bench_design_service"
+  "bench_design_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

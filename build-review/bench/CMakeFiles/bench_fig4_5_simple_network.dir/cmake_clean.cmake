@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_5_simple_network.dir/bench_fig4_5_simple_network.cpp.o"
+  "CMakeFiles/bench_fig4_5_simple_network.dir/bench_fig4_5_simple_network.cpp.o.d"
+  "bench_fig4_5_simple_network"
+  "bench_fig4_5_simple_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_5_simple_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

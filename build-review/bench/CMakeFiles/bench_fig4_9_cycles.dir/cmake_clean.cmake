@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_9_cycles.dir/bench_fig4_9_cycles.cpp.o"
+  "CMakeFiles/bench_fig4_9_cycles.dir/bench_fig4_9_cycles.cpp.o.d"
+  "bench_fig4_9_cycles"
+  "bench_fig4_9_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_9_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_1_hierarchical.dir/bench_fig5_1_hierarchical.cpp.o"
+  "CMakeFiles/bench_fig5_1_hierarchical.dir/bench_fig5_1_hierarchical.cpp.o.d"
+  "bench_fig5_1_hierarchical"
+  "bench_fig5_1_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_1_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_2_accumulator.dir/bench_fig5_2_accumulator.cpp.o"
+  "CMakeFiles/bench_fig5_2_accumulator.dir/bench_fig5_2_accumulator.cpp.o.d"
+  "bench_fig5_2_accumulator"
+  "bench_fig5_2_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_2_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_vs_batch.dir/bench_incremental_vs_batch.cpp.o"
+  "CMakeFiles/bench_incremental_vs_batch.dir/bench_incremental_vs_batch.cpp.o.d"
+  "bench_incremental_vs_batch"
+  "bench_incremental_vs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_vs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

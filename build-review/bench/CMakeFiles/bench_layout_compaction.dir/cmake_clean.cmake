@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layout_compaction.dir/bench_layout_compaction.cpp.o"
+  "CMakeFiles/bench_layout_compaction.dir/bench_layout_compaction.cpp.o.d"
+  "bench_layout_compaction"
+  "bench_layout_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layout_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_editing.dir/bench_network_editing.cpp.o"
+  "CMakeFiles/bench_network_editing.dir/bench_network_editing.cpp.o.d"
+  "bench_network_editing"
+  "bench_network_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_persistence.cpp" "bench/CMakeFiles/bench_persistence.dir/bench_persistence.cpp.o" "gcc" "bench/CMakeFiles/bench_persistence.dir/bench_persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/stemcp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stem/CMakeFiles/stemcp_env.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/service/CMakeFiles/stemcp_service.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/persist/CMakeFiles/stemcp_persist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

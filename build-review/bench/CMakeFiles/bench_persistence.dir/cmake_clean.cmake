@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_persistence.dir/bench_persistence.cpp.o"
+  "CMakeFiles/bench_persistence.dir/bench_persistence.cpp.o.d"
+  "bench_persistence"
+  "bench_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signal_typing.dir/bench_signal_typing.cpp.o"
+  "CMakeFiles/bench_signal_typing.dir/bench_signal_typing.cpp.o.d"
+  "bench_signal_typing"
+  "bench_signal_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signal_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_signal_typing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_change_rule.dir/bench_value_change_rule.cpp.o"
+  "CMakeFiles/bench_value_change_rule.dir/bench_value_change_rule.cpp.o.d"
+  "bench_value_change_rule"
+  "bench_value_change_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_change_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

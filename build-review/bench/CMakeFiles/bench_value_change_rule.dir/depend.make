@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_value_change_rule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulator_design.dir/accumulator_design.cpp.o"
+  "CMakeFiles/accumulator_design.dir/accumulator_design.cpp.o.d"
+  "accumulator_design"
+  "accumulator_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulator_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

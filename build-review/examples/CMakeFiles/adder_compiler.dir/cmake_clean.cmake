@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_compiler.dir/adder_compiler.cpp.o"
+  "CMakeFiles/adder_compiler.dir/adder_compiler.cpp.o.d"
+  "adder_compiler"
+  "adder_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

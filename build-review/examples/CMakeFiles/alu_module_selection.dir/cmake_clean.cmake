@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_module_selection.dir/alu_module_selection.cpp.o"
+  "CMakeFiles/alu_module_selection.dir/alu_module_selection.cpp.o.d"
+  "alu_module_selection"
+  "alu_module_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_module_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alu_module_selection.
+# This may be replaced when dependencies are built.

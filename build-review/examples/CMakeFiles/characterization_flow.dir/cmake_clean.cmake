@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterization_flow.dir/characterization_flow.cpp.o"
+  "CMakeFiles/characterization_flow.dir/characterization_flow.cpp.o.d"
+  "characterization_flow"
+  "characterization_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterization_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_shell.dir/constraint_shell.cpp.o"
+  "CMakeFiles/constraint_shell.dir/constraint_shell.cpp.o.d"
+  "constraint_shell"
+  "constraint_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_checking.dir/incremental_checking.cpp.o"
+  "CMakeFiles/incremental_checking.dir/incremental_checking.cpp.o.d"
+  "incremental_checking"
+  "incremental_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_compaction.dir/layout_compaction.cpp.o"
+  "CMakeFiles/layout_compaction.dir/layout_compaction.cpp.o.d"
+  "layout_compaction"
+  "layout_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_flow.dir/spice_flow.cpp.o"
+  "CMakeFiles/spice_flow.dir/spice_flow.cpp.o.d"
+  "spice_flow"
+  "spice_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agenda.cpp" "src/core/CMakeFiles/stemcp_core.dir/agenda.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/agenda.cpp.o.d"
+  "/root/repo/src/core/compiled.cpp" "src/core/CMakeFiles/stemcp_core.dir/compiled.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/compiled.cpp.o.d"
+  "/root/repo/src/core/constraint.cpp" "src/core/CMakeFiles/stemcp_core.dir/constraint.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/constraint.cpp.o.d"
+  "/root/repo/src/core/constraints/equality.cpp" "src/core/CMakeFiles/stemcp_core.dir/constraints/equality.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/constraints/equality.cpp.o.d"
+  "/root/repo/src/core/constraints/functional.cpp" "src/core/CMakeFiles/stemcp_core.dir/constraints/functional.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/constraints/functional.cpp.o.d"
+  "/root/repo/src/core/constraints/predicate.cpp" "src/core/CMakeFiles/stemcp_core.dir/constraints/predicate.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/constraints/predicate.cpp.o.d"
+  "/root/repo/src/core/constraints/update.cpp" "src/core/CMakeFiles/stemcp_core.dir/constraints/update.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/constraints/update.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/stemcp_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "src/core/CMakeFiles/stemcp_core.dir/geometry.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/geometry.cpp.o.d"
+  "/root/repo/src/core/justification.cpp" "src/core/CMakeFiles/stemcp_core.dir/justification.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/justification.cpp.o.d"
+  "/root/repo/src/core/propagatable.cpp" "src/core/CMakeFiles/stemcp_core.dir/propagatable.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/propagatable.cpp.o.d"
+  "/root/repo/src/core/relaxation.cpp" "src/core/CMakeFiles/stemcp_core.dir/relaxation.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/relaxation.cpp.o.d"
+  "/root/repo/src/core/status.cpp" "src/core/CMakeFiles/stemcp_core.dir/status.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/status.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/stemcp_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/stemcp_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/value.cpp.o.d"
+  "/root/repo/src/core/variable.cpp" "src/core/CMakeFiles/stemcp_core.dir/variable.cpp.o" "gcc" "src/core/CMakeFiles/stemcp_core.dir/variable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

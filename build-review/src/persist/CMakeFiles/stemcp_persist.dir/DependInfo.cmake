@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/persist/checkpoint.cpp" "src/persist/CMakeFiles/stemcp_persist.dir/checkpoint.cpp.o" "gcc" "src/persist/CMakeFiles/stemcp_persist.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/persist/journal.cpp" "src/persist/CMakeFiles/stemcp_persist.dir/journal.cpp.o" "gcc" "src/persist/CMakeFiles/stemcp_persist.dir/journal.cpp.o.d"
+  "/root/repo/src/persist/recovery.cpp" "src/persist/CMakeFiles/stemcp_persist.dir/recovery.cpp.o" "gcc" "src/persist/CMakeFiles/stemcp_persist.dir/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/stemcp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stemcp_persist.dir/checkpoint.cpp.o"
+  "CMakeFiles/stemcp_persist.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/stemcp_persist.dir/journal.cpp.o"
+  "CMakeFiles/stemcp_persist.dir/journal.cpp.o.d"
+  "CMakeFiles/stemcp_persist.dir/recovery.cpp.o"
+  "CMakeFiles/stemcp_persist.dir/recovery.cpp.o.d"
+  "libstemcp_persist.a"
+  "libstemcp_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stemcp_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stemcp_persist.
+# This may be replaced when dependencies are built.

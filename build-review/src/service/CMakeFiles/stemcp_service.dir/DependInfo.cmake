@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/design_service.cpp" "src/service/CMakeFiles/stemcp_service.dir/design_service.cpp.o" "gcc" "src/service/CMakeFiles/stemcp_service.dir/design_service.cpp.o.d"
+  "/root/repo/src/service/protocol.cpp" "src/service/CMakeFiles/stemcp_service.dir/protocol.cpp.o" "gcc" "src/service/CMakeFiles/stemcp_service.dir/protocol.cpp.o.d"
+  "/root/repo/src/service/session.cpp" "src/service/CMakeFiles/stemcp_service.dir/session.cpp.o" "gcc" "src/service/CMakeFiles/stemcp_service.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stem/CMakeFiles/stemcp_env.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/persist/CMakeFiles/stemcp_persist.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/stemcp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

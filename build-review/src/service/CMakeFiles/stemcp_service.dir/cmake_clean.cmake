@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stemcp_service.dir/design_service.cpp.o"
+  "CMakeFiles/stemcp_service.dir/design_service.cpp.o.d"
+  "CMakeFiles/stemcp_service.dir/protocol.cpp.o"
+  "CMakeFiles/stemcp_service.dir/protocol.cpp.o.d"
+  "CMakeFiles/stemcp_service.dir/session.cpp.o"
+  "CMakeFiles/stemcp_service.dir/session.cpp.o.d"
+  "libstemcp_service.a"
+  "libstemcp_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stemcp_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

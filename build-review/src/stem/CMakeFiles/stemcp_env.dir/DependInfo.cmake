@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stem/cell.cpp" "src/stem/CMakeFiles/stemcp_env.dir/cell.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/cell.cpp.o.d"
+  "/root/repo/src/stem/checker.cpp" "src/stem/CMakeFiles/stemcp_env.dir/checker.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/checker.cpp.o.d"
+  "/root/repo/src/stem/compatible.cpp" "src/stem/CMakeFiles/stemcp_env.dir/compatible.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/compatible.cpp.o.d"
+  "/root/repo/src/stem/compilers/compiler_view.cpp" "src/stem/CMakeFiles/stemcp_env.dir/compilers/compiler_view.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/compilers/compiler_view.cpp.o.d"
+  "/root/repo/src/stem/compilers/compilers.cpp" "src/stem/CMakeFiles/stemcp_env.dir/compilers/compilers.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/compilers/compilers.cpp.o.d"
+  "/root/repo/src/stem/compilers/generator.cpp" "src/stem/CMakeFiles/stemcp_env.dir/compilers/generator.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/compilers/generator.cpp.o.d"
+  "/root/repo/src/stem/editor.cpp" "src/stem/CMakeFiles/stemcp_env.dir/editor.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/editor.cpp.o.d"
+  "/root/repo/src/stem/hierarchy.cpp" "src/stem/CMakeFiles/stemcp_env.dir/hierarchy.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/stem/io.cpp" "src/stem/CMakeFiles/stemcp_env.dir/io.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/io.cpp.o.d"
+  "/root/repo/src/stem/layout/compaction.cpp" "src/stem/CMakeFiles/stemcp_env.dir/layout/compaction.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/layout/compaction.cpp.o.d"
+  "/root/repo/src/stem/library.cpp" "src/stem/CMakeFiles/stemcp_env.dir/library.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/library.cpp.o.d"
+  "/root/repo/src/stem/net.cpp" "src/stem/CMakeFiles/stemcp_env.dir/net.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/net.cpp.o.d"
+  "/root/repo/src/stem/netlist/characterize.cpp" "src/stem/CMakeFiles/stemcp_env.dir/netlist/characterize.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/netlist/characterize.cpp.o.d"
+  "/root/repo/src/stem/netlist/deck.cpp" "src/stem/CMakeFiles/stemcp_env.dir/netlist/deck.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/netlist/deck.cpp.o.d"
+  "/root/repo/src/stem/netlist/minispice.cpp" "src/stem/CMakeFiles/stemcp_env.dir/netlist/minispice.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/netlist/minispice.cpp.o.d"
+  "/root/repo/src/stem/netlist/spice_views.cpp" "src/stem/CMakeFiles/stemcp_env.dir/netlist/spice_views.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/netlist/spice_views.cpp.o.d"
+  "/root/repo/src/stem/report.cpp" "src/stem/CMakeFiles/stemcp_env.dir/report.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/report.cpp.o.d"
+  "/root/repo/src/stem/shell.cpp" "src/stem/CMakeFiles/stemcp_env.dir/shell.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/shell.cpp.o.d"
+  "/root/repo/src/stem/signal_type.cpp" "src/stem/CMakeFiles/stemcp_env.dir/signal_type.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/signal_type.cpp.o.d"
+  "/root/repo/src/stem/variables.cpp" "src/stem/CMakeFiles/stemcp_env.dir/variables.cpp.o" "gcc" "src/stem/CMakeFiles/stemcp_env.dir/variables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/stemcp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

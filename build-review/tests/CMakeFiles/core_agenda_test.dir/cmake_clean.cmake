@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_agenda_test.dir/core/agenda_test.cpp.o"
+  "CMakeFiles/core_agenda_test.dir/core/agenda_test.cpp.o.d"
+  "core_agenda_test"
+  "core_agenda_test.pdb"
+  "core_agenda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_agenda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

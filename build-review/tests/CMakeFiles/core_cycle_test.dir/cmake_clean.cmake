@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cycle_test.dir/core/cycle_test.cpp.o"
+  "CMakeFiles/core_cycle_test.dir/core/cycle_test.cpp.o.d"
+  "core_cycle_test"
+  "core_cycle_test.pdb"
+  "core_cycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dependency_test.dir/core/dependency_test.cpp.o"
+  "CMakeFiles/core_dependency_test.dir/core/dependency_test.cpp.o.d"
+  "core_dependency_test"
+  "core_dependency_test.pdb"
+  "core_dependency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dependency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

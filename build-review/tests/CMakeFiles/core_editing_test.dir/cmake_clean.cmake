@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_editing_test.dir/core/editing_test.cpp.o"
+  "CMakeFiles/core_editing_test.dir/core/editing_test.cpp.o.d"
+  "core_editing_test"
+  "core_editing_test.pdb"
+  "core_editing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_editing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

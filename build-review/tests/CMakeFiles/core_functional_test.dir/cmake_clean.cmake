@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_functional_test.dir/core/functional_test.cpp.o"
+  "CMakeFiles/core_functional_test.dir/core/functional_test.cpp.o.d"
+  "core_functional_test"
+  "core_functional_test.pdb"
+  "core_functional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_functional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_geometry_test.dir/core/geometry_test.cpp.o"
+  "CMakeFiles/core_geometry_test.dir/core/geometry_test.cpp.o.d"
+  "core_geometry_test"
+  "core_geometry_test.pdb"
+  "core_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hotpath_test.dir/core/hotpath_test.cpp.o"
+  "CMakeFiles/core_hotpath_test.dir/core/hotpath_test.cpp.o.d"
+  "core_hotpath_test"
+  "core_hotpath_test.pdb"
+  "core_hotpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hotpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

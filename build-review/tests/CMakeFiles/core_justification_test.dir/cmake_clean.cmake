@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_justification_test.dir/core/justification_test.cpp.o"
+  "CMakeFiles/core_justification_test.dir/core/justification_test.cpp.o.d"
+  "core_justification_test"
+  "core_justification_test.pdb"
+  "core_justification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_justification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

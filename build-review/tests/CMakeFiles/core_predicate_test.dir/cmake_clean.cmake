@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_predicate_test.dir/core/predicate_test.cpp.o"
+  "CMakeFiles/core_predicate_test.dir/core/predicate_test.cpp.o.d"
+  "core_predicate_test"
+  "core_predicate_test.pdb"
+  "core_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

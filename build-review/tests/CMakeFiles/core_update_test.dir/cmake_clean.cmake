@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_update_test.dir/core/update_test.cpp.o"
+  "CMakeFiles/core_update_test.dir/core/update_test.cpp.o.d"
+  "core_update_test"
+  "core_update_test.pdb"
+  "core_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_value_test.dir/core/value_test.cpp.o"
+  "CMakeFiles/core_value_test.dir/core/value_test.cpp.o.d"
+  "core_value_test"
+  "core_value_test.pdb"
+  "core_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

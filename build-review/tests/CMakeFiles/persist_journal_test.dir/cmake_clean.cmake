@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_journal_test.dir/persist/journal_test.cpp.o"
+  "CMakeFiles/persist_journal_test.dir/persist/journal_test.cpp.o.d"
+  "persist_journal_test"
+  "persist_journal_test.pdb"
+  "persist_journal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

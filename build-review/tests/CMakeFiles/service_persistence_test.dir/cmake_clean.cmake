@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_persistence_test.dir/service/persistence_test.cpp.o"
+  "CMakeFiles/service_persistence_test.dir/service/persistence_test.cpp.o.d"
+  "service_persistence_test"
+  "service_persistence_test.pdb"
+  "service_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_bbox_test.dir/stem/bbox_test.cpp.o"
+  "CMakeFiles/stem_bbox_test.dir/stem/bbox_test.cpp.o.d"
+  "stem_bbox_test"
+  "stem_bbox_test.pdb"
+  "stem_bbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_bbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_cell_test.dir/stem/cell_test.cpp.o"
+  "CMakeFiles/stem_cell_test.dir/stem/cell_test.cpp.o.d"
+  "stem_cell_test"
+  "stem_cell_test.pdb"
+  "stem_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_characterize_test.dir/stem/characterize_test.cpp.o"
+  "CMakeFiles/stem_characterize_test.dir/stem/characterize_test.cpp.o.d"
+  "stem_characterize_test"
+  "stem_characterize_test.pdb"
+  "stem_characterize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_characterize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_compaction_test.dir/stem/compaction_test.cpp.o"
+  "CMakeFiles/stem_compaction_test.dir/stem/compaction_test.cpp.o.d"
+  "stem_compaction_test"
+  "stem_compaction_test.pdb"
+  "stem_compaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_compiler_test.dir/stem/compiler_test.cpp.o"
+  "CMakeFiles/stem_compiler_test.dir/stem/compiler_test.cpp.o.d"
+  "stem_compiler_test"
+  "stem_compiler_test.pdb"
+  "stem_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_delay_test.dir/stem/delay_test.cpp.o"
+  "CMakeFiles/stem_delay_test.dir/stem/delay_test.cpp.o.d"
+  "stem_delay_test"
+  "stem_delay_test.pdb"
+  "stem_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_editor_checker_test.dir/stem/editor_checker_test.cpp.o"
+  "CMakeFiles/stem_editor_checker_test.dir/stem/editor_checker_test.cpp.o.d"
+  "stem_editor_checker_test"
+  "stem_editor_checker_test.pdb"
+  "stem_editor_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_editor_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_generator_test.dir/stem/generator_test.cpp.o"
+  "CMakeFiles/stem_generator_test.dir/stem/generator_test.cpp.o.d"
+  "stem_generator_test"
+  "stem_generator_test.pdb"
+  "stem_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_hierarchy_test.dir/stem/hierarchy_test.cpp.o"
+  "CMakeFiles/stem_hierarchy_test.dir/stem/hierarchy_test.cpp.o.d"
+  "stem_hierarchy_test"
+  "stem_hierarchy_test.pdb"
+  "stem_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

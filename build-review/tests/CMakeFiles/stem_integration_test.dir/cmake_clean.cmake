@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_integration_test.dir/stem/integration_test.cpp.o"
+  "CMakeFiles/stem_integration_test.dir/stem/integration_test.cpp.o.d"
+  "stem_integration_test"
+  "stem_integration_test.pdb"
+  "stem_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_io_test.dir/stem/io_test.cpp.o"
+  "CMakeFiles/stem_io_test.dir/stem/io_test.cpp.o.d"
+  "stem_io_test"
+  "stem_io_test.pdb"
+  "stem_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_minispice_test.dir/stem/minispice_test.cpp.o"
+  "CMakeFiles/stem_minispice_test.dir/stem/minispice_test.cpp.o.d"
+  "stem_minispice_test"
+  "stem_minispice_test.pdb"
+  "stem_minispice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_minispice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_misc_test.dir/stem/misc_test.cpp.o"
+  "CMakeFiles/stem_misc_test.dir/stem/misc_test.cpp.o.d"
+  "stem_misc_test"
+  "stem_misc_test.pdb"
+  "stem_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

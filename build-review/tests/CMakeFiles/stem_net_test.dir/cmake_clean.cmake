@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_net_test.dir/stem/net_test.cpp.o"
+  "CMakeFiles/stem_net_test.dir/stem/net_test.cpp.o.d"
+  "stem_net_test"
+  "stem_net_test.pdb"
+  "stem_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

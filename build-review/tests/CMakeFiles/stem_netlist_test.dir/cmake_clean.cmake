@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_netlist_test.dir/stem/netlist_test.cpp.o"
+  "CMakeFiles/stem_netlist_test.dir/stem/netlist_test.cpp.o.d"
+  "stem_netlist_test"
+  "stem_netlist_test.pdb"
+  "stem_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_property_test.dir/stem/stem_property_test.cpp.o"
+  "CMakeFiles/stem_property_test.dir/stem/stem_property_test.cpp.o.d"
+  "stem_property_test"
+  "stem_property_test.pdb"
+  "stem_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

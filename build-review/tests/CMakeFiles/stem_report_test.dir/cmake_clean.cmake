@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_report_test.dir/stem/report_test.cpp.o"
+  "CMakeFiles/stem_report_test.dir/stem/report_test.cpp.o.d"
+  "stem_report_test"
+  "stem_report_test.pdb"
+  "stem_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_selection_test.dir/stem/selection_test.cpp.o"
+  "CMakeFiles/stem_selection_test.dir/stem/selection_test.cpp.o.d"
+  "stem_selection_test"
+  "stem_selection_test.pdb"
+  "stem_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_shell_test.dir/stem/shell_test.cpp.o"
+  "CMakeFiles/stem_shell_test.dir/stem/shell_test.cpp.o.d"
+  "stem_shell_test"
+  "stem_shell_test.pdb"
+  "stem_shell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_shell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

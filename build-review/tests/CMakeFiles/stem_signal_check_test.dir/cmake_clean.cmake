@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_signal_check_test.dir/stem/signal_check_test.cpp.o"
+  "CMakeFiles/stem_signal_check_test.dir/stem/signal_check_test.cpp.o.d"
+  "stem_signal_check_test"
+  "stem_signal_check_test.pdb"
+  "stem_signal_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_signal_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

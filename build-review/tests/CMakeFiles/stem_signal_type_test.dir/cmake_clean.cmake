@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_signal_type_test.dir/stem/signal_type_test.cpp.o"
+  "CMakeFiles/stem_signal_type_test.dir/stem/signal_type_test.cpp.o.d"
+  "stem_signal_type_test"
+  "stem_signal_type_test.pdb"
+  "stem_signal_type_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_signal_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

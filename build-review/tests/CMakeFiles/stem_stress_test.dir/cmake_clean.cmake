@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_stress_test.dir/stem/stress_test.cpp.o"
+  "CMakeFiles/stem_stress_test.dir/stem/stress_test.cpp.o.d"
+  "stem_stress_test"
+  "stem_stress_test.pdb"
+  "stem_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

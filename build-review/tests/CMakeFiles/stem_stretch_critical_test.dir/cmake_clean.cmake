@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_stretch_critical_test.dir/stem/stretch_critical_test.cpp.o"
+  "CMakeFiles/stem_stretch_critical_test.dir/stem/stretch_critical_test.cpp.o.d"
+  "stem_stretch_critical_test"
+  "stem_stretch_critical_test.pdb"
+  "stem_stretch_critical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_stretch_critical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_views_test.dir/stem/views_test.cpp.o"
+  "CMakeFiles/stem_views_test.dir/stem/views_test.cpp.o.d"
+  "stem_views_test"
+  "stem_views_test.pdb"
+  "stem_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[StressTest.ThreeLevelDatapathLifecycle]=]  /root/repo/build-review/tests/stem_stress_test [==[--gtest_filter=StressTest.ThreeLevelDatapathLifecycle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[StressTest.ThreeLevelDatapathLifecycle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  stem_stress_test_TESTS StressTest.ThreeLevelDatapathLifecycle)
