@@ -1,0 +1,203 @@
+// Latency under load: end-to-end and per-phase request latency percentiles
+// at fixed OFFERED rates, not at whatever rate the service happens to absorb.
+//
+// Methodology (cf. ssdiq benchlat / the coordinated-omission literature):
+//   * Open loop.  Request i has the absolute deadline t0 + i/rate; the
+//     generator submits at the deadline regardless of how far behind the
+//     service is, so a stall shows up as queueing latency instead of
+//     silently throttling the generator.
+//   * Latency is measured by the service's own RequestTelemetry spans, whose
+//     clock starts at submit time — i.e. it includes the queue wait a closed
+//     loop would hide.
+//   * Session popularity is zipf-ish (session k gets ~1/(k+1) of the
+//     traffic), so per-session lock contention is part of the measurement.
+//   * Traffic mix: 50% assign, 20% batch-assign, 20% query, 10% edit, with
+//     one journaled session so the journal/fsync phases appear.
+//
+// Each Arg is the offered rate in requests/second.  The numbers land in the
+// consolidated JSON as e2e_* / queue_* / lock_* / propagate_* / journal_* /
+// fsync_* counters (ns), which BENCH_0006.json snapshots and
+// tools/bench_compare.py gates.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "service/design_service.h"
+
+namespace {
+
+using namespace stemcp;
+using service::Assignment;
+using service::DesignService;
+using service::Phase;
+using service::Request;
+using service::RequestType;
+
+const char* kPipeline = R"(cell STAGE
+  signal in input
+  signal out output
+  delay in out
+end
+cell PIPE
+  signal in input
+  signal out output
+  delay in out
+    spec <= 1
+  subcell s0 STAGE R0 0 0
+  subcell s1 STAGE R0 10 0
+  net n_in
+    io in
+    conn s0 in
+  net n_mid
+    conn s0 out
+    conn s1 in
+  net n_out
+    conn s1 out
+    io out
+end
+)";
+
+constexpr int kSessions = 8;
+constexpr int kRequestsPerRun = 2000;
+
+Request make(RequestType t, const std::string& session,
+             std::string text = {}) {
+  Request r;
+  r.type = t;
+  r.session = session;
+  r.text = std::move(text);
+  return r;
+}
+
+/// Deterministic xorshift so every run offers the identical request stream.
+struct Rng {
+  std::uint64_t s = 0x9E3779B97F4A7C15ull;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+/// Zipf-ish popularity: session k is picked with weight 1/(k+1).
+int pick_session(Rng& rng) {
+  static const int kTotalWeight = [] {
+    int w = 0;
+    for (int k = 0; k < kSessions; ++k) w += 1000 / (k + 1);
+    return w;
+  }();
+  int roll = static_cast<int>(rng.below(kTotalWeight));
+  for (int k = 0; k < kSessions; ++k) {
+    roll -= 1000 / (k + 1);
+    if (roll < 0) return k;
+  }
+  return 0;
+}
+
+Request next_request(Rng& rng, const std::vector<std::string>& names,
+                     double* value) {
+  const std::string& name = names[pick_session(rng)];
+  *value += 1e-9;  // a new value every wave (one-value-change rule)
+  const std::uint64_t kind = rng.below(10);
+  if (kind < 5) {
+    Request r = make(RequestType::kAssign, name);
+    r.assignments.push_back({"PIPE/s0.delay(in->out)", *value});
+    return r;
+  }
+  if (kind < 7) {
+    Request r = make(RequestType::kBatchAssign, name);
+    r.assignments.push_back({"PIPE/s0.delay(in->out)", *value});
+    r.assignments.push_back({"PIPE/s1.delay(in->out)", *value});
+    return r;
+  }
+  if (kind < 9) {
+    return make(RequestType::kQuery, name, "PIPE.delay(in->out)");
+  }
+  return make(RequestType::kEdit, name,
+              "leaf-delay STAGE in out " + std::to_string(*value));
+}
+
+/// One offered-rate arm: fresh service, fixed request count, absolute-
+/// deadline submission, percentiles from the service's own telemetry fold.
+void BM_LatencyUnderLoad(benchmark::State& state) {
+  const double rate_rps = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    DesignService svc(4);
+    std::vector<std::string> names;
+    for (int i = 0; i < kSessions; ++i) {
+      names.push_back("s" + std::to_string(i));
+      svc.call(make(RequestType::kOpen, names.back()));
+      svc.call(make(RequestType::kLoad, names.back(), kPipeline));
+    }
+    // One journaled session so journal append + fsync phases show up.
+    char base[64];
+    std::snprintf(base, sizeof base, "bench_latency_%d.tmp",
+                  static_cast<int>(rate_rps));
+    svc.call(make(RequestType::kJournal, names[0],
+                  std::string(base) + " interval 8"));
+
+    Rng rng;
+    double value = 1e-9;
+    std::vector<std::future<service::Response>> inflight;
+    inflight.reserve(kRequestsPerRun);
+    const auto t0 = std::chrono::steady_clock::now();
+    const double period_ns = 1e9 / rate_rps;
+    for (int i = 0; i < kRequestsPerRun; ++i) {
+      // Absolute deadline: never reschedule off the previous submit, so a
+      // slow stretch cannot quietly lower the offered rate.
+      const auto deadline =
+          t0 + std::chrono::nanoseconds(
+                   static_cast<std::int64_t>(period_ns * i));
+      std::this_thread::sleep_until(deadline);
+      inflight.push_back(svc.submit(next_request(rng, names, &value)));
+    }
+    for (auto& f : inflight) benchmark::DoNotOptimize(f.get().ok);
+
+    // Percentiles from the service's own spans (clock starts at submit, so
+    // queue wait under overload is counted — no coordinated omission).
+    const core::MetricsRegistry folded = svc.telemetry().fold();
+    static const struct {
+      Phase phase;
+      const char* key;
+    } kPhases[] = {
+        {Phase::kTotal, "e2e"},         {Phase::kQueue, "queue"},
+        {Phase::kLock, "lock"},         {Phase::kPropagate, "propagate"},
+        {Phase::kJournal, "journal"},   {Phase::kFsync, "fsync"},
+    };
+    for (const auto& row : kPhases) {
+      const core::Histogram* h = folded.find_histogram(
+          std::string("svc.lat.") + service::to_string(row.phase) + "_ns");
+      if (h != nullptr) {
+        benchsupport::counters_from_histogram(state, row.key, *h);
+      }
+    }
+    for (const auto& name : names) {
+      svc.call(make(RequestType::kClose, name));
+    }
+    std::remove((std::string(base) + ".journal").c_str());
+    std::remove((std::string(base) + ".ckpt").c_str());
+  }
+  state.counters["offered_rps"] = rate_rps;
+  state.SetItemsProcessed(state.iterations() * kRequestsPerRun);
+}
+// Three offered rates: comfortable, busy, saturating (the queue phase is
+// where the difference shows).  One timed repetition per arm — the arm's
+// wall time is dominated by kRequestsPerRun / rate, so iteration count must
+// not scale with how fast the code is.
+BENCHMARK(BM_LatencyUnderLoad)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STEMCP_BENCH_MAIN()

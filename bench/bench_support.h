@@ -57,6 +57,22 @@ inline void maybe_export_trace(core::PropagationContext& ctx) {
   }
 }
 
+/// Attach a histogram's percentile spread to the benchmark as user counters
+/// ("<prefix>_p50" ... "<prefix>_max", plus "<prefix>_count"), so latency
+/// distributions land in the consolidated JSON and bench_compare.py diffs
+/// them like any other number.
+inline void counters_from_histogram(benchmark::State& state,
+                                    const std::string& prefix,
+                                    const core::Histogram& h) {
+  if (h.count() == 0) return;
+  state.counters[prefix + "_count"] = static_cast<double>(h.count());
+  state.counters[prefix + "_p50"] = static_cast<double>(h.percentile(50.0));
+  state.counters[prefix + "_p90"] = static_cast<double>(h.percentile(90.0));
+  state.counters[prefix + "_p99"] = static_cast<double>(h.percentile(99.0));
+  state.counters[prefix + "_p999"] = static_cast<double>(h.percentile(99.9));
+  state.counters[prefix + "_max"] = static_cast<double>(h.max());
+}
+
 inline std::string stats_json_path(const char* argv0) {
   if (const char* p = std::getenv("STEMCP_BENCH_STATS")) return p;
   std::string exe = (argv0 != nullptr && *argv0) ? argv0 : "bench";

@@ -35,6 +35,7 @@ const char* to_string(TraceEventType t) {
     case TraceEventType::kViolation: return "violation";
     case TraceEventType::kRestore: return "restore";
     case TraceEventType::kNetworkEdit: return "networkEdit";
+    case TraceEventType::kRequestPhase: return "requestPhase";
   }
   return "unknown";
 }
@@ -231,7 +232,8 @@ void write_chrome_event(std::ostream& out, const TraceEvent& e, bool& first) {
     case TraceEventType::kSessionBegin: ph = "B"; name = "session"; break;
     case TraceEventType::kSessionEnd: ph = "E"; name = "session"; break;
     case TraceEventType::kCheck:
-    case TraceEventType::kAgendaPop: ph = "X"; break;
+    case TraceEventType::kAgendaPop:
+    case TraceEventType::kRequestPhase: ph = "X"; break;
     default: break;
   }
 
@@ -280,10 +282,14 @@ bool export_chrome_trace(const Tracer& tracer, const std::string& path) {
 // ---------------------------------------------------------------------------
 // Histogram
 
-void Histogram::record(std::uint64_t value) {
+std::size_t Histogram::bucket_index(std::uint64_t value) {
   const std::size_t bucket =
       value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
-  buckets_[std::min(bucket, kBuckets - 1)] += 1;
+  return std::min(bucket, kBuckets - 1);
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)] += 1;
   if (count_ == 0 || value < min_) min_ = value;
   if (value > max_) max_ = value;
   sum_ += value;
@@ -327,6 +333,59 @@ Histogram Histogram::from_parts(
   h.min_ = count ? min : 0;
   h.max_ = max;
   return h;
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentHistogram
+
+namespace {
+
+void atomic_update_min(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_update_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void ConcurrentHistogram::record(std::uint64_t value) {
+  buckets_[Histogram::bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_update_min(min_, value);
+  atomic_update_max(max_, value);
+}
+
+void ConcurrentHistogram::merge(const Histogram& h) {
+  if (h.count() == 0) return;
+  const auto& b = h.buckets();
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (b[i] != 0) buckets_[i].fetch_add(b[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(h.count(), std::memory_order_relaxed);
+  sum_.fetch_add(h.sum(), std::memory_order_relaxed);
+  atomic_update_min(min_, h.min());
+  atomic_update_max(max_, h.max());
+}
+
+Histogram ConcurrentHistogram::snapshot() const {
+  std::array<std::uint64_t, Histogram::kBuckets> b;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    b[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return Histogram::from_parts(b, count_.load(std::memory_order_relaxed),
+                               sum_.load(std::memory_order_relaxed),
+                               min_.load(std::memory_order_relaxed),
+                               max_.load(std::memory_order_relaxed));
 }
 
 // ---------------------------------------------------------------------------
@@ -379,7 +438,9 @@ std::string MetricsRegistry::to_json() const {
         << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
         << ",\"max\":" << h.max() << ",\"mean\":" << h.mean()
         << ",\"p50\":" << h.percentile(50.0)
-        << ",\"p99\":" << h.percentile(99.0) << '}';
+        << ",\"p90\":" << h.percentile(90.0)
+        << ",\"p99\":" << h.percentile(99.0)
+        << ",\"p999\":" << h.percentile(99.9) << '}';
   }
   out << "}}";
   return out.str();
@@ -389,53 +450,6 @@ std::string MetricsRegistry::to_json() const {
 // Process-global aggregation
 
 namespace {
-
-void atomic_update_min(std::atomic<std::uint64_t>& a, std::uint64_t v) {
-  std::uint64_t cur = a.load(std::memory_order_relaxed);
-  while (v < cur &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
-void atomic_update_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
-  std::uint64_t cur = a.load(std::memory_order_relaxed);
-  while (v > cur &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
-/// Atomic mirror of Histogram: every bucket and summary field is its own
-/// atomic, so concurrent sessions fold their histograms without a value lock.
-struct AtomicHistogram {
-  std::array<std::atomic<std::uint64_t>, Histogram::kBuckets> buckets{};
-  std::atomic<std::uint64_t> count{0};
-  std::atomic<std::uint64_t> sum{0};
-  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
-  std::atomic<std::uint64_t> max{0};
-
-  void merge(const Histogram& h) {
-    if (h.count() == 0) return;
-    const auto& b = h.buckets();
-    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-      if (b[i] != 0) buckets[i].fetch_add(b[i], std::memory_order_relaxed);
-    }
-    count.fetch_add(h.count(), std::memory_order_relaxed);
-    sum.fetch_add(h.sum(), std::memory_order_relaxed);
-    atomic_update_min(min, h.min());
-    atomic_update_max(max, h.max());
-  }
-
-  Histogram snapshot() const {
-    std::array<std::uint64_t, Histogram::kBuckets> b;
-    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-      b[i] = buckets[i].load(std::memory_order_relaxed);
-    }
-    return Histogram::from_parts(b, count.load(std::memory_order_relaxed),
-                                 sum.load(std::memory_order_relaxed),
-                                 min.load(std::memory_order_relaxed),
-                                 max.load(std::memory_order_relaxed));
-  }
-};
 
 /// Process-global aggregate.  Counter values and histogram buckets are
 /// atomics; the shared mutex guards only the name→slot maps, so the common
@@ -472,7 +486,8 @@ class GlobalMetrics {
     counters_[name].fetch_add(delta, std::memory_order_relaxed);
   }
 
-  std::string to_json() const {
+  /// One coherent load per counter/bucket into a plain registry.
+  MetricsRegistry snapshot_registry() const {
     MetricsRegistry snap;
     const std::shared_lock<std::shared_mutex> lock(mu_);
     for (const auto& [name, v] : counters_) {
@@ -481,8 +496,10 @@ class GlobalMetrics {
     for (const auto& [name, h] : histograms_) {
       snap.histogram(name) = h.snapshot();
     }
-    return snap.to_json();
+    return snap;
   }
+
+  std::string to_json() const { return snapshot_registry().to_json(); }
 
   void reset() {
     const std::unique_lock<std::shared_mutex> lock(mu_);
@@ -508,7 +525,7 @@ class GlobalMetrics {
 
   mutable std::shared_mutex mu_;
   std::map<std::string, std::atomic<std::uint64_t>> counters_;
-  std::map<std::string, AtomicHistogram> histograms_;
+  std::map<std::string, ConcurrentHistogram> histograms_;
 };
 
 GlobalMetrics& global_metrics() {
@@ -529,5 +546,57 @@ void add_global_counter(const std::string& name, std::uint64_t delta) {
 std::string global_metrics_json() { return global_metrics().to_json(); }
 
 void reset_global_metrics() { global_metrics().reset(); }
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (dots in
+/// our registry keys, parens in constraint types) folds to '_'.
+std::string prometheus_name(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out.append(prefix);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_to_prometheus(const MetricsRegistry& m,
+                                  std::string_view prefix) {
+  std::ostringstream out;
+  for (const auto& [name, v] : m.counters()) {
+    const std::string pn = prometheus_name(prefix, name);
+    out << "# TYPE " << pn << " counter\n" << pn << ' ' << v << '\n';
+  }
+  for (const auto& [name, h] : m.histograms()) {
+    const std::string pn = prometheus_name(prefix, name);
+    out << "# TYPE " << pn << " histogram\n";
+    std::uint64_t cumulative = 0;
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      cumulative += buckets[i];
+      // Upper bound of log2 bucket i: largest v with bit_width(v) == i.
+      const std::uint64_t le = i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+      out << pn << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    // The last bucket (and everything above) folds into +Inf.
+    out << pn << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+        << pn << "_sum " << h.sum() << '\n'
+        << pn << "_count " << h.count() << '\n';
+  }
+  return out.str();
+}
+
+std::string global_metrics_prometheus(std::string_view prefix) {
+  return metrics_to_prometheus(global_metrics().snapshot_registry(), prefix);
+}
 
 }  // namespace stemcp::core

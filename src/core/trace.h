@@ -51,6 +51,7 @@ enum class TraceEventType : std::uint8_t {
   kViolation,       ///< first violation of a session recorded
   kRestore,         ///< a visited variable restored to its saved state
   kNetworkEdit,     ///< constraint created/destroyed or argument add/remove
+  kRequestPhase,    ///< one service-request phase span (priority = phase id)
 };
 
 const char* to_string(TraceEventType t);
@@ -216,12 +217,45 @@ class Histogram {
                               std::uint64_t count, std::uint64_t sum,
                               std::uint64_t min, std::uint64_t max);
 
+  /// The log2 bucket a value lands in (shared by the concurrent mirror).
+  static std::size_t bucket_index(std::uint64_t value);
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
+};
+
+/// Lock-free histogram for concurrent writers: every bucket and summary
+/// field is its own atomic, so many threads record() without a value lock.
+/// Readers NEVER walk the live atomics to compute percentiles — they take a
+/// snapshot() (one coherent load per field, rebuilt through
+/// Histogram::from_parts) and do the math on the plain value, so a
+/// percentile can never mix bucket counts from two different instants of a
+/// concurrent write storm.  This is the telemetry lane primitive (per-worker
+/// request-latency histograms, docs/OBSERVABILITY.md) and the slot type of
+/// the process-global aggregation below.
+class ConcurrentHistogram {
+ public:
+  /// Allocation-free; safe from any thread.
+  void record(std::uint64_t value);
+  /// Fold a plain histogram in (the global-aggregation path).
+  void merge(const Histogram& h);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Coherent plain-value snapshot; compute percentiles on THIS, not on the
+  /// live object.
+  Histogram snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, Histogram::kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// Named monotonic counters plus named histograms, snapshotable to JSON.
@@ -287,5 +321,18 @@ void merge_into_global_metrics(const MetricsRegistry& m);
 void add_global_counter(const std::string& name, std::uint64_t delta);
 std::string global_metrics_json();
 void reset_global_metrics();
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (docs/OBSERVABILITY.md)
+
+/// Render a registry in the Prometheus text format: counters become
+/// `<prefix><name> <value>`, histograms become cumulative `_bucket{le=...}`
+/// series over the non-empty log2 buckets plus `_sum` / `_count`.  Metric
+/// names are sanitized to [a-zA-Z0-9_:] (dots become underscores).
+std::string metrics_to_prometheus(const MetricsRegistry& m,
+                                  std::string_view prefix = "stemcp_");
+
+/// The process-global registry in Prometheus text format.
+std::string global_metrics_prometheus(std::string_view prefix = "stemcp_");
 
 }  // namespace stemcp::core

@@ -215,6 +215,7 @@ Journal::~Journal() {
 void Journal::set_fail_after(std::uint64_t bytes) { fail_after_ = bytes; }
 
 bool Journal::append(JournalRecord& record) {
+  last_fsync_ns_ = 0;
   if (dead_) {
     ++append_failures_;
     return false;
@@ -264,15 +265,19 @@ bool Journal::append(JournalRecord& record) {
       (opts_.fsync == FsyncPolicy::kInterval &&
        records_since_sync_ >= opts_.fsync_interval_records);
   if (want_sync) {
-    const std::uint64_t t0 = observe ? core::Tracer::now_ns() : 0;
+    // Always timed (two clock reads are noise next to an fsync): the
+    // request-telemetry span reads last_fsync_ns() even when the session's
+    // own metrics registry is disabled.
+    const std::uint64_t t0 = core::Tracer::now_ns();
     if (::fsync(fd_) != 0) {
       dead_ = true;
       ++append_failures_;
       return false;
     }
+    last_fsync_ns_ = core::Tracer::now_ns() - t0;
     records_since_sync_ = 0;
     if (observe) {
-      m->histogram("journal.fsync_ns").record(core::Tracer::now_ns() - t0);
+      m->histogram("journal.fsync_ns").record(last_fsync_ns_);
     }
   }
   return true;

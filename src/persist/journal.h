@@ -138,6 +138,10 @@ class Journal {
   bool dead() const { return dead_; }
   const std::string& path() const { return path_; }
   FsyncPolicy policy() const { return opts_.fsync; }
+  /// Nanoseconds the most recent append() spent inside fsync (0 when that
+  /// append did not sync, per policy).  The request-telemetry layer reads
+  /// this to split a request's journal phase into append vs. flush time.
+  std::uint64_t last_fsync_ns() const { return last_fsync_ns_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t records_written() const { return records_written_; }
   std::uint64_t next_seq() const { return next_seq_; }
@@ -155,6 +159,7 @@ class Journal {
   std::uint64_t records_written_ = 0;
   std::uint64_t records_since_sync_ = 0;
   std::uint64_t append_failures_ = 0;
+  std::uint64_t last_fsync_ns_ = 0;
   std::uint64_t fail_after_ = 0;  ///< remaining byte budget; ~0 = unlimited
 };
 

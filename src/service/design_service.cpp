@@ -1,5 +1,6 @@
 #include "service/design_service.h"
 
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -560,7 +561,8 @@ void do_checkpoint(DesignSession& s, Response& resp) {
 /// Append one record per SUCCESSFUL mutating request.  A violating batch is
 /// still journaled (it mutated stats and must re-derive its restore on
 /// replay); a failed request mutated nothing and is not.
-void journal_mutation(DesignSession& s, const Request& r, Response& resp) {
+void journal_mutation(DesignSession& s, const Request& r, Response& resp,
+                      RequestSpan* span) {
   persist::Journal* j = s.journal();
   if (j == nullptr || !resp.ok) return;
   const bool mutating =
@@ -584,7 +586,17 @@ void journal_mutation(DesignSession& s, const Request& r, Response& resp) {
   rec.violation = resp.violation;
   rec.applied = resp.assignments_applied;
   rec.restored = resp.variables_restored;
-  if (!j->append(rec)) {
+  const bool was_dead = j->dead();
+  const bool appended = j->append(rec);
+  if (span != nullptr) {
+    span->t_journal_done = core::Tracer::now_ns();
+    span->fsync_ns = j->last_fsync_ns();
+    // Only the request on which the journal actually died is the anomaly;
+    // every later mutation against the already-dead log repeats the failure
+    // without being a new event.
+    span->journal_fault = !was_dead && j->dead();
+  }
+  if (!appended) {
     // The in-memory session keeps serving (a dead log is a dead disk, not a
     // dead design), but the caller must know durability is gone.
     if (!resp.text.empty() && resp.text.back() != '\n') resp.text += '\n';
@@ -729,11 +741,12 @@ Response do_recover(SessionManager& sessions, const Request& r) {
 // ---------------------------------------------------------------------------
 // DesignService
 
-DesignService::DesignService(std::size_t workers) {
+DesignService::DesignService(std::size_t workers)
+    : telemetry_(workers == 0 ? 1 : workers) {
   if (workers == 0) workers = 1;
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -749,6 +762,10 @@ DesignService::~DesignService() {
 std::future<Response> DesignService::submit(Request r) {
   Job job;
   job.request = std::move(r);
+  job.span.request_id = telemetry_.next_request_id();
+  job.span.type = static_cast<std::uint8_t>(job.request.type);
+  job.span.set_session(job.request.session);
+  job.span.t_enqueue = core::Tracer::now_ns();
   std::future<Response> fut = job.done.get_future();
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -766,7 +783,7 @@ std::future<Response> DesignService::submit(Request r) {
 
 Response DesignService::call(Request r) { return submit(std::move(r)).get(); }
 
-void DesignService::worker_loop() {
+void DesignService::worker_loop(std::size_t lane) {
   for (;;) {
     Job job;
     {
@@ -776,9 +793,11 @@ void DesignService::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    job.span.lane = static_cast<std::uint8_t>(lane);
+    job.span.t_dequeue = core::Tracer::now_ns();
     Response resp;
     try {
-      resp = execute(job.request);
+      resp = execute(job.request, &job.span);
     } catch (const std::exception& e) {
       resp.ok = false;
       resp.error = e.what();
@@ -788,18 +807,84 @@ void DesignService::worker_loop() {
       resp.error = "unknown execution error";
       resp.session = job.request.session;
     }
+    job.span.ok = resp.ok;
+    job.span.violation = resp.violation;
+    job.span.t_reply = core::Tracer::now_ns();
+    // Record BEFORE resolving the future: a caller that waited on the
+    // response is guaranteed to find its own span in the telemetry.
+    telemetry_.record(lane, job.span);
     served_.fetch_add(1, std::memory_order_relaxed);
     job.done.set_value(std::move(resp));
   }
 }
 
-Response DesignService::execute(const Request& r) {
+Response DesignService::execute(const Request& r, RequestSpan* span) {
   Response resp;
   resp.session = r.session;
   if (r.session.empty()) {
     resp.error = "request needs a session name";
     return resp;
   }
+
+  // Session-lifecycle requests take no per-session lock up front; their
+  // whole body is the work phase (lock wait shows up as ~0).
+  if (r.type == RequestType::kOpen || r.type == RequestType::kRecover ||
+      r.type == RequestType::kClose) {
+    if (span != nullptr) span->t_lock = core::Tracer::now_ns();
+    resp = execute_lifecycle(r);
+    if (span != nullptr) span->t_work_done = core::Tracer::now_ns();
+    return resp;
+  }
+
+  const std::shared_ptr<DesignSession> s = sessions_.find(r.session);
+  if (s == nullptr) {
+    resp.error = "unknown session '" + r.session + "'";
+    return resp;
+  }
+  const std::lock_guard<std::mutex> lock(s->mutex());
+  if (span != nullptr) span->t_lock = core::Tracer::now_ns();
+  s->count_request();
+  switch (r.type) {
+    case RequestType::kLoad: do_load(*s, r, resp); break;
+    case RequestType::kSave: do_save(*s, resp); break;
+    case RequestType::kAssign: do_assign(*s, r, resp, false); break;
+    case RequestType::kBatchAssign: do_assign(*s, r, resp, true); break;
+    case RequestType::kEdit: do_edit(*s, r, resp); break;
+    case RequestType::kQuery: do_query(*s, r, resp); break;
+    case RequestType::kReport: do_report(*s, r, resp); break;
+    case RequestType::kJournal: do_journal(*s, r, resp); break;
+    case RequestType::kCheckpoint: do_checkpoint(*s, resp); break;
+    case RequestType::kOpen:
+    case RequestType::kClose:
+    case RequestType::kRecover: break;  // handled above
+  }
+  if (span != nullptr) span->t_work_done = core::Tracer::now_ns();
+  journal_mutation(*s, r, resp, span);
+  // While the session traces, its request phases land in the same sinks as
+  // the engine's own events, so a Chrome-trace export shows queue/lock/
+  // propagate/journal slices interleaved with the propagation waves.
+  core::Tracer& tracer = s->library().context().tracer();
+  if (span != nullptr && tracer.enabled()) {
+    static const Phase kEmit[] = {Phase::kQueue, Phase::kLock,
+                                  Phase::kPropagate, Phase::kJournal,
+                                  Phase::kFsync};
+    char label[48];
+    for (const Phase p : kEmit) {
+      const std::uint64_t dur = span->phase_ns(p);
+      if (dur == 0) continue;
+      std::snprintf(label, sizeof label, "req#%llu %s",
+                    static_cast<unsigned long long>(span->request_id),
+                    to_string(p));
+      tracer.emit(core::TraceEventType::kRequestPhase, label, nullptr, dur,
+                  static_cast<std::uint8_t>(p));
+    }
+  }
+  return resp;
+}
+
+Response DesignService::execute_lifecycle(const Request& r) {
+  Response resp;
+  resp.session = r.session;
 
   if (r.type == RequestType::kOpen) {
     bool metrics = false;
@@ -854,28 +939,7 @@ Response DesignService::execute(const Request& r) {
     return resp;
   }
 
-  const std::shared_ptr<DesignSession> s = sessions_.find(r.session);
-  if (s == nullptr) {
-    resp.error = "unknown session '" + r.session + "'";
-    return resp;
-  }
-  const std::lock_guard<std::mutex> lock(s->mutex());
-  s->count_request();
-  switch (r.type) {
-    case RequestType::kLoad: do_load(*s, r, resp); break;
-    case RequestType::kSave: do_save(*s, resp); break;
-    case RequestType::kAssign: do_assign(*s, r, resp, false); break;
-    case RequestType::kBatchAssign: do_assign(*s, r, resp, true); break;
-    case RequestType::kEdit: do_edit(*s, r, resp); break;
-    case RequestType::kQuery: do_query(*s, r, resp); break;
-    case RequestType::kReport: do_report(*s, r, resp); break;
-    case RequestType::kJournal: do_journal(*s, r, resp); break;
-    case RequestType::kCheckpoint: do_checkpoint(*s, resp); break;
-    case RequestType::kOpen:
-    case RequestType::kClose:
-    case RequestType::kRecover: break;  // handled above
-  }
-  journal_mutation(*s, r, resp);
+  resp.error = "not a lifecycle request";  // unreachable (execute dispatches)
   return resp;
 }
 

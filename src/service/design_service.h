@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "service/session.h"
+#include "service/telemetry.h"
 
 namespace stemcp::service {
 
@@ -128,16 +129,27 @@ class DesignService {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Per-request latency telemetry: one lane per worker, folded on read.
+  /// Spans are fully recorded before a request's future resolves, so a
+  /// caller that waited on the response always sees its own span.
+  TelemetryRecorder& telemetry() { return telemetry_; }
+  const TelemetryRecorder& telemetry() const { return telemetry_; }
+
  private:
   struct Job {
     Request request;
+    RequestSpan span;
     std::promise<Response> done;
   };
 
-  void worker_loop();
-  Response execute(const Request& r);
+  void worker_loop(std::size_t lane);
+  Response execute(const Request& r, RequestSpan* span);
+  /// open / recover / close — requests that manage the session registry
+  /// itself rather than running under one session's lock.
+  Response execute_lifecycle(const Request& r);
 
   SessionManager sessions_;
+  TelemetryRecorder telemetry_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Job> queue_;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/trace.h"
 #include "persist/checkpoint.h"
 
 namespace stemcp::service {
@@ -68,7 +69,9 @@ const char* usage() {
          "edit <s> <cmd...>, query <s> [cells|vars [cell]|stats|<var>], "
          "report <s> [cell], journal <s> <base> [every-record|interval|none "
          "[records]], checkpoint <s>, recover <s> <base>, close <s>, "
-         "sessions, help\n";
+         "sessions, stats [--latency], export-metrics [path], "
+         "telemetry on|off, flight arm <base> [slow-ns] | off | dump | "
+         "status, help\n";
 }
 
 }  // namespace
@@ -210,6 +213,84 @@ std::string ServiceFrontEnd::execute(const std::string& line) {
     out << svc_->sessions().size() << " session(s), "
         << svc_->requests_served() << " request(s) served\n";
     return out.str();
+  }
+
+  // Service-wide telemetry views (no session argument — these read the
+  // worker lanes, not one session's registry).
+  if (verb == "stats") {
+    std::string opt;
+    peek >> opt;
+    if (opt == "--latency") return svc_->telemetry().latency_table();
+    if (!opt.empty()) return "error: stats options are '--latency'\n";
+    std::ostringstream out;
+    out << svc_->requests_served() << " request(s) served across "
+        << svc_->sessions().size() << " session(s); telemetry "
+        << (svc_->telemetry().enabled() ? "on" : "off") << ", "
+        << svc_->telemetry().requests_recorded() << " span(s), "
+        << svc_->telemetry().violations_recorded() << " violation(s), "
+        << svc_->telemetry().anomalies()
+        << " anomal(ies) (try: stats --latency)\n";
+    return out.str();
+  }
+  if (verb == "export-metrics") {
+    std::string path;
+    peek >> path;
+    const std::string text =
+        svc_->telemetry().prometheus() + core::global_metrics_prometheus();
+    if (path.empty()) return text;
+    std::string werror;
+    if (!persist::atomic_write_file(path, text, &werror)) {
+      return "error: " + werror + "\n";
+    }
+    return "ok\nmetrics written to " + path + "\n";
+  }
+  if (verb == "telemetry") {
+    std::string mode;
+    peek >> mode;
+    if (mode != "on" && mode != "off") return "error: telemetry on|off\n";
+    svc_->telemetry().set_enabled(mode == "on");
+    return "telemetry " + mode + "\n";
+  }
+  if (verb == "flight") {
+    TelemetryRecorder& t = svc_->telemetry();
+    std::string sub;
+    peek >> sub;
+    if (sub == "arm") {
+      std::string base;
+      std::uint64_t slow_ns = 0;
+      peek >> base >> slow_ns;
+      if (base.empty()) {
+        return "error: flight arm <dump-base> [slow-threshold-ns]\n";
+      }
+      t.arm_flight(base, slow_ns);
+      std::ostringstream out;
+      out << "flight recorder armed: dumps to " << base
+          << ".<n>.trace.json on violation, journal fault";
+      if (slow_ns > 0) out << ", or request > " << slow_ns << " ns";
+      out << '\n';
+      return out.str();
+    }
+    if (sub == "off") {
+      t.disarm_flight();
+      return "flight recorder disarmed\n";
+    }
+    if (sub == "dump") {
+      t.dump_flight("manual");
+      return "flight dump #" + std::to_string(t.dumps() - 1) + " (" +
+             std::to_string(t.recent_spans().size()) + " span(s) retained)\n";
+    }
+    if (sub == "status") {
+      std::ostringstream out;
+      out << "flight recorder " << (t.flight_armed() ? "armed" : "disarmed")
+          << ": slow threshold " << t.slow_threshold_ns() << " ns, "
+          << t.anomalies() << " anomal(ies), " << t.dumps() << " dump(s)";
+      if (!t.last_dump_reason().empty()) {
+        out << ", last reason " << t.last_dump_reason();
+      }
+      out << '\n';
+      return out.str();
+    }
+    return "error: flight arm <base> [slow-ns] | off | dump | status\n";
   }
 
   Request req;

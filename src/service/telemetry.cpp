@@ -1,0 +1,396 @@
+#include "service/telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "service/design_service.h"
+
+namespace stemcp::service {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kQueue: return "queue";
+    case Phase::kLock: return "lock";
+    case Phase::kPropagate: return "propagate";
+    case Phase::kJournal: return "journal";
+    case Phase::kFsync: return "fsync";
+    case Phase::kReply: return "reply";
+    case Phase::kTotal: return "total";
+  }
+  return "?";
+}
+
+const char* span_type_name(std::uint8_t type) {
+  if (type >= kSpanTypeCount) return "unknown";
+  return to_string(static_cast<RequestType>(type));
+}
+
+// ---------------------------------------------------------------------------
+// RequestSpan
+
+void RequestSpan::set_session(std::string_view s) {
+  const std::size_t n = std::min(s.size(), kSessionCapacity - 1);
+  std::memcpy(session, s.data(), n);
+  session[n] = '\0';
+}
+
+std::string_view RequestSpan::session_view() const {
+  // Bounded scan: a torn flight-ring slot may lack the writer's NUL.
+  return std::string_view(session, ::strnlen(session, kSessionCapacity));
+}
+
+std::uint64_t RequestSpan::phase_ns(Phase p) const {
+  const auto seg = [](std::uint64_t a, std::uint64_t b) {
+    return (a != 0 && b > a) ? b - a : 0;
+  };
+  switch (p) {
+    case Phase::kQueue: return seg(t_enqueue, t_dequeue);
+    case Phase::kLock: return seg(t_dequeue, t_lock);
+    case Phase::kPropagate: return seg(t_lock, t_work_done);
+    case Phase::kJournal: {
+      const std::uint64_t j = seg(t_work_done, t_journal_done);
+      return j > fsync_ns ? j - fsync_ns : 0;
+    }
+    case Phase::kFsync: return fsync_ns;
+    case Phase::kReply:
+      return seg(t_journal_done != 0 ? t_journal_done : t_work_done, t_reply);
+    case Phase::kTotal: return total_ns();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event rendering (the flight-dump format)
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+void append_x_event(std::string& out, bool& first, const char* name,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns,
+                    const RequestSpan& span) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\","
+                "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                "\"args\":{\"id\":%" PRIu64 ",\"type\":\"%s\",\"session\":\"",
+                name, static_cast<double>(ts_ns) / 1000.0,
+                static_cast<double>(dur_ns) / 1000.0,
+                static_cast<unsigned>(span.lane), span.request_id,
+                span_type_name(span.type));
+  out += buf;
+  append_escaped(out, span.session_view());
+  std::snprintf(buf, sizeof buf, "\",\"ok\":%s,\"violation\":%s}}",
+                span.ok ? "true" : "false",
+                span.violation ? "true" : "false");
+  out += buf;
+}
+
+}  // namespace
+
+void append_span_trace_events(const RequestSpan& span, std::string& out,
+                              bool& first) {
+  // The enclosing request slice, then one slice per non-empty phase.
+  append_x_event(out, first, "request", span.t_enqueue, span.total_ns(), span);
+  const struct {
+    Phase phase;
+    std::uint64_t start;
+  } rows[] = {
+      {Phase::kQueue, span.t_enqueue},
+      {Phase::kLock, span.t_dequeue},
+      {Phase::kPropagate, span.t_lock},
+      {Phase::kJournal, span.t_work_done},
+      {Phase::kFsync, span.t_journal_done > span.fsync_ns
+                          ? span.t_journal_done - span.fsync_ns
+                          : span.t_journal_done},
+      {Phase::kReply, span.t_journal_done != 0 ? span.t_journal_done
+                                               : span.t_work_done},
+  };
+  for (const auto& row : rows) {
+    const std::uint64_t dur = span.phase_ns(row.phase);
+    if (dur == 0 || row.start == 0) continue;
+    append_x_event(out, first, to_string(row.phase), row.start, dur, span);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryRecorder
+
+struct TelemetryRecorder::Lane {
+  explicit Lane(std::size_t capacity) : ring(capacity == 0 ? 1 : capacity) {}
+
+  // Single-writer span ring (the owning worker); cross-thread readers are
+  // flight dumps only, which tolerate a torn slot in exchange for a
+  // lock-free record path.
+  std::vector<RequestSpan> ring;
+  std::atomic<std::uint64_t> write{0};
+
+  core::ConcurrentHistogram phase[kPhaseCount];
+  core::ConcurrentHistogram by_type[kSpanTypeCount];
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> violations{0};
+};
+
+TelemetryRecorder::TelemetryRecorder(std::size_t lanes, Config cfg)
+    : cfg_(std::move(cfg)) {
+  enabled_.store(cfg_.enabled, std::memory_order_relaxed);
+  slow_threshold_ns_.store(cfg_.slow_threshold_ns, std::memory_order_relaxed);
+  dump_base_ = cfg_.dump_base;
+  keep_last_dump_ = cfg_.keep_last_dump;
+  if (!cfg_.dump_base.empty() || cfg_.slow_threshold_ns != 0 ||
+      cfg_.keep_last_dump) {
+    armed_.store(true, std::memory_order_relaxed);
+  }
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(cfg_.flight_capacity));
+  }
+}
+
+TelemetryRecorder::~TelemetryRecorder() = default;
+
+void TelemetryRecorder::record(std::size_t lane_idx, const RequestSpan& span) {
+  if (!enabled()) return;
+  Lane& lane = *lanes_[lane_idx % lanes_.size()];
+
+  const std::uint64_t w = lane.write.load(std::memory_order_relaxed);
+  lane.ring[w % lane.ring.size()] = span;
+  lane.write.store(w + 1, std::memory_order_release);
+
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    // Journal phases only exist for requests that actually appended; not
+    // recording zeros keeps fsync percentiles meaningful for mixed traffic.
+    if ((phase == Phase::kJournal || phase == Phase::kFsync) &&
+        span.t_journal_done == 0) {
+      continue;
+    }
+    lane.phase[p].record(span.phase_ns(phase));
+  }
+  if (span.type < kSpanTypeCount) {
+    lane.by_type[span.type].record(span.total_ns());
+  }
+  lane.requests.fetch_add(1, std::memory_order_relaxed);
+  if (span.violation) lane.violations.fetch_add(1, std::memory_order_relaxed);
+
+  if (!flight_armed()) return;
+  const std::uint64_t slow = slow_threshold_ns();
+  const char* reason = nullptr;
+  if (span.journal_fault) {
+    reason = "journal-dead";
+  } else if (span.violation) {
+    reason = "violation-wave";
+  } else if (slow != 0 && span.total_ns() > slow) {
+    reason = "slow-request";
+  }
+  if (reason == nullptr) return;
+  anomalies_.fetch_add(1, std::memory_order_relaxed);
+  if (dumps_.load(std::memory_order_relaxed) >= cfg_.max_dumps) return;
+  anomaly_dump(reason);
+}
+
+std::uint64_t TelemetryRecorder::requests_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->requests.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t TelemetryRecorder::violations_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->violations.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t TelemetryRecorder::anomalies() const {
+  return anomalies_.load(std::memory_order_relaxed);
+}
+
+core::MetricsRegistry TelemetryRecorder::fold() const {
+  core::MetricsRegistry out;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    core::Histogram h;
+    for (const auto& lane : lanes_) h.merge(lane->phase[p].snapshot());
+    if (h.count() == 0) continue;
+    out.histogram(std::string("svc.lat.") +
+                  to_string(static_cast<Phase>(p)) + "_ns") = h;
+  }
+  for (std::size_t t = 0; t < kSpanTypeCount; ++t) {
+    core::Histogram h;
+    for (const auto& lane : lanes_) h.merge(lane->by_type[t].snapshot());
+    if (h.count() == 0) continue;
+    out.histogram(std::string("svc.lat.e2e.") +
+                  span_type_name(static_cast<std::uint8_t>(t)) + "_ns") = h;
+  }
+  out.add_counter("svc.telemetry.requests", requests_recorded());
+  out.add_counter("svc.telemetry.violations", violations_recorded());
+  out.add_counter("svc.telemetry.anomalies", anomalies());
+  out.add_counter("svc.telemetry.dumps", dumps());
+  return out;
+}
+
+namespace {
+
+void table_row(std::ostream& out, const std::string& name,
+               const core::Histogram& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  %-16s %10" PRIu64 " %12" PRIu64 " %12" PRIu64
+                " %12" PRIu64 " %12" PRIu64 " %12" PRIu64 "\n",
+                name.c_str(), h.count(), h.percentile(50.0),
+                h.percentile(90.0), h.percentile(99.0), h.percentile(99.9),
+                h.max());
+  out << buf;
+}
+
+}  // namespace
+
+std::string TelemetryRecorder::latency_table() const {
+  const core::MetricsRegistry reg = fold();
+  std::ostringstream out;
+  out << "request latency (ns), " << requests_recorded()
+      << " request(s) recorded across " << lanes_.size() << " lane(s)\n";
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "  %-16s %10s %12s %12s %12s %12s %12s\n", "phase", "count",
+                "p50", "p90", "p99", "p999", "max");
+  out << head;
+  static const Phase kOrder[] = {Phase::kQueue,   Phase::kLock,
+                                 Phase::kPropagate, Phase::kJournal,
+                                 Phase::kFsync,   Phase::kReply,
+                                 Phase::kTotal};
+  for (const Phase p : kOrder) {
+    const auto* h = reg.find_histogram(std::string("svc.lat.") +
+                                       to_string(p) + "_ns");
+    if (h != nullptr) table_row(out, to_string(p), *h);
+  }
+  bool typed_header = false;
+  for (std::size_t t = 0; t < kSpanTypeCount; ++t) {
+    const std::string name =
+        span_type_name(static_cast<std::uint8_t>(t));
+    const auto* h = reg.find_histogram("svc.lat.e2e." + name + "_ns");
+    if (h == nullptr) continue;
+    if (!typed_header) {
+      out << "end-to-end by request type (ns)\n";
+      typed_header = true;
+    }
+    table_row(out, name, *h);
+  }
+  if (anomalies() > 0 || dumps() > 0) {
+    out << "flight recorder: " << anomalies() << " anomal(ies), " << dumps()
+        << " dump(s)\n";
+  }
+  return out.str();
+}
+
+std::string TelemetryRecorder::prometheus() const {
+  return core::metrics_to_prometheus(fold());
+}
+
+std::vector<RequestSpan> TelemetryRecorder::recent_spans() const {
+  std::vector<RequestSpan> out;
+  for (const auto& lane : lanes_) {
+    const std::uint64_t total = lane->write.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        std::min<std::uint64_t>(total, lane->ring.size());
+    for (std::uint64_t i = total - n; i < total; ++i) {
+      out.push_back(lane->ring[i % lane->ring.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestSpan& a, const RequestSpan& b) {
+              return a.request_id < b.request_id;
+            });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+void TelemetryRecorder::arm_flight(std::string dump_base,
+                                   std::uint64_t slow_threshold_ns,
+                                   bool keep_last_dump) {
+  {
+    const std::lock_guard<std::mutex> lock(dump_mu_);
+    dump_base_ = std::move(dump_base);
+    keep_last_dump_ = keep_last_dump;
+  }
+  slow_threshold_ns_.store(slow_threshold_ns, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void TelemetryRecorder::disarm_flight() {
+  armed_.store(false, std::memory_order_release);
+  slow_threshold_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::string TelemetryRecorder::render_dump(const std::string& reason) const {
+  std::string out;
+  out += "{\"reason\":\"";
+  append_escaped(out, reason);
+  out += "\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const RequestSpan& span : recent_spans()) {
+    append_span_trace_events(span, out, first);
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+std::string TelemetryRecorder::dump_flight(const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(dump_mu_);
+  const std::uint64_t n = dumps_.fetch_add(1, std::memory_order_relaxed);
+  std::string doc = render_dump(reason);
+  if (!dump_base_.empty()) {
+    std::ofstream f(dump_base_ + "." + std::to_string(n) + ".trace.json",
+                    std::ios::out | std::ios::trunc);
+    f << doc;
+  }
+  last_dump_ = doc;
+  last_dump_reason_ = reason;
+  return doc;
+}
+
+void TelemetryRecorder::anomaly_dump(const char* reason) {
+  const std::lock_guard<std::mutex> lock(dump_mu_);
+  const std::uint64_t n = dumps_.fetch_add(1, std::memory_order_relaxed);
+  const std::string doc = render_dump(reason);
+  if (!dump_base_.empty()) {
+    std::ofstream f(dump_base_ + "." + std::to_string(n) + ".trace.json",
+                    std::ios::out | std::ios::trunc);
+    f << doc;
+  }
+  if (keep_last_dump_) last_dump_ = doc;
+  last_dump_reason_ = reason;
+}
+
+std::string TelemetryRecorder::last_dump() const {
+  const std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_dump_;
+}
+
+std::string TelemetryRecorder::last_dump_reason() const {
+  const std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_dump_reason_;
+}
+
+}  // namespace stemcp::service

@@ -1,5 +1,6 @@
 #include "stem/shell.h"
 
+#include <fstream>
 #include <sstream>
 
 namespace stemcp::env {
@@ -24,7 +25,8 @@ Variable* ConstraintShell::find(const std::string& name) const {
 std::string ConstraintShell::usage() {
   return "commands: show|set|probe|constraints|antecedents|consequences|dot "
          "<var> [value], on, off, restore, warnings, vars, trace on|off, "
-         "stats, export-trace <file>, service <line>, help\n";
+         "stats [--latency], export-trace <file>, export-metrics <file>, "
+         "service <line>, help\n";
 }
 
 std::string ConstraintShell::execute(const std::string& command_line) {
@@ -78,6 +80,14 @@ std::string ConstraintShell::execute(const std::string& command_line) {
     return std::string("tracing ") + (on ? "enabled" : "disabled") + "\n";
   }
   if (cmd == "stats") {
+    std::string opt;
+    if (in >> opt) {
+      if (opt != "--latency") return "error: stats options are '--latency'\n";
+      // Request-latency percentiles live in the design service's telemetry
+      // lanes, not this shell's engine context.
+      if (!service_handler_) return "no design service attached\n";
+      return service_handler_("stats --latency");
+    }
     const auto& s = ctx_->stats();
     std::ostringstream out;
     out << "sessions: " << s.sessions << '\n'
@@ -118,6 +128,18 @@ std::string ConstraintShell::execute(const std::string& command_line) {
       return "error: could not write '" + path + "'\n";
     }
     return "trace written to " + path + "\n";
+  }
+  if (cmd == "export-metrics") {
+    std::string path;
+    if (!(in >> path)) return "error: 'export-metrics' needs a file path\n";
+    // With a service attached its telemetry view is the richer one (request
+    // latency percentiles); standalone shells export the engine registry.
+    if (service_handler_) return service_handler_("export-metrics " + path);
+    std::ofstream f(path, std::ios::out | std::ios::trunc);
+    if (!f.good()) return "error: could not write '" + path + "'\n";
+    f << core::metrics_to_prometheus(ctx_->metrics())
+      << core::global_metrics_prometheus();
+    return "metrics written to " + path + "\n";
   }
 
   const bool variable_command =

@@ -10,6 +10,7 @@
 #include <new>
 
 #include "core/core.h"
+#include "service/telemetry.h"
 
 namespace {
 
@@ -178,6 +179,40 @@ TEST(HotPathTest, TimingHandlesSurviveRegistryClear) {
   const auto* run = d.ctx.metrics().find_histogram("run_ns.uniAddition");
   ASSERT_NE(run, nullptr);
   EXPECT_EQ(run->count(), 1u) << "only the post-clear session is recorded";
+}
+
+// The request-telemetry record path rides on every service request: id
+// assignment, span stamps, ring write, per-phase + per-type histogram
+// updates.  Steady state must add ZERO heap allocations per request (the
+// lanes and rings are sized at construction).
+TEST(HotPathTest, TelemetryRecordAllocatesNothing) {
+  service::TelemetryRecorder rec(2);
+  service::RequestSpan span;
+  span.set_session("hotpath");
+  span.type = 3;  // kAssign
+  const auto stamp = [&span, &rec] {
+    span.request_id = rec.next_request_id();
+    span.t_enqueue = Tracer::now_ns();
+    span.t_dequeue = span.t_enqueue + 10;
+    span.t_lock = span.t_dequeue + 5;
+    span.t_work_done = span.t_lock + 100;
+    span.t_journal_done = span.t_work_done + 40;
+    span.fsync_ns = 25;
+    span.t_reply = span.t_journal_done + 3;
+    span.ok = true;
+  };
+  for (int i = 0; i < 8; ++i) {  // warm-up (nothing to size, but symmetric)
+    stamp();
+    rec.record(i % 2, span);
+  }
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 512; ++i) {
+    stamp();
+    rec.record(i % 2, span);
+  }
+  EXPECT_EQ(alloc_count(), before)
+      << "per-request telemetry must not allocate in steady state";
+  EXPECT_EQ(rec.requests_recorded(), 520u);
 }
 
 // Violation log ring semantics: oldest entries drop in O(1), oldest-first

@@ -239,6 +239,91 @@ TEST(GlobalMetricsTest, ConcurrentMergesLoseNothing) {
   EXPECT_EQ(global_metrics_json().find("shared"), std::string::npos);
 }
 
+// ---- Histogram percentile math (request-telemetry reads these) ----------
+
+// Against exact order statistics on a known uniform sample, the log2-bucket
+// estimate must be an upper bound and within one bucket (< 2x) of exact.
+TEST(HistogramPercentileTest, UpperBoundsExactWithinOneBucket) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const struct {
+    double p;
+    std::uint64_t exact;  // ceil(p/100 * 1000)-th smallest of 1..1000
+  } cases[] = {{50.0, 500}, {90.0, 900}, {99.0, 990}, {99.9, 999}};
+  for (const auto& c : cases) {
+    const std::uint64_t est = h.percentile(c.p);
+    EXPECT_GE(est, c.exact) << "p" << c.p;
+    EXPECT_LT(est, 2 * c.exact) << "p" << c.p;
+  }
+  // The top of the distribution is clamped to the true max, not the bucket
+  // upper bound (1023).
+  EXPECT_EQ(h.percentile(100.0), 1000u);
+  // Concrete bucket math: p50 target is the 500th value; values 1..511 fill
+  // buckets 0..9, so the estimate is bucket 9's upper bound.
+  EXPECT_EQ(h.percentile(50.0), 511u);
+}
+
+TEST(HistogramPercentileTest, ExactForSingleValuedSamples) {
+  // A bucket-boundary value: every percentile is exactly it.
+  Histogram a;
+  for (int i = 0; i < 100; ++i) a.record(255);
+  EXPECT_EQ(a.percentile(50.0), 255u);
+  EXPECT_EQ(a.percentile(99.9), 255u);
+  // Mid-bucket single value: the max clamp makes it exact too.
+  Histogram b;
+  for (int i = 0; i < 100; ++i) b.record(256);
+  EXPECT_EQ(b.percentile(50.0), 256u);
+  EXPECT_EQ(b.percentile(99.9), 256u);
+  // Zero stays zero (bucket 0).
+  Histogram z;
+  z.record(0);
+  EXPECT_EQ(z.percentile(99.0), 0u);
+}
+
+// Percentile reads racing concurrent writers: readers must do the math on a
+// snapshot(), never the live atomics, so every percentile they compute is
+// internally consistent (monotone in p, bounded by the recorded range) no
+// matter how the write storm interleaves.  TSan lane covers this (the
+// fixture name matches tools/run_tier1.sh's TSAN_FILTER).
+TEST(GlobalMetricsTest, ConcurrentHistogramSnapshotsStayConsistent) {
+  ConcurrentHistogram ch;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&ch, &stop] {
+      std::uint64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ch.record(v);
+        v = v % 1024 + 1;  // values stay in [1, 1024]
+      }
+    });
+  }
+  std::uint64_t last_count = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Histogram s = ch.snapshot();
+    if (s.count() == 0) continue;
+    EXPECT_GE(s.count(), last_count) << "count is monotone across snapshots";
+    last_count = s.count();
+    EXPECT_GE(s.min(), 1u);
+    EXPECT_LE(s.min(), s.max());
+    EXPECT_LE(s.max(), 1024u);
+    const std::uint64_t p50 = s.percentile(50.0);
+    const std::uint64_t p99 = s.percentile(99.0);
+    const std::uint64_t p999 = s.percentile(99.9);
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_LE(p999, s.max()) << "never past the recorded range";
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  // Quiescent: the final snapshot agrees with itself exactly.
+  const Histogram s = ch.snapshot();
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets()) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count());
+  EXPECT_EQ(s.count(), ch.count());
+}
+
 TEST(GlobalMetricsTest, ResetRacingMergeStaysConsistent) {
   reset_global_metrics();
   std::thread merger([] {

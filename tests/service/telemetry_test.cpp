@@ -1,0 +1,359 @@
+// Request-telemetry tests: span lifecycle (phase stamps monotone, queue wait
+// measured under a saturated pool), lane folding and percentile views, the
+// Prometheus exposition, and flight-recorder dumps triggered by slow
+// requests and journal faults.
+#include "service/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persist/journal.h"
+#include "service/design_service.h"
+
+namespace stemcp::service {
+namespace {
+
+const char* kPipeline = R"(cell STAGE
+  signal in input
+  signal out output
+  delay in out
+end
+cell PIPE
+  signal in input
+  signal out output
+  delay in out
+    spec <= 160e-9
+  subcell s0 STAGE R0 0 0
+  subcell s1 STAGE R0 10 0
+  net n_in
+    io in
+    conn s0 in
+  net n_mid
+    conn s0 out
+    conn s1 in
+  net n_out
+    conn s1 out
+    io out
+end
+)";
+
+Request make(RequestType t, const std::string& session, std::string text = {}) {
+  Request r;
+  r.type = t;
+  r.session = session;
+  r.text = std::move(text);
+  return r;
+}
+
+Request assign_one(const std::string& session, double value) {
+  Request r;
+  r.type = RequestType::kAssign;
+  r.session = session;
+  r.assignments.push_back({"PIPE/s0.delay(in->out)", value});
+  return r;
+}
+
+std::string temp_base(const std::string& name) {
+  return testing::TempDir() + "stemcp_telemetry_test_" + name;
+}
+
+void cleanup(const std::string& base) {
+  std::remove((base + ".journal").c_str());
+  std::remove((base + ".ckpt").c_str());
+}
+
+const RequestSpan* find_span(const std::vector<RequestSpan>& spans,
+                             RequestType type) {
+  for (const RequestSpan& s : spans) {
+    if (s.type == static_cast<std::uint8_t>(type)) return &s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Span lifecycle
+
+TEST(TelemetrySpanTest, PhaseStampsAreMonotoneAndComplete) {
+  DesignService svc(2);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "a")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "a", kPipeline)).ok);
+  ASSERT_TRUE(svc.call(assign_one("a", 10e-9)).ok);
+
+  const std::vector<RequestSpan> spans = svc.telemetry().recent_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest request id first, and ids are unique and increasing.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].request_id, spans[i].request_id);
+  }
+  const RequestSpan* s = find_span(spans, RequestType::kAssign);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->ok);
+  EXPECT_FALSE(s->violation);
+  EXPECT_EQ(s->session_view(), "a");
+  EXPECT_LT(s->lane, 2);
+  // Every boundary stamped, in wall-clock order.
+  EXPECT_GT(s->t_enqueue, 0u);
+  EXPECT_GE(s->t_dequeue, s->t_enqueue);
+  EXPECT_GE(s->t_lock, s->t_dequeue);
+  EXPECT_GE(s->t_work_done, s->t_lock);
+  EXPECT_GE(s->t_reply, s->t_work_done);
+  EXPECT_EQ(s->t_journal_done, 0u) << "no journal attached";
+  // Derived durations agree with the stamps.
+  EXPECT_EQ(s->phase_ns(Phase::kQueue), s->t_dequeue - s->t_enqueue);
+  EXPECT_EQ(s->phase_ns(Phase::kPropagate), s->t_work_done - s->t_lock);
+  EXPECT_EQ(s->phase_ns(Phase::kJournal), 0u);
+  EXPECT_EQ(s->phase_ns(Phase::kFsync), 0u);
+  EXPECT_EQ(s->total_ns(), s->t_reply - s->t_enqueue);
+  std::uint64_t phase_total = 0;
+  for (std::size_t p = 0; p + 1 < kPhaseCount; ++p) {
+    phase_total += s->phase_ns(static_cast<Phase>(p));
+  }
+  EXPECT_EQ(phase_total, s->total_ns()) << "phases partition the span";
+}
+
+TEST(TelemetrySpanTest, QueueWaitMeasuredUnderSaturatedPool) {
+  // One worker: while a slow edit executes, a second request MUST sit in the
+  // queue, so its queue phase is an honest wall-clock wait, not ~0.
+  DesignService svc(1);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "q")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "q", kPipeline)).ok);
+
+  // A pile of requests submitted back-to-back: the FIFO guarantees each
+  // waits at least as long as its predecessors' execution.
+  std::vector<std::future<Response>> inflight;
+  for (int i = 0; i < 8; ++i) {
+    inflight.push_back(svc.submit(assign_one("q", (i + 1) * 1e-9)));
+  }
+  for (auto& f : inflight) ASSERT_TRUE(f.get().ok);
+
+  const std::vector<RequestSpan> spans = svc.telemetry().recent_spans();
+  ASSERT_GE(spans.size(), 10u);
+  // The LAST of the burst queued behind 7 predecessors.
+  const RequestSpan& last = spans.back();
+  EXPECT_GT(last.phase_ns(Phase::kQueue), 0u)
+      << "queue wait must be visible under a saturated 1-worker pool";
+  // And queue wait dominates its own lock wait (same-session FIFO: the lock
+  // is free by the time the single worker picks it up).
+  EXPECT_GE(last.phase_ns(Phase::kQueue), last.phase_ns(Phase::kLock));
+}
+
+TEST(TelemetrySpanTest, JournaledRequestSplitsJournalAndFsyncPhases) {
+  const std::string base = temp_base("phases");
+  cleanup(base);
+  DesignService svc(2);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "j")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "j", kPipeline)).ok);
+  ASSERT_TRUE(
+      svc.call(make(RequestType::kJournal, "j", base + " every-record")).ok);
+  ASSERT_TRUE(svc.call(assign_one("j", 5e-9)).ok);
+
+  const std::vector<RequestSpan> spans = svc.telemetry().recent_spans();
+  const RequestSpan* s = &spans.back();
+  ASSERT_EQ(s->type, static_cast<std::uint8_t>(RequestType::kAssign));
+  EXPECT_GE(s->t_journal_done, s->t_work_done);
+  EXPECT_GT(s->phase_ns(Phase::kFsync), 0u) << "every-record policy fsyncs";
+  EXPECT_LE(s->fsync_ns, s->t_journal_done - s->t_work_done)
+      << "fsync is part of the journal wall time";
+  EXPECT_FALSE(s->journal_fault);
+
+  // The folded registry now has journal + fsync histograms with exactly the
+  // journaled mutations counted.
+  const core::MetricsRegistry reg = svc.telemetry().fold();
+  const core::Histogram* fsync = reg.find_histogram("svc.lat.fsync_ns");
+  ASSERT_NE(fsync, nullptr);
+  EXPECT_EQ(fsync->count(), 1u) << "only the assign after attach journaled";
+  cleanup(base);
+}
+
+TEST(TelemetrySpanTest, DisabledTelemetryRecordsNothing) {
+  DesignService svc(2);
+  svc.telemetry().set_enabled(false);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "off")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "off", kPipeline)).ok);
+  EXPECT_EQ(svc.telemetry().requests_recorded(), 0u);
+  EXPECT_TRUE(svc.telemetry().recent_spans().empty());
+  svc.telemetry().set_enabled(true);
+  ASSERT_TRUE(svc.call(assign_one("off", 1e-9)).ok);
+  EXPECT_EQ(svc.telemetry().requests_recorded(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated views
+
+TEST(TelemetryViewsTest, FoldLatencyTableAndPrometheus) {
+  DesignService svc(2);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "v")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "v", kPipeline)).ok);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(svc.call(assign_one("v", i * 1e-9)).ok);
+  }
+
+  const core::MetricsRegistry reg = svc.telemetry().fold();
+  EXPECT_EQ(reg.counter("svc.telemetry.requests"), 7u);
+  const core::Histogram* total = reg.find_histogram("svc.lat.total_ns");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count(), 7u);
+  const core::Histogram* by_type =
+      reg.find_histogram("svc.lat.e2e.assign_ns");
+  ASSERT_NE(by_type, nullptr);
+  EXPECT_EQ(by_type->count(), 5u);
+  EXPECT_GT(total->percentile(50.0), 0u);
+  EXPECT_LE(total->percentile(50.0), total->percentile(99.9));
+
+  const std::string table = svc.telemetry().latency_table();
+  EXPECT_NE(table.find("p50"), std::string::npos) << table;
+  EXPECT_NE(table.find("p999"), std::string::npos) << table;
+  EXPECT_NE(table.find("queue"), std::string::npos) << table;
+  EXPECT_NE(table.find("propagate"), std::string::npos) << table;
+  EXPECT_NE(table.find("assign"), std::string::npos) << table;
+
+  const std::string prom = svc.telemetry().prometheus();
+  EXPECT_NE(prom.find("stemcp_svc_lat_total_ns_bucket{le="),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("stemcp_svc_lat_total_ns_count 7"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("le=\"+Inf\"} 7"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("stemcp_svc_telemetry_requests 7"), std::string::npos)
+      << prom;
+}
+
+TEST(TelemetryViewsTest, ChromeTraceEventsFromSpan) {
+  RequestSpan span;
+  span.request_id = 42;
+  span.type = static_cast<std::uint8_t>(RequestType::kAssign);
+  span.lane = 1;
+  span.ok = true;
+  span.set_session("tracey");
+  span.t_enqueue = 1000;
+  span.t_dequeue = 2000;
+  span.t_lock = 2500;
+  span.t_work_done = 5000;
+  span.t_journal_done = 6000;
+  span.fsync_ns = 400;
+  span.t_reply = 6100;
+
+  std::string out;
+  bool first = true;
+  append_span_trace_events(span, out, first);
+  EXPECT_NE(out.find("\"name\":\"request\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"queue\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"propagate\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"journal\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"fsync\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"tid\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"id\":42"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"session\":\"tracey\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"type\":\"assign\""), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorderTest, DumpsOnSlowRequest) {
+  DesignService svc(2);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "slow")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "slow", kPipeline)).ok);
+  ASSERT_TRUE(svc.call(assign_one("slow", 1e-9)).ok);
+  EXPECT_EQ(svc.telemetry().anomalies(), 0u) << "disarmed: no anomaly checks";
+
+  // 1 ns threshold: the next request is guaranteed "slow".
+  svc.telemetry().arm_flight("", 1);
+  ASSERT_TRUE(svc.call(assign_one("slow", 2e-9)).ok);
+  EXPECT_GE(svc.telemetry().anomalies(), 1u);
+  EXPECT_GE(svc.telemetry().dumps(), 1u);
+  EXPECT_EQ(svc.telemetry().last_dump_reason(), "slow-request");
+  const std::string dump = svc.telemetry().last_dump();
+  EXPECT_NE(dump.find("\"reason\":\"slow-request\""), std::string::npos);
+  EXPECT_NE(dump.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"request\""), std::string::npos)
+      << "retained spans serialize as trace events";
+
+  // Disarm: anomalies stop registering.
+  const std::uint64_t anomalies = svc.telemetry().anomalies();
+  svc.telemetry().disarm_flight();
+  ASSERT_TRUE(svc.call(assign_one("slow", 3e-9)).ok);
+  EXPECT_EQ(svc.telemetry().anomalies(), anomalies);
+}
+
+TEST(FlightRecorderTest, DumpsOnJournalFault) {
+  const std::string base = temp_base("fault");
+  cleanup(base);
+  DesignService svc(2);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "f")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "f", kPipeline)).ok);
+  ASSERT_TRUE(
+      svc.call(make(RequestType::kJournal, "f", base + " every-record")).ok);
+  svc.telemetry().arm_flight("", 0);
+
+  // Cut the journal's write path: the next mutation's append dies mid-write.
+  svc.sessions().find("f")->journal()->set_fail_after(4);
+  const Response r = svc.call(assign_one("f", 5e-9));
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.text.find("no longer durable"), std::string::npos);
+
+  EXPECT_GE(svc.telemetry().dumps(), 1u);
+  EXPECT_EQ(svc.telemetry().last_dump_reason(), "journal-dead");
+  const std::vector<RequestSpan> spans = svc.telemetry().recent_spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_TRUE(spans.back().journal_fault);
+
+  // Later mutations against the already-dead journal are NOT new anomalies
+  // (one fault, one dump — not a dump storm).
+  const std::uint64_t dumps = svc.telemetry().dumps();
+  ASSERT_TRUE(svc.call(assign_one("f", 6e-9)).ok);
+  EXPECT_EQ(svc.telemetry().dumps(), dumps);
+  cleanup(base);
+}
+
+TEST(FlightRecorderTest, DumpFilesWrittenToBase) {
+  const std::string dump_base = testing::TempDir() + "stemcp_flight_dump";
+  std::remove((dump_base + ".0.trace.json").c_str());
+  DesignService svc(1);
+  ASSERT_TRUE(svc.call(make(RequestType::kOpen, "d")).ok);
+  ASSERT_TRUE(svc.call(make(RequestType::kLoad, "d", kPipeline)).ok);
+  svc.telemetry().arm_flight(dump_base, 1);
+  ASSERT_TRUE(svc.call(assign_one("d", 1e-9)).ok);
+  ASSERT_GE(svc.telemetry().dumps(), 1u);
+
+  std::ifstream in(dump_base + ".0.trace.json");
+  ASSERT_TRUE(in.good()) << "dump file must exist";
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"traceEvents\":["), std::string::npos);
+  std::remove((dump_base + ".0.trace.json").c_str());
+}
+
+TEST(FlightRecorderTest, ManualDumpAndRingCapacity) {
+  TelemetryRecorder::Config cfg;
+  cfg.flight_capacity = 4;
+  TelemetryRecorder rec(1, cfg);
+  RequestSpan span;
+  span.set_session("ring");
+  for (int i = 0; i < 10; ++i) {
+    span.request_id = rec.next_request_id();
+    span.t_enqueue = 100 * (i + 1);
+    span.t_reply = span.t_enqueue + 50;
+    rec.record(0, span);
+  }
+  // The ring keeps only the newest 4 spans.
+  const std::vector<RequestSpan> spans = rec.recent_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().request_id, 7u);
+  EXPECT_EQ(spans.back().request_id, 10u);
+
+  const std::string doc = rec.dump_flight("manual");
+  EXPECT_NE(doc.find("\"reason\":\"manual\""), std::string::npos);
+  EXPECT_EQ(rec.dumps(), 1u);
+  EXPECT_EQ(rec.last_dump_reason(), "manual");
+}
+
+}  // namespace
+}  // namespace stemcp::service

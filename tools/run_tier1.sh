@@ -23,13 +23,13 @@ cd "$(dirname "$0")/.."
 SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
 # Tests exercising shared state from multiple threads: the design service,
 # the line-protocol front end over it, and the process-global metrics.
-TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics'
+TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder'
 # The durability layer: raw-fd journal I/O, checkpoint rename dance, replay,
 # and the reader's append-rollback path — everything that touches memory by
 # hand.  Run under ASan/UBSan by --asan.
 ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns'
 # The hottest benchmarks, smoked by --bench.
-BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence"
+BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence bench_latency_under_load"
 RUN_PLAIN=1
 RUN_SANITIZED=1
 RUN_TSAN=1
@@ -95,6 +95,22 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   done
   tools/bench_compare.py merge build-bench/BENCH.json "${stats_files[@]}"
   echo "bench smoke written to build-bench/BENCH.json"
+  # Perf trajectory: diff against the newest committed snapshot.  The diff
+  # always prints; STEMCP_BENCH_GATE=1 turns >10% regressions into a hard
+  # failure (kept opt-in because shared CI machines are noisy).
+  latest_snapshot="$(ls bench/snapshots/BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+  if [[ -n "$latest_snapshot" ]]; then
+    echo "== bench diff vs $latest_snapshot =="
+    if ! tools/bench_compare.py "$latest_snapshot" build-bench/BENCH.json; then
+      if [[ "${STEMCP_BENCH_GATE:-0}" == 1 ]]; then
+        echo "bench regression gate failed (vs $latest_snapshot)" >&2
+        exit 1
+      fi
+      echo "(regressions reported; STEMCP_BENCH_GATE=1 makes this fatal)"
+    fi
+  else
+    echo "no committed snapshot in bench/snapshots/ to diff against"
+  fi
 fi
 
 echo "tier-1 verification passed"
