@@ -55,7 +55,7 @@ Request make(RequestType t, const std::string& session, std::string text = {}) {
 /// requests/sec over N sessions, every session's batch in flight at once.
 void BM_BatchAssignThroughput(benchmark::State& state) {
   const int sessions = static_cast<int>(state.range(0));
-  DesignService svc(4);
+  DesignService svc(4, benchsupport::env_shards(1));
   std::vector<std::string> names;
   for (int i = 0; i < sessions; ++i) {
     names.push_back("s" + std::to_string(i));
@@ -79,6 +79,7 @@ void BM_BatchAssignThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * sessions);
   state.counters["sessions"] = sessions;
+  state.counters["shards"] = static_cast<double>(svc.shard_count());
   state.counters["req_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations() * sessions),
       benchmark::Counter::kIsRate);
@@ -88,7 +89,7 @@ BENCHMARK(BM_BatchAssignThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 /// Mixed traffic: assign + query + save per session per iteration.
 void BM_MixedTrafficThroughput(benchmark::State& state) {
   const int sessions = static_cast<int>(state.range(0));
-  DesignService svc(4);
+  DesignService svc(4, benchsupport::env_shards(1));
   std::vector<std::string> names;
   for (int i = 0; i < sessions; ++i) {
     names.push_back("s" + std::to_string(i));
@@ -112,6 +113,7 @@ void BM_MixedTrafficThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * sessions * 3);
   state.counters["sessions"] = sessions;
+  state.counters["shards"] = static_cast<double>(svc.shard_count());
   state.counters["req_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations() * sessions * 3),
       benchmark::Counter::kIsRate);

@@ -11,13 +11,30 @@
 //     loop would hide.
 //   * Session popularity is zipf-ish (session k gets ~1/(k+1) of the
 //     traffic), so per-session lock contention is part of the measurement.
-//   * Traffic mix: 50% assign, 20% batch-assign, 20% query, 10% edit, with
-//     one journaled session so the journal/fsync phases appear.
+//   * Traffic mix: 50% assign, 20% batch-assign, 20% query, 10% edit;
+//     every session journals with `every-record` fsync, so full durability
+//     is part of every mutating request's latency.
 //
-// Each Arg is the offered rate in requests/second.  The numbers land in the
-// consolidated JSON as e2e_* / queue_* / lock_* / propagate_* / journal_* /
-// fsync_* counters (ns), which BENCH_0006.json snapshots and
-// tools/bench_compare.py gates.
+// Each arm is {offered rate in requests/second, shard count}, with ONE
+// worker per shard (shard-per-worker, the seastar/redis-cluster shape) and
+// every session journaled at full durability, so the shard count is the
+// only knob that changes between arms.  At one shard the single worker
+// must serialize every fsync with every propagation: at the saturating
+// rate the offered fsync time alone exceeds one worker's budget and the
+// queue grows without bound.  Sharding overlaps one shard's fsync wait
+// with other shards' propagation — a real parallelism win even on a
+// single-core host, because a worker blocked in fsync burns no CPU.  The
+// per-session work is identical across arms (same seeded request stream),
+// which the gate checks via the phase medians; per-fsync wall time rises
+// with concurrency (ext4 group commit batches concurrent fsyncs into
+// shared journal transactions) while fsync THROUGHPUT scales, which is the
+// point.  Session names are picked to spread evenly across 8 shards (and
+// therefore across 4 and 1).  The numbers land in the consolidated JSON as
+// e2e_* / queue_* / lock_* / propagate_* / journal_* / fsync_* counters
+// (ns), which bench/snapshots/BENCH_*.json snapshots and
+// `tools/bench_compare.py gate --phase queue,lock` asserts (see
+// tools/run_tier1.sh --bench and docs/PERFORMANCE.md).
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -63,7 +80,37 @@ end
 )";
 
 constexpr int kSessions = 8;
-constexpr int kRequestsPerRun = 2000;
+// Each arm offers at least this many requests AND at least one second of
+// traffic at its rate (see requests_for_rate): with every-record fsync a
+// single multi-ms disk stall is always possible, and the run must be long
+// enough that one stall backs up fewer than 1% of requests — otherwise the
+// queue p99 measures the disk's worst hiccup instead of the architecture.
+constexpr int kMinRequestsPerRun = 3000;
+
+int requests_for_rate(double rate_rps) {
+  return std::max(kMinRequestsPerRun, static_cast<int>(rate_rps));
+}
+
+
+/// Session names chosen so name i hashes to shard i mod 8.  Because
+/// h % 4 == (h % 8) % 4, the same names are also perfectly balanced at 4
+/// shards — every shard arm offers identical per-session request streams.
+std::vector<std::string> shard_spread_names(int count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    for (int suffix = 0;; ++suffix) {
+      std::string name = "s" + std::to_string(i);
+      if (suffix > 0) name += "_" + std::to_string(suffix);
+      if (service::ShardedSessionManager::hash_of(name) % 8 ==
+          static_cast<std::uint64_t>(i % 8)) {
+        names.push_back(std::move(name));
+        break;
+      }
+    }
+  }
+  return names;
+}
 
 Request make(RequestType t, const std::string& session,
              std::string text = {}) {
@@ -124,32 +171,37 @@ Request next_request(Rng& rng, const std::vector<std::string>& names,
               "leaf-delay STAGE in out " + std::to_string(*value));
 }
 
-/// One offered-rate arm: fresh service, fixed request count, absolute-
-/// deadline submission, percentiles from the service's own telemetry fold.
+/// One {offered rate, shards} arm: fresh service, fixed request count,
+/// absolute-deadline submission, percentiles from the service's own
+/// telemetry fold.
 void BM_LatencyUnderLoad(benchmark::State& state) {
   const double rate_rps = static_cast<double>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  const std::size_t workers_per_shard = 1;  // shard-per-worker (see header)
   for (auto _ : state) {
-    DesignService svc(4);
-    std::vector<std::string> names;
+    DesignService svc(workers_per_shard, shards);
+    const std::vector<std::string> names = shard_spread_names(kSessions);
     for (int i = 0; i < kSessions; ++i) {
-      names.push_back("s" + std::to_string(i));
-      svc.call(make(RequestType::kOpen, names.back()));
-      svc.call(make(RequestType::kLoad, names.back(), kPipeline));
+      svc.call(make(RequestType::kOpen, names[i]));
+      svc.call(make(RequestType::kLoad, names[i], kPipeline));
     }
-    // One journaled session so journal append + fsync phases show up.
+    // Every session journaled with full durability.
     char base[64];
-    std::snprintf(base, sizeof base, "bench_latency_%d.tmp",
-                  static_cast<int>(rate_rps));
-    svc.call(make(RequestType::kJournal, names[0],
-                  std::string(base) + " interval 8"));
+    std::snprintf(base, sizeof base, "bench_latency_%d_%d.tmp",
+                  static_cast<int>(rate_rps), static_cast<int>(shards));
+    for (int i = 0; i < kSessions; ++i) {
+      svc.call(make(RequestType::kJournal, names[i],
+                    std::string(base) + "_" + std::to_string(i) + " every-record"));
+    }
 
     Rng rng;
     double value = 1e-9;
+    const int requests = requests_for_rate(rate_rps);
     std::vector<std::future<service::Response>> inflight;
-    inflight.reserve(kRequestsPerRun);
+    inflight.reserve(requests);
     const auto t0 = std::chrono::steady_clock::now();
     const double period_ns = 1e9 / rate_rps;
-    for (int i = 0; i < kRequestsPerRun; ++i) {
+    for (int i = 0; i < requests; ++i) {
       // Absolute deadline: never reschedule off the previous submit, so a
       // slow stretch cannot quietly lower the offered rate.
       const auto deadline =
@@ -181,20 +233,30 @@ void BM_LatencyUnderLoad(benchmark::State& state) {
     for (const auto& name : names) {
       svc.call(make(RequestType::kClose, name));
     }
-    std::remove((std::string(base) + ".journal").c_str());
-    std::remove((std::string(base) + ".ckpt").c_str());
+    for (int i = 0; i < kSessions; ++i) {
+      const std::string b = std::string(base) + "_" + std::to_string(i);
+      std::remove((b + ".journal").c_str());
+      std::remove((b + ".ckpt").c_str());
+    }
   }
   state.counters["offered_rps"] = rate_rps;
-  state.SetItemsProcessed(state.iterations() * kRequestsPerRun);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.SetItemsProcessed(state.iterations() * requests_for_rate(rate_rps));
 }
-// Three offered rates: comfortable, busy, saturating (the queue phase is
-// where the difference shows).  One timed repetition per arm — the arm's
-// wall time is dominated by kRequestsPerRun / rate, so iteration count must
-// not scale with how fast the code is.
+// Three offered rates at 1 shard: comfortable, busy, saturating (at 12000
+// rps the offered fsync work alone overloads one worker), then the
+// saturating rate again at 4 and 8 shards — the sharding acceptance arms
+// (queue+lock p99 must improve >=2x from /12000/1 to /12000/8 while the
+// propagate/fsync medians stay within one log2 bucket).  One timed
+// repetition per arm — the arm's wall time is dominated by
+// requests / rate, so iteration count must not scale with how fast the
+// code is.
 BENCHMARK(BM_LatencyUnderLoad)
-    ->Arg(500)
-    ->Arg(2000)
-    ->Arg(8000)
+    ->Args({500, 1})
+    ->Args({2000, 1})
+    ->Args({12000, 1})
+    ->Args({12000, 4})
+    ->Args({12000, 8})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

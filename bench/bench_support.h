@@ -66,11 +66,28 @@ inline void counters_from_histogram(benchmark::State& state,
                                     const core::Histogram& h) {
   if (h.count() == 0) return;
   state.counters[prefix + "_count"] = static_cast<double>(h.count());
+  // The mean is the one number here NOT quantized to a log2 bucket bound —
+  // flatness assertions (bench_compare.py gate --flat) use it because a
+  // percentile sitting on a bucket edge flips between 2^i-1 and 2^(i+1)-1.
+  state.counters[prefix + "_mean"] =
+      static_cast<double>(h.sum()) / static_cast<double>(h.count());
   state.counters[prefix + "_p50"] = static_cast<double>(h.percentile(50.0));
   state.counters[prefix + "_p90"] = static_cast<double>(h.percentile(90.0));
   state.counters[prefix + "_p99"] = static_cast<double>(h.percentile(99.0));
   state.counters[prefix + "_p999"] = static_cast<double>(h.percentile(99.9));
   state.counters[prefix + "_max"] = static_cast<double>(h.max());
+}
+
+/// Shard-count knob for service benches: STEMCP_SHARDS=<n> overrides the
+/// bench's default shard count (unset or 0 keeps `fallback`).  The latency
+/// bench sweeps explicit shard arms instead; this knob is for one-shot runs
+/// of the throughput benches at a chosen shard count.
+inline std::size_t env_shards(std::size_t fallback) {
+  if (const char* s = std::getenv("STEMCP_SHARDS")) {
+    const long n = std::strtol(s, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return fallback;
 }
 
 inline std::string stats_json_path(const char* argv0) {

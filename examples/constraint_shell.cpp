@@ -2,6 +2,7 @@
 // from stdin when interactive; otherwise replays a demonstration script over
 // the Fig 5.2 accumulator design, then drives the design service through
 // eight concurrent sessions of mixed load/assign/edit/save traffic.
+#include <cstdlib>
 #include <future>
 #include <iostream>
 #include <string>
@@ -35,7 +36,8 @@ void concurrent_sessions_demo(service::DesignService& svc, int n) {
   using service::Request;
   using service::RequestType;
   std::cout << "\n-- design service: " << n << " concurrent sessions over "
-            << svc.worker_count() << " workers --\n";
+            << svc.shard_count() << " shard(s) x "
+            << svc.sessions().workers_per_shard() << " workers --\n";
 
   std::vector<std::future<service::Response>> waves;
   auto req = [](RequestType t, const std::string& session,
@@ -162,13 +164,28 @@ int main(int argc, char** argv) {
   shell.register_variable("adder.delay", adder_delay);
   shell.register_variable("acc.delay", acc_delay);
 
-  service::DesignService svc(4);
+  // --shards N shards the service tier by session-id hash (4 workers per
+  // shard); every other knob stays protocol-compatible.
+  std::size_t shards = 1;
+  bool scripted = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--script") {
+      scripted = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n > 0) shards = static_cast<std::size_t>(n);
+    } else {
+      std::cerr << "usage: constraint_shell [--script] [--shards N]\n";
+      return 2;
+    }
+  }
+
+  service::DesignService svc(4, shards);
   service::ServiceFrontEnd front(svc);
   shell.attach_service([&front](const std::string& l) {
     return front.execute(l);
   });
-
-  const bool scripted = argc > 1 && std::string(argv[1]) == "--script";
   if (scripted || !std::cin.good()) {
     // Demonstration script: the Fig 5.2 story as shell commands, then the
     // same engine as a multi-session service behind `service ...`.

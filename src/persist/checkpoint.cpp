@@ -1,6 +1,7 @@
 #include "persist/checkpoint.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -66,6 +67,23 @@ bool read_file(const std::string& path, std::string* out, std::string* error) {
   }
   out->assign((std::istreambuf_iterator<char>(in)),
               std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool ensure_directories(const std::string& path, std::string* error) {
+  if (path.empty()) return true;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    const std::string prefix = path.substr(0, pos);
+    if (prefix.empty() || prefix == "/" || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      if (error != nullptr) {
+        *error = "mkdir '" + prefix + "' failed: " + std::strerror(errno);
+      }
+      return false;
+    }
+  }
   return true;
 }
 

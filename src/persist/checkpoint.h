@@ -33,6 +33,11 @@ bool atomic_write_file(const std::string& path, const std::string& contents,
 /// Slurp `path`.  Returns false with `error` set when unreadable.
 bool read_file(const std::string& path, std::string* out, std::string* error);
 
+/// Create `path` and every missing ancestor (mkdir -p).  Used by the service
+/// tier to carve per-shard journal namespaces ("<root>/shard-<i>/...").
+/// Returns false with `error` set when a component cannot be created.
+bool ensure_directories(const std::string& path, std::string* error);
+
 /// Durable-state file naming: one base path yields the checkpoint and the
 /// journal that continues it.
 std::string checkpoint_path(const std::string& base);  // "<base>.ckpt"

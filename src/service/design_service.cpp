@@ -1,6 +1,8 @@
 #include "service/design_service.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
@@ -49,6 +51,12 @@ std::shared_ptr<DesignSession> SessionManager::open(const std::string& name,
                                            collect_trace);
   sessions_.emplace(name, s);
   return s;
+}
+
+bool SessionManager::insert(std::shared_ptr<DesignSession> s) {
+  const std::string name = s->name();
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.emplace(name, std::move(s)).second;
 }
 
 std::shared_ptr<DesignSession> SessionManager::find(
@@ -443,6 +451,16 @@ void do_report(DesignSession& s, const Request& r, Response& resp) {
 // ---------------------------------------------------------------------------
 // Durability (docs/PERSISTENCE.md)
 
+/// Which shard a durable request runs on, and how its base paths resolve
+/// into that shard's journal namespace (identity without a journal root).
+struct ShardIo {
+  const ShardedSessionManager* mgr = nullptr;
+  std::size_t shard = 0;
+  std::string resolve(const std::string& base) const {
+    return mgr->resolve_base(shard, base);
+  }
+};
+
 /// Checkpoint header options: the open options plus the fsync policy, so
 /// recovery reopens the session AND its journal exactly as configured.
 std::string durable_options(DesignSession& s) {
@@ -482,7 +500,8 @@ bool checkpoint_session(DesignSession& s, std::uint64_t* seq,
   return true;
 }
 
-void do_journal(DesignSession& s, const Request& r, Response& resp) {
+void do_journal(DesignSession& s, const Request& r, Response& resp,
+                const ShardIo& io) {
   if (s.journal() != nullptr) {
     resp.error = "session '" + s.name() + "' is already journaling to '" +
                  s.journal_config().base + "'";
@@ -494,6 +513,7 @@ void do_journal(DesignSession& s, const Request& r, Response& resp) {
     resp.error = "journal needs a base path";
     return;
   }
+  cfg.base = io.resolve(cfg.base);
   std::string policy;
   if (in >> policy) {
     if (!persist::fsync_policy_from(policy, &cfg.policy)) {
@@ -608,14 +628,22 @@ void journal_mutation(DesignSession& s, const Request& r, Response& resp,
 /// the checkpoint library, replay every journal record past the checkpoint
 /// through the real engine, verify each record's recorded outcome re-derives
 /// identically, drop the torn tail, and resume journaling where the log
-/// left off.
-Response do_recover(SessionManager& sessions, const Request& r) {
+/// left off.  The session is built and replayed BEFORE it is published into
+/// the shard registry, so concurrent requests either miss it entirely or
+/// see the fully recovered state — never a half-replayed library.
+Response do_recover(SessionManager& sessions, const Request& r,
+                    const ShardIo& io) {
   Response resp;
   resp.session = r.session;
   std::istringstream in(r.text);
   std::string base;
   if (!(in >> base)) {
     resp.error = "recover needs a base path";
+    return resp;
+  }
+  base = io.resolve(base);
+  if (sessions.find(r.session) != nullptr) {
+    resp.error = "session '" + r.session + "' already exists";
     return resp;
   }
   persist::RecoveredLog log = persist::load_recovered_log(base);
@@ -644,13 +672,8 @@ Response do_recover(SessionManager& sessions, const Request& r) {
       }
     }
   }
-  const std::shared_ptr<DesignSession> s =
-      sessions.open(r.session, metrics, trace);
-  if (s == nullptr) {
-    resp.error = "session '" + r.session + "' already exists";
-    return resp;
-  }
-  const std::lock_guard<std::mutex> lock(s->mutex());
+  // Unpublished: only this worker can reach the session until insert().
+  const auto s = std::make_shared<DesignSession>(r.session, metrics, trace);
   const std::uint64_t t0 = core::Tracer::now_ns();
   std::uint64_t mismatches = 0;
   std::uint64_t replayed = 0;
@@ -677,7 +700,6 @@ Response do_recover(SessionManager& sessions, const Request& r) {
       } else if (rec.op == "edit") {
         do_edit(*s, rr, rresp);
       } else {
-        sessions.close(r.session);
         resp.error = "journal record " + std::to_string(rec.seq) +
                      " has unknown op '" + rec.op + "'";
         return resp;
@@ -692,7 +714,6 @@ Response do_recover(SessionManager& sessions, const Request& r) {
       }
     }
   } catch (const std::exception& e) {
-    sessions.close(r.session);
     resp.error = std::string("recover replay failed: ") + e.what();
     return resp;
   }
@@ -731,6 +752,13 @@ Response do_recover(SessionManager& sessions, const Request& r) {
   } else {
     s->attach_journal(std::move(j), std::move(cfg));
   }
+  // Publish only now: the registry never exposes a half-recovered session.
+  // A concurrent open of the same name during replay wins the race and this
+  // recover reports the conflict instead of clobbering it.
+  if (!sessions.insert(s)) {
+    resp.error = "session '" + r.session + "' already exists";
+    return resp;
+  }
   resp.ok = true;
   resp.text = out.str();
   return resp;
@@ -739,86 +767,213 @@ Response do_recover(SessionManager& sessions, const Request& r) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// ShardedSessionManager
+
+std::uint64_t ShardedSessionManager::hash_of(std::string_view session) {
+  // FNV-1a 64: deterministic across runs and platforms, so tests and
+  // benches can pre-compute which shard a session name lands on.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : session) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ShardedSessionManager::ShardedSessionManager(std::size_t shards,
+                                             std::size_t workers_per_shard,
+                                             std::string journal_root,
+                                             JobHandler handler)
+    : workers_per_shard_(workers_per_shard == 0 ? 1 : workers_per_shard),
+      journal_root_(std::move(journal_root)),
+      handler_(std::move(handler)) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Carve the per-shard durable namespaces up front, off the request path.
+  if (!journal_root_.empty()) {
+    for (std::size_t i = 0; i < shards; ++i) {
+      std::string error;
+      persist::ensure_directories(
+          journal_root_ + "/shard-" + std::to_string(i), &error);
+    }
+  }
+  for (std::size_t i = 0; i < shards; ++i) {
+    Shard& sh = *shards_[i];
+    sh.workers.reserve(workers_per_shard_);
+    for (std::size_t w = 0; w < workers_per_shard_; ++w) {
+      sh.workers.emplace_back([this, i, w] { worker_loop(i, w); });
+    }
+  }
+}
+
+ShardedSessionManager::~ShardedSessionManager() {
+  for (auto& sh : shards_) {
+    {
+      const std::lock_guard<std::mutex> lock(sh->mu);
+      sh->stopping = true;
+    }
+    sh->cv.notify_all();
+  }
+  for (auto& sh : shards_) {
+    for (std::thread& t : sh->workers) t.join();
+  }
+}
+
+std::string ShardedSessionManager::resolve_base(std::size_t shard,
+                                                const std::string& base) const {
+  if (journal_root_.empty()) return base;
+  return journal_root_ + "/shard-" + std::to_string(shard) + "/" + base;
+}
+
+std::shared_ptr<DesignSession> ShardedSessionManager::open(
+    const std::string& name, bool collect_metrics, bool collect_trace) {
+  return registry(shard_of(name)).open(name, collect_metrics, collect_trace);
+}
+
+std::shared_ptr<DesignSession> ShardedSessionManager::find(
+    const std::string& name) const {
+  return registry(shard_of(name)).find(name);
+}
+
+bool ShardedSessionManager::close(const std::string& name) {
+  return registry(shard_of(name)).close(name);
+}
+
+std::vector<std::string> ShardedSessionManager::names() const {
+  // Lazy fold: one shard registry lock at a time, never a global lock.  The
+  // result is a consistent snapshot per shard, merged and sorted — the same
+  // contract a single sorted registry gave callers.
+  std::vector<std::string> out;
+  for (const auto& sh : shards_) {
+    std::vector<std::string> part = sh->sessions.names();
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ShardedSessionManager::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) n += sh->sessions.size();
+  return n;
+}
+
+bool ShardedSessionManager::enqueue(Job&& job) {
+  Shard& sh = *shards_[shard_of(job.request.session)];
+  {
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.stopping) return false;  // job untouched; caller resolves it
+    sh.queue.push_back(std::move(job));
+  }
+  sh.enqueued.fetch_add(1, std::memory_order_relaxed);
+  sh.cv.notify_one();
+  return true;
+}
+
+ShardedSessionManager::ShardStats ShardedSessionManager::stats(
+    std::size_t shard) const {
+  const Shard& sh = *shards_[shard];
+  ShardStats out;
+  out.enqueued = sh.enqueued.load(std::memory_order_relaxed);
+  out.dequeued = sh.dequeued.load(std::memory_order_relaxed);
+  out.served = sh.served.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ShardedSessionManager::worker_loop(std::size_t shard, std::size_t worker) {
+  Shard& sh = *shards_[shard];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(sh.mu);
+      sh.cv.wait(lock, [&] { return sh.stopping || !sh.queue.empty(); });
+      if (sh.queue.empty()) return;  // stopping, queue drained
+      job = std::move(sh.queue.front());
+      sh.queue.pop_front();
+    }
+    sh.dequeued.fetch_add(1, std::memory_order_relaxed);
+    handler_(shard, worker, job);
+    sh.served.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // DesignService
 
-DesignService::DesignService(std::size_t workers)
-    : telemetry_(workers == 0 ? 1 : workers) {
-  if (workers == 0) workers = 1;
-  workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
-  }
-}
-
-DesignService::~DesignService() {
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
+DesignService::DesignService(Config cfg)
+    : cfg_([&cfg] {
+        if (cfg.workers_per_shard == 0) cfg.workers_per_shard = 1;
+        if (cfg.shards == 0) cfg.shards = 1;
+        return cfg;
+      }()),
+      telemetry_(cfg_.shards * cfg_.workers_per_shard,
+                 [&] {
+                   TelemetryRecorder::Config t;
+                   t.lanes_per_shard = cfg_.workers_per_shard;
+                   return t;
+                 }()),
+      sessions_(std::make_unique<ShardedSessionManager>(
+          cfg_.shards, cfg_.workers_per_shard, cfg_.journal_root,
+          [this](std::size_t shard, std::size_t worker,
+                 ShardedSessionManager::Job& job) {
+            run_job(shard, worker, job);
+          })) {}
 
 std::future<Response> DesignService::submit(Request r) {
-  Job job;
+  ShardedSessionManager::Job job;
   job.request = std::move(r);
   job.span.request_id = telemetry_.next_request_id();
   job.span.type = static_cast<std::uint8_t>(job.request.type);
   job.span.set_session(job.request.session);
+  job.span.shard =
+      static_cast<std::uint8_t>(sessions_->shard_of(job.request.session));
   job.span.t_enqueue = core::Tracer::now_ns();
   std::future<Response> fut = job.done.get_future();
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      Response resp;
-      resp.error = "service is shutting down";
-      job.done.set_value(std::move(resp));
-      return fut;
-    }
-    queue_.push_back(std::move(job));
+  // enqueue takes an rvalue reference but only moves on success, so a
+  // rejected job is still ours to resolve.
+  if (!sessions_->enqueue(std::move(job))) {
+    Response resp;
+    resp.error = "service is shutting down";
+    job.done.set_value(std::move(resp));
   }
-  cv_.notify_one();
   return fut;
 }
 
 Response DesignService::call(Request r) { return submit(std::move(r)).get(); }
 
-void DesignService::worker_loop(std::size_t lane) {
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, queue drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    job.span.lane = static_cast<std::uint8_t>(lane);
-    job.span.t_dequeue = core::Tracer::now_ns();
-    Response resp;
-    try {
-      resp = execute(job.request, &job.span);
-    } catch (const std::exception& e) {
-      resp.ok = false;
-      resp.error = e.what();
-      resp.session = job.request.session;
-    } catch (...) {
-      resp.ok = false;
-      resp.error = "unknown execution error";
-      resp.session = job.request.session;
-    }
-    job.span.ok = resp.ok;
-    job.span.violation = resp.violation;
-    job.span.t_reply = core::Tracer::now_ns();
-    // Record BEFORE resolving the future: a caller that waited on the
-    // response is guaranteed to find its own span in the telemetry.
-    telemetry_.record(lane, job.span);
-    served_.fetch_add(1, std::memory_order_relaxed);
-    job.done.set_value(std::move(resp));
+void DesignService::run_job(std::size_t shard, std::size_t worker,
+                            ShardedSessionManager::Job& job) {
+  const std::size_t lane = shard * cfg_.workers_per_shard + worker;
+  job.span.lane = static_cast<std::uint8_t>(lane);
+  job.span.t_dequeue = core::Tracer::now_ns();
+  Response resp;
+  try {
+    resp = execute(job.request, &job.span, shard);
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+    resp.session = job.request.session;
+  } catch (...) {
+    resp.ok = false;
+    resp.error = "unknown execution error";
+    resp.session = job.request.session;
   }
+  job.span.ok = resp.ok;
+  job.span.violation = resp.violation;
+  job.span.t_reply = core::Tracer::now_ns();
+  // Record BEFORE resolving the future: a caller that waited on the
+  // response is guaranteed to find its own span in the telemetry.
+  telemetry_.record(lane, job.span);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  job.done.set_value(std::move(resp));
 }
 
-Response DesignService::execute(const Request& r, RequestSpan* span) {
+Response DesignService::execute(const Request& r, RequestSpan* span,
+                                std::size_t shard) {
   Response resp;
   resp.session = r.session;
   if (r.session.empty()) {
@@ -827,16 +982,18 @@ Response DesignService::execute(const Request& r, RequestSpan* span) {
   }
 
   // Session-lifecycle requests take no per-session lock up front; their
-  // whole body is the work phase (lock wait shows up as ~0).
+  // whole body is the work phase (lock wait shows up as ~0).  They touch
+  // only the owning shard's registry.
   if (r.type == RequestType::kOpen || r.type == RequestType::kRecover ||
       r.type == RequestType::kClose) {
     if (span != nullptr) span->t_lock = core::Tracer::now_ns();
-    resp = execute_lifecycle(r);
+    resp = execute_lifecycle(r, shard);
     if (span != nullptr) span->t_work_done = core::Tracer::now_ns();
     return resp;
   }
 
-  const std::shared_ptr<DesignSession> s = sessions_.find(r.session);
+  const std::shared_ptr<DesignSession> s =
+      sessions_->registry(shard).find(r.session);
   if (s == nullptr) {
     resp.error = "unknown session '" + r.session + "'";
     return resp;
@@ -852,7 +1009,9 @@ Response DesignService::execute(const Request& r, RequestSpan* span) {
     case RequestType::kEdit: do_edit(*s, r, resp); break;
     case RequestType::kQuery: do_query(*s, r, resp); break;
     case RequestType::kReport: do_report(*s, r, resp); break;
-    case RequestType::kJournal: do_journal(*s, r, resp); break;
+    case RequestType::kJournal:
+      do_journal(*s, r, resp, ShardIo{sessions_.get(), shard});
+      break;
     case RequestType::kCheckpoint: do_checkpoint(*s, resp); break;
     case RequestType::kOpen:
     case RequestType::kClose:
@@ -882,7 +1041,9 @@ Response DesignService::execute(const Request& r, RequestSpan* span) {
   return resp;
 }
 
-Response DesignService::execute_lifecycle(const Request& r) {
+Response DesignService::execute_lifecycle(const Request& r,
+                                          std::size_t shard) {
+  SessionManager& registry = sessions_->registry(shard);
   Response resp;
   resp.session = r.session;
 
@@ -901,7 +1062,7 @@ Response DesignService::execute_lifecycle(const Request& r) {
         return resp;
       }
     }
-    if (sessions_.open(r.session, metrics, trace) == nullptr) {
+    if (registry.open(r.session, metrics, trace) == nullptr) {
       resp.error = "session '" + r.session + "' already exists";
       return resp;
     }
@@ -910,10 +1071,12 @@ Response DesignService::execute_lifecycle(const Request& r) {
     return resp;
   }
 
-  if (r.type == RequestType::kRecover) return do_recover(sessions_, r);
+  if (r.type == RequestType::kRecover) {
+    return do_recover(registry, r, ShardIo{sessions_.get(), shard});
+  }
 
   if (r.type == RequestType::kClose) {
-    const std::shared_ptr<DesignSession> victim = sessions_.find(r.session);
+    const std::shared_ptr<DesignSession> victim = registry.find(r.session);
     if (victim == nullptr) {
       resp.error = "unknown session '" + r.session + "'";
       return resp;
@@ -930,7 +1093,7 @@ Response DesignService::execute_lifecycle(const Request& r) {
         victim->detach_journal();
       }
     }
-    if (!sessions_.close(r.session)) {
+    if (!registry.close(r.session)) {
       resp.error = "unknown session '" + r.session + "'";
       return resp;
     }

@@ -6,9 +6,15 @@
 // Architecture:
 //   * SessionManager — owns many independent DesignSessions, each a Library
 //     (+ engine context, tracer, metrics) behind a per-session mutex.
-//   * DesignService — a fixed-size worker pool draining one request queue.
-//     Requests against different sessions execute in parallel; requests
-//     against the same session serialize on its mutex.
+//   * ShardedSessionManager — N shards, each owning its own SessionManager,
+//     its own worker pool draining a per-shard FIFO queue, and its own
+//     journal directory namespace.  Sessions route to shards by a
+//     deterministic hash of the session id, so no request — mutating or
+//     lifecycle — ever takes a lock shared between shards.  Global views
+//     (session listing, counts) fold per-shard state lazily on read, one
+//     shard lock at a time.
+//   * DesignService — the request API over the sharded tier: submit() hashes
+//     the session id, stamps the span, and enqueues on the owning shard.
 //   * Typed request API — open / load / save / assign / batch-assign /
 //     edit / query / report / close, with structured results carrying
 //     violation and restore outcomes.
@@ -24,11 +30,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -86,17 +94,24 @@ struct Response {
   std::string session;
 };
 
-/// Thread-safe registry of named sessions.
+/// Thread-safe registry of named sessions (one per shard).
 class SessionManager {
  public:
   /// Create a session; nullptr when the name is already taken.
   std::shared_ptr<DesignSession> open(const std::string& name,
                                       bool collect_metrics = false,
                                       bool collect_trace = false);
+  /// Publish an externally built session (recovery constructs and replays
+  /// the session BEFORE it becomes visible, so no request can observe a
+  /// half-recovered library).  False when the name is already taken.
+  bool insert(std::shared_ptr<DesignSession> s);
   std::shared_ptr<DesignSession> find(const std::string& name) const;
-  /// Remove a session from the registry.  The session object is destroyed
-  /// once the last in-flight request releases it; destruction folds its
-  /// stats into the process-global metrics.
+  /// Remove a session from the registry.  The victim is moved out under the
+  /// lock but destroyed AFTER it is released — destruction folds the
+  /// session's stats into the process-global metrics, and that fold must
+  /// never run under the registry lock (workers may still hold the session
+  /// shared_ptr; see the close-vs-request hammer in
+  /// tests/service/shard_stress_test.cpp).
   bool close(const std::string& name);
 
   std::vector<std::string> names() const;
@@ -107,55 +122,163 @@ class SessionManager {
   std::map<std::string, std::shared_ptr<DesignSession>> sessions_;
 };
 
-class DesignService {
+/// The sharded session tier.  Each shard owns a registry, a FIFO queue, and
+/// a worker pool; jobs route by shard_of(session).  The request path touches
+/// only the owning shard's queue mutex and session locks — there is no
+/// global lock to contend on (asserted by ShardStressTest.
+/// BlockedShardDoesNotStallOthers).
+class ShardedSessionManager {
  public:
-  explicit DesignService(std::size_t workers = 4);
-  /// Drains the queue (every submitted request still gets a response), then
-  /// joins the workers.
-  ~DesignService();
-
-  DesignService(const DesignService&) = delete;
-  DesignService& operator=(const DesignService&) = delete;
-
-  /// Enqueue a request; the future resolves when a worker has executed it.
-  /// Never throws from execution — failures come back as Response::error.
-  std::future<Response> submit(Request r);
-  /// Synchronous convenience: submit and wait.
-  Response call(Request r);
-
-  SessionManager& sessions() { return sessions_; }
-  std::size_t worker_count() const { return workers_.size(); }
-  std::uint64_t requests_served() const {
-    return served_.load(std::memory_order_relaxed);
-  }
-
-  /// Per-request latency telemetry: one lane per worker, folded on read.
-  /// Spans are fully recorded before a request's future resolves, so a
-  /// caller that waited on the response always sees its own span.
-  TelemetryRecorder& telemetry() { return telemetry_; }
-  const TelemetryRecorder& telemetry() const { return telemetry_; }
-
- private:
+  /// One queued request: the typed request, its telemetry span, and the
+  /// promise the executing worker resolves.
   struct Job {
     Request request;
     RequestSpan span;
     std::promise<Response> done;
   };
+  /// Drain handler, invoked on the owning shard's worker thread for every
+  /// dequeued job: (shard, worker-within-shard, job).  The handler executes
+  /// the request, records telemetry, and resolves job.done.
+  using JobHandler = std::function<void(std::size_t, std::size_t, Job&)>;
 
-  void worker_loop(std::size_t lane);
-  Response execute(const Request& r, RequestSpan* span);
-  /// open / recover / close — requests that manage the session registry
-  /// itself rather than running under one session's lock.
-  Response execute_lifecycle(const Request& r);
+  /// Per-shard queue/worker counters (all monotone; read with relaxed
+  /// atomics, so cross-shard sums are approximate while workers run).
+  struct ShardStats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t served = 0;
+  };
 
-  SessionManager sessions_;
+  /// Spins up `shards` × `workers_per_shard` workers.  A non-empty
+  /// `journal_root` namespaces durable state per shard: journal/recover base
+  /// paths resolve to "<root>/shard-<i>/<base>" (directories are created
+  /// eagerly here, off the request path).
+  ShardedSessionManager(std::size_t shards, std::size_t workers_per_shard,
+                        std::string journal_root, JobHandler handler);
+  /// Drains every shard queue (every submitted job is still handled), then
+  /// joins the workers.
+  ~ShardedSessionManager();
+
+  ShardedSessionManager(const ShardedSessionManager&) = delete;
+  ShardedSessionManager& operator=(const ShardedSessionManager&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t workers_per_shard() const { return workers_per_shard_; }
+  const std::string& journal_root() const { return journal_root_; }
+
+  /// Deterministic session-id hash (FNV-1a 64); exposed so tests and
+  /// benches can pick session names that land on chosen shards.
+  static std::uint64_t hash_of(std::string_view session);
+  std::size_t shard_of(std::string_view session) const {
+    return static_cast<std::size_t>(hash_of(session) % shards_.size());
+  }
+  /// The shard's durable-state base path: "<root>/shard-<i>/<base>" under a
+  /// journal root, `base` unchanged without one.
+  std::string resolve_base(std::size_t shard, const std::string& base) const;
+
+  /// The owning shard's registry (direct, for shard-local work).
+  SessionManager& registry(std::size_t shard) { return shards_[shard]->sessions; }
+  const SessionManager& registry(std::size_t shard) const {
+    return shards_[shard]->sessions;
+  }
+
+  // ---- SessionManager-compatible views --------------------------------
+  // open/find/close route straight to the owning shard (one shard lock);
+  // names/size fold across shards lazily, one shard lock at a time.
+
+  std::shared_ptr<DesignSession> open(const std::string& name,
+                                      bool collect_metrics = false,
+                                      bool collect_trace = false);
+  std::shared_ptr<DesignSession> find(const std::string& name) const;
+  bool close(const std::string& name);
+  std::vector<std::string> names() const;  ///< sorted across shards
+  std::size_t size() const;
+
+  /// Enqueue on the owning shard.  False when the tier is stopping — the
+  /// job is left untouched so the caller can resolve its promise.
+  bool enqueue(Job&& job);
+  ShardStats stats(std::size_t shard) const;
+
+ private:
+  struct Shard {
+    SessionManager sessions;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    bool stopping = false;
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> dequeued{0};
+    std::atomic<std::uint64_t> served{0};
+    std::vector<std::thread> workers;
+  };
+
+  void worker_loop(std::size_t shard, std::size_t worker);
+
+  std::size_t workers_per_shard_;
+  std::string journal_root_;
+  JobHandler handler_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+class DesignService {
+ public:
+  struct Config {
+    std::size_t workers_per_shard = 4;
+    std::size_t shards = 1;
+    /// Non-empty: shard i's journal/recover bases resolve to
+    /// "<root>/shard-<i>/<base>", giving each shard a private journal
+    /// directory namespace.
+    std::string journal_root;
+  };
+
+  explicit DesignService(Config cfg);
+  explicit DesignService(std::size_t workers = 4, std::size_t shards = 1)
+      : DesignService(Config{workers, shards, {}}) {}
+  /// Drains the queues (every submitted request still gets a response),
+  /// then joins the workers.
+  ~DesignService() = default;
+
+  DesignService(const DesignService&) = delete;
+  DesignService& operator=(const DesignService&) = delete;
+
+  /// Enqueue a request; the future resolves when a worker on the owning
+  /// shard has executed it.  Never throws from execution — failures come
+  /// back as Response::error.
+  std::future<Response> submit(Request r);
+  /// Synchronous convenience: submit and wait.
+  Response call(Request r);
+
+  ShardedSessionManager& sessions() { return *sessions_; }
+  const ShardedSessionManager& sessions() const { return *sessions_; }
+  std::size_t shard_count() const { return sessions_->shard_count(); }
+  std::size_t worker_count() const {
+    return sessions_->shard_count() * sessions_->workers_per_shard();
+  }
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-request latency telemetry: one lane per worker (lane =
+  /// shard × workers_per_shard + worker), folded on read.  Spans are fully
+  /// recorded before a request's future resolves, so a caller that waited
+  /// on the response always sees its own span.
+  TelemetryRecorder& telemetry() { return telemetry_; }
+  const TelemetryRecorder& telemetry() const { return telemetry_; }
+
+ private:
+  void run_job(std::size_t shard, std::size_t worker,
+               ShardedSessionManager::Job& job);
+  Response execute(const Request& r, RequestSpan* span, std::size_t shard);
+  /// open / recover / close — requests that manage the owning shard's
+  /// registry itself rather than running under one session's lock.
+  Response execute_lifecycle(const Request& r, std::size_t shard);
+
+  Config cfg_;
   TelemetryRecorder telemetry_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
   std::atomic<std::uint64_t> served_{0};
-  std::vector<std::thread> workers_;
+  // Declared last: its destructor joins the workers while telemetry_ and
+  // served_ are still alive.
+  std::unique_ptr<ShardedSessionManager> sessions_;
 };
 
 }  // namespace stemcp::service

@@ -224,7 +224,9 @@ std::string ServiceFrontEnd::execute(const std::string& line) {
     if (!opt.empty()) return "error: stats options are '--latency'\n";
     std::ostringstream out;
     out << svc_->requests_served() << " request(s) served across "
-        << svc_->sessions().size() << " session(s); telemetry "
+        << svc_->sessions().size() << " session(s), " << svc_->shard_count()
+        << " shard(s) x " << svc_->sessions().workers_per_shard()
+        << " worker(s); telemetry "
         << (svc_->telemetry().enabled() ? "on" : "off") << ", "
         << svc_->telemetry().requests_recorded() << " span(s), "
         << svc_->telemetry().violations_recorded() << " violation(s), "

@@ -88,11 +88,12 @@ void append_x_event(std::string& out, bool& first, const char* name,
   std::snprintf(buf, sizeof buf,
                 "{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\","
                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
-                "\"args\":{\"id\":%" PRIu64 ",\"type\":\"%s\",\"session\":\"",
+                "\"args\":{\"id\":%" PRIu64 ",\"type\":\"%s\",\"shard\":%u,"
+                "\"session\":\"",
                 name, static_cast<double>(ts_ns) / 1000.0,
                 static_cast<double>(dur_ns) / 1000.0,
                 static_cast<unsigned>(span.lane), span.request_id,
-                span_type_name(span.type));
+                span_type_name(span.type), static_cast<unsigned>(span.shard));
   out += buf;
   append_escaped(out, span.session_view());
   std::snprintf(buf, sizeof buf, "\",\"ok\":%s,\"violation\":%s}}",
@@ -241,6 +242,30 @@ core::MetricsRegistry TelemetryRecorder::fold() const {
     out.histogram(std::string("svc.lat.e2e.") +
                   span_type_name(static_cast<std::uint8_t>(t)) + "_ns") = h;
   }
+  // Per-shard rollups: lane i belongs to shard i / lanes_per_shard, so a
+  // shard's view is just a contiguous slice of the same lane fold — no
+  // extra recording on the hot path, and the union across shards equals
+  // the global fold exactly (bucket merges are associative).
+  if (cfg_.lanes_per_shard > 0) {
+    const std::size_t lps = cfg_.lanes_per_shard;
+    const std::size_t shards = (lanes_.size() + lps - 1) / lps;
+    for (std::size_t s = 0; s < shards; ++s) {
+      std::uint64_t requests = 0;
+      std::uint64_t violations = 0;
+      core::Histogram e2e;
+      for (std::size_t l = s * lps; l < std::min((s + 1) * lps, lanes_.size());
+           ++l) {
+        requests += lanes_[l]->requests.load(std::memory_order_relaxed);
+        violations += lanes_[l]->violations.load(std::memory_order_relaxed);
+        e2e.merge(lanes_[l]->phase[static_cast<std::size_t>(Phase::kTotal)]
+                      .snapshot());
+      }
+      const std::string prefix = "svc.shard." + std::to_string(s) + ".";
+      out.add_counter(prefix + "requests", requests);
+      out.add_counter(prefix + "violations", violations);
+      if (e2e.count() != 0) out.histogram(prefix + "e2e_ns") = e2e;
+    }
+  }
   out.add_counter("svc.telemetry.requests", requests_recorded());
   out.add_counter("svc.telemetry.violations", violations_recorded());
   out.add_counter("svc.telemetry.anomalies", anomalies());
@@ -294,6 +319,16 @@ std::string TelemetryRecorder::latency_table() const {
       typed_header = true;
     }
     table_row(out, name, *h);
+  }
+  if (cfg_.lanes_per_shard > 0 && lanes_.size() > cfg_.lanes_per_shard) {
+    out << "per-shard end-to-end (ns)\n";
+    const std::size_t shards =
+        (lanes_.size() + cfg_.lanes_per_shard - 1) / cfg_.lanes_per_shard;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto* h = reg.find_histogram("svc.shard." + std::to_string(s) +
+                                         ".e2e_ns");
+      if (h != nullptr) table_row(out, "shard " + std::to_string(s), *h);
+    }
   }
   if (anomalies() > 0 || dumps() > 0) {
     out << "flight recorder: " << anomalies() << " anomal(ies), " << dumps()

@@ -63,6 +63,7 @@ struct RequestSpan {
   std::uint64_t request_id = 0;
   std::uint8_t type = 0;      ///< RequestType as raw index
   std::uint8_t lane = 0;      ///< worker index that executed it
+  std::uint8_t shard = 0;     ///< session shard the request routed to
   bool ok = false;
   bool violation = false;
   bool journal_fault = false; ///< the journal died during THIS request
@@ -101,6 +102,10 @@ class TelemetryRecorder {
     std::string dump_base;               ///< non-empty: dump files "<base>.<n>.trace.json"
     bool keep_last_dump = false;         ///< retain the last dump JSON in memory
     std::uint64_t max_dumps = 64;        ///< hard cap on anomaly dumps
+    /// Lanes-per-shard grouping: when > 0, lane i belongs to shard
+    /// i / lanes_per_shard and fold() additionally emits per-shard
+    /// aggregates (`svc.shard.<i>.*`).  0 = no shard grouping.
+    std::size_t lanes_per_shard = 0;
   };
 
   TelemetryRecorder(std::size_t lanes, Config cfg);
@@ -137,7 +142,13 @@ class TelemetryRecorder {
   /// Fold every lane into a plain registry: histograms
   /// `svc.lat.<phase>_ns` (one per phase) and `svc.lat.e2e.<type>_ns`
   /// (end-to-end per request type, only types that occurred), counters
-  /// `svc.telemetry.{requests,violations,anomalies,dumps}`.
+  /// `svc.telemetry.{requests,violations,anomalies,dumps}`.  With
+  /// Config::lanes_per_shard set, also per-shard aggregates: counters
+  /// `svc.shard.<i>.requests` / `.violations` and histogram
+  /// `svc.shard.<i>.e2e_ns`.  Because lanes fold by exact bucket merge
+  /// (Histogram::from_parts), the sharded fold equals a single-recorder
+  /// fold of the union of spans — tested as a property in
+  /// tests/service/telemetry_test.cpp.
   core::MetricsRegistry fold() const;
 
   /// Human-readable per-phase / per-type percentile table (p50/p90/p99/p999).

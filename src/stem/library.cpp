@@ -12,10 +12,24 @@ Library::Library(std::string name)
       ctx_(std::make_unique<core::PropagationContext>()) {}
 
 Library::~Library() {
-  // Cells must die newest-first: composite cells (defined later) hold
-  // instances of earlier leaf cells and must release them before the leaf
-  // classes disappear.
-  while (!cells_.empty()) cells_.pop_back();
+  // A class must outlive every instance of it (~CellInstance unregisters
+  // from its class).  Newest-first is not enough: a structure edit can
+  // instantiate a class defined AFTER its parent cell.  Each round destroy
+  // some cell no live instance points to — releasing a composite's
+  // subcells unblocks their classes for a later round.
+  while (!cells_.empty()) {
+    bool destroyed = false;
+    for (std::size_t i = cells_.size(); i-- > 0;) {
+      if (cells_[i]->instances().empty()) {
+        cells_.erase(cells_.begin() + static_cast<std::ptrdiff_t>(i));
+        destroyed = true;
+        break;
+      }
+    }
+    // Unreachable unless instantiation ever becomes cyclic; prefer the old
+    // newest-first behavior over spinning.
+    if (!destroyed) cells_.pop_back();
+  }
 }
 
 void Library::swap_contents(Library& other) {

@@ -355,5 +355,118 @@ TEST(FlightRecorderTest, ManualDumpAndRingCapacity) {
   EXPECT_EQ(rec.last_dump_reason(), "manual");
 }
 
+// ---------------------------------------------------------------------------
+// Fold correctness under sharding
+
+void expect_histograms_identical(const core::Histogram& a,
+                                 const core::Histogram& b,
+                                 const std::string& name) {
+  EXPECT_EQ(a.count(), b.count()) << name;
+  EXPECT_EQ(a.sum(), b.sum()) << name;
+  EXPECT_EQ(a.min(), b.min()) << name;
+  EXPECT_EQ(a.max(), b.max()) << name;
+  EXPECT_EQ(a.buckets(), b.buckets()) << name;
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.percentile(p), b.percentile(p)) << name << " p" << p;
+  }
+}
+
+// Property: a recorder with N shard-grouped lanes folds to EXACTLY the same
+// svc.lat.* views as one lane fed the union of the same spans.  Lane folds
+// merge raw log2 buckets (Histogram::from_parts snapshots), and bucket
+// addition is associative and commutative, so this must hold exactly —
+// count-for-count and bucket-for-bucket, not merely within percentile
+// tolerance.  This is the invariant that makes per-shard telemetry
+// trustworthy: sharding the service cannot change what the fold reports.
+TEST(TelemetryViewsTest, ShardedFoldEqualsSingleRecorderFoldOfUnion) {
+  TelemetryRecorder::Config sharded_cfg;
+  sharded_cfg.lanes_per_shard = 2;
+  TelemetryRecorder sharded(8, sharded_cfg);  // 4 shards x 2 lanes
+  TelemetryRecorder::Config single_cfg;
+  single_cfg.lanes_per_shard = 1;
+  TelemetryRecorder single(1, single_cfg);  // one lane, one implicit shard
+
+  // Seeded xorshift: the span stream is identical on every run.
+  std::uint64_t seed = 0x2F7B1D3A9E4C6B5Full;
+  auto next = [&seed] {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  constexpr int kSpans = 512;
+  for (int i = 0; i < kSpans; ++i) {
+    RequestSpan s;
+    s.request_id = static_cast<std::uint64_t>(i + 1);
+    s.type = static_cast<std::uint8_t>(next() % kSpanTypeCount);
+    s.ok = true;
+    s.violation = next() % 8 == 0;
+    s.set_session("p" + std::to_string(next() % 5));
+    s.t_enqueue = 1000 + next() % 1000;
+    s.t_dequeue = s.t_enqueue + next() % 10000;
+    s.t_lock = s.t_dequeue + next() % 5000;
+    s.t_work_done = s.t_lock + next() % 100000;
+    if (next() % 2 == 0) {  // journaled half: journal + fsync phases exist
+      s.t_journal_done = s.t_work_done + 1 + next() % 20000;
+      s.fsync_ns = next() % 8000;
+      s.t_reply = s.t_journal_done + next() % 1000;
+    } else {
+      s.t_reply = s.t_work_done + next() % 1000;
+    }
+    const std::size_t lane = next() % 8;
+    s.lane = static_cast<std::uint8_t>(lane);
+    s.shard = static_cast<std::uint8_t>(lane / 2);
+    sharded.record(lane, s);
+    single.record(0, s);
+  }
+
+  const core::MetricsRegistry a = sharded.fold();
+  const core::MetricsRegistry b = single.fold();
+
+  static const Phase kPhases[] = {Phase::kQueue,   Phase::kLock,
+                                  Phase::kPropagate, Phase::kJournal,
+                                  Phase::kFsync,   Phase::kReply,
+                                  Phase::kTotal};
+  for (const Phase p : kPhases) {
+    const std::string name = std::string("svc.lat.") + to_string(p) + "_ns";
+    const core::Histogram* ha = a.find_histogram(name);
+    const core::Histogram* hb = b.find_histogram(name);
+    ASSERT_NE(ha, nullptr) << name;
+    ASSERT_NE(hb, nullptr) << name;
+    expect_histograms_identical(*ha, *hb, name);
+  }
+  for (std::size_t t = 0; t < kSpanTypeCount; ++t) {
+    const std::string name =
+        std::string("svc.lat.e2e.") +
+        span_type_name(static_cast<std::uint8_t>(t)) + "_ns";
+    const core::Histogram* ha = a.find_histogram(name);
+    const core::Histogram* hb = b.find_histogram(name);
+    ASSERT_EQ(ha == nullptr, hb == nullptr) << name;
+    if (ha != nullptr) expect_histograms_identical(*ha, *hb, name);
+  }
+
+  // The per-shard rollups partition the union: request counts sum to the
+  // total, and merging the four shard e2e histograms reproduces the global
+  // total-phase histogram exactly.
+  std::uint64_t shard_requests = 0;
+  core::Histogram shard_e2e;
+  for (int sidx = 0; sidx < 4; ++sidx) {
+    const std::string prefix = "svc.shard." + std::to_string(sidx) + ".";
+    const auto it = a.counters().find(prefix + "requests");
+    ASSERT_NE(it, a.counters().end()) << prefix;
+    shard_requests += it->second;
+    if (const core::Histogram* h = a.find_histogram(prefix + "e2e_ns")) {
+      shard_e2e.merge(*h);
+    }
+  }
+  EXPECT_EQ(shard_requests, static_cast<std::uint64_t>(kSpans));
+  const core::Histogram* total = b.find_histogram("svc.lat.total_ns");
+  ASSERT_NE(total, nullptr);
+  expect_histograms_identical(shard_e2e, *total, "shard e2e union");
+  // The single-lane recorder groups everything into shard 0.
+  EXPECT_EQ(b.counters().at("svc.shard.0.requests"),
+            static_cast<std::uint64_t>(kSpans));
+}
+
 }  // namespace
 }  // namespace stemcp::service

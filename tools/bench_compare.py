@@ -8,13 +8,30 @@ BENCH.json files, or two directories of *.stats.json — and flags regressions.
 
 Usage:
   tools/bench_compare.py OLD NEW [--threshold 0.10] [--metrics]
+                                 [--phase queue,lock [--percentile 99]]
       OLD / NEW are bench JSON files, merged BENCH.json files, or
       directories containing *.stats.json.  Exit code 1 when any benchmark's
-      per-iteration real time regressed by more than --threshold.
+      per-iteration real time regressed by more than --threshold.  With
+      --phase, the compared quantity is instead the SUM of the named phase
+      percentile counters ("<phase>_p99" ...) per benchmark — so a latency
+      phase regression is asserted, not eyeballed — and benchmarks without
+      those counters are skipped.
 
   tools/bench_compare.py merge OUT.json IN.json [IN.json ...]
       Consolidate several per-binary bench JSONs into one BENCH.json
       ({"benches": [...]}) for trajectory tracking.
+
+  tools/bench_compare.py gate BENCH.json --bench B --base ARM --test ARM
+      --phase queue,lock [--improve 2.0] [--percentile 99]
+      [--flat propagate,fsync [--flat-tol 0.10] [--flat-stat p50]]
+      Within ONE run: assert that the --test arm improves the summed --phase
+      percentiles over the --base arm by at least --improve x, while every
+      --flat phase's "<phase>_<stat>" counter stays within --flat-tol of
+      the base arm (stat: p50/p90/p99/mean/count).  Arms are matched by
+      prefix ("BM_LatencyUnderLoad/12000/8" matches the "/iterations:1"
+      suffix).  This is the sharded-service acceptance gate
+      (tools/run_tier1.sh --bench; docs/PERFORMANCE.md explains the chosen
+      statistics and tolerances on the single-core CI host).
 """
 
 import argparse
@@ -87,6 +104,15 @@ def merge(out_path, in_paths):
     print(f"bench_compare: wrote {out_path} ({len(benches)} bench binaries)")
 
 
+def phase_sum(rec, phases, percentile):
+    """Summed "<phase>_p<percentile>" counters, or None when any is absent."""
+    counters = rec.get("counters", {})
+    keys = [f"{p}_p{percentile}" for p in phases]
+    if not all(k in counters for k in keys):
+        return None
+    return sum(counters[k] for k in keys)
+
+
 def fmt_ns(ns):
     if ns >= 1e6:
         return f"{ns / 1e6:.2f}ms"
@@ -95,10 +121,21 @@ def fmt_ns(ns):
     return f"{ns:.0f}ns"
 
 
-def compare(old_path, new_path, threshold, show_metrics):
+def compare(old_path, new_path, threshold, show_metrics, phases=None,
+            percentile=99):
     old = load_benchmarks(old_path)
     new = load_benchmarks(new_path)
     common = [k for k in old if k in new]
+    if phases:
+        # Compare the summed phase percentiles instead of wall time; only
+        # benchmarks that export those counters participate.
+        common = [
+            k for k in common
+            if phase_sum(old[k], phases, percentile) is not None
+            and phase_sum(new[k], phases, percentile) is not None
+        ]
+        label = "+".join(phases) + f"_p{percentile}"
+        print(f"comparing {label} (ns)")
     if not common:
         sys.exit("bench_compare: no common benchmarks between the two runs")
 
@@ -106,8 +143,12 @@ def compare(old_path, new_path, threshold, show_metrics):
     print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  {'delta':>8}")
     regressions = []
     for name in common:
-        o = old[name]["real_time_ns_per_iter"]
-        n = new[name]["real_time_ns_per_iter"]
+        if phases:
+            o = phase_sum(old[name], phases, percentile)
+            n = phase_sum(new[name], phases, percentile)
+        else:
+            o = old[name]["real_time_ns_per_iter"]
+            n = new[name]["real_time_ns_per_iter"]
         if o <= 0:
             continue
         delta = (n - o) / o
@@ -170,12 +211,92 @@ def collect_counters(path):
     return totals
 
 
+def find_arm(benchmarks, bench, arm):
+    """The unique record whose qualified name starts with 'bench:arm'."""
+    prefix = f"{bench}:{arm}"
+    hits = [k for k in benchmarks if k == prefix or k.startswith(prefix + "/")]
+    if len(hits) != 1:
+        sys.exit(
+            f"bench_compare: arm '{prefix}' matched {len(hits)} benchmark(s): "
+            f"{', '.join(sorted(hits)) or 'none'}"
+        )
+    return benchmarks[hits[0]]
+
+
+def gate(args):
+    benchmarks = load_benchmarks(args.run)
+    base = find_arm(benchmarks, args.bench, args.base)
+    test = find_arm(benchmarks, args.bench, args.test)
+    phases = args.phase.split(",")
+    label = "+".join(phases) + f"_p{args.percentile}"
+
+    base_sum = phase_sum(base, phases, args.percentile)
+    test_sum = phase_sum(test, phases, args.percentile)
+    if base_sum is None or test_sum is None:
+        sys.exit(f"bench_compare: gate arms lack the {label} counters")
+    ratio = base_sum / test_sum if test_sum > 0 else float("inf")
+    ok = ratio >= args.improve
+    print(
+        f"gate: {label}  base={fmt_ns(base_sum)}  test={fmt_ns(test_sum)}  "
+        f"improvement={ratio:.2f}x  (need >= {args.improve:.2f}x)"
+        f"{'' if ok else '  FAIL'}"
+    )
+
+    flat_phases = args.flat.split(",") if args.flat else []
+    for p in flat_phases:
+        key = f"{p}_{args.flat_stat}"
+        b = base.get("counters", {}).get(key)
+        t = test.get("counters", {}).get(key)
+        if b is None or t is None:
+            print(f"gate: {key}  missing counter  FAIL")
+            ok = False
+            continue
+        if b == 0 and t == 0:
+            print(f"gate: {key}  base=0  test=0  flat")
+            continue
+        drift = abs(t - b) / b if b > 0 else float("inf")
+        flat_ok = drift <= args.flat_tol
+        print(
+            f"gate: {key}  base={fmt_ns(b)}  test={fmt_ns(t)}  "
+            f"drift={drift * 100:.1f}%  (allowed {args.flat_tol * 100:.0f}%)"
+            f"{'' if flat_ok else '  FAIL'}"
+        )
+        ok = ok and flat_ok
+
+    print("gate: PASS" if ok else "gate: FAIL")
+    return 0 if ok else 1
+
+
 def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "merge":
         if len(sys.argv) < 4:
             sys.exit("usage: bench_compare.py merge OUT.json IN.json [IN.json ...]")
         merge(sys.argv[2], sys.argv[3:])
         return 0
+
+    if len(sys.argv) >= 2 and sys.argv[1] == "gate":
+        ap = argparse.ArgumentParser(prog="bench_compare.py gate")
+        ap.add_argument("run", help="bench JSON of ONE run (file or directory)")
+        ap.add_argument("--bench", required=True, help="bench binary name")
+        ap.add_argument("--base", required=True, help="baseline arm name prefix")
+        ap.add_argument("--test", required=True, help="candidate arm name prefix")
+        ap.add_argument("--phase", required=True,
+                        help="comma-separated phases whose summed percentile "
+                             "must improve")
+        ap.add_argument("--improve", type=float, default=2.0,
+                        help="required improvement factor (default 2.0)")
+        ap.add_argument("--percentile", default="99",
+                        help="percentile for the improvement phases "
+                             "(default 99)")
+        ap.add_argument("--flat", default="",
+                        help="comma-separated phases that must NOT move")
+        ap.add_argument("--flat-tol", type=float, default=0.10,
+                        help="allowed relative drift for flat phases "
+                             "(default 0.10)")
+        ap.add_argument("--flat-stat", default="p50",
+                        help="counter suffix for the flat phases "
+                             "(p50/p90/p99/mean/count; default p50)")
+        return gate(ap.parse_args(sys.argv[2:]))
 
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old", help="baseline bench JSON (file or directory)")
@@ -191,8 +312,21 @@ def main():
         action="store_true",
         help="also print the engine counter totals of both runs",
     )
+    ap.add_argument(
+        "--phase",
+        default="",
+        help="comma-separated phase names: compare the summed "
+             "'<phase>_p<percentile>' counters instead of wall time",
+    )
+    ap.add_argument(
+        "--percentile",
+        default="99",
+        help="percentile suffix used with --phase (default 99)",
+    )
     args = ap.parse_args()
-    return compare(args.old, args.new, args.threshold, args.metrics)
+    return compare(args.old, args.new, args.threshold, args.metrics,
+                   args.phase.split(",") if args.phase else None,
+                   args.percentile)
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
 # Tests exercising shared state from multiple threads: the design service,
 # the line-protocol front end over it, and the process-global metrics.
-TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder'
+TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder|ShardStress|ShardRecovery'
 # The durability layer: raw-fd journal I/O, checkpoint rename dance, replay,
 # and the reader's append-rollback path — everything that touches memory by
 # hand.  Run under ASan/UBSan by --asan.
@@ -89,12 +89,33 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   cmake --build build-bench -j "$(nproc)" --target $BENCH_SMOKE
   stats_files=()
   for b in $BENCH_SMOKE; do
+    # Flush the previous bench's dirty pages: bench_persistence leaves a
+    # writeback backlog that can stall the next bench's fsyncs for ~100ms.
+    sync
     STEMCP_BENCH_STATS="build-bench/$b.stats.json" \
       "build-bench/bench/$b" --benchmark_min_time=0.05
     stats_files+=("build-bench/$b.stats.json")
   done
   tools/bench_compare.py merge build-bench/BENCH.json "${stats_files[@]}"
   echo "bench smoke written to build-bench/BENCH.json"
+  # Sharding acceptance gate: at the saturating rate, going from one shard
+  # (one worker serializing every fsync) to eight shard-per-worker lanes must
+  # cut the queue+lock p99 at least 2x, while the propagate/fsync medians stay
+  # within one log2 histogram bucket — tol 1.01 because one bucket step on
+  # the 2^i-1 bounds is a 2.0000076x ratio; docs/PERFORMANCE.md explains why
+  # sub-bucket tolerances are meaningless on this host.
+  echo "== sharding gate (queue+lock p99, 12000 rps, 1 vs 8 shards) =="
+  if ! tools/bench_compare.py gate build-bench/BENCH.json \
+      --bench bench_latency_under_load \
+      --base BM_LatencyUnderLoad/12000/1 --test BM_LatencyUnderLoad/12000/8 \
+      --phase queue,lock --improve 2.0 \
+      --flat propagate,fsync --flat-stat p50 --flat-tol 1.01; then
+    if [[ "${STEMCP_BENCH_GATE:-0}" == 1 ]]; then
+      echo "sharding gate failed" >&2
+      exit 1
+    fi
+    echo "(sharding gate reported failure; STEMCP_BENCH_GATE=1 makes this fatal)"
+  fi
   # Perf trajectory: diff against the newest committed snapshot.  The diff
   # always prints; STEMCP_BENCH_GATE=1 turns >10% regressions into a hard
   # failure (kept opt-in because shared CI machines are noisy).
@@ -110,6 +131,13 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     fi
   else
     echo "no committed snapshot in bench/snapshots/ to diff against"
+  fi
+  # STEMCP_BENCH_RECORD=<path> snapshots this run (e.g.
+  # bench/snapshots/BENCH_0007.json) for future trajectory diffs.  Recorded
+  # AFTER the diff so the run never compares against itself.
+  if [[ -n "${STEMCP_BENCH_RECORD:-}" ]]; then
+    cp build-bench/BENCH.json "$STEMCP_BENCH_RECORD"
+    echo "bench snapshot recorded to $STEMCP_BENCH_RECORD"
   fi
 fi
 
