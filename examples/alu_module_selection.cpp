@@ -6,6 +6,7 @@
 // ripple-carry adder, a tight delay budget selects the carry-select adder.
 #include <iostream>
 
+#include "fd/selection.h"
 #include "stem/stem.h"
 
 using namespace stemcp;
@@ -84,9 +85,24 @@ void run_case(const char* label, core::Coord slot_height, double budget_ns) {
     std::cout << "  valid realization: " << c->name() << "\n";
   }
   const auto& stats = f.lib.selection_stats();
-  std::cout << "  (" << stats.candidates_tested << " candidates tested, "
-            << stats.delay_checks << " delay probes, " << stats.bbox_checks
-            << " bbox checks)\n\n";
+  std::cout << "  (generate-and-test: " << stats.candidates_tested
+            << " candidates tested, " << stats.delay_checks
+            << " delay probes, " << stats.bbox_checks << " bbox checks)\n";
+
+  // The same question through the FD solver (docs/SOLVER.md): one
+  // set-domain variable over the candidate realizations, pruned by
+  // arithmetic filters instead of per-candidate propagation probes.
+  fd::SelectionSpace space(f.lib);
+  space.add_slot(*f.add8, *f.adder_slot);
+  std::size_t fd_found = 0;
+  if (space.establish()) fd_found = space.solve(0);
+  for (std::size_t i = 0; i < fd_found; ++i) {
+    std::cout << "  fd solution: " << space.solutions()[i][0]->name() << "\n";
+  }
+  if (fd_found == 0) std::cout << "  fd: no valid realization\n";
+  std::cout << "  (fd: " << space.stats().candidates_explored
+            << " candidates explored, " << space.stats().subtrees_pruned
+            << " subtrees pruned, zero propagation probes)\n\n";
 }
 }  // namespace
 

@@ -30,6 +30,28 @@ const char* kServiceDesign =
     "spec <= 1e-7\\n"
     "end\\n";
 
+// A module-selection design (thesis §8, docs/SOLVER.md): a generic adder
+// with a slow-but-small ripple-carry and a fast-but-large carry-select
+// realization, instantiated under a 6 ns delay budget.  Only the
+// carry-select meets it — `service select` finds that without probing the
+// engine per candidate.
+const char* kSelectionDesign =
+    "cell ADD generic\\n"
+    "signal a input\\nsignal out output\\ndelay a out\\nend\\n"
+    "cell ADD.RC super ADD\\n"
+    "bbox 0 0 8 10\\n"
+    "signal a input\\nsignal out output\\ndelay a out value 8e-9\\nend\\n"
+    "cell ADD.CS super ADD\\n"
+    "bbox 0 0 8 22\\n"
+    "signal a input\\nsignal out output\\ndelay a out value 5e-9\\nend\\n"
+    "cell ALU\\n"
+    "signal a input\\nsignal out output\\n"
+    "delay a out\\nspec <= 6e-9\\n"
+    "subcell add ADD R0 0 0\\n"
+    "net n_in\\nio a\\nconn add a\\n"
+    "net n_out\\nconn add out\\nio out\\n"
+    "end\\n";
+
 // Drive N sessions concurrently through open → load → edits → batched
 // assignments → save → close, every request submitted asynchronously.
 void concurrent_sessions_demo(service::DesignService& svc, int n) {
@@ -191,6 +213,8 @@ int main(int argc, char** argv) {
     // same engine as a multi-session service behind `service ...`.
     const std::string load_a =
         std::string("service load a text ") + kServiceDesign;
+    const std::string load_b =
+        std::string("service load b text ") + kSelectionDesign;
     const char* script[] = {
         "vars",
         "set reg.delay 60e-9",
@@ -218,6 +242,17 @@ int main(int argc, char** argv) {
         "service recover a /tmp/stemcp_shell_demo",
         "service query a STAGE.delay(in->out)",
         "service close a",
+        // Module selection (§8, docs/SOLVER.md): enumerate feasible
+        // realizations of the generic adder under the ALU's delay budget,
+        // then commit the winner and read the now-concrete ALU delay.
+        "service open b",
+        load_b.c_str(),
+        "service select-stats b ALU",
+        "service select b ALU limit 0",
+        "service select b ALU commit",
+        "service query b ALU.delay(a->out)",
+        "service query b stats",
+        "service close b",
     };
     for (const char* cmd : script) {
       std::cout << "> " << cmd << "\n" << shell.execute(cmd);

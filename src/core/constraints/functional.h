@@ -154,6 +154,9 @@ class UniLinearConstraint : public FunctionalConstraint {
   UniLinearConstraint(PropagationContext& ctx, double scale, double offset)
       : FunctionalConstraint(ctx), scale_(scale), offset_(offset) {}
 
+  double scale() const { return scale_; }
+  double offset() const { return offset_; }
+
  protected:
   Value compute() const override;
   std::string kind() const override { return "uniLinear"; }
@@ -168,6 +171,8 @@ class UniProductConstraint : public FunctionalConstraint {
  public:
   explicit UniProductConstraint(PropagationContext& ctx, double scale = 1.0)
       : FunctionalConstraint(ctx), scale_(scale) {}
+
+  double scale() const { return scale_; }
 
  protected:
   Value compute() const override;

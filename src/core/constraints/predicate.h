@@ -59,6 +59,8 @@ class ComparisonConstraint : public PredicateConstraint {
   static ComparisonConstraint& between(PropagationContext& ctx, Relation r,
                                        Variable& lhs, Variable& rhs);
 
+  Relation relation() const { return relation_; }
+
   bool is_satisfied() const override;
 
  protected:

@@ -1,0 +1,447 @@
+#include "fd/derive.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/constraints/functional.h"
+#include "core/constraints/predicate.h"
+#include "core/engine.h"
+#include "core/variable.h"
+
+namespace stemcp::fd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Clamp helpers that skip non-finite bounds: unbounded inputs produce
+/// infinite (or NaN, for inf-inf) bound arithmetic, and an infinite bound
+/// can never prune anyway.
+bool clamp_lo_finite(Problem& p, DomainVariable& v, double lo) {
+  if (!std::isfinite(lo)) return !p.failed();
+  return p.clamp_lo(v, lo);
+}
+bool clamp_hi_finite(Problem& p, DomainVariable& v, double hi) {
+  if (!std::isfinite(hi)) return !p.failed();
+  return p.clamp_hi(v, hi);
+}
+
+/// var <relation> bound (BoundConstraint).  Strict relations prune like
+/// their weak forms — sound (no solution removed); the engine's final check
+/// still rejects equality at a strict bound.
+class BoundPropagator : public Propagator {
+ public:
+  BoundPropagator(Problem& p, DomainVariable& v, core::Relation r,
+                  double bound)
+      : Propagator(p, kFdUnaryAgenda), v_(&v), rel_(r), bound_(bound) {
+    p.subscribe(v, *this, kEventBounds);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    switch (rel_) {
+      case core::Relation::kLess:
+      case core::Relation::kLessEqual:
+        clamp_hi_finite(p, *v_, bound_);
+        break;
+      case core::Relation::kGreater:
+      case core::Relation::kGreaterEqual:
+        clamp_lo_finite(p, *v_, bound_);
+        break;
+      case core::Relation::kEqual:
+        if (clamp_lo_finite(p, *v_, bound_)) clamp_hi_finite(p, *v_, bound_);
+        break;
+      case core::Relation::kNotEqual:
+        if (v_->domain().fixed() && v_->domain().lo() == bound_) {
+          p.bind_value(*v_, std::nan(""));  // wipe out: x == forbidden value
+        }
+        break;
+    }
+  }
+  std::string type_name() const override { return "fd.bound"; }
+
+ private:
+  DomainVariable* v_;
+  core::Relation rel_;
+  double bound_;
+};
+
+/// lhs <relation> rhs over two interval variables (ComparisonConstraint).
+class ComparisonPropagator : public Propagator {
+ public:
+  ComparisonPropagator(Problem& p, DomainVariable& l, DomainVariable& r,
+                       core::Relation rel)
+      : Propagator(p, kFdBinaryAgenda), l_(&l), r_(&r), rel_(rel) {
+    p.subscribe(l, *this, kEventBounds);
+    p.subscribe(r, *this, kEventBounds);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    switch (rel_) {
+      case core::Relation::kLess:
+      case core::Relation::kLessEqual:
+        if (!clamp_hi_finite(p, *l_, r_->domain().hi())) return;
+        clamp_lo_finite(p, *r_, l_->domain().lo());
+        break;
+      case core::Relation::kGreater:
+      case core::Relation::kGreaterEqual:
+        if (!clamp_lo_finite(p, *l_, r_->domain().lo())) return;
+        clamp_hi_finite(p, *r_, l_->domain().hi());
+        break;
+      case core::Relation::kEqual:
+        if (!clamp_lo_finite(p, *l_, r_->domain().lo())) return;
+        if (!clamp_hi_finite(p, *l_, r_->domain().hi())) return;
+        if (!clamp_lo_finite(p, *r_, l_->domain().lo())) return;
+        clamp_hi_finite(p, *r_, l_->domain().hi());
+        break;
+      case core::Relation::kNotEqual:
+        if (l_->domain().fixed() && r_->domain().fixed() &&
+            l_->domain().lo() == r_->domain().lo()) {
+          p.bind_value(*l_, std::nan(""));  // wipe out
+        }
+        break;
+    }
+  }
+  std::string type_name() const override { return "fd.comparison"; }
+
+ private:
+  DomainVariable* l_;
+  DomainVariable* r_;
+  core::Relation rel_;
+};
+
+/// left + gap <= right (SpacingConstraint).
+class SpacingPropagator : public Propagator {
+ public:
+  SpacingPropagator(Problem& p, DomainVariable& l, DomainVariable& r,
+                    double gap)
+      : Propagator(p, kFdBinaryAgenda), l_(&l), r_(&r), gap_(gap) {
+    p.subscribe(l, *this, kEventBounds);
+    p.subscribe(r, *this, kEventBounds);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    if (!clamp_hi_finite(p, *l_, r_->domain().hi() - gap_)) return;
+    clamp_lo_finite(p, *r_, l_->domain().lo() + gap_);
+  }
+  std::string type_name() const override { return "fd.spacing"; }
+
+ private:
+  DomainVariable* l_;
+  DomainVariable* r_;
+  double gap_;
+};
+
+/// result = sum(inputs) + offset (UniAdditionConstraint): forward interval
+/// sum plus reverse pruning of each input from the result and the others.
+class SumPropagator : public Propagator {
+ public:
+  SumPropagator(Problem& p, DomainVariable& result,
+                std::vector<DomainVariable*> inputs, double offset)
+      : Propagator(p, kFdLinearAgenda), result_(&result),
+        inputs_(std::move(inputs)), offset_(offset) {
+    p.subscribe(result, *this, kEventBounds);
+    for (DomainVariable* in : inputs_) p.subscribe(*in, *this, kEventBounds);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    double lo = offset_, hi = offset_;
+    for (DomainVariable* in : inputs_) {
+      lo += in->domain().lo();
+      hi += in->domain().hi();
+    }
+    if (!clamp_lo_finite(p, *result_, lo)) return;
+    if (!clamp_hi_finite(p, *result_, hi)) return;
+    for (DomainVariable* in : inputs_) {
+      // in = result - offset - (others): subtract this input's own
+      // contribution back out of the full sums.
+      const double others_lo = lo - in->domain().lo();
+      const double others_hi = hi - in->domain().hi();
+      if (!clamp_lo_finite(p, *in, result_->domain().lo() - others_hi)) return;
+      if (!clamp_hi_finite(p, *in, result_->domain().hi() - others_lo)) return;
+    }
+  }
+  std::string type_name() const override { return "fd.sum"; }
+
+ private:
+  DomainVariable* result_;
+  std::vector<DomainVariable*> inputs_;
+  double offset_;
+};
+
+/// result = max(inputs) (UniMaximumConstraint) or min (UniMinimumConstraint).
+class ExtremumPropagator : public Propagator {
+ public:
+  ExtremumPropagator(Problem& p, DomainVariable& result,
+                     std::vector<DomainVariable*> inputs, bool is_max)
+      : Propagator(p, kFdLinearAgenda), result_(&result),
+        inputs_(std::move(inputs)), is_max_(is_max) {
+    p.subscribe(result, *this, kEventBounds);
+    for (DomainVariable* in : inputs_) p.subscribe(*in, *this, kEventBounds);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    if (inputs_.empty()) return;
+    if (is_max_) {
+      double lo = -kInf, hi = -kInf;
+      for (DomainVariable* in : inputs_) {
+        lo = std::max(lo, in->domain().lo());
+        hi = std::max(hi, in->domain().hi());
+      }
+      if (!clamp_lo_finite(p, *result_, lo)) return;
+      if (!clamp_hi_finite(p, *result_, hi)) return;
+      // Every input is <= the max.
+      for (DomainVariable* in : inputs_) {
+        if (!clamp_hi_finite(p, *in, result_->domain().hi())) return;
+      }
+    } else {
+      double lo = kInf, hi = kInf;
+      for (DomainVariable* in : inputs_) {
+        lo = std::min(lo, in->domain().lo());
+        hi = std::min(hi, in->domain().hi());
+      }
+      if (!clamp_lo_finite(p, *result_, lo)) return;
+      if (!clamp_hi_finite(p, *result_, hi)) return;
+      for (DomainVariable* in : inputs_) {
+        if (!clamp_lo_finite(p, *in, result_->domain().lo())) return;
+      }
+    }
+  }
+  std::string type_name() const override {
+    return is_max_ ? "fd.max" : "fd.min";
+  }
+
+ private:
+  DomainVariable* result_;
+  std::vector<DomainVariable*> inputs_;
+  bool is_max_;
+};
+
+/// result = scale * input + offset (UniLinearConstraint), both directions.
+class LinearPropagator : public Propagator {
+ public:
+  LinearPropagator(Problem& p, DomainVariable& result, DomainVariable& input,
+                   double scale, double offset)
+      : Propagator(p, kFdLinearAgenda), result_(&result), input_(&input),
+        scale_(scale), offset_(offset) {
+    p.subscribe(result, *this, kEventBounds);
+    p.subscribe(input, *this, kEventBounds);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    if (scale_ == 0.0) {
+      clamp_lo_finite(p, *result_, offset_);
+      clamp_hi_finite(p, *result_, offset_);
+      return;
+    }
+    const double a = scale_ * input_->domain().lo() + offset_;
+    const double b = scale_ * input_->domain().hi() + offset_;
+    if (!clamp_lo_finite(p, *result_, std::min(a, b))) return;
+    if (!clamp_hi_finite(p, *result_, std::max(a, b))) return;
+    const double c = (result_->domain().lo() - offset_) / scale_;
+    const double d = (result_->domain().hi() - offset_) / scale_;
+    if (!clamp_lo_finite(p, *input_, std::min(c, d))) return;
+    clamp_hi_finite(p, *input_, std::max(c, d));
+  }
+  std::string type_name() const override { return "fd.linear"; }
+
+ private:
+  DomainVariable* result_;
+  DomainVariable* input_;
+  double scale_;
+  double offset_;
+};
+
+/// result = product(inputs) * scale (UniProductConstraint), forward only —
+/// interval product via the endpoint-product envelope.
+class ProductPropagator : public Propagator {
+ public:
+  ProductPropagator(Problem& p, DomainVariable& result,
+                    std::vector<DomainVariable*> inputs, double scale)
+      : Propagator(p, kFdLinearAgenda), result_(&result),
+        inputs_(std::move(inputs)), scale_(scale) {
+    for (DomainVariable* in : inputs_) p.subscribe(*in, *this, kEventBounds);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    double lo = scale_, hi = scale_;
+    for (DomainVariable* in : inputs_) {
+      const double a = lo * in->domain().lo();
+      const double b = lo * in->domain().hi();
+      const double c = hi * in->domain().lo();
+      const double d = hi * in->domain().hi();
+      lo = std::min(std::min(a, b), std::min(c, d));
+      hi = std::max(std::max(a, b), std::max(c, d));
+      if (!std::isfinite(lo) || !std::isfinite(hi)) return;  // unbounded input
+    }
+    if (!clamp_lo_finite(p, *result_, lo)) return;
+    clamp_hi_finite(p, *result_, hi);
+  }
+  std::string type_name() const override { return "fd.product"; }
+
+ private:
+  DomainVariable* result_;
+  std::vector<DomainVariable*> inputs_;
+  double scale_;
+};
+
+/// Look every argument up in the map; nullopt when any is missing.
+bool map_all(const std::vector<core::Variable*>& args, const VarMap& map,
+             std::vector<DomainVariable*>* out) {
+  out->clear();
+  for (core::Variable* a : args) {
+    auto it = map.find(a);
+    if (it == map.end()) return false;
+    out->push_back(it->second);
+  }
+  return true;
+}
+
+/// Inputs of a functional constraint = arguments minus the result variable
+/// (one occurrence).
+bool map_inputs(const core::FunctionalConstraint& c, const VarMap& map,
+                std::vector<DomainVariable*>* inputs, DomainVariable** result) {
+  const core::Variable* rv = c.result_variable();
+  if (rv == nullptr) return false;
+  auto rit = map.find(rv);
+  if (rit == map.end()) return false;
+  *result = rit->second;
+  inputs->clear();
+  bool skipped_result = false;
+  for (core::Variable* a : c.arguments()) {
+    if (a == rv && !skipped_result) {
+      skipped_result = true;
+      continue;
+    }
+    auto it = map.find(a);
+    if (it == map.end()) return false;
+    inputs->push_back(it->second);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t derive_interval_network(Problem& p,
+                                    const core::PropagationContext& ctx,
+                                    const VarMap& map) {
+  std::size_t derived = 0;
+  std::vector<DomainVariable*> mapped;
+  for (core::Constraint* c : ctx.all_constraints()) {
+    if (auto* b = dynamic_cast<core::BoundConstraint*>(c)) {
+      if (!b->bound().is_number()) continue;
+      if (!map_all(b->arguments(), map, &mapped)) continue;
+      for (DomainVariable* v : mapped) {
+        p.make<BoundPropagator>(*v, b->relation(), b->bound().as_number());
+        ++derived;
+      }
+    } else if (auto* rg = dynamic_cast<core::RangeConstraint*>(c)) {
+      if (!map_all(rg->arguments(), map, &mapped)) continue;
+      for (DomainVariable* v : mapped) {
+        p.make<BoundPropagator>(*v, core::Relation::kGreaterEqual, rg->lo());
+        p.make<BoundPropagator>(*v, core::Relation::kLessEqual, rg->hi());
+        derived += 2;
+      }
+    } else if (auto* cmp = dynamic_cast<core::ComparisonConstraint*>(c)) {
+      if (cmp->arguments().size() != 2) continue;
+      if (!map_all(cmp->arguments(), map, &mapped)) continue;
+      p.make<ComparisonPropagator>(*mapped[0], *mapped[1], cmp->relation());
+      ++derived;
+    } else if (auto* sp = dynamic_cast<core::SpacingConstraint*>(c)) {
+      if (sp->arguments().size() != 2) continue;
+      if (!map_all(sp->arguments(), map, &mapped)) continue;
+      p.make<SpacingPropagator>(*mapped[0], *mapped[1], sp->gap());
+      ++derived;
+    } else if (auto* add = dynamic_cast<core::UniAdditionConstraint*>(c)) {
+      std::vector<DomainVariable*> inputs;
+      DomainVariable* result = nullptr;
+      if (!map_inputs(*add, map, &inputs, &result)) continue;
+      p.make<SumPropagator>(*result, std::move(inputs), add->offset());
+      ++derived;
+    } else if (auto* mx = dynamic_cast<core::UniMaximumConstraint*>(c)) {
+      std::vector<DomainVariable*> inputs;
+      DomainVariable* result = nullptr;
+      if (!map_inputs(*mx, map, &inputs, &result)) continue;
+      p.make<ExtremumPropagator>(*result, std::move(inputs), /*is_max=*/true);
+      ++derived;
+    } else if (auto* mn = dynamic_cast<core::UniMinimumConstraint*>(c)) {
+      std::vector<DomainVariable*> inputs;
+      DomainVariable* result = nullptr;
+      if (!map_inputs(*mn, map, &inputs, &result)) continue;
+      p.make<ExtremumPropagator>(*result, std::move(inputs), /*is_max=*/false);
+      ++derived;
+    } else if (auto* lin = dynamic_cast<core::UniLinearConstraint*>(c)) {
+      std::vector<DomainVariable*> inputs;
+      DomainVariable* result = nullptr;
+      if (!map_inputs(*lin, map, &inputs, &result)) continue;
+      if (inputs.size() != 1) continue;
+      p.make<LinearPropagator>(*result, *inputs[0], lin->scale(),
+                               lin->offset());
+      ++derived;
+    } else if (auto* prod = dynamic_cast<core::UniProductConstraint*>(c)) {
+      std::vector<DomainVariable*> inputs;
+      DomainVariable* result = nullptr;
+      if (!map_inputs(*prod, map, &inputs, &result)) continue;
+      p.make<ProductPropagator>(*result, std::move(inputs), prod->scale());
+      ++derived;
+    }
+  }
+  return derived;
+}
+
+CommitOutcome solve_and_commit(
+    core::PropagationContext& ctx,
+    const std::vector<std::pair<core::Variable*, double>>& assignments) {
+  CommitOutcome out;
+
+  // ---- FD advisory pass ---------------------------------------------------
+  Problem problem;
+  VarMap map;
+  auto domain_for = [&](const core::Variable* v) -> Domain {
+    for (const auto& [var, val] : assignments) {
+      if (var == v) return Domain::singleton(val);
+    }
+    // User-pinned values are immovable (overwrite precedence: #USER
+    // outranks propagated); everything else may be recomputed, so it gets
+    // an unbounded interval.
+    if (v->last_set_by().is_user() && v->value().is_number()) {
+      return Domain::singleton(v->value().as_number());
+    }
+    return Domain::interval(-kInf, kInf);
+  };
+  // One FD variable per engine variable reachable from any constraint, plus
+  // the assignment targets themselves (they may be unconstrained).
+  auto ensure = [&](core::Variable* v) {
+    if (map.count(v) != 0) return;
+    map[v] = &problem.add_variable(v->path(), domain_for(v));
+  };
+  for (const auto& [var, val] : assignments) ensure(var);
+  for (core::Constraint* c : ctx.all_constraints()) {
+    for (core::Variable* a : c->arguments()) ensure(a);
+  }
+  out.propagators = derive_interval_network(problem, ctx, map);
+  if (!problem.propagate_all()) out.fd_wipeout = true;
+  out.prunings = problem.stats().prunings;
+
+  // ---- authoritative engine commit ---------------------------------------
+  const std::uint64_t restores_before = ctx.stats().restores;
+  out.status = ctx.run_session([&]() -> core::Status {
+    for (const auto& [var, val] : assignments) {
+      core::Status s =
+          var->set_in_session(core::Value(val), core::Justification::user());
+      if (s.is_violation()) return s;
+    }
+    return core::Status::ok();
+  });
+  out.restores =
+      static_cast<std::size_t>(ctx.stats().restores - restores_before);
+  return out;
+}
+
+}  // namespace stemcp::fd

@@ -1,0 +1,56 @@
+// Deriving domain-reduction propagators from the engine's constraint
+// library (docs/SOLVER.md).  Each core constraint class maps onto an
+// arc-consistency filter that runs the same check/compute relation against
+// domain *bounds* instead of single values: BoundConstraint/RangeConstraint
+// become unary clamps, ComparisonConstraint/SpacingConstraint binary bounds
+// filters, UniAddition a forward+reverse sum filter, UniMaximum/UniMinimum
+// forward filters with one-sided reverse pruning, UniLinear/UniProduct
+// forward filters.  Constraints mentioning variables outside the supplied
+// map are skipped — derivation is advisory; the engine stays authoritative.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "fd/solver.h"
+
+namespace stemcp::core {
+class PropagationContext;
+class Variable;
+}  // namespace stemcp::core
+
+namespace stemcp::fd {
+
+/// Engine variable -> FD interval variable.
+using VarMap = std::map<const core::Variable*, DomainVariable*>;
+
+/// Translate every translatable constraint of ctx whose arguments are all
+/// mapped into propagators on p.  Returns the number of propagators
+/// derived.
+std::size_t derive_interval_network(Problem& p,
+                                    const core::PropagationContext& ctx,
+                                    const VarMap& map);
+
+/// Outcome of solve_and_commit: the FD verdict plus the authoritative
+/// engine outcome.
+struct CommitOutcome {
+  bool fd_wipeout = false;      ///< fixpoint proved the batch infeasible
+  std::size_t propagators = 0;  ///< filters derived from the network
+  std::uint64_t prunings = 0;   ///< domain shrinks during the fixpoint
+  core::Status status;          ///< engine result (authoritative)
+  std::size_t restores = 0;     ///< variables unwound on violation
+};
+
+/// FD-check then commit a batch of user assignments: build singleton/
+/// interval domains over the engine network (assigned and user-pinned
+/// variables become singletons, free variables unbounded intervals), run
+/// the fixpoint, then commit the batch through one engine session
+/// (set_in_session, all-or-nothing restore) regardless — the engine is the
+/// source of truth; fd_wipeout is the solver's advance warning.
+CommitOutcome solve_and_commit(
+    core::PropagationContext& ctx,
+    const std::vector<std::pair<core::Variable*, double>>& assignments);
+
+}  // namespace stemcp::fd

@@ -1,0 +1,151 @@
+#include "fd/domain.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace stemcp::fd {
+
+namespace {
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+}
+
+Domain Domain::all_of(std::size_t n) {
+  Domain d;
+  d.kind_ = Kind::kSet;
+  d.universe_ = n;
+  d.count_ = n;
+  d.words_.assign((n + 63) / 64, 0);
+  for (std::size_t i = 0; i < d.words_.size(); ++i) {
+    const std::size_t remaining = n - i * 64;
+    d.words_[i] = remaining >= 64 ? kAllOnes : ((std::uint64_t{1} << remaining) - 1);
+  }
+  d.lo_ = 0.0;
+  d.hi_ = n == 0 ? -1.0 : static_cast<double>(n - 1);
+  return d;
+}
+
+Domain Domain::interval(double lo, double hi) {
+  Domain d;
+  d.kind_ = Kind::kInterval;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  return d;
+}
+
+bool Domain::empty() const {
+  return is_set() ? count_ == 0 : lo_ > hi_;
+}
+
+bool Domain::fixed() const {
+  return is_set() ? count_ == 1 : (!empty() && lo_ == hi_);
+}
+
+bool Domain::contains(std::size_t idx) const {
+  if (!is_set() || idx >= universe_) return false;
+  return (words_[idx / 64] >> (idx % 64)) & 1;
+}
+
+std::size_t Domain::min_index() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * 64 + static_cast<unsigned>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return universe_;  // empty
+}
+
+std::size_t Domain::max_index() const {
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return w * 64 + 63 - static_cast<unsigned>(__builtin_clzll(words_[w]));
+    }
+  }
+  return universe_;  // empty
+}
+
+EventSet Domain::remove(std::size_t idx) {
+  assert(is_set());
+  if (!contains(idx)) return kEventNone;
+  const std::size_t old_min = min_index();
+  const std::size_t old_max = max_index();
+  words_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+  --count_;
+  if (count_ == 0) return kEventDomain | kEventBounds | kEventWipeout;
+  EventSet e = kEventDomain;
+  if (idx == old_min || idx == old_max) e |= kEventBounds;
+  if (count_ == 1) e |= kEventValue;
+  return e;
+}
+
+EventSet Domain::bind(std::size_t idx) {
+  assert(is_set());
+  if (!contains(idx)) {
+    // Binding to a non-member wipes the domain out.
+    if (count_ == 0) return kEventWipeout;
+    words_.assign(words_.size(), 0);
+    count_ = 0;
+    return kEventDomain | kEventBounds | kEventWipeout;
+  }
+  if (count_ == 1) return kEventNone;
+  words_.assign(words_.size(), 0);
+  words_[idx / 64] = std::uint64_t{1} << (idx % 64);
+  count_ = 1;
+  return kEventDomain | kEventBounds | kEventValue;
+}
+
+bool Domain::contains(double v) const {
+  return is_interval() && v >= lo_ && v <= hi_;
+}
+
+EventSet Domain::clamp_lo(double lo) {
+  assert(is_interval());
+  if (empty() || lo <= lo_) return kEventNone;
+  lo_ = lo;
+  if (lo_ > hi_) return kEventBounds | kEventWipeout;
+  EventSet e = kEventDomain | kEventBounds;
+  if (lo_ == hi_) e |= kEventValue;
+  return e;
+}
+
+EventSet Domain::clamp_hi(double hi) {
+  assert(is_interval());
+  if (empty() || hi >= hi_) return kEventNone;
+  hi_ = hi;
+  if (lo_ > hi_) return kEventBounds | kEventWipeout;
+  EventSet e = kEventDomain | kEventBounds;
+  if (lo_ == hi_) e |= kEventValue;
+  return e;
+}
+
+EventSet Domain::bind_value(double v) {
+  assert(is_interval());
+  if (!contains(v)) {
+    const bool was_empty = empty();
+    lo_ = 0.0;
+    hi_ = -1.0;
+    return was_empty ? kEventWipeout : (kEventBounds | kEventWipeout);
+  }
+  if (fixed()) return kEventNone;
+  lo_ = hi_ = v;
+  return kEventDomain | kEventBounds | kEventValue;
+}
+
+std::string Domain::to_string() const {
+  std::ostringstream out;
+  if (is_interval()) {
+    if (empty()) return "[]";
+    out << "[" << lo_ << ", " << hi_ << "]";
+    return out.str();
+  }
+  out << "{";
+  bool first = true;
+  for_each([&](std::size_t i) {
+    if (!first) out << ",";
+    first = false;
+    out << i;
+  });
+  out << "}";
+  return out.str();
+}
+
+}  // namespace stemcp::fd

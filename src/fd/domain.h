@@ -1,0 +1,104 @@
+// Finite domains (docs/SOLVER.md).  A Domain is either a bitset over the
+// indices [0, n) of a candidate universe (module-selection slots, CSP value
+// sets) or a closed numeric interval [lo, hi] (bounded parameters, delay
+// budgets).  Mutators shrink only — a domain never grows except through the
+// solver trail — and report what changed as an event set in the style of
+// Schulte & Stuckey's propagation engines (PAPERS.md): value (became a
+// singleton), bounds (min or max moved), domain (anything was removed).
+// Propagators subscribe to the events they care about, so a bounds-only
+// filter is never woken by an interior removal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stemcp::fd {
+
+/// Domain-change event set: which watcher classes a mutation wakes.
+using EventSet = unsigned;
+inline constexpr EventSet kEventNone = 0;
+inline constexpr EventSet kEventDomain = 1u << 0;  ///< any element removed
+inline constexpr EventSet kEventBounds = 1u << 1;  ///< min or max moved
+inline constexpr EventSet kEventValue = 1u << 2;   ///< became a singleton
+inline constexpr EventSet kEventWipeout = 1u << 3; ///< became empty (failure)
+inline constexpr EventSet kEventAny =
+    kEventDomain | kEventBounds | kEventValue;
+
+class Domain {
+ public:
+  enum class Kind { kSet, kInterval };
+
+  /// Default: an empty interval (the member initializers below).
+  Domain() = default;
+
+  /// Bitset domain containing every index in [0, n).
+  static Domain all_of(std::size_t n);
+  /// Closed numeric interval [lo, hi]; empty when lo > hi.
+  static Domain interval(double lo, double hi);
+  static Domain singleton(double v) { return interval(v, v); }
+
+  Kind kind() const { return kind_; }
+  bool is_set() const { return kind_ == Kind::kSet; }
+  bool is_interval() const { return kind_ == Kind::kInterval; }
+
+  // ---- common queries -----------------------------------------------------
+  bool empty() const;
+  /// Exactly one element (set) / lo == hi (interval).
+  bool fixed() const;
+
+  // ---- set domains --------------------------------------------------------
+  std::size_t universe_size() const { return universe_; }
+  std::size_t count() const { return count_; }
+  bool contains(std::size_t idx) const;
+  /// Smallest / largest member; call only on a non-empty set domain.
+  std::size_t min_index() const;
+  std::size_t max_index() const;
+  /// The single member of a fixed set domain.
+  std::size_t value_index() const { return min_index(); }
+  /// Invoke f(index) for every member, ascending.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+        f(w * 64 + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Mutators: return the events the change raises (kEventNone on no-op,
+  /// kEventWipeout bit set when the domain became empty).
+  EventSet remove(std::size_t idx);
+  /// Keep only idx; wipes out when idx is not a member.
+  EventSet bind(std::size_t idx);
+
+  // ---- interval domains ---------------------------------------------------
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool contains(double v) const;
+  EventSet clamp_lo(double lo);
+  EventSet clamp_hi(double hi);
+  EventSet bind_value(double v);
+
+  std::string to_string() const;
+
+  friend bool operator==(const Domain&, const Domain&) = default;
+
+ private:
+  Kind kind_ = Kind::kInterval;
+
+  // set representation
+  std::vector<std::uint64_t> words_;
+  std::size_t universe_ = 0;
+  std::size_t count_ = 0;
+
+  // interval representation
+  double lo_ = 0.0;
+  double hi_ = -1.0;
+};
+
+}  // namespace stemcp::fd

@@ -1,0 +1,277 @@
+#include "fd/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/constraints/predicate.h"
+#include "core/variable.h"
+#include "stem/cell.h"
+#include "stem/library.h"
+
+namespace stemcp::fd {
+
+using core::Value;
+using env::CellClass;
+using env::CellInstance;
+using env::ClassDelayVar;
+using env::InstanceDelayVar;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// §8 cost key: smallest area first, then smallest worst-case delay;
+/// uncharacterized aspects sort last.
+struct CostKey {
+  double area = kInf;
+  double delay = kInf;
+
+  friend bool operator<(const CostKey& a, const CostKey& b) {
+    if (a.area != b.area) return a.area < b.area;
+    return a.delay < b.delay;
+  }
+};
+
+CostKey cost_of(CellClass& c) {
+  CostKey key;
+  const Value& bb = c.bounding_box().demand();
+  if (bb.is_rect()) key.area = static_cast<double>(bb.as_rect().area());
+  double worst = -kInf;
+  for (ClassDelayVar* cd : c.delay_variables()) {
+    if (cd->value().is_number()) worst = std::max(worst, cd->value().as_number());
+  }
+  if (std::isfinite(worst)) key.delay = worst;
+  return key;
+}
+
+/// Bound relations attached to a variable (delay budgets are
+/// BoundConstraints on class/instance delay variables).
+void bounds_on(const core::Variable& v,
+               std::vector<std::pair<core::Relation, double>>* out) {
+  out->clear();
+  for (core::Propagatable* p : v.constraints()) {
+    if (auto* b = dynamic_cast<const core::BoundConstraint*>(p)) {
+      if (b->bound().is_number()) {
+        out->emplace_back(b->relation(), b->bound().as_number());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+/// Cross-slot consistency: whenever a slot collapses to one candidate,
+/// re-filter every other slot's remaining candidates with that choice's
+/// context-adjusted delays substituted into the shared paths.  At a full
+/// assignment this is the final feasibility check.
+class CrossSlotFilter : public Propagator {
+ public:
+  CrossSlotFilter(Problem& p, SelectionSpace& space)
+      : Propagator(p, kFdGlobalAgenda), space_(&space) {
+    for (auto& slot : space.slots_) p.subscribe(*slot.var, *this, kEventValue);
+  }
+
+  void filter() override {
+    Problem& p = problem();
+    std::uint64_t fixed_mask = 0;
+    for (std::size_t i = 0; i < space_->slots_.size(); ++i) {
+      if (space_->slots_[i].var->domain().fixed()) fixed_mask |= 1ull << i;
+    }
+    for (std::size_t i = 0; i < space_->slots_.size(); ++i) {
+      SelectionSpace::Slot& slot = space_->slots_[i];
+      const std::uint64_t others = fixed_mask & ~(1ull << i);
+      if (others == 0) continue;  // nothing new to test against
+      std::vector<std::size_t> members;
+      slot.var->domain().for_each(
+          [&](std::size_t idx) { members.push_back(idx); });
+      for (std::size_t idx : members) {
+        ++space_->stats_.candidates_explored;
+        if (!space_->candidate_ok(*slot.candidates[idx], *slot.instance,
+                                  space_->priorities_, others)) {
+          if (!p.remove(*slot.var, idx)) return;  // wipeout
+        }
+      }
+    }
+  }
+  std::string type_name() const override { return "fd.crossSlot"; }
+
+ private:
+  SelectionSpace* space_;
+};
+
+void SelectionSpace::add_slot(CellClass& generic, CellInstance& inst) {
+  Slot s;
+  s.generic = &generic;
+  s.instance = &inst;
+  slots_.push_back(std::move(s));
+  established_ = false;
+}
+
+bool SelectionSpace::candidate_ok(CellClass& cand, CellInstance& inst,
+                                  const std::vector<std::string>& priorities,
+                                  std::size_t fixed_mask) {
+  static const std::vector<std::string> kAll = {"bBox", "signals", "delays"};
+  const auto& order = priorities.empty() ? kAll : priorities;
+  for (const std::string& symbol : order) {
+    if (symbol == "bBox") {
+      if (!cand.valid_bbox_for(inst)) return false;
+    } else if (symbol == "signals") {
+      if (!cand.valid_signals_for(inst)) return false;
+    } else if (symbol == "delays") {
+      if (!delay_feasible(cand, inst, fixed_mask)) return false;
+    }
+  }
+  return true;
+}
+
+bool SelectionSpace::delay_feasible(CellClass& cand, CellInstance& inst,
+                                    std::size_t fixed_mask) {
+  // Substitution table: the candidate's context-adjusted delays for this
+  // slot, plus each already-fixed slot's chosen candidate for its own.
+  std::vector<std::pair<const InstanceDelayVar*, Value>> subst;
+  auto substitute = [&](CellClass& c, CellInstance& i) {
+    for (InstanceDelayVar* dv : i.delay_variables()) {
+      subst.emplace_back(dv, c.adjusted_delay_for(dv->class_delay().from(),
+                                                  dv->class_delay().to(), i));
+    }
+  };
+  substitute(cand, inst);
+  for (std::size_t t = 0; t < slots_.size(); ++t) {
+    if ((fixed_mask >> t & 1) == 0) continue;
+    Slot& other = slots_[t];
+    if (other.instance == &inst || !other.var->domain().fixed()) continue;
+    substitute(*other.candidates[other.var->domain().value_index()],
+               *other.instance);
+  }
+  auto value_of = [&](const InstanceDelayVar* dv) -> const Value& {
+    for (const auto& [k, v] : subst) {
+      if (k == dv) return v;
+    }
+    return dv->value();
+  };
+
+  std::vector<std::pair<core::Relation, double>> budget;
+
+  // Direct budgets on the slot's own delay duals.
+  for (InstanceDelayVar* dv : inst.delay_variables()) {
+    const Value& nd = value_of(dv);
+    if (!nd.is_number()) continue;  // candidate uncharacterized: cannot test
+    bounds_on(*dv, &budget);
+    for (const auto& [rel, bound] : budget) {
+      if (!core::holds(rel, nd.as_number(), bound)) return false;
+    }
+  }
+
+  // Budgets on the parent's class delays: fold the substituted delays
+  // through each delay-network path (left-fold in path order, matching
+  // UniAddition::compute), take the worst complete path (UniMaximum), and
+  // test it against every declared bound.  Paths with an unknown entry are
+  // skipped, exactly as a nil input suppresses the path sum in the engine.
+  CellClass* parent = inst.parent_cell();
+  if (parent == nullptr) return true;
+  for (ClassDelayVar* cd : parent->delay_variables()) {
+    bounds_on(*cd, &budget);
+    if (budget.empty()) continue;
+    double worst = -kInf;
+    for (const auto& path : parent->delay_paths(cd->from(), cd->to())) {
+      double sum = 0.0;
+      bool known = true;
+      for (const InstanceDelayVar* e : path) {
+        const Value& v = value_of(e);
+        if (!v.is_number()) {
+          known = false;
+          break;
+        }
+        sum += v.as_number();
+      }
+      if (known && sum > worst) worst = sum;
+    }
+    if (!std::isfinite(worst)) continue;  // no fully-characterized path
+    for (const auto& [rel, bound] : budget) {
+      if (!core::holds(rel, worst, bound)) return false;
+    }
+  }
+  return true;
+}
+
+bool SelectionSpace::establish(const std::vector<std::string>& priorities) {
+  priorities_ = priorities;
+  solutions_.clear();
+  bool feasible = true;
+  for (Slot& slot : slots_) {
+    slot.candidates.clear();
+    // Fig 8.3 on domains: test generics too; a failing generic prunes its
+    // whole subtree at the cost of one candidate test.
+    auto walk = [&](auto&& self, CellClass& c) -> void {
+      ++stats_.candidates_explored;
+      const bool ok = candidate_ok(c, *slot.instance, priorities_, 0);
+      if (c.is_generic()) {
+        if (!ok) {
+          ++stats_.subtrees_pruned;
+          return;
+        }
+        for (CellClass* sub : c.subclasses()) self(self, *sub);
+        return;
+      }
+      if (ok) slot.candidates.push_back(&c);
+    };
+    for (CellClass* sub : slot.generic->subclasses()) walk(walk, *sub);
+
+    std::stable_sort(slot.candidates.begin(), slot.candidates.end(),
+                     [](CellClass* a, CellClass* b) {
+                       return cost_of(*a) < cost_of(*b);
+                     });
+    slot.var = &problem_.add_set_variable(
+        slot.generic->name() + "/" + slot.instance->name(),
+        slot.candidates.size());
+    if (slot.candidates.empty()) feasible = false;
+  }
+  if (slots_.size() > 1) problem_.make<CrossSlotFilter>(*this);
+  established_ = true;
+  return feasible && problem_.propagate_all();
+}
+
+std::size_t SelectionSpace::solve(std::size_t max_solutions) {
+  if (!established_ && !establish()) return 0;
+  for (const Slot& slot : slots_) {
+    if (slot.var == nullptr || slot.var->domain().empty()) return 0;
+  }
+  Search search(problem_);
+  Search::Options opts;
+  opts.max_solutions = max_solutions;
+  search.solve(opts, [&] {
+    std::vector<CellClass*> chosen;
+    chosen.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+      chosen.push_back(slot.candidates[slot.var->domain().value_index()]);
+    }
+    solutions_.push_back(std::move(chosen));
+    return true;
+  });
+  stats_.nodes += search.stats().nodes;
+  stats_.fails += search.stats().fails;
+  stats_.solutions += search.stats().solutions;
+  return solutions_.size();
+}
+
+std::vector<CellInstance*> SelectionSpace::commit(std::size_t solution_index) {
+  std::vector<CellInstance*> replaced;
+  if (solution_index >= solutions_.size()) return replaced;
+  const auto& chosen = solutions_[solution_index];
+  std::vector<CellClass*> parents;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    CellInstance* inst = slots_[i].instance;
+    CellClass* parent = inst->parent_cell();
+    CellInstance& fresh = parent->replace_subcell(*inst, *chosen[i]);
+    slots_[i].instance = &fresh;
+    replaced.push_back(&fresh);
+    if (std::find(parents.begin(), parents.end(), parent) == parents.end()) {
+      parents.push_back(parent);
+    }
+  }
+  for (CellClass* parent : parents) parent->build_delay_networks();
+  return replaced;
+}
+
+}  // namespace stemcp::fd

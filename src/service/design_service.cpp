@@ -8,6 +8,7 @@
 
 #include "core/core.h"
 #include "core/trace.h"
+#include "fd/selection.h"
 #include "persist/checkpoint.h"
 #include "persist/recovery.h"
 #include "stem/cell.h"
@@ -35,6 +36,8 @@ const char* to_string(RequestType t) {
     case RequestType::kJournal: return "journal";
     case RequestType::kCheckpoint: return "checkpoint";
     case RequestType::kRecover: return "recover";
+    case RequestType::kSelect: return "select";
+    case RequestType::kSelectStats: return "select-stats";
   }
   return "unknown";
 }
@@ -389,6 +392,159 @@ void do_edit(DesignSession& s, const Request& r, Response& resp) {
   resp.ok = true;
 }
 
+/// Shared front half of select / select-stats: parse the slot list and build
+/// the SelectionSpace.  Grammar (docs/SOLVER.md):
+///   <cell> [slot <subcell>]... [limit <n>] [commit]
+/// With no explicit slots, every generic-classed subcell of <cell> becomes a
+/// slot.  Returns nullptr with resp.error set on a parse/lookup failure.
+std::unique_ptr<fd::SelectionSpace> parse_selection(
+    DesignSession& s, const Request& r, Response& resp, std::size_t* limit,
+    bool* commit) {
+  std::istringstream in(r.text);
+  std::string cell;
+  if (!(in >> cell)) {
+    resp.error =
+        "select needs a cell: <cell> [slot <subcell>]... [limit <n>] [commit]";
+    return nullptr;
+  }
+  env::CellClass* c = require_cell(s, cell, resp);
+  if (c == nullptr) return nullptr;
+  std::vector<env::CellInstance*> slots;
+  std::string word;
+  while (in >> word) {
+    if (word == "slot") {
+      std::string inst;
+      if (!(in >> inst)) {
+        resp.error = "slot needs a subcell name";
+        return nullptr;
+      }
+      env::CellInstance* i = c->find_subcell(inst);
+      if (i == nullptr) {
+        resp.error = "unknown subcell '" + inst + "' on " + cell;
+        return nullptr;
+      }
+      if (!i->cls().is_generic()) {
+        resp.error = "subcell '" + inst + "' is not generic (" +
+                     i->cls().name() + ")";
+        return nullptr;
+      }
+      slots.push_back(i);
+    } else if (word == "limit") {
+      if (!(in >> *limit)) {
+        in.clear();
+        resp.error = "limit needs a number";
+        return nullptr;
+      }
+    } else if (word == "commit") {
+      *commit = true;
+    } else {
+      resp.error = "unknown select option '" + word +
+                   "' (expected: slot <subcell>, limit <n>, commit)";
+      return nullptr;
+    }
+  }
+  if (slots.empty()) {
+    for (const auto& sub : c->subcells()) {
+      if (sub->cls().is_generic()) slots.push_back(sub.get());
+    }
+  }
+  if (slots.empty()) {
+    resp.error = "no generic slots in '" + cell + "'";
+    return nullptr;
+  }
+  auto space = std::make_unique<fd::SelectionSpace>(s.library());
+  for (env::CellInstance* i : slots) space->add_slot(i->cls(), *i);
+  return space;
+}
+
+/// FD module selection over the session's library (tentpole; the verb is
+/// journaled so recovery re-derives the same choice deterministically).
+void do_select(DesignSession& s, const Request& r, Response& resp) {
+  core::PropagationContext& ctx = s.library().context();
+  const std::uint64_t restores_before = ctx.stats().restores;
+  std::size_t limit = 0;  // all
+  bool commit = false;
+  const auto space = parse_selection(s, r, resp, &limit, &commit);
+  if (space == nullptr) return;
+  const std::size_t found = space->solve(commit ? 1 : limit);
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < space->solutions().size(); ++i) {
+    out << "solution " << i << ":";
+    const auto& sol = space->solutions()[i];
+    for (std::size_t k = 0; k < space->slots().size(); ++k) {
+      out << ' ' << space->slots()[k].instance->name() << '='
+          << sol[k]->name();
+    }
+    out << '\n';
+  }
+  const fd::SelectionSpace::Stats& st = space->stats();
+  out << found << " solution(s); explored " << st.candidates_explored
+      << " candidate(s), pruned " << st.subtrees_pruned << " subtree(s), "
+      << st.nodes << " search node(s)\n";
+  if (commit) {
+    if (found == 0) {
+      out << "nothing to commit\n";
+    } else {
+      const auto replaced = space->commit(0);
+      resp.assignments_applied = replaced.size();
+      s.selection_tally().commits += replaced.size();
+      out << "committed solution 0:";
+      for (const env::CellInstance* i : replaced) {
+        out << ' ' << i->name() << '=' << i->cls().name();
+      }
+      out << '\n';
+    }
+  }
+  DesignSession::SelectionTally& tally = s.selection_tally();
+  ++tally.requests;
+  tally.solutions += found;
+  tally.candidates_explored += st.candidates_explored;
+  tally.subtrees_pruned += st.subtrees_pruned;
+  resp.text = out.str();
+  resp.ok = true;
+  fill_propagation_outcome(resp, ctx, restores_before, Status::ok());
+}
+
+/// Dry-run selection: same search, but the response is the exploration
+/// counters (FD vs generate-and-test ammunition) and nothing is committed.
+void do_select_stats(DesignSession& s, const Request& r, Response& resp) {
+  std::size_t limit = 0;
+  bool commit = false;
+  const auto space = parse_selection(s, r, resp, &limit, &commit);
+  if (space == nullptr) return;
+  if (commit) {
+    resp.error = "select-stats never commits (use: select ... commit)";
+    return;
+  }
+  const std::size_t found = space->solve(limit);
+  const fd::SelectionSpace::Stats& st = space->stats();
+  std::ostringstream out;
+  out << "slots: " << space->slots().size() << '\n';
+  for (const auto& slot : space->slots()) {
+    out << "  " << slot.instance->name() << ": " << slot.candidates.size()
+        << " candidate(s) after filtering\n";
+  }
+  out << "solutions: " << found << '\n'
+      << "candidates explored: " << st.candidates_explored << '\n'
+      << "subtrees pruned: " << st.subtrees_pruned << '\n'
+      << "search nodes: " << st.nodes << ", fails: " << st.fails << '\n'
+      << "filter runs: " << space->problem().stats().filter_runs
+      << ", prunings: " << space->problem().stats().prunings
+      << ", wipeouts: " << space->problem().stats().wipeouts << '\n';
+  DesignSession::SelectionTally& tally = s.selection_tally();
+  ++tally.requests;
+  tally.solutions += found;
+  tally.candidates_explored += st.candidates_explored;
+  tally.subtrees_pruned += st.subtrees_pruned;
+  out << "session totals: " << tally.requests << " selection request(s), "
+      << tally.solutions << " solution(s), " << tally.candidates_explored
+      << " candidate(s) explored, " << tally.commits
+      << " slot(s) committed\n";
+  resp.text = out.str();
+  resp.ok = true;
+}
+
 void do_query(DesignSession& s, const Request& r, Response& resp) {
   std::istringstream in(r.text);
   std::string what;
@@ -414,6 +570,13 @@ void do_query(DesignSession& s, const Request& r, Response& resp) {
       out << "metrics: " << ctx.metrics().to_json() << '\n';
     }
     out << "requests served: " << s.requests_served() << '\n';
+    if (const DesignSession::SelectionTally& t = s.selection_tally();
+        t.requests > 0) {
+      out << "selection: " << t.requests << " request(s) " << t.solutions
+          << " solution(s) " << t.candidates_explored << " candidate(s) "
+          << t.subtrees_pruned << " pruned " << t.commits
+          << " slot(s) committed\n";
+    }
     if (const persist::Journal* j = s.journal()) {
       out << "journal: base " << s.journal_config().base << " fsync "
           << persist::to_string(j->policy()) << " records "
@@ -587,7 +750,8 @@ void journal_mutation(DesignSession& s, const Request& r, Response& resp,
   if (j == nullptr || !resp.ok) return;
   const bool mutating =
       r.type == RequestType::kLoad || r.type == RequestType::kAssign ||
-      r.type == RequestType::kBatchAssign || r.type == RequestType::kEdit;
+      r.type == RequestType::kBatchAssign || r.type == RequestType::kEdit ||
+      r.type == RequestType::kSelect;
   if (!mutating) return;
   // A fresh-target load swaps the library's whole PropagationContext
   // (metrics registry included), so the sink the journal captured at attach
@@ -596,7 +760,8 @@ void journal_mutation(DesignSession& s, const Request& r, Response& resp,
   persist::JournalRecord rec;
   rec.op = to_string(r.type);
   rec.session = s.name();
-  if (r.type == RequestType::kLoad || r.type == RequestType::kEdit) {
+  if (r.type == RequestType::kLoad || r.type == RequestType::kEdit ||
+      r.type == RequestType::kSelect) {
     rec.text = r.text;
   }
   rec.assignments.reserve(r.assignments.size());
@@ -699,6 +864,8 @@ Response do_recover(SessionManager& sessions, const Request& r,
         do_assign(*s, rr, rresp, true);
       } else if (rec.op == "edit") {
         do_edit(*s, rr, rresp);
+      } else if (rec.op == "select") {
+        do_select(*s, rr, rresp);
       } else {
         resp.error = "journal record " + std::to_string(rec.seq) +
                      " has unknown op '" + rec.op + "'";
@@ -1013,6 +1180,8 @@ Response DesignService::execute(const Request& r, RequestSpan* span,
       do_journal(*s, r, resp, ShardIo{sessions_.get(), shard});
       break;
     case RequestType::kCheckpoint: do_checkpoint(*s, resp); break;
+    case RequestType::kSelect: do_select(*s, r, resp); break;
+    case RequestType::kSelectStats: do_select_stats(*s, r, resp); break;
     case RequestType::kOpen:
     case RequestType::kClose:
     case RequestType::kRecover: break;  // handled above

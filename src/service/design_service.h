@@ -61,6 +61,9 @@ enum class RequestType : std::uint8_t {
   kCheckpoint,   ///< snapshot the library atomically, truncate the journal
   kRecover,      ///< rebuild a session from disk (text: "<base>"); replays
                  ///< checkpoint + journal through the engine
+  kSelect,       ///< FD module selection (text: "<cell> [slot <subcell>]...
+                 ///< [limit <n>] [commit]"; see docs/SOLVER.md)
+  kSelectStats,  ///< dry-run selection: exploration counters, no commit
 };
 
 const char* to_string(RequestType t);

@@ -62,12 +62,23 @@ bool parse_assignments(std::istringstream& in, const std::string& line,
   return true;
 }
 
+/// Every verb the front end accepts, in usage() order — the unknown-command
+/// error lists these so a typo comes back with the menu, not a dead end
+/// (tests/service/protocol_test.cpp).
+const char* known_verbs() {
+  return "open, load, save, assign, batch-assign, edit, query, report, "
+         "select, select-stats, journal, checkpoint, recover, close, "
+         "sessions, stats, export-metrics, telemetry, flight, help";
+}
+
 const char* usage() {
   return "service commands: open <s> [metrics] [trace], "
          "load <s> file <path> | text <lines>, save <s> [file <path>], "
          "assign <s> <var> <value>..., batch-assign <s> <var> <value>..., "
          "edit <s> <cmd...>, query <s> [cells|vars [cell]|stats|<var>], "
-         "report <s> [cell], journal <s> <base> [every-record|interval|none "
+         "report <s> [cell], select <s> <cell> [slot <subcell>]... "
+         "[limit <n>] [commit], select-stats <s> <cell> [slot <subcell>]... "
+         "[limit <n>], journal <s> <base> [every-record|interval|none "
          "[records]], checkpoint <s>, recover <s> <base>, close <s>, "
          "sessions, stats [--latency], export-metrics [path], "
          "telemetry on|off, flight arm <base> [slow-ns] | off | dump | "
@@ -171,13 +182,24 @@ bool ServiceFrontEnd::parse(const std::string& line, Request* out,
     }
     return true;
   }
+  if (verb == "select" || verb == "select-stats") {
+    out->type = verb == "select" ? RequestType::kSelect
+                                 : RequestType::kSelectStats;
+    out->text = rest_of(in);
+    if (out->text.empty()) {
+      *error = verb + " needs a cell name" + at_byte(in, line);
+      return false;
+    }
+    return true;
+  }
   if (verb == "close") {
     out->type = RequestType::kClose;
     return true;
   }
   const std::size_t verb_at = line.find(verb);
   *error = "unknown service command '" + verb + "' (at byte " +
-           std::to_string(verb_at == std::string::npos ? 0 : verb_at) + ")";
+           std::to_string(verb_at == std::string::npos ? 0 : verb_at) +
+           "); valid commands: " + known_verbs();
   return false;
 }
 

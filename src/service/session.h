@@ -94,6 +94,18 @@ class DesignSession {
     return std::move(journal_);
   }
 
+  /// Cumulative FD module-selection work (select / select-stats requests;
+  /// docs/SOLVER.md).  Guarded by mutex() like the rest of the session.
+  struct SelectionTally {
+    std::uint64_t requests = 0;             ///< select + select-stats served
+    std::uint64_t solutions = 0;            ///< assignments found
+    std::uint64_t candidates_explored = 0;  ///< realization tests
+    std::uint64_t subtrees_pruned = 0;      ///< generic subtrees cut
+    std::uint64_t commits = 0;              ///< slots realized via commit
+  };
+  const SelectionTally& selection_tally() const { return selection_; }
+  SelectionTally& selection_tally() { return selection_; }
+
   bool collects_metrics() const { return opt_metrics_; }
   bool collects_trace() const { return opt_trace_; }
   /// The open options as protocol text ("", "metrics", "metrics trace", ...)
@@ -111,6 +123,7 @@ class DesignSession {
   bool opt_trace_ = false;
   std::unique_ptr<persist::Journal> journal_;
   JournalConfig journal_cfg_;
+  SelectionTally selection_;
 };
 
 }  // namespace stemcp::service

@@ -48,10 +48,10 @@ enum class Phase : std::uint8_t {
 constexpr std::size_t kPhaseCount = 7;
 const char* to_string(Phase p);
 
-/// Request types mirrored as a dense index (RequestType has 12 verbs; the
+/// Request types mirrored as a dense index (RequestType has 14 verbs; the
 /// span stores the raw value so this header stays independent of
 /// design_service.h).
-constexpr std::size_t kSpanTypeCount = 12;
+constexpr std::size_t kSpanTypeCount = 14;
 const char* span_type_name(std::uint8_t type);
 
 /// One request's life, as fixed-size POD — absolute steady-clock stamps at

@@ -1,0 +1,282 @@
+// Propagator derivation from the engine's constraint library
+// (fd/derive.h): each core constraint class becomes an arc-consistency
+// filter over interval domains, and solve_and_commit's FD verdict agrees
+// with the engine on all-singleton domains (the ISSUE's equivalence
+// property).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/core.h"
+#include "fd/derive.h"
+
+namespace stemcp::fd {
+namespace {
+
+using core::BoundConstraint;
+using core::ComparisonConstraint;
+using core::PropagationContext;
+using core::Relation;
+using core::SpacingConstraint;
+using core::Status;
+using core::UniAdditionConstraint;
+using core::UniLinearConstraint;
+using core::UniMaximumConstraint;
+using core::UniMinimumConstraint;
+using core::UniProductConstraint;
+using core::Value;
+using core::Variable;
+
+class FdDeriveTest : public ::testing::Test {
+ protected:
+  PropagationContext ctx;
+  Problem problem;
+  VarMap map;
+
+  DomainVariable& bind(Variable& v, double lo, double hi) {
+    DomainVariable& d = problem.add_interval_variable(v.path(), lo, hi);
+    map[&v] = &d;
+    return d;
+  }
+};
+
+TEST_F(FdDeriveTest, BoundConstraintClampsTheDomain) {
+  Variable x(ctx, "t", "x");
+  BoundConstraint::upper(ctx, x, Value(10.0));
+  BoundConstraint::lower(ctx, x, Value(2.0));
+  DomainVariable& dx = bind(x, -100.0, 100.0);
+  EXPECT_EQ(derive_interval_network(problem, ctx, map), 2u);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(dx.domain().lo(), 2.0);
+  EXPECT_DOUBLE_EQ(dx.domain().hi(), 10.0);
+}
+
+TEST_F(FdDeriveTest, ContradictoryBoundsWipeOut) {
+  Variable x(ctx, "t", "x");
+  BoundConstraint::upper(ctx, x, Value(1.0));
+  BoundConstraint::lower(ctx, x, Value(5.0));
+  bind(x, -100.0, 100.0);
+  derive_interval_network(problem, ctx, map);
+  EXPECT_FALSE(problem.propagate_all());
+}
+
+TEST_F(FdDeriveTest, ComparisonPropagatesBothWays) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b");
+  ComparisonConstraint::between(ctx, Relation::kLessEqual, a, b);
+  DomainVariable& da = bind(a, 5.0, 100.0);
+  DomainVariable& db = bind(b, -100.0, 20.0);
+  EXPECT_EQ(derive_interval_network(problem, ctx, map), 1u);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(da.domain().hi(), 20.0) << "a <= max(b)";
+  EXPECT_DOUBLE_EQ(db.domain().lo(), 5.0) << "b >= min(a)";
+}
+
+TEST_F(FdDeriveTest, SpacingShiftsBounds) {
+  Variable l(ctx, "t", "l"), r(ctx, "t", "r");
+  SpacingConstraint::apart(ctx, l, r, 3.0);
+  DomainVariable& dl = bind(l, 0.0, 100.0);
+  DomainVariable& dr = bind(r, 0.0, 10.0);
+  derive_interval_network(problem, ctx, map);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(dl.domain().hi(), 7.0) << "l <= max(r) - gap";
+  EXPECT_DOUBLE_EQ(dr.domain().lo(), 3.0) << "r >= min(l) + gap";
+}
+
+TEST_F(FdDeriveTest, SumPropagatesForwardAndBack) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), s(ctx, "t", "s");
+  UniAdditionConstraint::sum(ctx, s, {&a, &b}, 1.0);
+  DomainVariable& da = bind(a, 0.0, 10.0);
+  DomainVariable& db = bind(b, 0.0, 10.0);
+  DomainVariable& ds = bind(s, -100.0, 100.0);
+  derive_interval_network(problem, ctx, map);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(ds.domain().lo(), 1.0);
+  EXPECT_DOUBLE_EQ(ds.domain().hi(), 21.0);
+  // Reverse: clamp the sum, inputs follow.
+  EXPECT_TRUE(problem.clamp_hi(ds, 6.0));
+  EXPECT_TRUE(problem.propagate());
+  EXPECT_DOUBLE_EQ(da.domain().hi(), 5.0) << "a <= s.hi - offset - b.lo";
+  EXPECT_DOUBLE_EQ(db.domain().hi(), 5.0);
+}
+
+TEST_F(FdDeriveTest, MaximumBoundsResultAndInputs) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), m(ctx, "t", "m");
+  UniMaximumConstraint::max_of(ctx, m, {&a, &b});
+  DomainVariable& da = bind(a, 0.0, 50.0);
+  bind(b, 5.0, 30.0);
+  DomainVariable& dm = bind(m, -100.0, 100.0);
+  derive_interval_network(problem, ctx, map);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(dm.domain().lo(), 5.0) << "max >= largest input lo";
+  EXPECT_DOUBLE_EQ(dm.domain().hi(), 50.0);
+  EXPECT_TRUE(problem.clamp_hi(dm, 20.0));
+  EXPECT_TRUE(problem.propagate());
+  EXPECT_DOUBLE_EQ(da.domain().hi(), 20.0) << "inputs <= max";
+}
+
+TEST_F(FdDeriveTest, MinimumIsTheDual) {
+  Variable a(ctx, "t", "a"), b(ctx, "t", "b"), m(ctx, "t", "m");
+  auto& c = ctx.make<UniMinimumConstraint>();
+  c.set_result(m);
+  c.basic_add_argument(a);
+  c.basic_add_argument(b);
+  DomainVariable& da = bind(a, 0.0, 50.0);
+  bind(b, 5.0, 30.0);
+  DomainVariable& dm = bind(m, -100.0, 100.0);
+  derive_interval_network(problem, ctx, map);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(dm.domain().lo(), 0.0);
+  EXPECT_DOUBLE_EQ(dm.domain().hi(), 30.0) << "min <= smallest input hi";
+  EXPECT_TRUE(problem.clamp_lo(dm, 10.0));
+  EXPECT_TRUE(problem.propagate());
+  EXPECT_DOUBLE_EQ(da.domain().lo(), 10.0) << "inputs >= min";
+}
+
+TEST_F(FdDeriveTest, LinearScalesBothDirections) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y");
+  auto& c = ctx.make<UniLinearConstraint>(2.0, 1.0);
+  c.set_result(y);
+  c.basic_add_argument(x);
+  DomainVariable& dx = bind(x, 0.0, 10.0);
+  DomainVariable& dy = bind(y, -100.0, 100.0);
+  derive_interval_network(problem, ctx, map);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(dy.domain().lo(), 1.0);
+  EXPECT_DOUBLE_EQ(dy.domain().hi(), 21.0);
+  EXPECT_TRUE(problem.clamp_hi(dy, 11.0));
+  EXPECT_TRUE(problem.propagate());
+  EXPECT_DOUBLE_EQ(dx.domain().hi(), 5.0) << "x <= (y.hi - offset) / scale";
+}
+
+TEST_F(FdDeriveTest, ProductEnvelopesTheResult) {
+  Variable w(ctx, "t", "w"), h(ctx, "t", "h"), area(ctx, "t", "area");
+  auto& c = ctx.make<UniProductConstraint>(2.0);
+  c.set_result(area);
+  c.basic_add_argument(w);
+  c.basic_add_argument(h);
+  bind(w, 2.0, 3.0);
+  bind(h, -1.0, 4.0);
+  DomainVariable& da = bind(area, -1000.0, 1000.0);
+  derive_interval_network(problem, ctx, map);
+  EXPECT_TRUE(problem.propagate_all());
+  EXPECT_DOUBLE_EQ(da.domain().lo(), -6.0) << "2 * 3 * -1";
+  EXPECT_DOUBLE_EQ(da.domain().hi(), 24.0) << "2 * 3 * 4";
+}
+
+TEST_F(FdDeriveTest, UnmappedArgumentsSkipTheConstraint) {
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y");
+  ComparisonConstraint::between(ctx, Relation::kLessEqual, x, y);
+  bind(x, 0.0, 10.0);  // y left unmapped
+  EXPECT_EQ(derive_interval_network(problem, ctx, map), 0u);
+}
+
+// ---- solve_and_commit ------------------------------------------------------
+
+TEST(FdCommitTest, FeasibleBatchCommitsThroughTheEngine) {
+  PropagationContext ctx;
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y");
+  UniAdditionConstraint::sum(ctx, y, {&x}, 2.0);
+  BoundConstraint::upper(ctx, y, Value(10.0));
+  const CommitOutcome out = solve_and_commit(ctx, {{&x, 5.0}});
+  EXPECT_FALSE(out.fd_wipeout);
+  EXPECT_TRUE(out.status.is_ok());
+  EXPECT_EQ(out.restores, 0u);
+  EXPECT_DOUBLE_EQ(y.value().as_number(), 7.0) << "engine committed the batch";
+}
+
+TEST(FdCommitTest, InfeasibleBatchIsPredictedAndRejected) {
+  PropagationContext ctx;
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y");
+  UniAdditionConstraint::sum(ctx, y, {&x}, 2.0);
+  BoundConstraint::upper(ctx, y, Value(10.0));
+  const CommitOutcome out = solve_and_commit(ctx, {{&x, 50.0}});
+  EXPECT_TRUE(out.fd_wipeout) << "fixpoint sees 52 > 10 before committing";
+  EXPECT_TRUE(out.status.is_violation());
+  EXPECT_GT(out.restores, 0u);
+  EXPECT_TRUE(x.value().is_nil()) << "engine unwound the batch";
+}
+
+// The ISSUE's equivalence property: over all-singleton domains the FD pass
+// and plain propagation agree on violations, restores, and final values.
+// Networks are generated deterministically: a chain of UniAdditions with a
+// bound at the end, built twice — once driven by plain propagation, once by
+// solve_and_commit — and compared field by field.
+TEST(FdCommitTest, SingletonDomainsMatchPlainPropagation) {
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  auto rng = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t k = 3 + rng() % 4;          // chain length
+    std::vector<double> offsets;
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      offsets.push_back(static_cast<double>(rng() % 7) - 3.0);
+    }
+    const double start = static_cast<double>(rng() % 10);
+    const double bound = static_cast<double>(rng() % 20) - 2.0;
+
+    struct Net {
+      PropagationContext ctx;
+      std::vector<std::unique_ptr<Variable>> vars;
+    };
+    auto build = [&](Net& n) {
+      for (std::size_t i = 0; i < k; ++i) {
+        n.vars.push_back(std::make_unique<Variable>(
+            n.ctx, "t", "x" + std::to_string(i)));
+      }
+      for (std::size_t i = 0; i + 1 < k; ++i) {
+        UniAdditionConstraint::sum(n.ctx, *n.vars[i + 1], {n.vars[i].get()},
+                                   offsets[i]);
+      }
+      BoundConstraint::upper(n.ctx, *n.vars[k - 1], Value(bound));
+    };
+
+    Net plain, fd;
+    build(plain);
+    build(fd);
+
+    // Plain propagation: one batched session, engine only.
+    const std::uint64_t restores_before = plain.ctx.stats().restores;
+    const Status plain_status = plain.ctx.run_session([&]() -> Status {
+      return plain.vars[0]->set_in_session(Value(start),
+                                          core::Justification::user());
+    });
+    const std::uint64_t plain_restores =
+        plain.ctx.stats().restores - restores_before;
+
+    // FD pass + engine commit on the identical twin.
+    const CommitOutcome out =
+        solve_and_commit(fd.ctx, {{fd.vars[0].get(), start}});
+
+    EXPECT_EQ(out.status.is_violation(), plain_status.is_violation())
+        << "round " << round;
+    EXPECT_EQ(out.fd_wipeout, plain_status.is_violation())
+        << "round " << round << ": the fixpoint must predict the engine";
+    EXPECT_EQ(out.restores, plain_restores) << "round " << round;
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(fd.vars[i]->value(), plain.vars[i]->value())
+          << "round " << round << " var " << i;
+    }
+  }
+}
+
+TEST(FdCommitTest, UserPinnedValuesAreSingletons) {
+  PropagationContext ctx;
+  Variable x(ctx, "t", "x"), y(ctx, "t", "y"), s(ctx, "t", "s");
+  UniAdditionConstraint::sum(ctx, s, {&x, &y}, 0.0);
+  BoundConstraint::upper(ctx, s, Value(10.0));
+  EXPECT_TRUE(x.set_user(Value(8.0)));
+  // x is pinned at 8; committing y=7 must be predicted infeasible (15 > 10).
+  const CommitOutcome out = solve_and_commit(ctx, {{&y, 7.0}});
+  EXPECT_TRUE(out.fd_wipeout);
+  EXPECT_TRUE(out.status.is_violation());
+  EXPECT_DOUBLE_EQ(x.value().as_number(), 8.0) << "pinned value survives";
+}
+
+}  // namespace
+}  // namespace stemcp::fd

@@ -1,0 +1,125 @@
+// fd::Domain semantics: bitset and interval representations, shrink-only
+// mutators, and the event sets they raise (docs/SOLVER.md).
+#include <gtest/gtest.h>
+
+#include "fd/domain.h"
+
+namespace stemcp::fd {
+namespace {
+
+TEST(FdDomainTest, SetDomainStartsFull) {
+  Domain d = Domain::all_of(130);  // spans three words
+  EXPECT_TRUE(d.is_set());
+  EXPECT_EQ(d.count(), 130u);
+  EXPECT_EQ(d.universe_size(), 130u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_FALSE(d.fixed());
+  EXPECT_TRUE(d.contains(std::size_t{0}));
+  EXPECT_TRUE(d.contains(std::size_t{129}));
+  EXPECT_FALSE(d.contains(std::size_t{130}));
+  EXPECT_EQ(d.min_index(), 0u);
+  EXPECT_EQ(d.max_index(), 129u);
+}
+
+TEST(FdDomainTest, RemoveRaisesDomainAndBoundsEvents) {
+  Domain d = Domain::all_of(10);
+  // Interior removal: domain only.
+  EXPECT_EQ(d.remove(5), kEventDomain);
+  // Min removal moves a bound.
+  EXPECT_EQ(d.remove(0), kEventDomain | kEventBounds);
+  EXPECT_EQ(d.min_index(), 1u);
+  // Max removal moves a bound.
+  EXPECT_EQ(d.remove(9), kEventDomain | kEventBounds);
+  EXPECT_EQ(d.max_index(), 8u);
+  // Removing an absent element is a no-op.
+  EXPECT_EQ(d.remove(5), kEventNone);
+  EXPECT_EQ(d.count(), 7u);
+}
+
+TEST(FdDomainTest, RemoveToSingletonRaisesValueEvent) {
+  Domain d = Domain::all_of(2);
+  const EventSet e = d.remove(0);
+  EXPECT_TRUE(e & kEventValue);
+  EXPECT_TRUE(d.fixed());
+  EXPECT_EQ(d.value_index(), 1u);
+}
+
+TEST(FdDomainTest, RemoveLastElementWipesOut) {
+  Domain d = Domain::all_of(1);
+  const EventSet e = d.remove(0);
+  EXPECT_TRUE(e & kEventWipeout);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(FdDomainTest, BindKeepsOnlyTheMember) {
+  Domain d = Domain::all_of(70);
+  const EventSet e = d.bind(65);
+  EXPECT_TRUE(e & kEventValue);
+  EXPECT_TRUE(d.fixed());
+  EXPECT_EQ(d.value_index(), 65u);
+  EXPECT_EQ(d.bind(65), kEventNone) << "already bound";
+}
+
+TEST(FdDomainTest, BindToNonMemberWipesOut) {
+  Domain d = Domain::all_of(4);
+  EXPECT_EQ(d.remove(2), kEventDomain);
+  const EventSet e = d.bind(2);
+  EXPECT_TRUE(e & kEventWipeout);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(FdDomainTest, ForEachVisitsAscending) {
+  Domain d = Domain::all_of(100);
+  d.remove(0);
+  d.remove(64);
+  d.remove(99);
+  std::vector<std::size_t> seen;
+  d.for_each([&](std::size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 97u);
+  EXPECT_EQ(seen.front(), 1u);
+  EXPECT_EQ(seen.back(), 98u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(FdDomainTest, IntervalClamps) {
+  Domain d = Domain::interval(0.0, 10.0);
+  EXPECT_TRUE(d.is_interval());
+  EXPECT_EQ(d.clamp_lo(-5.0), kEventNone) << "clamping outward is a no-op";
+  EXPECT_EQ(d.clamp_lo(2.0), kEventDomain | kEventBounds);
+  EXPECT_EQ(d.clamp_hi(4.0), kEventDomain | kEventBounds);
+  EXPECT_DOUBLE_EQ(d.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(d.hi(), 4.0);
+  EXPECT_TRUE(d.contains(3.0));
+  EXPECT_FALSE(d.contains(4.5));
+}
+
+TEST(FdDomainTest, IntervalClampToPointRaisesValue) {
+  Domain d = Domain::interval(0.0, 10.0);
+  const EventSet e = d.clamp_lo(10.0);
+  EXPECT_TRUE(e & kEventValue);
+  EXPECT_TRUE(d.fixed());
+}
+
+TEST(FdDomainTest, IntervalCrossWipesOut) {
+  Domain d = Domain::interval(0.0, 10.0);
+  EXPECT_TRUE(d.clamp_lo(11.0) & kEventWipeout);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(FdDomainTest, IntervalBindValue) {
+  Domain d = Domain::interval(0.0, 10.0);
+  EXPECT_TRUE(d.bind_value(7.0) & kEventValue);
+  EXPECT_TRUE(d.fixed());
+  EXPECT_DOUBLE_EQ(d.lo(), 7.0);
+  Domain e = Domain::interval(0.0, 10.0);
+  EXPECT_TRUE(e.bind_value(12.0) & kEventWipeout);
+}
+
+TEST(FdDomainTest, SingletonHelper) {
+  Domain d = Domain::singleton(3.5);
+  EXPECT_TRUE(d.fixed());
+  EXPECT_TRUE(d.contains(3.5));
+}
+
+}  // namespace
+}  // namespace stemcp::fd

@@ -30,6 +30,42 @@ TEST(ServiceProtocolTest, ParseAssignments) {
   EXPECT_FALSE(ServiceFrontEnd::parse("frobnicate s", &r, &err));
 }
 
+TEST(ServiceProtocolTest, ParseSelectVerbs) {
+  Request r;
+  std::string err;
+  ASSERT_TRUE(ServiceFrontEnd::parse(
+      "select s ALU slot add limit 3 commit", &r, &err))
+      << err;
+  EXPECT_EQ(r.type, RequestType::kSelect);
+  EXPECT_EQ(r.session, "s");
+  EXPECT_EQ(r.text, "ALU slot add limit 3 commit");
+
+  ASSERT_TRUE(ServiceFrontEnd::parse("select-stats s ALU", &r, &err)) << err;
+  EXPECT_EQ(r.type, RequestType::kSelectStats);
+  EXPECT_EQ(r.text, "ALU");
+
+  EXPECT_FALSE(ServiceFrontEnd::parse("select s", &r, &err));
+  EXPECT_NE(err.find("needs a cell name"), std::string::npos) << err;
+  EXPECT_FALSE(ServiceFrontEnd::parse("select-stats s", &r, &err));
+}
+
+TEST(ServiceProtocolTest, UnknownCommandListsValidVerbs) {
+  Request r;
+  std::string err;
+  ASSERT_FALSE(ServiceFrontEnd::parse("frobnicate s", &r, &err));
+  EXPECT_NE(err.find("unknown service command 'frobnicate'"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("valid commands:"), std::string::npos) << err;
+  // Every per-session verb the parser accepts must be in the menu.
+  for (const char* verb :
+       {"open", "load", "save", "assign", "batch-assign", "edit", "query",
+        "report", "select", "select-stats", "journal", "checkpoint",
+        "recover", "close", "help"}) {
+    EXPECT_NE(err.find(verb), std::string::npos) << "missing " << verb;
+  }
+}
+
 TEST(ServiceProtocolTest, ParseLoadTextUnescapesNewlines) {
   Request r;
   std::string err;

@@ -22,16 +22,20 @@ Usage:
       ({"benches": [...]}) for trajectory tracking.
 
   tools/bench_compare.py gate BENCH.json --bench B --base ARM --test ARM
-      --phase queue,lock [--improve 2.0] [--percentile 99]
+      (--phase queue,lock [--percentile 99] | --counter NAME | --time)
+      [--improve 2.0]
       [--flat propagate,fsync [--flat-tol 0.10] [--flat-stat p50]]
-      Within ONE run: assert that the --test arm improves the summed --phase
-      percentiles over the --base arm by at least --improve x, while every
-      --flat phase's "<phase>_<stat>" counter stays within --flat-tol of
-      the base arm (stat: p50/p90/p99/mean/count).  Arms are matched by
-      prefix ("BM_LatencyUnderLoad/12000/8" matches the "/iterations:1"
-      suffix).  This is the sharded-service acceptance gate
-      (tools/run_tier1.sh --bench; docs/PERFORMANCE.md explains the chosen
-      statistics and tolerances on the single-core CI host).
+      Within ONE run: assert that the --test arm improves over the --base
+      arm by at least --improve x on the chosen quantity — the summed
+      --phase percentiles, a raw user counter (--counter, e.g. the FD
+      selection gate's candidates-explored "cands"), or per-iteration wall
+      time (--time) — while every --flat phase's "<phase>_<stat>" counter
+      stays within --flat-tol of the base arm (stat: p50/p90/p99/mean/
+      count).  Arms are matched by prefix ("BM_LatencyUnderLoad/12000/8"
+      matches the "/iterations:1" suffix).  These are the sharded-service
+      and FD-selection acceptance gates (tools/run_tier1.sh --bench;
+      docs/PERFORMANCE.md explains the chosen statistics and tolerances on
+      the single-core CI host).
 """
 
 import argparse
@@ -227,17 +231,36 @@ def gate(args):
     benchmarks = load_benchmarks(args.run)
     base = find_arm(benchmarks, args.bench, args.base)
     test = find_arm(benchmarks, args.bench, args.test)
-    phases = args.phase.split(",")
-    label = "+".join(phases) + f"_p{args.percentile}"
+    modes = sum(1 for m in (args.phase, args.counter) if m) + (
+        1 if args.time else 0)
+    if modes != 1:
+        sys.exit("bench_compare: gate needs exactly one of "
+                 "--phase, --counter, --time")
 
-    base_sum = phase_sum(base, phases, args.percentile)
-    test_sum = phase_sum(test, phases, args.percentile)
-    if base_sum is None or test_sum is None:
-        sys.exit(f"bench_compare: gate arms lack the {label} counters")
-    ratio = base_sum / test_sum if test_sum > 0 else float("inf")
+    fmt = fmt_ns
+    if args.phase:
+        phases = args.phase.split(",")
+        label = "+".join(phases) + f"_p{args.percentile}"
+        base_q = phase_sum(base, phases, args.percentile)
+        test_q = phase_sum(test, phases, args.percentile)
+        if base_q is None or test_q is None:
+            sys.exit(f"bench_compare: gate arms lack the {label} counters")
+    elif args.counter:
+        label = args.counter
+        base_q = base.get("counters", {}).get(args.counter)
+        test_q = test.get("counters", {}).get(args.counter)
+        if base_q is None or test_q is None:
+            sys.exit(f"bench_compare: gate arms lack the '{label}' counter")
+        fmt = lambda v: f"{v:g}"  # noqa: E731 — counters are unitless
+    else:
+        label = "real_time_ns_per_iter"
+        base_q = base["real_time_ns_per_iter"]
+        test_q = test["real_time_ns_per_iter"]
+
+    ratio = base_q / test_q if test_q > 0 else float("inf")
     ok = ratio >= args.improve
     print(
-        f"gate: {label}  base={fmt_ns(base_sum)}  test={fmt_ns(test_sum)}  "
+        f"gate: {label}  base={fmt(base_q)}  test={fmt(test_q)}  "
         f"improvement={ratio:.2f}x  (need >= {args.improve:.2f}x)"
         f"{'' if ok else '  FAIL'}"
     )
@@ -280,9 +303,15 @@ def main():
         ap.add_argument("--bench", required=True, help="bench binary name")
         ap.add_argument("--base", required=True, help="baseline arm name prefix")
         ap.add_argument("--test", required=True, help="candidate arm name prefix")
-        ap.add_argument("--phase", required=True,
+        ap.add_argument("--phase", default="",
                         help="comma-separated phases whose summed percentile "
                              "must improve")
+        ap.add_argument("--counter", default="",
+                        help="compare this raw user counter instead of "
+                             "phase percentiles")
+        ap.add_argument("--time", action="store_true",
+                        help="compare per-iteration wall time instead of "
+                             "phase percentiles")
         ap.add_argument("--improve", type=float, default=2.0,
                         help="required improvement factor (default 2.0)")
         ap.add_argument("--percentile", default="99",

@@ -23,13 +23,13 @@ cd "$(dirname "$0")/.."
 SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
 # Tests exercising shared state from multiple threads: the design service,
 # the line-protocol front end over it, and the process-global metrics.
-TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder|ShardStress|ShardRecovery'
+TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder|ShardStress|ShardRecovery|FdService'
 # The durability layer: raw-fd journal I/O, checkpoint rename dance, replay,
 # and the reader's append-rollback path — everything that touches memory by
 # hand.  Run under ASan/UBSan by --asan.
-ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns'
+ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns|Fd'
 # The hottest benchmarks, smoked by --bench.
-BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence bench_latency_under_load"
+BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence bench_latency_under_load bench_fd_selection"
 RUN_PLAIN=1
 RUN_SANITIZED=1
 RUN_TSAN=1
@@ -115,6 +115,27 @@ if [[ "$RUN_BENCH" == 1 ]]; then
       exit 1
     fi
     echo "(sharding gate reported failure; STEMCP_BENCH_GATE=1 makes this fatal)"
+  fi
+  # FD selection gate (ISSUE 8, docs/SOLVER.md): at the largest library size
+  # (64 families x 64 leaves) the FD solver must explore >= 10x fewer
+  # candidates than unpruned generate-and-test — deterministic counters, so
+  # this one is ALWAYS fatal — and also finish faster (wall time, fatal only
+  # with STEMCP_BENCH_GATE=1 since shared CI machines are noisy).
+  echo "== fd selection gate (candidates explored, 64x64 library) =="
+  tools/bench_compare.py gate build-bench/BENCH.json \
+    --bench bench_fd_selection \
+    --base BM_GenerateAndTest/64/64 --test BM_FdSelect/64/64 \
+    --counter cands --improve 10.0
+  echo "== fd selection gate (wall time, 64x64 library) =="
+  if ! tools/bench_compare.py gate build-bench/BENCH.json \
+      --bench bench_fd_selection \
+      --base BM_GenerateAndTest/64/64 --test BM_FdSelect/64/64 \
+      --time --improve 1.0; then
+    if [[ "${STEMCP_BENCH_GATE:-0}" == 1 ]]; then
+      echo "fd selection wall-time gate failed" >&2
+      exit 1
+    fi
+    echo "(fd wall-time gate reported failure; STEMCP_BENCH_GATE=1 makes this fatal)"
   fi
   # Perf trajectory: diff against the newest committed snapshot.  The diff
   # always prints; STEMCP_BENCH_GATE=1 turns >10% regressions into a hard
