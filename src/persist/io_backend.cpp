@@ -1,0 +1,223 @@
+#include "persist/io_backend.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#ifdef STEMCP_HAS_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include <atomic>
+#include <cstdint>
+#endif
+
+namespace stemcp::persist {
+
+namespace {
+
+/// Advance an iovec array past `done` bytes (short-write continuation).
+void advance_iov(std::vector<struct iovec>* iov, std::size_t done) {
+  std::size_t skip = done;
+  auto it = iov->begin();
+  while (it != iov->end() && skip >= it->iov_len) {
+    skip -= it->iov_len;
+    ++it;
+  }
+  iov->erase(iov->begin(), it);
+  if (!iov->empty() && skip > 0) {
+    iov->front().iov_base = static_cast<char*>(iov->front().iov_base) + skip;
+    iov->front().iov_len -= skip;
+  }
+}
+
+class PwriteBackend final : public IoBackend {
+ public:
+  const char* name() const override { return "pwrite"; }
+
+  bool write_all(int fd, const struct iovec* iov, int iovcnt,
+                 std::size_t bytes) override {
+    std::vector<struct iovec> rest(iov, iov + iovcnt);
+    std::size_t done = 0;
+    while (done < bytes) {
+      const ssize_t n = ::writev(fd, rest.data(), static_cast<int>(rest.size()));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+      advance_iov(&rest, static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  bool flush(int fd) override { return ::fsync(fd) == 0; }
+};
+
+#ifdef STEMCP_HAS_IO_URING
+
+/// Minimal single-issue io_uring: one sqe in flight, submit + wait per op.
+/// Raw syscalls only — the build image has the uapi header but no liburing.
+class IoUringBackend final : public IoBackend {
+ public:
+  static std::unique_ptr<IoBackend> try_create() {
+    auto b = std::unique_ptr<IoUringBackend>(new IoUringBackend());
+    if (!b->init()) return nullptr;
+    return b;
+  }
+
+  ~IoUringBackend() override {
+    if (sqe_mm_ != nullptr) ::munmap(sqe_mm_, sqe_len_);
+    if (cq_mm_ != nullptr && cq_mm_ != sq_mm_) ::munmap(cq_mm_, cq_len_);
+    if (sq_mm_ != nullptr) ::munmap(sq_mm_, sq_len_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  const char* name() const override { return "io_uring"; }
+
+  bool write_all(int fd, const struct iovec* iov, int iovcnt,
+                 std::size_t bytes) override {
+    std::vector<struct iovec> rest(iov, iov + iovcnt);
+    std::size_t done = 0;
+    while (done < bytes) {
+      struct io_uring_sqe sqe;
+      std::memset(&sqe, 0, sizeof(sqe));
+      sqe.opcode = IORING_OP_WRITEV;
+      sqe.fd = fd;
+      sqe.addr = reinterpret_cast<std::uint64_t>(rest.data());
+      sqe.len = static_cast<std::uint32_t>(rest.size());
+      sqe.off = static_cast<std::uint64_t>(-1);  // append position (O_APPEND)
+      const int n = submit_and_wait(sqe);
+      if (n < 0) {
+        if (n == -EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+      advance_iov(&rest, static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  bool flush(int fd) override {
+    struct io_uring_sqe sqe;
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = IORING_OP_FSYNC;
+    sqe.fd = fd;
+    int n = submit_and_wait(sqe);
+    while (n == -EINTR) n = submit_and_wait(sqe);
+    return n >= 0;
+  }
+
+ private:
+  IoUringBackend() = default;
+
+  bool init() {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = static_cast<int>(::syscall(__NR_io_uring_setup, 4u, &p));
+    if (ring_fd_ < 0) return false;
+    sq_len_ = p.sq_off.array + p.sq_entries * sizeof(std::uint32_t);
+    cq_len_ = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single && cq_len_ > sq_len_) sq_len_ = cq_len_;
+    sq_mm_ = ::mmap(nullptr, sq_len_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_mm_ == MAP_FAILED) {
+      sq_mm_ = nullptr;
+      return false;
+    }
+    if (single) {
+      cq_mm_ = sq_mm_;
+      cq_len_ = sq_len_;
+    } else {
+      cq_mm_ = ::mmap(nullptr, cq_len_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_mm_ == MAP_FAILED) {
+        cq_mm_ = nullptr;
+        return false;
+      }
+    }
+    sqe_len_ = p.sq_entries * sizeof(struct io_uring_sqe);
+    sqe_mm_ = ::mmap(nullptr, sqe_len_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqe_mm_ == MAP_FAILED) {
+      sqe_mm_ = nullptr;
+      return false;
+    }
+    auto* sq = static_cast<char*>(sq_mm_);
+    sq_head_ = reinterpret_cast<std::uint32_t*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::uint32_t*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<std::uint32_t*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<std::uint32_t*>(sq + p.sq_off.array);
+    auto* cq = static_cast<char*>(cq_mm_);
+    cq_head_ = reinterpret_cast<std::uint32_t*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::uint32_t*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq + p.cq_off.cqes);
+    sqes_ = static_cast<struct io_uring_sqe*>(sqe_mm_);
+    return true;
+  }
+
+  /// Push one sqe, io_uring_enter until its cqe arrives, return cqe.res.
+  int submit_and_wait(const struct io_uring_sqe& sqe) {
+    const std::uint32_t tail =
+        __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+    const std::uint32_t idx = tail & sq_mask_;
+    sqes_[idx] = sqe;
+    sq_array_[idx] = idx;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    const long rc = ::syscall(__NR_io_uring_enter, ring_fd_, 1u, 1u,
+                              IORING_ENTER_GETEVENTS, nullptr, 0);
+    if (rc < 0) return -errno;
+    const std::uint32_t head = __atomic_load_n(cq_head_, __ATOMIC_ACQUIRE);
+    if (head == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) return -EIO;
+    const int res = cqes_[head & cq_mask_].res;
+    __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+    return res;
+  }
+
+  int ring_fd_ = -1;
+  void* sq_mm_ = nullptr;
+  void* cq_mm_ = nullptr;
+  void* sqe_mm_ = nullptr;
+  std::size_t sq_len_ = 0;
+  std::size_t cq_len_ = 0;
+  std::size_t sqe_len_ = 0;
+  std::uint32_t* sq_head_ = nullptr;
+  std::uint32_t* sq_tail_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t* cq_head_ = nullptr;
+  std::uint32_t* cq_tail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  struct io_uring_cqe* cqes_ = nullptr;
+  struct io_uring_sqe* sqes_ = nullptr;
+};
+
+#endif  // STEMCP_HAS_IO_URING
+
+}  // namespace
+
+std::unique_ptr<IoBackend> make_pwrite_backend() {
+  return std::make_unique<PwriteBackend>();
+}
+
+std::unique_ptr<IoBackend> make_io_backend() {
+#ifdef STEMCP_HAS_IO_URING
+  if (auto b = IoUringBackend::try_create()) return b;
+#endif
+  return make_pwrite_backend();
+}
+
+bool io_uring_available() {
+#ifdef STEMCP_HAS_IO_URING
+  return IoUringBackend::try_create() != nullptr;
+#else
+  return false;
+#endif
+}
+
+}  // namespace stemcp::persist

@@ -1,0 +1,55 @@
+// Pluggable journal I/O backend (ROADMAP: group-commit async journaling;
+// cf. the IoInterface / LibaioImpl layering of ssdiq-style I/O engines).
+//
+// The journal's write path reduces to two primitives: "write this iovec
+// batch at the append position" and "flush the file to stable storage".
+// Keeping them behind an interface lets the group-commit flusher coalesce a
+// batch into one vectored write regardless of how the bytes reach the
+// device, and lets an io_uring submission path slot in without touching
+// journal logic.
+//
+// Backends:
+//   - pwrite backend (always available): ::writev in a retry loop + ::fsync.
+//   - io_uring backend (compile-time STEMCP_IO_URING CMake option, raw
+//     syscalls — no liburing dependency): IORING_OP_WRITEV +
+//     IORING_OP_FSYNC on a tiny single-issue ring.  If io_uring_setup is
+//     unavailable at runtime (old kernel, seccomp), construction fails and
+//     make_io_backend() falls back to the pwrite backend.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <memory>
+
+namespace stemcp::persist {
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  /// Backend name for diagnostics ("pwrite" / "io_uring").
+  virtual const char* name() const = 0;
+
+  /// Write every byte of `iov[0..iovcnt)` (total `bytes`) to `fd` at the
+  /// append position, retrying short writes and EINTR.  Returns false on a
+  /// write error (the journal dead-latches).
+  virtual bool write_all(int fd, const struct iovec* iov, int iovcnt,
+                         std::size_t bytes) = 0;
+
+  /// Flush `fd` to stable storage (fsync).  Returns false on failure.
+  virtual bool flush(int fd) = 0;
+};
+
+/// The portable ::writev/::fsync backend.  Never fails to construct.
+std::unique_ptr<IoBackend> make_pwrite_backend();
+
+/// The best available backend: io_uring when compiled in (STEMCP_IO_URING)
+/// and supported by the running kernel, the pwrite backend otherwise.
+std::unique_ptr<IoBackend> make_io_backend();
+
+/// True when the io_uring backend is compiled in AND the kernel accepts
+/// io_uring_setup (probed once per call).
+bool io_uring_available();
+
+}  // namespace stemcp::persist

@@ -1,10 +1,14 @@
 #include "persist/journal.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -12,10 +16,13 @@
 #include <sstream>
 
 #include "core/trace.h"
+#include "persist/io_backend.h"
 
 namespace stemcp::persist {
 
 namespace {
+
+constexpr std::uint64_t kNoLimit = ~0ull;
 
 /// Escape so any payload fits one space-delimited, single-line field run.
 std::string escape_text(const std::string& s) {
@@ -59,6 +66,17 @@ std::array<std::uint32_t, 256> make_crc_table() {
   return t;
 }
 
+/// fsync the directory containing `path` so a rename within it is durable.
+bool sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return false;
+  const bool ok = ::fsync(dfd) == 0;
+  ::close(dfd);
+  return ok;
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::string_view data) {
@@ -75,6 +93,7 @@ const char* to_string(FsyncPolicy p) {
     case FsyncPolicy::kEveryRecord: return "every-record";
     case FsyncPolicy::kInterval: return "interval";
     case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kGroupCommit: return "group-commit";
   }
   return "?";
 }
@@ -86,6 +105,8 @@ bool fsync_policy_from(const std::string& s, FsyncPolicy* out) {
     *out = FsyncPolicy::kInterval;
   } else if (s == "none") {
     *out = FsyncPolicy::kNone;
+  } else if (s == "group-commit") {
+    *out = FsyncPolicy::kGroupCommit;
   } else {
     return false;
   }
@@ -174,14 +195,28 @@ bool decode_record(std::string_view line, JournalRecord* out,
 }
 
 // ---------------------------------------------------------------------------
+// CommitTicket
+
+bool CommitTicket::wait() {
+  if (state_ == nullptr) return false;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (!state_->done) {
+    const std::uint64_t t0 = core::Tracer::now_ns();
+    state_->cv.wait(lock, [this] { return state_->done; });
+    wait_ns_ = core::Tracer::now_ns() - t0;
+  }
+  return state_->ok;
+}
+
+// ---------------------------------------------------------------------------
 // Journal
 
 Journal::Journal(std::string path, int fd, Options opts)
     : path_(std::move(path)),
       fd_(fd),
       opts_(opts),
-      next_seq_(opts.next_seq),
-      fail_after_(~0ull) {}
+      io_(make_io_backend()),
+      next_seq_(opts.next_seq) {}
 
 std::unique_ptr<Journal> Journal::open(const std::string& path, Options opts,
                                        std::string* error) {
@@ -195,69 +230,172 @@ std::unique_ptr<Journal> Journal::open(const std::string& path, Options opts,
     return nullptr;
   }
   if (opts.fsync_interval_records == 0) opts.fsync_interval_records = 1;
+  if (opts.group_max_batch_records == 0) opts.group_max_batch_records = 1;
   auto j = std::unique_ptr<Journal>(new Journal(path, fd, opts));
-  // Crash-point knob: cut the write path after N more bytes, process-wide.
+  // Sealed segments: a truncating open deletes them (fresh log), a
+  // re-attaching open continues their numbering.
+  const std::vector<std::uint64_t> sealed = list_journal_segments(path);
+  if (opts.truncate) {
+    for (const std::uint64_t n : sealed) {
+      ::unlink(journal_segment_path(path, n).c_str());
+    }
+  } else if (!sealed.empty()) {
+    j->sealed_count_.store(sealed.back(), std::memory_order_relaxed);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) == 0) {
+    j->active_bytes_.store(static_cast<std::uint64_t>(st.st_size),
+                           std::memory_order_relaxed);
+  }
+  // Crash-point knob, process-wide: "<n>" cuts the write path after n more
+  // bytes; "flush:<n>" lets n flushes succeed and fails the next.
   if (const char* knob = std::getenv("STEMCP_JOURNAL_CRASH_AFTER")) {
-    char* end = nullptr;
-    const unsigned long long n = std::strtoull(knob, &end, 10);
-    if (end != knob) j->set_fail_after(n);
+    if (std::strncmp(knob, "flush:", 6) == 0) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(knob + 6, &end, 10);
+      if (end != knob + 6) j->set_fail_fsync_after(n);
+    } else {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(knob, &end, 10);
+      if (end != knob) j->set_fail_after(n);
+    }
+  }
+  if (opts.fsync == FsyncPolicy::kGroupCommit) {
+    j->flusher_ = std::thread([raw = j.get()] { raw->flusher_loop(); });
   }
   return j;
 }
 
 Journal::~Journal() {
+  if (flusher_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(gc_mu_);
+      gc_stop_ = true;
+    }
+    gc_cv_.notify_all();
+    flusher_.join();  // flushes (or fails) everything still queued
+  }
   if (fd_ >= 0) {
-    if (!dead_ && opts_.fsync != FsyncPolicy::kNone) ::fsync(fd_);
+    if (!dead() && opts_.fsync != FsyncPolicy::kNone) {
+      // Final flush on the way out; a failure here still dead-latches so
+      // the fault is never silently swallowed.
+      if (!do_fsync(nullptr)) dead_.store(true, std::memory_order_release);
+    }
     ::close(fd_);
   }
 }
 
-void Journal::set_fail_after(std::uint64_t bytes) { fail_after_ = bytes; }
+void Journal::set_fail_after(std::uint64_t bytes) {
+  fail_after_.store(bytes, std::memory_order_relaxed);
+}
 
-bool Journal::append(JournalRecord& record) {
-  last_fsync_ns_ = 0;
-  if (dead_) {
-    ++append_failures_;
-    return false;
+void Journal::set_fail_fsync_after(std::uint64_t n) {
+  fail_fsync_after_.store(n, std::memory_order_relaxed);
+}
+
+void Journal::set_fail_next_truncate() {
+  fail_truncate_.store(true, std::memory_order_relaxed);
+}
+
+void Journal::set_metrics(core::MetricsRegistry* metrics) {
+  const std::lock_guard<std::mutex> lock(gc_mu_);
+  opts_.metrics = metrics;
+}
+
+const char* Journal::io_backend_name() const { return io_->name(); }
+
+bool Journal::do_fsync(std::uint64_t* ns_out) {
+  const std::uint64_t budget =
+      fail_fsync_after_.load(std::memory_order_relaxed);
+  if (budget != kNoLimit) {
+    if (budget == 0) return false;  // injected device failure
+    fail_fsync_after_.store(budget - 1, std::memory_order_relaxed);
   }
-  record.seq = next_seq_;
-  const std::string line = encode_record(record);
-  std::size_t want = line.size();
-  if (fail_after_ != ~0ull && fail_after_ < want) {
-    // Injected crash: the device accepts only the head of this write, then
-    // the journal goes dead — leaving exactly the torn tail a real crash
-    // mid-write leaves.
-    want = static_cast<std::size_t>(fail_after_);
+  // Always timed (two clock reads are noise next to an fsync): the
+  // request-telemetry span reads the duration even when the session's own
+  // metrics registry is disabled.
+  const std::uint64_t t0 = core::Tracer::now_ns();
+  if (!io_->flush(fd_)) return false;
+  if (ns_out != nullptr) *ns_out = core::Tracer::now_ns() - t0;
+  fsync_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Journal::maybe_roll_segment() {
+  if (opts_.segment_bytes == 0) return true;
+  if (active_bytes_.load(std::memory_order_relaxed) < opts_.segment_bytes) {
+    return true;
   }
+  const std::uint64_t n = sealed_count_.load(std::memory_order_relaxed) + 1;
+  const std::string sealed = journal_segment_path(path_, n);
+  if (::rename(path_.c_str(), sealed.c_str()) != 0) return false;
+  if (!sync_parent_dir(path_)) return false;
+  const int nfd = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (nfd < 0) return false;
+  ::close(fd_);
+  fd_ = nfd;
+  sealed_count_.store(n, std::memory_order_relaxed);
+  active_bytes_.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+bool Journal::write_cut(const char* data, std::size_t len) {
   std::size_t done = 0;
-  while (done < want) {
-    const ssize_t n = ::write(fd_, line.data() + done, want - done);
+  while (done < len) {
+    const ssize_t n = ::write(fd_, data + done, len - done);
     if (n < 0) {
       if (errno == EINTR) continue;
-      dead_ = true;
-      ++append_failures_;
       return false;
     }
     done += static_cast<std::size_t>(n);
   }
-  bytes_written_ += done;
-  if (fail_after_ != ~0ull) {
-    fail_after_ -= done;
-    if (done < line.size()) {
-      ::fsync(fd_);  // make the torn tail itself durable, like a crash would
-      dead_ = true;
-      ++append_failures_;
+  return true;
+}
+
+// The classic synchronous append (every-record / interval / none).
+bool Journal::append_sync(JournalRecord& record) {
+  last_fsync_ns_ = 0;
+  if (dead()) {
+    append_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  record.seq = next_seq_.load(std::memory_order_relaxed);
+  const std::string line = encode_record(record);
+  std::size_t want = line.size();
+  const std::uint64_t budget = fail_after_.load(std::memory_order_relaxed);
+  if (budget != kNoLimit && budget < want) {
+    // Injected crash: the device accepts only the head of this write, then
+    // the journal goes dead — leaving exactly the torn tail a real crash
+    // mid-write leaves.
+    want = static_cast<std::size_t>(budget);
+  }
+  if (!write_cut(line.data(), want)) {
+    dead_.store(true, std::memory_order_release);
+    append_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bytes_written_.fetch_add(want, std::memory_order_relaxed);
+  active_bytes_.fetch_add(want, std::memory_order_relaxed);
+  if (budget != kNoLimit) {
+    fail_after_.store(budget - want, std::memory_order_relaxed);
+    if (want < line.size()) {
+      // Make the torn tail itself durable, like a crash would.  The sync
+      // result cannot un-tear the record; a failure just dead-latches the
+      // journal we are already latching.
+      if (!do_fsync(nullptr)) dead_.store(true, std::memory_order_release);
+      dead_.store(true, std::memory_order_release);
+      append_failures_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
   }
-  ++next_seq_;
-  ++records_written_;
+  next_seq_.fetch_add(1, std::memory_order_relaxed);
+  records_written_.fetch_add(1, std::memory_order_relaxed);
   ++records_since_sync_;
 
   core::MetricsRegistry* m = opts_.metrics;
   const bool observe = m != nullptr && m->enabled();
   if (observe) {
-    m->add_counter("journal.bytes", done);
+    m->add_counter("journal.bytes", want);
     m->add_counter("journal.records");
   }
   const bool want_sync =
@@ -265,28 +403,219 @@ bool Journal::append(JournalRecord& record) {
       (opts_.fsync == FsyncPolicy::kInterval &&
        records_since_sync_ >= opts_.fsync_interval_records);
   if (want_sync) {
-    // Always timed (two clock reads are noise next to an fsync): the
-    // request-telemetry span reads last_fsync_ns() even when the session's
-    // own metrics registry is disabled.
-    const std::uint64_t t0 = core::Tracer::now_ns();
-    if (::fsync(fd_) != 0) {
-      dead_ = true;
-      ++append_failures_;
+    if (!do_fsync(&last_fsync_ns_)) {
+      dead_.store(true, std::memory_order_release);
+      append_failures_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    last_fsync_ns_ = core::Tracer::now_ns() - t0;
     records_since_sync_ = 0;
     if (observe) {
       m->histogram("journal.fsync_ns").record(last_fsync_ns_);
     }
   }
+  if (!maybe_roll_segment()) {
+    // The record IS durable; only the roll failed.  Latch so the next
+    // append reports the fault instead of writing past a failed rename.
+    dead_.store(true, std::memory_order_release);
+  }
   return true;
 }
 
+void Journal::complete(const std::shared_ptr<CommitTicket::State>& st, bool ok,
+                       bool fault_here, std::uint64_t fsync_ns) {
+  {
+    const std::lock_guard<std::mutex> lock(st->mu);
+    st->done = true;
+    st->ok = ok;
+    st->fault_here = fault_here;
+    st->fsync_ns = fsync_ns;
+  }
+  st->cv.notify_all();
+}
+
+CommitTicket Journal::append_async(JournalRecord& record) {
+  CommitTicket t;
+  if (opts_.fsync != FsyncPolicy::kGroupCommit) {
+    t.state_ = std::make_shared<CommitTicket::State>();
+    const bool ok = append_sync(record);
+    t.seq_ = record.seq;
+    t.state_->done = true;
+    t.state_->ok = ok;
+    t.state_->fsync_ns = last_fsync_ns_;
+    return t;
+  }
+  auto state = std::make_shared<CommitTicket::State>();
+  t.state_ = state;
+  {
+    const std::lock_guard<std::mutex> lock(gc_mu_);
+    drain_pending_metrics_locked();
+    if (dead_.load(std::memory_order_relaxed)) {
+      append_failures_.fetch_add(1, std::memory_order_relaxed);
+      state->done = true;  // already-failed ticket; fault was reported once
+      return t;
+    }
+    record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    t.seq_ = record.seq;
+    gc_queue_.push_back(PendingRecord{encode_record(record), state});
+  }
+  gc_cv_.notify_all();
+  return t;
+}
+
+bool Journal::append(JournalRecord& record) {
+  if (opts_.fsync != FsyncPolicy::kGroupCommit) return append_sync(record);
+  CommitTicket t = append_async(record);
+  return t.wait();
+}
+
+void Journal::fail_queue_locked() {
+  append_failures_.fetch_add(gc_queue_.size(), std::memory_order_relaxed);
+  while (!gc_queue_.empty()) {
+    complete(gc_queue_.front().state, /*ok=*/false, /*fault_here=*/false, 0);
+    gc_queue_.pop_front();
+  }
+}
+
+void Journal::drain_pending_metrics_locked() {
+  const std::uint64_t bytes = pending_metric_bytes_;
+  const std::uint64_t records = pending_metric_records_;
+  pending_metric_bytes_ = 0;
+  pending_metric_records_ = 0;
+  core::MetricsRegistry* m = opts_.metrics;
+  if (m == nullptr || !m->enabled()) {
+    pending_fsync_samples_.clear();
+    return;
+  }
+  if (bytes > 0) m->add_counter("journal.bytes", bytes);
+  if (records > 0) m->add_counter("journal.records", records);
+  for (const std::uint64_t ns : pending_fsync_samples_) {
+    m->histogram("journal.fsync_ns").record(ns);
+  }
+  pending_fsync_samples_.clear();
+}
+
+bool Journal::flush_batch(std::vector<PendingRecord>& batch,
+                          std::uint64_t* fsync_ns, std::uint64_t* bytes_out) {
+  std::size_t total = 0;
+  for (const PendingRecord& p : batch) total += p.line.size();
+  std::size_t want = total;
+  const std::uint64_t budget = fail_after_.load(std::memory_order_relaxed);
+  const bool torn = budget != kNoLimit && budget < total;
+  if (torn) want = static_cast<std::size_t>(budget);
+
+  // One vectored write for the whole batch (clamped for an injected cut).
+  std::vector<struct iovec> iov;
+  iov.reserve(batch.size());
+  std::size_t left = want;
+  for (const PendingRecord& p : batch) {
+    if (left == 0) break;
+    const std::size_t n = std::min(left, p.line.size());
+    iov.push_back({const_cast<char*>(p.line.data()), n});
+    left -= n;
+  }
+  if (!iov.empty() &&
+      !io_->write_all(fd_, iov.data(), static_cast<int>(iov.size()), want)) {
+    return false;
+  }
+  bytes_written_.fetch_add(want, std::memory_order_relaxed);
+  active_bytes_.fetch_add(want, std::memory_order_relaxed);
+  if (budget != kNoLimit) {
+    fail_after_.store(budget - want, std::memory_order_relaxed);
+  }
+  if (torn) {
+    // Persist the torn tail like a crash would; failing is dead either way.
+    do_fsync(nullptr);
+    return false;
+  }
+  if (!do_fsync(fsync_ns)) return false;
+  records_written_.fetch_add(batch.size(), std::memory_order_relaxed);
+  *bytes_out = want;
+  if (!maybe_roll_segment()) {
+    // This batch IS durable; only the roll failed.  Latch after reporting
+    // success so the tickets complete ok and the NEXT append fails.
+    dead_.store(true, std::memory_order_release);
+  }
+  return true;
+}
+
+void Journal::flusher_loop() {
+  std::unique_lock<std::mutex> lock(gc_mu_);
+  for (;;) {
+    gc_cv_.wait(lock, [this] { return gc_stop_ || !gc_queue_.empty(); });
+    if (gc_queue_.empty()) {
+      gc_flush_now_ = false;
+      gc_drained_.notify_all();
+      if (gc_stop_) return;
+      continue;
+    }
+    if (dead_.load(std::memory_order_relaxed)) {
+      fail_queue_locked();
+      gc_drained_.notify_all();
+      continue;
+    }
+    const std::size_t max_batch = opts_.group_max_batch_records;
+    if (!gc_stop_ && !gc_flush_now_ && opts_.group_max_delay_us > 0 &&
+        gc_queue_.size() < max_batch) {
+      // Hold the batch open briefly for stragglers.  In steady state the
+      // previous fsync is the real batching window and this wait is moot.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(opts_.group_max_delay_us);
+      gc_cv_.wait_until(lock, deadline, [this, max_batch] {
+        return gc_stop_ || gc_flush_now_ || gc_queue_.size() >= max_batch;
+      });
+    }
+    std::vector<PendingRecord> batch;
+    const std::size_t n = std::min(gc_queue_.size(), max_batch);
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(gc_queue_.front()));
+      gc_queue_.pop_front();
+    }
+    gc_flushing_ = true;
+    lock.unlock();
+
+    std::uint64_t fsync_ns = 0;
+    std::uint64_t bytes = 0;
+    const bool ok = flush_batch(batch, &fsync_ns, &bytes);
+    if (!ok) dead_.store(true, std::memory_order_release);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Exactly-once fault report: the first ticket of the failed batch.
+      complete(batch[i].state, ok, /*fault_here=*/!ok && i == 0, fsync_ns);
+    }
+
+    lock.lock();
+    gc_flushing_ = false;
+    if (ok) {
+      pending_metric_bytes_ += bytes;
+      pending_metric_records_ += batch.size();
+      pending_fsync_samples_.push_back(fsync_ns);
+    } else {
+      append_failures_.fetch_add(batch.size(), std::memory_order_relaxed);
+      fail_queue_locked();
+    }
+    if (gc_queue_.empty()) gc_flush_now_ = false;
+    gc_drained_.notify_all();
+  }
+}
+
 bool Journal::sync() {
-  if (dead_) return false;
-  if (::fsync(fd_) != 0) {
-    dead_ = true;
+  if (opts_.fsync == FsyncPolicy::kGroupCommit) {
+    std::unique_lock<std::mutex> lock(gc_mu_);
+    // Quiesce: every queued record must be flushed (each group flush
+    // already fsyncs) before we can claim durability.
+    gc_flush_now_ = true;
+    gc_cv_.notify_all();
+    gc_drained_.wait(lock, [this] {
+      return (gc_queue_.empty() && !gc_flushing_) ||
+             dead_.load(std::memory_order_relaxed);
+    });
+    drain_pending_metrics_locked();
+    return !dead_.load(std::memory_order_relaxed);
+  }
+  if (dead()) return false;
+  if (!do_fsync(nullptr)) {
+    dead_.store(true, std::memory_order_release);
     return false;
   }
   records_since_sync_ = 0;
@@ -294,12 +623,46 @@ bool Journal::sync() {
 }
 
 bool Journal::truncate_all(std::uint64_t seq) {
-  if (dead_) return false;
-  if (::ftruncate(fd_, 0) != 0 || ::fsync(fd_) != 0) {
-    dead_ = true;
+  if (opts_.fsync == FsyncPolicy::kGroupCommit) {
+    // Quiesce first: a queued record must never land after the cut (its
+    // waiter gets durability from the flush that precedes the truncate,
+    // and its state lives in the checkpoint that motivated the call).
+    std::unique_lock<std::mutex> lock(gc_mu_);
+    gc_flush_now_ = true;
+    gc_cv_.notify_all();
+    gc_drained_.wait(lock, [this] {
+      return (gc_queue_.empty() && !gc_flushing_) ||
+             dead_.load(std::memory_order_relaxed);
+    });
+    drain_pending_metrics_locked();
+    if (dead_.load(std::memory_order_relaxed)) return false;
+    // Flusher is idle and the queue is empty; we own the fd while holding
+    // gc_mu_ (append_async also takes it, so no record can slip in).
+    if (fail_truncate_.exchange(false, std::memory_order_relaxed) ||
+        ::ftruncate(fd_, 0) != 0 || !do_fsync(nullptr)) {
+      dead_.store(true, std::memory_order_release);
+      return false;
+    }
+    for (const std::uint64_t n : list_journal_segments(path_)) {
+      ::unlink(journal_segment_path(path_, n).c_str());
+    }
+    sealed_count_.store(0, std::memory_order_relaxed);
+    active_bytes_.store(0, std::memory_order_relaxed);
+    next_seq_.store(seq + 1, std::memory_order_relaxed);
+    return true;
+  }
+  if (dead()) return false;
+  if (fail_truncate_.exchange(false, std::memory_order_relaxed) ||
+      ::ftruncate(fd_, 0) != 0 || !do_fsync(nullptr)) {
+    dead_.store(true, std::memory_order_release);
     return false;
   }
-  next_seq_ = seq + 1;
+  for (const std::uint64_t n : list_journal_segments(path_)) {
+    ::unlink(journal_segment_path(path_, n).c_str());
+  }
+  sealed_count_.store(0, std::memory_order_relaxed);
+  active_bytes_.store(0, std::memory_order_relaxed);
+  next_seq_.store(seq + 1, std::memory_order_relaxed);
   records_since_sync_ = 0;
   return true;
 }
@@ -341,6 +704,115 @@ JournalScan scan_journal(const std::string& path) {
     scan.valid_bytes = pos;
   }
   return scan;
+}
+
+std::string journal_segment_path(const std::string& path, std::uint64_t n) {
+  return path + "." + std::to_string(n);
+}
+
+std::vector<std::uint64_t> list_journal_segments(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string base =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".";
+  std::vector<std::uint64_t> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (const struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() <= base.size() || name.compare(0, base.size(), base) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(base.size());
+    if (suffix.find_first_not_of("0123456789") != std::string::npos) continue;
+    out.push_back(std::strtoull(suffix.c_str(), nullptr, 10));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+JournalScan scan_journal_segments(const std::string& path,
+                                  unsigned parallelism) {
+  const std::vector<std::uint64_t> segs = list_journal_segments(path);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i] != i + 1) {
+      JournalScan bad;
+      bad.error = "journal segment numbering gap: missing '" +
+                  journal_segment_path(path, i + 1) + "'";
+      return bad;
+    }
+  }
+  // Scan sealed segments in parallel — they are immutable and independent;
+  // order is restored at merge time.
+  std::vector<JournalScan> sealed(segs.size());
+  if (!segs.empty()) {
+    unsigned lanes = parallelism == 0
+                         ? static_cast<unsigned>(
+                               std::min<std::size_t>(segs.size(), 8))
+                         : parallelism;
+    if (lanes == 0) lanes = 1;
+    std::vector<std::thread> workers;
+    std::atomic<std::size_t> next{0};
+    workers.reserve(lanes);
+    for (unsigned t = 0; t < lanes; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= sealed.size()) return;
+          sealed[i] = scan_journal(journal_segment_path(path, segs[i]));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  JournalScan merged;
+  std::uint64_t prev_seq = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    JournalScan& s = sealed[i];
+    const std::string seg = journal_segment_path(path, segs[i]);
+    if (!s.ok()) {
+      merged.error = "sealed segment '" + seg + "': " + s.error;
+      return merged;
+    }
+    if (s.torn_tail) {
+      // Only the newest (active) file may tear — a sealed segment was
+      // fsynced whole before its rename.
+      merged.error = "sealed segment '" + seg + "' has a torn tail";
+      return merged;
+    }
+    for (JournalRecord& r : s.records) {
+      if (have_prev && r.seq <= prev_seq) {
+        merged.error = "sealed segment '" + seg + "': seq " +
+                       std::to_string(r.seq) + " does not continue " +
+                       std::to_string(prev_seq);
+        return merged;
+      }
+      prev_seq = r.seq;
+      have_prev = true;
+      merged.records.push_back(std::move(r));
+    }
+  }
+  JournalScan active = scan_journal(path);
+  if (!active.ok()) {
+    merged.error = active.error;
+    return merged;
+  }
+  for (JournalRecord& r : active.records) {
+    if (have_prev && r.seq <= prev_seq) {
+      merged.error = "active journal '" + path + "': seq " +
+                     std::to_string(r.seq) + " does not continue " +
+                     std::to_string(prev_seq);
+      return merged;
+    }
+    prev_seq = r.seq;
+    have_prev = true;
+    merged.records.push_back(std::move(r));
+  }
+  merged.valid_bytes = active.valid_bytes;
+  merged.torn_tail = active.torn_tail;
+  return merged;
 }
 
 bool truncate_journal(const std::string& path, std::uint64_t valid_bytes) {

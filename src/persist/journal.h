@@ -26,18 +26,41 @@
 //
 // Sync policy: kEveryRecord fsyncs after each append (durability boundary =
 // append returning true), kInterval fsyncs every N records, kNone leaves
-// syncing to the OS.  Fault injection for crash tests: set_fail_after(n)
-// makes the journal write at most n more bytes — a partial final write —
-// then go dead; the STEMCP_JOURNAL_CRASH_AFTER environment knob applies the
-// same limit to every journal opened afterwards, so a test (or an operator
-// reproducing a field crash) can cut the write path at an arbitrary byte
-// without recompiling.
+// syncing to the OS.  kGroupCommit hands records to a dedicated flusher
+// thread that coalesces everything queued — across sessions — into one
+// vectored write + one fsync, then completes every covered CommitTicket:
+// N concurrent mutating requests pay one device flush instead of N.  The
+// durability boundary moves with it: a group-commit record is durable when
+// its ticket completes, NOT when append_async returns.
+//
+// Segmentation: with Options::segment_bytes > 0 the journal rolls the
+// active file `<base>.journal` into sealed segments `<base>.journal.<n>`
+// (n = 1, 2, ... contiguous) once the active file crosses the threshold
+// after a flush.  Sealed segments are immutable; the torn-final-record
+// tolerance applies only to the active file — a torn or corrupt sealed
+// segment is fatal.  Checkpoint truncation deletes every sealed segment
+// and empties the active file.
+//
+// Fault injection for crash tests: set_fail_after(n) makes the journal
+// write at most n more bytes — a partial final write — then go dead;
+// set_fail_fsync_after(n) lets n more fsyncs succeed and fails the next
+// (covering the append, group-flush, sync, truncate and destructor sync
+// sites); set_fail_next_truncate() fails the next ftruncate.  The
+// STEMCP_JOURNAL_CRASH_AFTER environment knob applies the same limits to
+// every journal opened afterwards: a decimal byte count cuts the write
+// path, "flush:<n>" kills the journal on its (n+1)th flush — so a shell
+// script can demo group-commit crash recovery without recompiling.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -47,14 +70,18 @@ class MetricsRegistry;
 
 namespace stemcp::persist {
 
+class IoBackend;
+
 enum class FsyncPolicy : std::uint8_t {
   kEveryRecord,  ///< fsync after every append (full durability)
   kInterval,     ///< fsync every Options::fsync_interval_records appends
   kNone,         ///< never fsync explicitly (OS page cache decides)
+  kGroupCommit,  ///< batch queued records into one writev+fsync per flush
 };
 
 const char* to_string(FsyncPolicy p);
-/// Parse "every-record" / "interval" / "none"; false on unknown text.
+/// Parse "every-record" / "interval" / "none" / "group-commit"; false on
+/// unknown text.
 bool fsync_policy_from(const std::string& s, FsyncPolicy* out);
 
 /// One journaled operation: what the service executed and how it came out.
@@ -89,12 +116,64 @@ std::string encode_record(const JournalRecord& r);
 bool decode_record(std::string_view line, JournalRecord* out,
                    std::string* error);
 
-/// Append-only journal writer over one file descriptor.
+/// Handle on one queued (or already-finished) append.  Seq-stamped at
+/// enqueue time; wait() blocks until the flusher has made the record
+/// durable (or the journal died) and returns the durability verdict.
+/// For the synchronous policies append_async completes the ticket inline,
+/// so wait() never blocks and the old durability boundary is unchanged.
+class CommitTicket {
+ public:
+  CommitTicket() = default;  ///< invalid ticket: wait() fails immediately
+
+  bool valid() const { return state_ != nullptr; }
+  std::uint64_t seq() const { return seq_; }
+
+  /// Block until the covering flush completes; true iff the record is
+  /// durable.  Idempotent.
+  bool wait();
+
+  // The following report on the completed flush — call only after wait().
+  /// Nanoseconds the covering batch spent inside fsync (shared by every
+  /// ticket of the batch).
+  std::uint64_t fsync_ns() const { return state_ ? state_->fsync_ns : 0; }
+  /// Nanoseconds THIS wait() call actually blocked (0 when the flush had
+  /// already completed — and always 0 for synchronous policies).
+  std::uint64_t wait_ns() const { return wait_ns_; }
+  /// True on exactly one ticket per journal death: the first ticket of the
+  /// batch whose flush failed.  The service layer uses it to report the
+  /// dead-journal degradation exactly once.
+  bool faulted() const { return state_ != nullptr && state_->fault_here; }
+
+ private:
+  friend class Journal;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    bool fault_here = false;
+    std::uint64_t fsync_ns = 0;
+  };
+  std::shared_ptr<State> state_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t wait_ns_ = 0;
+};
+
+/// Append-only journal writer over one file descriptor (plus its sealed
+/// segment files when segmentation is on).
 class Journal {
  public:
   struct Options {
     FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
     std::uint32_t fsync_interval_records = 32;  ///< kInterval cadence
+    /// kGroupCommit knobs: a flush takes at most this many records, and the
+    /// flusher waits at most this long for stragglers once a record is
+    /// queued (the fsync itself is usually the effective batching window).
+    std::uint32_t group_max_batch_records = 64;
+    std::uint32_t group_max_delay_us = 200;
+    /// Roll the active file into a sealed `<path>.<n>` segment once it
+    /// crosses this many bytes (0 = never roll; single-file journal).
+    std::uint64_t segment_bytes = 0;
     bool truncate = false;  ///< start a fresh log (attach/checkpoint path)
     std::uint64_t next_seq = 1;
     /// When set and enabled, appends record journal.bytes / journal.records
@@ -102,9 +181,11 @@ class Journal {
     core::MetricsRegistry* metrics = nullptr;
   };
 
-  /// Open (creating if needed) `path` for appending.  Returns nullptr with
-  /// `error` set when the file cannot be opened.  Honors the
-  /// STEMCP_JOURNAL_CRASH_AFTER environment knob (decimal byte count).
+  /// Open (creating if needed) `path` for appending; discovers existing
+  /// sealed segments and continues their numbering (truncate deletes them).
+  /// Returns nullptr with `error` set when the file cannot be opened.
+  /// Honors the STEMCP_JOURNAL_CRASH_AFTER environment knob (decimal byte
+  /// count, or "flush:<n>" to fail the (n+1)th flush).
   static std::unique_ptr<Journal> open(const std::string& path, Options opts,
                                        std::string* error);
   ~Journal();
@@ -113,60 +194,145 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
   /// Encode, write and (per policy) fsync one record; assigns it the next
-  /// sequence number (returned via record.seq... see below).  Returns false
+  /// sequence number.  Blocks for durability under every policy (for
+  /// kGroupCommit it enqueues and waits on the ticket).  Returns false
   /// once the journal is dead (fault injection or a write error) — the
   /// in-memory session keeps working, the log just stops growing, exactly
   /// like a crashed disk.
   bool append(JournalRecord& record);
 
-  /// Explicit fsync (no-op when dead).  Returns false on fsync failure.
+  /// Two-phase append: stamp the record's seq, hand the encoded line to the
+  /// flusher queue, and return a ticket that completes when the covering
+  /// group flush does.  For the synchronous policies this performs the
+  /// whole classic append inline and returns an already-completed ticket.
+  /// A dead journal returns an already-failed ticket.
+  CommitTicket append_async(JournalRecord& record);
+
+  /// Flush everything appended so far to stable storage: quiesces the
+  /// group-commit queue, then fsyncs.  Returns false on failure or when
+  /// the journal is dead.
   bool sync();
 
-  /// Truncate the log to empty and restart sequence numbering after `seq`
-  /// (the checkpoint path: state up to `seq` now lives in the checkpoint).
+  /// Truncate the log to empty — deleting every sealed segment — and
+  /// restart sequence numbering after `seq` (the checkpoint path: state up
+  /// to `seq` now lives in the checkpoint).  Quiesces the group-commit
+  /// queue first, so no queued record can land after the cut.
   bool truncate_all(std::uint64_t seq);
 
   /// Fault injection: write at most `bytes` more bytes — the final write is
   /// cut short mid-record — then refuse all further writes.
   void set_fail_after(std::uint64_t bytes);
+  /// Fault injection: let `n` more fsyncs succeed, then fail the next one
+  /// (whichever site issues it: append, group flush, sync, truncate_all,
+  /// destructor).
+  void set_fail_fsync_after(std::uint64_t n);
+  /// Fault injection: fail the next ftruncate (truncate_all site).
+  void set_fail_next_truncate();
 
   /// Re-point the metrics sink.  The owner must call this whenever the
   /// registry it handed to open() is replaced (a fresh-target library load
-  /// swaps the whole PropagationContext, registry included).
-  void set_metrics(core::MetricsRegistry* metrics) { opts_.metrics = metrics; }
+  /// swaps the whole PropagationContext, registry included).  Only the
+  /// caller's thread ever touches the registry — the flusher parks its
+  /// counts and the next append/sync on this thread drains them.
+  void set_metrics(core::MetricsRegistry* metrics);
 
-  bool dead() const { return dead_; }
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
   const std::string& path() const { return path_; }
   FsyncPolicy policy() const { return opts_.fsync; }
+  /// Name of the I/O backend in use ("pwrite" / "io_uring").
+  const char* io_backend_name() const;
   /// Nanoseconds the most recent append() spent inside fsync (0 when that
   /// append did not sync, per policy).  The request-telemetry layer reads
-  /// this to split a request's journal phase into append vs. flush time.
+  /// this to split a request's journal phase into append vs. flush time;
+  /// group-commit requests read their ticket's fsync_ns() instead.
   std::uint64_t last_fsync_ns() const { return last_fsync_ns_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
-  std::uint64_t records_written() const { return records_written_; }
-  std::uint64_t next_seq() const { return next_seq_; }
-  std::uint64_t append_failures() const { return append_failures_; }
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t next_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t append_failures() const {
+    return append_failures_.load(std::memory_order_relaxed);
+  }
+  /// Total fsyncs issued (all sites).  records_written() / fsyncs() is the
+  /// group-commit batching factor.
+  std::uint64_t fsyncs() const {
+    return fsync_count_.load(std::memory_order_relaxed);
+  }
+  /// Number of sealed `<path>.<n>` segments currently on disk.
+  std::uint64_t sealed_segments() const {
+    return sealed_count_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct PendingRecord {
+    std::string line;
+    std::shared_ptr<CommitTicket::State> state;
+  };
+
   Journal(std::string path, int fd, Options opts);
 
+  bool append_sync(JournalRecord& record);
+  void flusher_loop();
+  bool flush_batch(std::vector<PendingRecord>& batch, std::uint64_t* fsync_ns,
+                   std::uint64_t* bytes_out);
+  bool write_cut(const char* data, std::size_t len);  ///< torn-write helper
+  bool do_fsync(std::uint64_t* ns_out);
+  bool maybe_roll_segment();
+  void fail_queue_locked();
+  void drain_pending_metrics_locked();
+  void complete(const std::shared_ptr<CommitTicket::State>& st, bool ok,
+                bool fault_here, std::uint64_t fsync_ns);
+
   std::string path_;
-  int fd_ = -1;
+  int fd_ = -1;  ///< active segment; swapped only on the write thread
   Options opts_;
-  bool dead_ = false;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t bytes_written_ = 0;
-  std::uint64_t records_written_ = 0;
-  std::uint64_t records_since_sync_ = 0;
-  std::uint64_t append_failures_ = 0;
-  std::uint64_t last_fsync_ns_ = 0;
-  std::uint64_t fail_after_ = 0;  ///< remaining byte budget; ~0 = unlimited
+  std::unique_ptr<IoBackend> io_;
+
+  std::atomic<bool> dead_{false};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> records_written_{0};
+  std::atomic<std::uint64_t> append_failures_{0};
+  std::atomic<std::uint64_t> fsync_count_{0};
+  std::atomic<std::uint64_t> active_bytes_{0};
+  std::atomic<std::uint64_t> sealed_count_{0};
+  std::uint64_t records_since_sync_ = 0;  ///< caller thread only (kInterval)
+  std::uint64_t last_fsync_ns_ = 0;       ///< caller thread only
+
+  // Fault injection (atomics: armed by test threads, read on the write
+  // thread — which is the flusher under kGroupCommit).
+  std::atomic<std::uint64_t> fail_after_{~0ull};        ///< byte budget
+  std::atomic<std::uint64_t> fail_fsync_after_{~0ull};  ///< fsync budget
+  std::atomic<bool> fail_truncate_{false};
+
+  // Group-commit state (guarded by gc_mu_ unless noted).
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;       ///< flusher wakeups
+  std::condition_variable gc_drained_;  ///< sync()/truncate_all() quiesce
+  std::deque<PendingRecord> gc_queue_;
+  bool gc_stop_ = false;
+  bool gc_flush_now_ = false;  ///< cut the delay window (sync/quiesce)
+  bool gc_flushing_ = false;   ///< a batch is out being written
+  // Metrics the flusher cannot report itself (the registry may be swapped
+  // under the session lock); parked here and drained by the next
+  // append/sync on the caller thread.
+  std::uint64_t pending_metric_bytes_ = 0;
+  std::uint64_t pending_metric_records_ = 0;
+  std::vector<std::uint64_t> pending_fsync_samples_;
+  std::thread flusher_;  ///< started by open() under kGroupCommit
 };
 
-/// Result of scanning a journal file front to back.
+/// Result of scanning a journal file (or a whole segmented journal) front
+/// to back.
 struct JournalScan {
   std::vector<JournalRecord> records;
   std::uint64_t valid_bytes = 0;  ///< end offset of the last valid record
+                                  ///< IN THE ACTIVE FILE (segment scans)
   bool torn_tail = false;  ///< trailing partial/corrupt record was dropped
   std::string error;  ///< non-empty: corruption BEFORE the tail (fatal)
 
@@ -177,6 +343,22 @@ struct JournalScan {
 /// Tolerates a torn final record; a checksum mismatch with valid records
 /// after it is reported through `error`.
 JournalScan scan_journal(const std::string& path);
+
+/// Sealed-segment path: `<path>.<n>` (n >= 1).
+std::string journal_segment_path(const std::string& path, std::uint64_t n);
+
+/// Sealed segment numbers present on disk for `path`, sorted ascending
+/// (found by directory listing, so gaps from manual tampering are visible).
+std::vector<std::uint64_t> list_journal_segments(const std::string& path);
+
+/// Scan a segmented journal: every sealed `<path>.<n>` in order, then the
+/// active file.  Sealed segments are scanned in parallel (`parallelism`
+/// threads; 0 = one per segment, capped).  Sealed segments must be whole —
+/// a torn or corrupt sealed segment, a numbering gap, or a seq that does
+/// not continue the previous segment's is fatal.  torn_tail/valid_bytes
+/// describe the ACTIVE file only, so recovery can cut its torn tail.
+JournalScan scan_journal_segments(const std::string& path,
+                                  unsigned parallelism = 0);
 
 /// Cut the file back to `valid_bytes` — recovery calls this before
 /// re-attaching so new records never follow torn bytes.

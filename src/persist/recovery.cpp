@@ -18,7 +18,9 @@ RecoveredLog load_recovered_log(const std::string& base) {
     log.checkpoint_text = nl == std::string::npos ? "" : ckpt.substr(nl + 1);
   }
 
-  log.scan = scan_journal(journal_path(base));
+  // Segment-aware: sealed <base>.journal.<n> segments (scanned in
+  // parallel) followed by the active file, seq-checked at the seams.
+  log.scan = scan_journal_segments(journal_path(base));
   if (!log.scan.ok()) {
     log.error = log.scan.error;
     return log;

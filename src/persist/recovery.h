@@ -20,7 +20,9 @@ struct RecoveredLog {
   CheckpointMeta meta;          ///< valid when has_checkpoint
   std::string checkpoint_text;  ///< library text (header line excluded)
 
-  JournalScan scan;  ///< raw scan of the journal file
+  /// Merged scan of every sealed segment plus the active journal file
+  /// (valid_bytes / torn_tail describe the active file only).
+  JournalScan scan;
   /// Records replay must apply: scan.records filtered to seq > meta.seq
   /// (a crash between checkpoint-rename and journal-truncate leaves stale
   /// low-seq records behind; the filter makes that window harmless).
@@ -30,10 +32,12 @@ struct RecoveredLog {
   std::string error;
 };
 
-/// Load "<base>.ckpt" + "<base>.journal".  Missing checkpoint means cold
-/// start from an empty library (fine); a corrupt checkpoint header or
-/// mid-journal corruption sets ok=false.  A torn final journal record is
-/// tolerated and reported via scan.torn_tail; the caller should
+/// Load "<base>.ckpt" + "<base>.journal" (and any sealed
+/// "<base>.journal.<n>" segments).  Missing checkpoint means cold start
+/// from an empty library (fine); a corrupt checkpoint header, mid-journal
+/// corruption, or a torn/corrupt SEALED segment sets ok=false.  A torn
+/// final record of the active file is tolerated and reported via
+/// scan.torn_tail; the caller should
 /// truncate_journal(journal_path(base), scan.valid_bytes) before appending.
 RecoveredLog load_recovered_log(const std::string& base);
 

@@ -581,7 +581,11 @@ void do_query(DesignSession& s, const Request& r, Response& resp) {
       out << "journal: base " << s.journal_config().base << " fsync "
           << persist::to_string(j->policy()) << " records "
           << j->records_written() << " bytes " << j->bytes_written()
-          << (j->dead() ? " DEAD" : "") << '\n';
+          << " fsyncs " << j->fsyncs() << " io " << j->io_backend_name();
+      if (j->sealed_segments() > 0) {
+        out << " segments " << j->sealed_segments();
+      }
+      out << (j->dead() ? " DEAD" : "") << '\n';
     }
   } else {
     core::Variable* v = s.find_variable(what);
@@ -635,6 +639,11 @@ std::string durable_options(DesignSession& s) {
   if (cfg.policy == persist::FsyncPolicy::kInterval) {
     out << " interval " << cfg.interval_records;
   }
+  if (cfg.policy == persist::FsyncPolicy::kGroupCommit) {
+    out << " batch " << cfg.group_batch_records << " delay-us "
+        << cfg.group_delay_us;
+  }
+  if (cfg.segment_bytes > 0) out << " segment " << cfg.segment_bytes;
   return out.str();
 }
 
@@ -681,15 +690,35 @@ void do_journal(DesignSession& s, const Request& r, Response& resp,
   if (in >> policy) {
     if (!persist::fsync_policy_from(policy, &cfg.policy)) {
       resp.error = "unknown fsync policy '" + policy +
-                   "' (every-record|interval|none)";
+                   "' (every-record|interval|none|group-commit)";
       return;
     }
-    std::uint32_t n = 0;
-    if (in >> n && n > 0) cfg.interval_records = n;
+    // Knobs: a bare number keeps the historic "interval N" grammar; the
+    // keyword forms tune group commit and segmentation for any policy.
+    std::string word;
+    while (in >> word) {
+      std::uint64_t n = 0;
+      if (word == "batch" && in >> n && n > 0) {
+        cfg.group_batch_records = static_cast<std::uint32_t>(n);
+      } else if (word == "delay-us" && in >> n) {
+        cfg.group_delay_us = static_cast<std::uint32_t>(n);
+      } else if (word == "segment" && in >> n && n > 0) {
+        cfg.segment_bytes = n;
+      } else if (std::istringstream bare(word); bare >> n && n > 0) {
+        cfg.interval_records = static_cast<std::uint32_t>(n);
+      } else {
+        resp.error = "unknown journal option '" + word +
+                     "' (interval-records|batch <n>|delay-us <n>|segment <bytes>)";
+        return;
+      }
+    }
   }
   persist::Journal::Options opts;
   opts.fsync = cfg.policy;
   opts.fsync_interval_records = cfg.interval_records;
+  opts.group_max_batch_records = cfg.group_batch_records;
+  opts.group_max_delay_us = cfg.group_delay_us;
+  opts.segment_bytes = cfg.segment_bytes;
   opts.truncate = true;
   opts.next_seq = 1;
   opts.metrics = &s.library().context().metrics();
@@ -741,18 +770,37 @@ void do_checkpoint(DesignSession& s, Response& resp) {
   resp.text = "checkpoint of " + s.name() + " at seq " + std::to_string(seq);
 }
 
+/// Durability still owed after the session lock drops: under group commit
+/// the request must block on its CommitTicket (off-lock, so the next
+/// request for the session proceeds while this one waits for the flush).
+struct PendingDurability {
+  persist::CommitTicket ticket;
+  bool wait_needed = false;
+};
+
+void append_durability_warning(Response& resp) {
+  // The in-memory session keeps serving (a dead log is a dead disk, not a
+  // dead design), but the caller must know durability is gone.
+  if (!resp.text.empty() && resp.text.back() != '\n') resp.text += '\n';
+  resp.text += "WARNING: journal write failed; session is no longer durable";
+}
+
 /// Append one record per SUCCESSFUL mutating request.  A violating batch is
 /// still journaled (it mutated stats and must re-derive its restore on
-/// replay); a failed request mutated nothing and is not.
-void journal_mutation(DesignSession& s, const Request& r, Response& resp,
-                      RequestSpan* span) {
+/// replay); a failed request mutated nothing and is not.  Synchronous
+/// policies finish the append (and its telemetry stamps) right here; group
+/// commit only enqueues and hands the caller a ticket to wait on after the
+/// session lock is released.
+PendingDurability journal_mutation(DesignSession& s, const Request& r,
+                                   Response& resp, RequestSpan* span) {
+  PendingDurability pending;
   persist::Journal* j = s.journal();
-  if (j == nullptr || !resp.ok) return;
+  if (j == nullptr || !resp.ok) return pending;
   const bool mutating =
       r.type == RequestType::kLoad || r.type == RequestType::kAssign ||
       r.type == RequestType::kBatchAssign || r.type == RequestType::kEdit ||
       r.type == RequestType::kSelect;
-  if (!mutating) return;
+  if (!mutating) return pending;
   // A fresh-target load swaps the library's whole PropagationContext
   // (metrics registry included), so the sink the journal captured at attach
   // time may no longer exist — re-point it at the live registry.
@@ -771,6 +819,11 @@ void journal_mutation(DesignSession& s, const Request& r, Response& resp,
   rec.violation = resp.violation;
   rec.applied = resp.assignments_applied;
   rec.restored = resp.variables_restored;
+  if (j->policy() == persist::FsyncPolicy::kGroupCommit) {
+    pending.ticket = j->append_async(rec);
+    pending.wait_needed = true;
+    return pending;
+  }
   const bool was_dead = j->dead();
   const bool appended = j->append(rec);
   if (span != nullptr) {
@@ -781,12 +834,8 @@ void journal_mutation(DesignSession& s, const Request& r, Response& resp,
     // without being a new event.
     span->journal_fault = !was_dead && j->dead();
   }
-  if (!appended) {
-    // The in-memory session keeps serving (a dead log is a dead disk, not a
-    // dead design), but the caller must know durability is gone.
-    if (!resp.text.empty() && resp.text.back() != '\n') resp.text += '\n';
-    resp.text += "WARNING: journal write failed; session is no longer durable";
-  }
+  if (!appended) append_durability_warning(resp);
+  return pending;
 }
 
 /// Rebuild session `r.session` from "<base>.ckpt" + "<base>.journal": load
@@ -829,11 +878,27 @@ Response do_recover(SessionManager& sessions, const Request& r,
       } else if (word == "trace") {
         trace = true;
       } else if (word == "fsync") {
+        // A corrupt/unknown policy word must fail recovery loudly — silently
+        // recovering with the default policy would change the session's
+        // durability contract behind the operator's back.
         std::string p;
-        if (opts >> p) persist::fsync_policy_from(p, &cfg.policy);
+        if (!(opts >> p) || !persist::fsync_policy_from(p, &cfg.policy)) {
+          resp.error = "recover failed: checkpoint header has unknown fsync "
+                       "policy '" + p + "'";
+          return resp;
+        }
       } else if (word == "interval") {
         std::uint32_t n = 0;
         if (opts >> n && n > 0) cfg.interval_records = n;
+      } else if (word == "batch") {
+        std::uint32_t n = 0;
+        if (opts >> n && n > 0) cfg.group_batch_records = n;
+      } else if (word == "delay-us") {
+        std::uint32_t n = 0;
+        if (opts >> n) cfg.group_delay_us = n;
+      } else if (word == "segment") {
+        std::uint64_t n = 0;
+        if (opts >> n && n > 0) cfg.segment_bytes = n;
       }
     }
   }
@@ -901,6 +966,9 @@ Response do_recover(SessionManager& sessions, const Request& r,
   persist::Journal::Options jopts;
   jopts.fsync = cfg.policy;
   jopts.fsync_interval_records = cfg.interval_records;
+  jopts.group_max_batch_records = cfg.group_batch_records;
+  jopts.group_max_delay_us = cfg.group_delay_us;
+  jopts.segment_bytes = cfg.segment_bytes;
   jopts.truncate = false;
   jopts.next_seq = (log.scan.records.empty() ? log.meta.seq
                                              : log.scan.records.back().seq) +
@@ -1165,7 +1233,7 @@ Response DesignService::execute(const Request& r, RequestSpan* span,
     resp.error = "unknown session '" + r.session + "'";
     return resp;
   }
-  const std::lock_guard<std::mutex> lock(s->mutex());
+  std::unique_lock<std::mutex> lock(s->mutex());
   if (span != nullptr) span->t_lock = core::Tracer::now_ns();
   s->count_request();
   switch (r.type) {
@@ -1187,7 +1255,7 @@ Response DesignService::execute(const Request& r, RequestSpan* span,
     case RequestType::kRecover: break;  // handled above
   }
   if (span != nullptr) span->t_work_done = core::Tracer::now_ns();
-  journal_mutation(*s, r, resp, span);
+  const PendingDurability pending = journal_mutation(*s, r, resp, span);
   // While the session traces, its request phases land in the same sinks as
   // the engine's own events, so a Chrome-trace export shows queue/lock/
   // propagate/journal slices interleaved with the propagation waves.
@@ -1195,7 +1263,7 @@ Response DesignService::execute(const Request& r, RequestSpan* span,
   if (span != nullptr && tracer.enabled()) {
     static const Phase kEmit[] = {Phase::kQueue, Phase::kLock,
                                   Phase::kPropagate, Phase::kJournal,
-                                  Phase::kFsync};
+                                  Phase::kFsync, Phase::kFlushWait};
     char label[48];
     for (const Phase p : kEmit) {
       const std::uint64_t dur = span->phase_ns(p);
@@ -1206,6 +1274,22 @@ Response DesignService::execute(const Request& r, RequestSpan* span,
       tracer.emit(core::TraceEventType::kRequestPhase, label, nullptr, dur,
                   static_cast<std::uint8_t>(p));
     }
+  }
+  // Group commit: the response promise resolves from the flush completion.
+  // The session lock is released FIRST, so other requests on this session
+  // batch into the same flush instead of serializing behind this wait.
+  if (pending.wait_needed) {
+    lock.unlock();
+    persist::CommitTicket ticket = pending.ticket;
+    const bool durable = ticket.wait();
+    if (span != nullptr) {
+      span->t_journal_done = core::Tracer::now_ns();
+      span->fsync_ns = ticket.fsync_ns();
+      span->flush_wait_ns = ticket.wait_ns();
+      // Exactly one ticket per journal death carries the fault marker.
+      span->journal_fault = ticket.faulted();
+    }
+    if (!durable) append_durability_warning(resp);
   }
   return resp;
 }

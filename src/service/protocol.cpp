@@ -78,8 +78,10 @@ const char* usage() {
          "edit <s> <cmd...>, query <s> [cells|vars [cell]|stats|<var>], "
          "report <s> [cell], select <s> <cell> [slot <subcell>]... "
          "[limit <n>] [commit], select-stats <s> <cell> [slot <subcell>]... "
-         "[limit <n>], journal <s> <base> [every-record|interval|none "
-         "[records]], checkpoint <s>, recover <s> <base>, close <s>, "
+         "[limit <n>], journal <s> <base> "
+         "[every-record|interval|none|group-commit [records] [batch <n>] "
+         "[delay-us <n>] [segment <bytes>]], "
+         "checkpoint <s>, recover <s> <base>, close <s>, "
          "sessions, stats [--latency], export-metrics [path], "
          "telemetry on|off, flight arm <base> [slow-ns] | off | dump | "
          "status, help\n";

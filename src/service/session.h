@@ -33,6 +33,12 @@ struct JournalConfig {
   std::string base;
   persist::FsyncPolicy policy = persist::FsyncPolicy::kEveryRecord;
   std::uint32_t interval_records = 32;
+  // kGroupCommit knobs (ignored by the other policies).
+  std::uint32_t group_batch_records = 64;
+  std::uint32_t group_delay_us = 200;
+  /// Roll the journal into sealed "<base>.journal.<n>" segments at this
+  /// size (0 = single-file journal, no rollover).
+  std::uint64_t segment_bytes = 0;
 };
 
 class DesignSession {

@@ -18,6 +18,7 @@ const char* to_string(Phase p) {
     case Phase::kPropagate: return "propagate";
     case Phase::kJournal: return "journal";
     case Phase::kFsync: return "fsync";
+    case Phase::kFlushWait: return "flush_wait";
     case Phase::kReply: return "reply";
     case Phase::kTotal: return "total";
   }
@@ -52,10 +53,18 @@ std::uint64_t RequestSpan::phase_ns(Phase p) const {
     case Phase::kLock: return seg(t_dequeue, t_lock);
     case Phase::kPropagate: return seg(t_lock, t_work_done);
     case Phase::kJournal: {
+      // The journal segment minus its flush side: the fsync itself plus —
+      // under group commit — any extra ticket-wait beyond it.  The three
+      // journal-side phases (journal/fsync/flush_wait) therefore tile
+      // t_work_done → t_journal_done exactly, keeping the phase partition
+      // (sum of phases == total) intact under every policy.
       const std::uint64_t j = seg(t_work_done, t_journal_done);
-      return j > fsync_ns ? j - fsync_ns : 0;
+      const std::uint64_t flush = std::max(fsync_ns, flush_wait_ns);
+      return j > flush ? j - flush : 0;
     }
     case Phase::kFsync: return fsync_ns;
+    case Phase::kFlushWait:
+      return flush_wait_ns > fsync_ns ? flush_wait_ns - fsync_ns : 0;
     case Phase::kReply:
       return seg(t_journal_done != 0 ? t_journal_done : t_work_done, t_reply);
     case Phase::kTotal: return total_ns();
@@ -119,6 +128,11 @@ void append_span_trace_events(const RequestSpan& span, std::string& out,
       {Phase::kFsync, span.t_journal_done > span.fsync_ns
                           ? span.t_journal_done - span.fsync_ns
                           : span.t_journal_done},
+      // The flush-wait slice leads into the fsync slice: together they
+      // tile [t_journal_done - flush_wait_ns, t_journal_done].
+      {Phase::kFlushWait, span.t_journal_done > span.flush_wait_ns
+                              ? span.t_journal_done - span.flush_wait_ns
+                              : span.t_journal_done},
       {Phase::kReply, span.t_journal_done != 0 ? span.t_journal_done
                                                : span.t_work_done},
   };
@@ -178,7 +192,8 @@ void TelemetryRecorder::record(std::size_t lane_idx, const RequestSpan& span) {
     const Phase phase = static_cast<Phase>(p);
     // Journal phases only exist for requests that actually appended; not
     // recording zeros keeps fsync percentiles meaningful for mixed traffic.
-    if ((phase == Phase::kJournal || phase == Phase::kFsync) &&
+    if ((phase == Phase::kJournal || phase == Phase::kFsync ||
+         phase == Phase::kFlushWait) &&
         span.t_journal_done == 0) {
       continue;
     }
@@ -299,10 +314,10 @@ std::string TelemetryRecorder::latency_table() const {
                 "  %-16s %10s %12s %12s %12s %12s %12s\n", "phase", "count",
                 "p50", "p90", "p99", "p999", "max");
   out << head;
-  static const Phase kOrder[] = {Phase::kQueue,   Phase::kLock,
+  static const Phase kOrder[] = {Phase::kQueue,     Phase::kLock,
                                  Phase::kPropagate, Phase::kJournal,
-                                 Phase::kFsync,   Phase::kReply,
-                                 Phase::kTotal};
+                                 Phase::kFsync,     Phase::kFlushWait,
+                                 Phase::kReply,     Phase::kTotal};
   for (const Phase p : kOrder) {
     const auto* h = reg.find_histogram(std::string("svc.lat.") +
                                        to_string(p) + "_ns");

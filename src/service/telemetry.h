@@ -40,12 +40,13 @@ enum class Phase : std::uint8_t {
   kQueue,      ///< submitted → picked up by a worker
   kLock,       ///< picked up → session mutex acquired
   kPropagate,  ///< the request's own work (propagation wave, query, ...)
-  kJournal,    ///< journal append minus the fsync portion
-  kFsync,      ///< fsync portion of the journal append
+  kJournal,    ///< journal append minus the flush-side portion
+  kFsync,      ///< fsync portion of the journal append (or the group flush)
+  kFlushWait,  ///< group-commit only: blocked on the ticket beyond the fsync
   kReply,      ///< bookkeeping after the journal until the response is ready
   kTotal,      ///< enqueue → response ready
 };
-constexpr std::size_t kPhaseCount = 7;
+constexpr std::size_t kPhaseCount = 8;
 const char* to_string(Phase p);
 
 /// Request types mirrored as a dense index (RequestType has 14 verbs; the
@@ -76,6 +77,11 @@ struct RequestSpan {
   std::uint64_t t_journal_done = 0;
   std::uint64_t t_reply = 0;
   std::uint64_t fsync_ns = 0;  ///< portion of the journal phase spent in fsync
+  /// Group commit: nanoseconds this request blocked waiting for its
+  /// CommitTicket (covers the shared fsync; the kFlushWait phase is the
+  /// excess over fsync_ns so the phases still tile the span).  0 under the
+  /// synchronous policies.
+  std::uint64_t flush_wait_ns = 0;
 
   void set_session(std::string_view s);
   std::string_view session_view() const;

@@ -47,7 +47,8 @@ TEST(Crc32Test, MatchesIeeeCheckValue) {
 
 TEST(FsyncPolicyTest, NamesRoundTrip) {
   for (const FsyncPolicy p : {FsyncPolicy::kEveryRecord, FsyncPolicy::kInterval,
-                              FsyncPolicy::kNone}) {
+                              FsyncPolicy::kNone,
+                              FsyncPolicy::kGroupCommit}) {
     FsyncPolicy back = FsyncPolicy::kEveryRecord;
     ASSERT_TRUE(fsync_policy_from(to_string(p), &back));
     EXPECT_EQ(back, p);

@@ -23,11 +23,11 @@ cd "$(dirname "$0")/.."
 SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
 # Tests exercising shared state from multiple threads: the design service,
 # the line-protocol front end over it, and the process-global metrics.
-TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder|ShardStress|ShardRecovery|FdService'
+TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder|ShardStress|ShardRecovery|FdService|GroupCommitHammer'
 # The durability layer: raw-fd journal I/O, checkpoint rename dance, replay,
 # and the reader's append-rollback path — everything that touches memory by
 # hand.  Run under ASan/UBSan by --asan.
-ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns|Fd'
+ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns|Fd|GroupCommit|Segment'
 # The hottest benchmarks, smoked by --bench.
 BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence bench_latency_under_load bench_fd_selection"
 RUN_PLAIN=1
@@ -115,6 +115,22 @@ if [[ "$RUN_BENCH" == 1 ]]; then
       exit 1
     fi
     echo "(sharding gate reported failure; STEMCP_BENCH_GATE=1 makes this fatal)"
+  fi
+  # Group-commit gate (ISSUE 9, docs/PERSISTENCE.md): at a saturating arrival
+  # depth of 64 concurrent requests, batching the flushes must buy at least
+  # 5x the journaled req/s of fsync-per-record.  Fatal only with
+  # STEMCP_BENCH_GATE=1 (wall time on shared CI machines is noisy).
+  echo "== group-commit gate (req/s, every-record vs group-commit, depth 64) =="
+  if ! tools/bench_compare.py gate build-bench/BENCH.json \
+      --bench bench_persistence \
+      --base BM_JournalSaturation/0/64/real_time \
+      --test BM_JournalSaturation/1/64/real_time \
+      --time --improve 5.0; then
+    if [[ "${STEMCP_BENCH_GATE:-0}" == 1 ]]; then
+      echo "group-commit gate failed" >&2
+      exit 1
+    fi
+    echo "(group-commit gate reported failure; STEMCP_BENCH_GATE=1 makes this fatal)"
   fi
   # FD selection gate (ISSUE 8, docs/SOLVER.md): at the largest library size
   # (64 families x 64 leaves) the FD solver must explore >= 10x fewer
