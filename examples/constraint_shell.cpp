@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <future>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,8 @@
 #include "service/protocol.h"
 #include "stem/shell.h"
 #include "stem/stem.h"
+#include "workload/recorder.h"
+#include "workload/replay.h"
 
 using namespace stemcp;
 using env::SignalDirection;
@@ -54,14 +58,23 @@ const char* kSelectionDesign =
 
 // Drive N sessions concurrently through open → load → edits → batched
 // assignments → save → close, every request submitted asynchronously.
-void concurrent_sessions_demo(service::DesignService& svc, int n) {
+// Returns the number of request-level failures (violations are outcomes,
+// not failures).
+int concurrent_sessions_demo(service::DesignService& svc, int n) {
   using service::Request;
   using service::RequestType;
   std::cout << "\n-- design service: " << n << " concurrent sessions over "
             << svc.shard_count() << " shard(s) x "
             << svc.sessions().workers_per_shard() << " workers --\n";
 
+  int failures = 0;
   std::vector<std::future<service::Response>> waves;
+  auto settle = [&waves, &failures] {
+    for (auto& f : waves) {
+      if (!f.get().ok) ++failures;
+    }
+    waves.clear();
+  };
   auto req = [](RequestType t, const std::string& session,
                 std::string text = {}) {
     Request r;
@@ -77,8 +90,7 @@ void concurrent_sessions_demo(service::DesignService& svc, int n) {
   for (const auto& s : names) {
     waves.push_back(svc.submit(req(RequestType::kOpen, s, "metrics")));
   }
-  for (auto& f : waves) f.get();
-  waves.clear();
+  settle();
 
   // Mixed traffic, all in flight at once: edits build a two-stage pipeline
   // with a per-session delay budget, then one batched assignment propagates
@@ -87,8 +99,7 @@ void concurrent_sessions_demo(service::DesignService& svc, int n) {
     const std::string& s = names[i];
     waves.push_back(svc.submit(req(RequestType::kEdit, s, "cell STAGE")));
   }
-  for (auto& f : waves) f.get();
-  waves.clear();
+  settle();
   const char* build[] = {
       "signal STAGE in input",   "signal STAGE out output",
       "delay STAGE in out",      "cell PIPE",
@@ -105,8 +116,7 @@ void concurrent_sessions_demo(service::DesignService& svc, int n) {
     for (const auto& s : names) {
       waves.push_back(svc.submit(req(RequestType::kEdit, s, step)));
     }
-    for (auto& f : waves) f.get();
-    waves.clear();
+    settle();
   }
 
   // Batched assignment: each session gets its own stage delays, coalesced
@@ -120,6 +130,7 @@ void concurrent_sessions_demo(service::DesignService& svc, int n) {
   }
   for (int i = 0; i < n; ++i) {
     const service::Response resp = waves[i].get();
+    if (!resp.ok) ++failures;
     std::cout << names[i] << ": "
               << (resp.ok ? "applied " + std::to_string(resp.assignments_applied)
                           : "error " + resp.error)
@@ -133,21 +144,23 @@ void concurrent_sessions_demo(service::DesignService& svc, int n) {
         req(RequestType::kQuery, names[i], "PIPE.delay(in->out)")));
   }
   for (int i = 0; i < n; ++i) {
-    std::cout << names[i] << " " << waves[i].get().text;
+    const service::Response resp = waves[i].get();
+    if (!resp.ok) ++failures;
+    std::cout << names[i] << " " << resp.text;
   }
   waves.clear();
 
   for (const auto& s : names) {
     waves.push_back(svc.submit(req(RequestType::kSave, s)));
   }
-  for (auto& f : waves) f.get();
-  waves.clear();
+  settle();
   for (const auto& s : names) {
     waves.push_back(svc.submit(req(RequestType::kClose, s)));
   }
-  for (auto& f : waves) f.get();
+  settle();
   std::cout << "served " << svc.requests_served() << " requests, "
             << svc.sessions().size() << " sessions remain\n";
+  return failures;
 }
 
 }  // namespace
@@ -190,15 +203,21 @@ int main(int argc, char** argv) {
   // shard); every other knob stays protocol-compatible.
   std::size_t shards = 1;
   bool scripted = false;
+  // --ignore-errors: demos that intentionally show failing commands can opt
+  // out of the nonzero exit a scripted error otherwise forces.
+  bool ignore_errors = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--script") {
       scripted = true;
+    } else if (arg == "--ignore-errors") {
+      ignore_errors = true;
     } else if (arg == "--shards" && i + 1 < argc) {
       const long n = std::strtol(argv[++i], nullptr, 10);
       if (n > 0) shards = static_cast<std::size_t>(n);
     } else {
-      std::cerr << "usage: constraint_shell [--script] [--shards N]\n";
+      std::cerr << "usage: constraint_shell [--script] [--ignore-errors] "
+                   "[--shards N]\n";
       return 2;
     }
   }
@@ -208,6 +227,83 @@ int main(int argc, char** argv) {
   shell.attach_service([&front](const std::string& l) {
     return front.execute(l);
   });
+
+  // Workload verbs (docs/WORKLOAD.md): `record start/stop/status` taps this
+  // service's live traffic into a trace file; `replay <trace>` drives a
+  // FRESH service with a trace and prints the report.
+  std::unique_ptr<workload::TraceRecorder> recorder;
+  shell.attach_workload([&svc, &recorder](const std::string& line) {
+    std::istringstream in(line);
+    std::string verb, sub;
+    in >> verb;
+    if (verb == "record") {
+      in >> sub;
+      if (sub == "start") {
+        std::string path;
+        in >> path;
+        if (path.empty()) return std::string("error: record start <trace-file>\n");
+        if (recorder != nullptr) {
+          return "error: already recording to " + recorder->path() + "\n";
+        }
+        std::string err;
+        recorder = workload::TraceRecorder::open(path, &err);
+        if (recorder == nullptr) return "error: " + err + "\n";
+        svc.set_request_tap(recorder->tap());
+        return "recording service traffic to " + path + "\n";
+      }
+      if (sub == "stop") {
+        if (recorder == nullptr) return std::string("error: not recording\n");
+        svc.set_request_tap({});
+        std::string err;
+        const bool closed = recorder->finish(&err);
+        const workload::TraceRecorder::Stats stats = recorder->stats();
+        std::ostringstream out;
+        if (!closed) {
+          out << "error: " << err << "\n";
+        } else {
+          out << stats.records << " record(s) written to " << recorder->path();
+          if (stats.drops > 0) out << " (" << stats.drops << " drop(s))";
+          out << "\n";
+        }
+        recorder.reset();
+        return out.str();
+      }
+      if (sub == "status") {
+        if (recorder == nullptr) return std::string("not recording\n");
+        const workload::TraceRecorder::Stats stats = recorder->stats();
+        std::ostringstream out;
+        out << "recording to " << recorder->path() << ": " << stats.records
+            << " record(s), " << stats.drops << " drop(s)\n";
+        return out.str();
+      }
+      return std::string("error: record start <trace-file> | stop | status\n");
+    }
+    // replay <trace> [closed-loop] [speed <x>]
+    std::string trace;
+    in >> trace;
+    if (trace.empty()) {
+      return std::string("error: replay <trace-file> [closed-loop] [speed <x>]\n");
+    }
+    workload::ReplayOptions opts;
+    std::string opt;
+    while (in >> opt) {
+      if (opt == "closed-loop") {
+        opts.closed_loop = true;
+      } else if (opt == "speed") {
+        if (!(in >> opts.speed) || opts.speed <= 0.0) {
+          return std::string("error: speed needs a number > 0\n");
+        }
+      } else {
+        return "error: unknown replay option '" + opt + "'\n";
+      }
+    }
+    workload::ReplayReport report;
+    std::string err;
+    if (!workload::replay_file(trace, opts, &report, &err)) {
+      return "error: " + err + "\n";
+    }
+    return report.render();
+  });
   if (scripted || !std::cin.good()) {
     // Demonstration script: the Fig 5.2 story as shell commands, then the
     // same engine as a multi-session service behind `service ...`.
@@ -215,6 +311,8 @@ int main(int argc, char** argv) {
         std::string("service load a text ") + kServiceDesign;
     const std::string load_b =
         std::string("service load b text ") + kSelectionDesign;
+    const std::string load_c =
+        std::string("service load c text ") + kServiceDesign;
     const char* script[] = {
         "vars",
         "set reg.delay 60e-9",
@@ -253,11 +351,36 @@ int main(int argc, char** argv) {
         "service query b ALU.delay(a->out)",
         "service query b stats",
         "service close b",
+        // Workload record/replay (docs/WORKLOAD.md): tap the live service,
+        // run a short session, then replay the captured trace into a fresh
+        // service as fast as it will absorb it.
+        "record status",
+        "record start /tmp/stemcp_shell_demo.trace",
+        "service open c",
+        load_c.c_str(),
+        "service assign c STAGE.delay(in->out) 4e-8",
+        "service query c STAGE.delay(in->out)",
+        "service close c",
+        "record stop",
+        "replay /tmp/stemcp_shell_demo.trace closed-loop",
     };
+    // A scripted line that comes back "error: ..." fails the run (exit 1)
+    // unless --ignore-errors: CI scripts must not silently pass over
+    // failures.
+    int script_failures = 0;
     for (const char* cmd : script) {
-      std::cout << "> " << cmd << "\n" << shell.execute(cmd);
+      const std::string out = shell.execute(cmd);
+      std::cout << "> " << cmd << "\n" << out;
+      if (out.rfind("error:", 0) == 0) {
+        ++script_failures;
+        std::cerr << "script command failed: " << cmd << "\n";
+      }
     }
-    concurrent_sessions_demo(svc, 8);
+    script_failures += concurrent_sessions_demo(svc, 8);
+    if (script_failures > 0) {
+      std::cerr << script_failures << " scripted command(s) failed\n";
+      if (!ignore_errors) return 1;
+    }
     return 0;
   }
 

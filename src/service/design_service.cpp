@@ -1158,7 +1158,23 @@ DesignService::DesignService(Config cfg)
             run_job(shard, worker, job);
           })) {}
 
+void DesignService::set_request_tap(RequestTap tap) {
+  std::lock_guard<std::mutex> lock(tap_mu_);
+  tap_ = std::move(tap);
+  tap_armed_.store(static_cast<bool>(tap_), std::memory_order_release);
+}
+
 std::future<Response> DesignService::submit(Request r) {
+  // Tap BEFORE enqueueing: with a single submitting thread (the replay
+  // driver, a protocol front end) the recorder observes requests in exactly
+  // the order the shard queues will.  Concurrent submitters race the
+  // tap-to-enqueue window just as they race each other's enqueues, so the
+  // trace is then ONE valid serialization of traffic whose interleaving was
+  // never deterministic to begin with.
+  if (tap_armed_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(tap_mu_);
+    if (tap_) tap_(r);
+  }
   ShardedSessionManager::Job job;
   job.request = std::move(r);
   job.span.request_id = telemetry_.next_request_id();

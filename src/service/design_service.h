@@ -261,6 +261,22 @@ class DesignService {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Observer invoked from submit() for every request, in submission order,
+  /// BEFORE the job is enqueued (so a tap that records traffic sees exactly
+  /// the order the service accepted it in — per-shard FIFO order with one
+  /// worker per shard).  The workload recorder
+  /// (src/workload/recorder.h) is the intended consumer; the service cannot
+  /// depend on it, so the binding is a plain function.
+  using RequestTap = std::function<void(const Request&)>;
+  /// Install (or, with an empty function, remove) the request tap.  The
+  /// config-flag discipline of telemetry.cpp applies: when no tap is
+  /// installed the submit() hot path pays one relaxed atomic load and
+  /// nothing else.  The tap runs under a mutex shared by all submitters —
+  /// recording serializes submission, which is the point (the trace is a
+  /// total order).  The caller must keep the tap's target alive until it
+  /// detaches by installing an empty tap.
+  void set_request_tap(RequestTap tap);
+
   /// Per-request latency telemetry: one lane per worker (lane =
   /// shard × workers_per_shard + worker), folded on read.  Spans are fully
   /// recorded before a request's future resolves, so a caller that waited
@@ -279,6 +295,9 @@ class DesignService {
   Config cfg_;
   TelemetryRecorder telemetry_;
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<bool> tap_armed_{false};
+  std::mutex tap_mu_;
+  RequestTap tap_;
   // Declared last: its destructor joins the workers while telemetry_ and
   // served_ are still alive.
   std::unique_ptr<ShardedSessionManager> sessions_;

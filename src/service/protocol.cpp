@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -203,6 +204,119 @@ bool ServiceFrontEnd::parse(const std::string& line, Request* out,
            std::to_string(verb_at == std::string::npos ? 0 : verb_at) +
            "); valid commands: " + known_verbs();
   return false;
+}
+
+namespace {
+
+bool render_fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+/// One whitespace-free token (session names, variable paths, journal bases).
+bool token_ok(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+/// Single-line free text (edit/query/report/... payloads).  rest_of() trims
+/// leading blanks on the way back in, so a payload that starts with one
+/// would not round-trip.
+bool line_ok(const std::string& s) {
+  if (s.find('\n') != std::string::npos) return false;
+  if (!s.empty() && (s.front() == ' ' || s.front() == '\t')) return false;
+  return true;
+}
+
+void append_double(std::string* out, double v) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  out->append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+bool ServiceFrontEnd::render(const Request& r, std::string* out,
+                             std::string* error) {
+  if (!token_ok(r.session)) {
+    return render_fail(error, "session name must be one non-empty token");
+  }
+  out->append(to_string(r.type));
+  out->push_back(' ');
+  out->append(r.session);
+  switch (r.type) {
+    case RequestType::kOpen:
+      if (!line_ok(r.text)) return render_fail(error, "open options must be one line");
+      if (!r.text.empty()) {
+        out->push_back(' ');
+        out->append(r.text);
+      }
+      return true;
+    case RequestType::kLoad:
+      // Always the `text` form: "\n" is the only escape parse() undoes, so a
+      // literal backslash in the library text cannot survive the round trip.
+      if (r.text.find('\\') != std::string::npos) {
+        return render_fail(error, "library text with a backslash cannot round-trip");
+      }
+      if (!r.text.empty() && (r.text.front() == ' ' || r.text.front() == '\t')) {
+        return render_fail(error, "library text starting with a blank cannot round-trip");
+      }
+      out->append(" text ");
+      for (const char c : r.text) {
+        if (c == '\n') {
+          out->append("\\n");
+        } else {
+          out->push_back(c);
+        }
+      }
+      return true;
+    case RequestType::kSave:
+      // `save <s> file <path>` is front-end sugar resolved before call();
+      // a typed kSave carries no payload.
+      if (!r.text.empty()) return render_fail(error, "save carries no payload");
+      return true;
+    case RequestType::kAssign:
+    case RequestType::kBatchAssign:
+      if (r.assignments.empty()) {
+        return render_fail(error, "assign needs at least one <var> <value> pair");
+      }
+      for (const Assignment& a : r.assignments) {
+        if (!token_ok(a.variable)) {
+          return render_fail(error, "variable path must be one non-empty token");
+        }
+        out->push_back(' ');
+        out->append(a.variable);
+        out->push_back(' ');
+        append_double(out, a.value);
+      }
+      return true;
+    case RequestType::kEdit:
+    case RequestType::kQuery:
+    case RequestType::kReport:
+      if (!line_ok(r.text)) return render_fail(error, "payload must be one line");
+      if (!r.text.empty()) {
+        out->push_back(' ');
+        out->append(r.text);
+      }
+      return true;
+    case RequestType::kJournal:
+    case RequestType::kRecover:
+    case RequestType::kSelect:
+    case RequestType::kSelectStats:
+      if (!line_ok(r.text) || r.text.empty()) {
+        return render_fail(error, "payload must be one non-empty line");
+      }
+      out->push_back(' ');
+      out->append(r.text);
+      return true;
+    case RequestType::kCheckpoint:
+    case RequestType::kClose:
+      return true;
+  }
+  return render_fail(error, "unknown request type");
 }
 
 std::string ServiceFrontEnd::format(const Response& r) {

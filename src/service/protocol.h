@@ -44,6 +44,21 @@ class ServiceFrontEnd {
   /// Render a structured response as protocol text.
   static std::string format(const Response& r);
 
+  /// Render a typed Request back into one protocol line (no trailing
+  /// newline), APPENDED to `*out` — the inverse of parse(), used by the
+  /// workload recorder/synthesizer so the trace format reuses this grammar
+  /// instead of inventing its own.  Allocation-free in steady state: only
+  /// appends to `*out` (whose capacity is reused by callers), never builds
+  /// temporaries.  Returns false (with `*error` set when non-null) for
+  /// requests that cannot round-trip through the line grammar: empty or
+  /// whitespace-carrying session names, newlines in single-line payloads,
+  /// backslashes in library text (parse() unescapes only "\n", so a literal
+  /// backslash would not survive), or empty required payloads.  kLoad is
+  /// always rendered in the `text` form — `file` is a parse-time
+  /// convenience, and traces must be self-contained.
+  static bool render(const Request& r, std::string* out,
+                     std::string* error = nullptr);
+
  private:
   DesignService* svc_;
 };

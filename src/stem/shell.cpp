@@ -26,7 +26,8 @@ std::string ConstraintShell::usage() {
   return "commands: show|set|probe|constraints|antecedents|consequences|dot "
          "<var> [value], on, off, restore, warnings, vars, trace on|off, "
          "stats [--latency], export-trace <file>, export-metrics <file>, "
-         "service <line>, help\n";
+         "service <line>, record start <file>|stop|status, "
+         "replay <trace> [closed-loop] [speed <x>], help\n";
 }
 
 std::string ConstraintShell::execute(const std::string& command_line) {
@@ -42,6 +43,12 @@ std::string ConstraintShell::execute(const std::string& command_line) {
     const auto first = rest.find_first_not_of(" \t");
     return service_handler_(first == std::string::npos ? std::string()
                                                        : rest.substr(first));
+  }
+  if (cmd == "record" || cmd == "replay") {
+    // Workload trace verbs take the whole line — the handler owns the
+    // sub-grammar (see docs/WORKLOAD.md).
+    if (!workload_handler_) return "no workload recorder attached\n";
+    return workload_handler_(command_line);
   }
   if (cmd == "on") {
     ctx_->set_enabled(true);

@@ -40,6 +40,8 @@ class ConstraintShell {
   ///   stats                 engine counters + metrics snapshot
   ///   export-trace <file>   write the trace as Chrome trace-event JSON
   ///   service <line>        forward <line> to the attached design service
+  ///   record <args...>      workload trace recording (start/stop/status)
+  ///   replay <args...>      replay a workload trace (docs/WORKLOAD.md)
   ///   help                  this text
   std::string execute(const std::string& command_line);
 
@@ -52,6 +54,14 @@ class ConstraintShell {
     service_handler_ = std::move(handler);
   }
 
+  /// Attach the workload record/replay front end: the `record` and `replay`
+  /// verbs forward their FULL command line to the handler.  Same layering
+  /// rule as attach_service — the shell cannot depend on stemcp_workload,
+  /// so examples/constraint_shell.cpp wires the recorder/replayer in here.
+  void attach_workload(std::function<std::string(const std::string&)> handler) {
+    workload_handler_ = std::move(handler);
+  }
+
  private:
   core::Variable* find(const std::string& name) const;
   static std::string usage();
@@ -60,6 +70,7 @@ class ConstraintShell {
   ConstraintInspector inspector_;
   std::map<std::string, core::Variable*> vars_;
   std::function<std::string(const std::string&)> service_handler_;
+  std::function<std::string(const std::string&)> workload_handler_;
 };
 
 }  // namespace stemcp::env

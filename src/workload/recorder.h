@@ -1,0 +1,74 @@
+// Live-traffic recorder (ISSUE 10): taps DesignService request dispatch and
+// writes every submitted request to a trace file, timestamped relative to
+// the first record.  Discipline of telemetry.cpp: armed behind a flag (the
+// service pays one relaxed atomic load when no tap is installed) and
+// allocation-free on the hot path in steady state — rendering and framing
+// reuse member scratch buffers whose capacity sticks after the first few
+// records (proven by the operator-new counter in tests/core/hotpath_test.cpp).
+//
+// Usage:
+//   auto rec = TraceRecorder::open("run.trace", &err);
+//   svc.set_request_tap(rec->tap());
+//   ... live traffic ...
+//   svc.set_request_tap({});        // detach FIRST — the tap holds `rec`
+//   rec->finish(&err);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/design_service.h"
+#include "workload/trace.h"
+
+namespace stemcp::workload {
+
+class TraceRecorder {
+ public:
+  struct Stats {
+    std::uint64_t records = 0;  ///< lines written
+    std::uint64_t drops = 0;    ///< unrenderable requests / writes past death
+  };
+
+  /// Create/truncate the trace at `path`; nullptr (with `*error`) on failure.
+  static std::unique_ptr<TraceRecorder> open(const std::string& path,
+                                             std::string* error);
+
+  /// Record one request.  Thread-safe; the mutex makes the trace a total
+  /// order.  The clock is read UNDER the lock, so offsets are monotone by
+  /// construction.  Requests that cannot round-trip through the protocol
+  /// grammar (and everything after a failed write) are counted as drops,
+  /// never errors — recording must not perturb live traffic.
+  void record(const service::Request& r);
+
+  /// The function to hand to DesignService::set_request_tap.  Captures
+  /// `this`: detach the tap before destroying the recorder.
+  service::DesignService::RequestTap tap() {
+    return [this](const service::Request& r) { record(r); };
+  }
+
+  /// Flush and close the trace.  False if any write failed (drops > 0 from
+  /// unrenderable requests alone does not fail the finish).
+  bool finish(std::string* error = nullptr);
+
+  Stats stats() const;
+  const std::string& path() const { return writer_->path(); }
+
+ private:
+  explicit TraceRecorder(std::unique_ptr<TraceWriter> writer)
+      : writer_(std::move(writer)) {}
+
+  mutable std::mutex mu_;
+  std::unique_ptr<TraceWriter> writer_;
+  bool started_ = false;
+  bool dead_ = false;
+  std::uint64_t t0_ns_ = 0;
+  std::uint64_t last_offset_ns_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t drops_ = 0;
+  std::string line_scratch_;
+};
+
+}  // namespace stemcp::workload

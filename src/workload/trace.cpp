@@ -1,0 +1,224 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "persist/journal.h"
+#include "service/protocol.h"
+
+namespace stemcp::workload {
+
+namespace {
+
+constexpr std::string_view kMagic = "T1 ";
+constexpr std::size_t kCrcDigits = 8;
+
+bool fail(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return false;
+}
+
+bool is_hex_lower(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// "load <sess> file ..." — rejected before ServiceFrontEnd::parse gets a
+/// chance to slurp the file: traces must be self-contained.
+bool is_load_file_form(std::string_view line) {
+  std::istringstream in{std::string(line)};
+  std::string verb, session, mode;
+  in >> verb >> session >> mode;
+  return verb == "load" && mode == "file";
+}
+
+}  // namespace
+
+bool render_request(const service::Request& r, std::string* line,
+                    std::string* error) {
+  return service::ServiceFrontEnd::render(r, line, error);
+}
+
+bool encode_trace_line(std::uint64_t offset_ns, std::string_view line,
+                       std::string* out, std::string* error) {
+  if (line.empty()) return fail(error, "empty request line");
+  if (line.find('\n') != std::string_view::npos ||
+      line.find('\r') != std::string_view::npos) {
+    return fail(error, "request line contains a line break");
+  }
+  out->append(kMagic);
+  const std::size_t crc_at = out->size();
+  out->append("00000000 ");  // patched below, once the body is in place
+  const std::size_t body_at = out->size();
+  char digits[24];
+  const int n = std::snprintf(digits, sizeof digits, "%llu",
+                              static_cast<unsigned long long>(offset_ns));
+  out->append(digits, static_cast<std::size_t>(n));
+  out->push_back(' ');
+  out->append(line);
+  const std::uint32_t crc = persist::crc32(
+      std::string_view(out->data() + body_at, out->size() - body_at));
+  char hex[kCrcDigits + 1];
+  std::snprintf(hex, sizeof hex, "%08x", crc);
+  out->replace(crc_at, kCrcDigits, hex, kCrcDigits);
+  out->push_back('\n');
+  return true;
+}
+
+bool decode_trace_line(std::string_view encoded, TraceRecord* out,
+                       std::string* error) {
+  if (encoded.size() < kMagic.size() ||
+      encoded.substr(0, kMagic.size()) != kMagic) {
+    return fail(error, "bad magic (want 'T1 ')");
+  }
+  std::string_view rest = encoded.substr(kMagic.size());
+  if (rest.size() < kCrcDigits + 1 || rest[kCrcDigits] != ' ') {
+    return fail(error, "truncated CRC field");
+  }
+  std::uint32_t want = 0;
+  for (std::size_t i = 0; i < kCrcDigits; ++i) {
+    const char c = rest[i];
+    if (!is_hex_lower(c)) return fail(error, "CRC is not 8 lowercase hex digits");
+    want = want * 16 + static_cast<std::uint32_t>(
+                           c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  const std::string_view body = rest.substr(kCrcDigits + 1);
+  if (persist::crc32(body) != want) return fail(error, "CRC mismatch");
+
+  // <offset-ns> <request-line>
+  std::size_t i = 0;
+  std::uint64_t offset = 0;
+  while (i < body.size() && body[i] >= '0' && body[i] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(body[i] - '0');
+    if (offset > (UINT64_MAX - digit) / 10) {
+      return fail(error, "arrival offset overflows 64 bits");
+    }
+    offset = offset * 10 + digit;
+    ++i;
+  }
+  if (i == 0) return fail(error, "missing arrival offset");
+  if (i >= body.size() || body[i] != ' ') {
+    return fail(error, "missing request line after offset");
+  }
+  const std::string_view line = body.substr(i + 1);
+  if (line.empty()) return fail(error, "empty request line");
+  if (is_load_file_form(line)) {
+    return fail(error,
+                "'load ... file' is not allowed in traces (library text "
+                "must travel inline)");
+  }
+  service::Request req;
+  std::string perr;
+  if (!service::ServiceFrontEnd::parse(std::string(line), &req, &perr)) {
+    return fail(error, "bad request line: " + perr);
+  }
+  out->offset_ns = offset;
+  out->line.assign(line);
+  out->request = std::move(req);
+  return true;
+}
+
+TraceScan scan_trace_text(const std::string& contents) {
+  TraceScan scan;
+  std::size_t pos = 0;
+  while (pos < contents.size()) {
+    const std::size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Unterminated final line: a torn write, tolerated (journal rule).
+      scan.torn_tail = true;
+      break;
+    }
+    TraceRecord rec;
+    std::string derr;
+    const std::string_view line(contents.data() + pos, nl - pos);
+    if (!decode_trace_line(line, &rec, &derr)) {
+      if (contents.find('\n', nl + 1) == std::string::npos) {
+        // A bad record as the very last line could be a torn write whose
+        // tail happened to include '\n' garbage — tolerated, like the
+        // journal scanner.
+        scan.torn_tail = true;
+        break;
+      }
+      scan.error = "trace corrupt at byte " + std::to_string(pos) + ": " + derr;
+      return scan;
+    }
+    if (!scan.records.empty() && rec.offset_ns < scan.records.back().offset_ns) {
+      // A CRC-valid record cannot be a partial write, so time going
+      // backwards is corruption no matter where it sits.
+      scan.error = "trace disordered at byte " + std::to_string(pos) +
+                   ": offset " + std::to_string(rec.offset_ns) +
+                   " goes backwards (previous " +
+                   std::to_string(scan.records.back().offset_ns) + ")";
+      return scan;
+    }
+    scan.records.push_back(std::move(rec));
+    pos = nl + 1;
+    scan.bytes_scanned = pos;
+  }
+  return scan;
+}
+
+TraceScan scan_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    TraceScan scan;
+    scan.error = "cannot read trace '" + path + "'";
+    return scan;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return scan_trace_text(buf.str());
+}
+
+TraceWriter::TraceWriter(std::string path) : path_(std::move(path)) {}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+std::unique_ptr<TraceWriter> TraceWriter::open(const std::string& path,
+                                               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open trace '" + path + "' for write";
+    return nullptr;
+  }
+  std::unique_ptr<TraceWriter> w(new TraceWriter(path));
+  w->file_ = f;
+  return w;
+}
+
+bool TraceWriter::append(std::uint64_t offset_ns, std::string_view line,
+                         std::string* error) {
+  if (dead_ || file_ == nullptr) {
+    return fail(error, "trace writer is closed");
+  }
+  if (records_ > 0 && offset_ns < last_offset_ns_) {
+    return fail(error, "arrival offsets must be non-decreasing");
+  }
+  scratch_.clear();
+  if (!encode_trace_line(offset_ns, line, &scratch_, error)) return false;
+  if (std::fwrite(scratch_.data(), 1, scratch_.size(),
+                  static_cast<std::FILE*>(file_)) != scratch_.size()) {
+    dead_ = true;
+    return fail(error, "short write to trace '" + path_ + "'");
+  }
+  last_offset_ns_ = offset_ns;
+  ++records_;
+  return true;
+}
+
+bool TraceWriter::finish(std::string* error) {
+  if (file_ == nullptr) return fail(error, "trace writer is closed");
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  file_ = nullptr;
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (dead_) return fail(error, "trace '" + path_ + "' had a failed write");
+  if (!flushed || !closed) {
+    return fail(error, "flush/close of trace '" + path_ + "' failed");
+  }
+  return true;
+}
+
+}  // namespace stemcp::workload

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 
 #include "core/core.h"
 #include "service/telemetry.h"
+#include "workload/recorder.h"
 
 namespace {
 
@@ -213,6 +215,35 @@ TEST(HotPathTest, TelemetryRecordAllocatesNothing) {
   EXPECT_EQ(alloc_count(), before)
       << "per-request telemetry must not allocate in steady state";
   EXPECT_EQ(rec.requests_recorded(), 520u);
+}
+
+// The workload recorder rides the same dispatch path as telemetry
+// (src/workload/recorder.h): render + frame + fwrite through member scratch
+// buffers whose capacity sticks after the first few records.  Steady state
+// must add ZERO heap allocations per recorded request.
+TEST(HotPathTest, WorkloadRecorderRecordAllocatesNothing) {
+  const std::string path = testing::TempDir() + "stemcp_hotpath_rec.trace";
+  std::string err;
+  auto rec = workload::TraceRecorder::open(path, &err);
+  ASSERT_NE(rec, nullptr) << err;
+  service::Request r;
+  r.type = service::RequestType::kBatchAssign;
+  r.session = "hotpath";
+  r.assignments.push_back({"PIPE/s0.delay(in->out)", 1.25e-9});
+  r.assignments.push_back({"PIPE/s1.delay(in->out)", 2.5e-9});
+  for (int i = 0; i < 8; ++i) {  // warm-up: scratch + stdio buffer sizing
+    rec->record(r);
+  }
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 512; ++i) {
+    rec->record(r);
+  }
+  EXPECT_EQ(alloc_count(), before)
+      << "steady-state trace recording must not allocate";
+  ASSERT_TRUE(rec->finish(&err)) << err;
+  EXPECT_EQ(rec->stats().records, 520u);
+  EXPECT_EQ(rec->stats().drops, 0u);
+  std::remove(path.c_str());
 }
 
 // Violation log ring semantics: oldest entries drop in O(1), oldest-first

@@ -81,6 +81,24 @@ TEST_F(ShellTest, ErrorsAndHelp) {
   EXPECT_NE(shell.execute("vars").find("cell.a"), std::string::npos);
 }
 
+TEST_F(ShellTest, WorkloadVerbsNeedAnAttachedHandler) {
+  // `record` / `replay` are forwarded to the workload layer when one is
+  // attached (examples/constraint_shell.cpp wires it up); bare shells say so
+  // instead of guessing.
+  EXPECT_EQ(shell.execute("record status"), "no workload recorder attached\n");
+  EXPECT_EQ(shell.execute("replay /tmp/x.trace"),
+            "no workload recorder attached\n");
+  std::string seen;
+  shell.attach_workload([&seen](const std::string& line) {
+    seen = line;
+    return std::string("handled\n");
+  });
+  EXPECT_EQ(shell.execute("record start /tmp/x.trace"), "handled\n");
+  EXPECT_EQ(seen, "record start /tmp/x.trace")
+      << "the full command line reaches the handler";
+  EXPECT_NE(shell.execute("help").find("record start"), std::string::npos);
+}
+
 TEST_F(ShellTest, AliasRegistration) {
   shell.register_variable("alpha", a);
   shell.execute("set alpha 3");

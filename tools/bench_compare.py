@@ -21,6 +21,12 @@ Usage:
       Consolidate several per-binary bench JSONs into one BENCH.json
       ({"benches": [...]}) for trajectory tracking.
 
+  tools/bench_compare.py self-check
+      Exercise this tool's own error paths (missing file, bad JSON, unknown
+      gate arm, record without timings) and assert each one dies with a
+      ONE-LINE diagnostic and a nonzero exit — never a traceback.  Run by
+      tools/run_tier1.sh so a refactor cannot quietly bring tracebacks back.
+
   tools/bench_compare.py gate BENCH.json --bench B --base ARM --test ARM
       (--phase queue,lock [--percentile 99] | --counter NAME | --time)
       [--improve 2.0]
@@ -42,6 +48,29 @@ import argparse
 import json
 import os
 import sys
+import tempfile
+
+
+def load_json(path):
+    """json.load with one-line diagnostics instead of tracebacks."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {e}")
+
+
+def real_time_of(rec, name):
+    """A record's per-iteration real time, or a one-line exit if absent."""
+    t = rec.get("real_time_ns_per_iter")
+    if t is None:
+        sys.exit(
+            f"bench_compare: benchmark '{name}' has no real_time_ns_per_iter "
+            "(not a timing record?)"
+        )
+    return t
 
 
 def load_benchmarks(path):
@@ -62,8 +91,7 @@ def load_benchmarks(path):
     time_unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     out = {}
     for f in files:
-        with open(f, encoding="utf-8") as fh:
-            doc = json.load(fh)
+        doc = load_json(f)
         if "context" in doc and "benchmarks" in doc:
             # Google Benchmark --benchmark_out format: real_time is already
             # per-iteration, expressed in time_unit.
@@ -75,7 +103,7 @@ def load_benchmarks(path):
                 out[f"{exe}:{rec['name']}"] = {
                     "name": rec["name"],
                     "iterations": rec.get("iterations", 0),
-                    "real_time_ns_per_iter": rec["real_time"] * scale,
+                    "real_time_ns_per_iter": rec.get("real_time", 0) * scale,
                     "cpu_time_ns_per_iter": rec.get("cpu_time", 0) * scale,
                 }
             continue
@@ -97,8 +125,7 @@ def merge(out_path, in_paths):
             print(f"bench_compare: warning: skipping missing input {p}",
                   file=sys.stderr)
             continue
-        with open(p, encoding="utf-8") as fh:
-            doc = json.load(fh)
+        doc = load_json(p)
         benches.extend(doc.get("benches", [doc]))
     if not benches:
         sys.exit("bench_compare: merge found no readable bench JSONs")
@@ -151,8 +178,8 @@ def compare(old_path, new_path, threshold, show_metrics, phases=None,
             o = phase_sum(old[name], phases, percentile)
             n = phase_sum(new[name], phases, percentile)
         else:
-            o = old[name]["real_time_ns_per_iter"]
-            n = new[name]["real_time_ns_per_iter"]
+            o = real_time_of(old[name], name)
+            n = real_time_of(new[name], name)
         if o <= 0:
             continue
         delta = (n - o) / o
@@ -207,30 +234,35 @@ def collect_counters(path):
     )
     totals = {}
     for f in files:
-        with open(f, encoding="utf-8") as fh:
-            doc = json.load(fh)
+        doc = load_json(f)
         for bench_doc in doc.get("benches", [doc]):
             for key, v in bench_doc.get("metrics", {}).get("counters", {}).items():
                 totals[key] = totals.get(key, 0) + v
     return totals
 
 
-def find_arm(benchmarks, bench, arm):
+def find_arm(benchmarks, bench, arm, run_path):
     """The unique record whose qualified name starts with 'bench:arm'."""
     prefix = f"{bench}:{arm}"
     hits = [k for k in benchmarks if k == prefix or k.startswith(prefix + "/")]
-    if len(hits) != 1:
+    if not hits:
+        have = ", ".join(sorted(benchmarks)) or "nothing"
         sys.exit(
-            f"bench_compare: arm '{prefix}' matched {len(hits)} benchmark(s): "
-            f"{', '.join(sorted(hits)) or 'none'}"
+            f"bench_compare: arm '{prefix}' not found in snapshot {run_path} "
+            f"(have: {have})"
+        )
+    if len(hits) > 1:
+        sys.exit(
+            f"bench_compare: arm '{prefix}' is ambiguous in snapshot "
+            f"{run_path} (matches: {', '.join(sorted(hits))})"
         )
     return benchmarks[hits[0]]
 
 
 def gate(args):
     benchmarks = load_benchmarks(args.run)
-    base = find_arm(benchmarks, args.bench, args.base)
-    test = find_arm(benchmarks, args.bench, args.test)
+    base = find_arm(benchmarks, args.bench, args.base, args.run)
+    test = find_arm(benchmarks, args.bench, args.test, args.run)
     modes = sum(1 for m in (args.phase, args.counter) if m) + (
         1 if args.time else 0)
     if modes != 1:
@@ -254,8 +286,8 @@ def gate(args):
         fmt = lambda v: f"{v:g}"  # noqa: E731 — counters are unitless
     else:
         label = "real_time_ns_per_iter"
-        base_q = base["real_time_ns_per_iter"]
-        test_q = test["real_time_ns_per_iter"]
+        base_q = real_time_of(base, args.base)
+        test_q = real_time_of(test, args.test)
 
     ratio = base_q / test_q if test_q > 0 else float("inf")
     ok = ratio >= args.improve
@@ -290,7 +322,90 @@ def gate(args):
     return 0 if ok else 1
 
 
+def self_check():
+    """Assert the error paths die with one-line diagnostics, not tracebacks."""
+    failures = []
+
+    def expect_exit(what, fn, *needles):
+        try:
+            fn()
+        except SystemExit as e:
+            msg = str(e.code) if isinstance(e.code, str) else ""
+            if not msg:
+                failures.append(f"{what}: exited without a diagnostic")
+            elif "\n" in msg.strip():
+                failures.append(f"{what}: diagnostic is not one line: {msg!r}")
+            else:
+                for needle in needles:
+                    if needle not in msg:
+                        failures.append(
+                            f"{what}: diagnostic {msg!r} lacks {needle!r}")
+            return
+        except Exception as e:  # noqa: BLE001 — the thing we guard against
+            failures.append(f"{what}: raised {type(e).__name__} ({e}) "
+                            "instead of a clean exit")
+            return
+        failures.append(f"{what}: did not fail at all")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bad_json = os.path.join(tmp, "bad.json")
+        with open(bad_json, "w", encoding="utf-8") as fh:
+            fh.write("{ not json")
+        snap = os.path.join(tmp, "snap.json")
+        with open(snap, "w", encoding="utf-8") as fh:
+            json.dump({"benches": [{
+                "bench": "bench_x",
+                "benchmarks": [
+                    {"name": "BM_A/iterations:1", "counters": {"e2e_p99": 5}},
+                    {"name": "BM_B/1", "real_time_ns_per_iter": 10},
+                    {"name": "BM_B/2", "real_time_ns_per_iter": 10},
+                ],
+            }]}, fh)
+
+        missing = os.path.join(tmp, "no_such.json")
+        expect_exit("missing file", lambda: load_json(missing),
+                    "cannot read", missing)
+        expect_exit("invalid JSON", lambda: load_json(bad_json),
+                    "not valid JSON", bad_json)
+
+        benchmarks = load_benchmarks(snap)
+        expect_exit(
+            "unknown arm",
+            lambda: find_arm(benchmarks, "bench_x", "BM_Nope", snap),
+            f"arm 'bench_x:BM_Nope' not found in snapshot {snap}",
+            "(have: ",
+        )
+        expect_exit(
+            "ambiguous arm",
+            lambda: find_arm(benchmarks, "bench_x", "BM_B", snap),
+            "ambiguous", "BM_B/1", "BM_B/2",
+        )
+        expect_exit(
+            "record without timing",
+            lambda: real_time_of(benchmarks["bench_x:BM_A/iterations:1"],
+                                 "bench_x:BM_A/iterations:1"),
+            "no real_time_ns_per_iter",
+        )
+        expect_exit(
+            "missing phase counters",
+            lambda: sys.exit("bench_compare: gate arms lack the q_p99 counters")
+            if phase_sum(benchmarks["bench_x:BM_A/iterations:1"], ["q"], "99")
+            is None else None,
+            "lack the q_p99 counters",
+        )
+
+    if failures:
+        for f in failures:
+            print(f"self-check: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("self-check: PASS (6 error path(s) die cleanly)")
+    return 0
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "self-check":
+        return self_check()
+
     if len(sys.argv) >= 2 and sys.argv[1] == "merge":
         if len(sys.argv) < 4:
             sys.exit("usage: bench_compare.py merge OUT.json IN.json [IN.json ...]")

@@ -23,13 +23,14 @@ cd "$(dirname "$0")/.."
 SANITIZERS="${STEMCP_SANITIZE:-address,undefined}"
 # Tests exercising shared state from multiple threads: the design service,
 # the line-protocol front end over it, and the process-global metrics.
-TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder|ShardStress|ShardRecovery|FdService|GroupCommitHammer'
+TSAN_FILTER='DesignService|ServiceProtocol|GlobalMetrics|Telemetry|FlightRecorder|ShardStress|ShardRecovery|FdService|GroupCommitHammer|WorkloadReplay'
 # The durability layer: raw-fd journal I/O, checkpoint rename dance, replay,
 # and the reader's append-rollback path — everything that touches memory by
-# hand.  Run under ASan/UBSan by --asan.
-ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns|Fd|GroupCommit|Segment'
+# hand.  Run under ASan/UBSan by --asan.  The workload trace codec/scanner
+# (CRC framing, torn-tail scan, FILE* writer) belongs to the same surface.
+ASAN_FILTER='Journal|Crc32|FsyncPolicy|RecordCodec|Checkpoint|AtomicWrite|Persistence|IoTest|IoSeeds|ExampleDesigns|Fd|GroupCommit|Segment|Trace|Workload'
 # The hottest benchmarks, smoked by --bench.
-BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence bench_latency_under_load bench_fd_selection"
+BENCH_SMOKE="bench_fig4_5_simple_network bench_agenda_scheduling bench_design_service bench_persistence bench_latency_under_load bench_fd_selection bench_workload_replay"
 RUN_PLAIN=1
 RUN_SANITIZED=1
 RUN_TSAN=1
@@ -55,6 +56,9 @@ run_suite() {
 if [[ "$RUN_PLAIN" == 1 ]]; then
   echo "== tier-1: plain =="
   run_suite build
+  # The bench tooling's own error paths must die with one-line diagnostics,
+  # never tracebacks (tools/bench_compare.py self-check).
+  tools/bench_compare.py self-check
 fi
 
 if [[ "$RUN_SANITIZED" == 1 ]]; then
@@ -85,6 +89,7 @@ fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== tier-1: bench smoke (Release) =="
+  tools/bench_compare.py self-check
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-bench -j "$(nproc)" --target $BENCH_SMOKE
   stats_files=()
@@ -168,6 +173,21 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     fi
   else
     echo "no committed snapshot in bench/snapshots/ to diff against"
+  fi
+  # Macro-workload end-to-end latency (ISSUE 10, docs/WORKLOAD.md): diff the
+  # e2e p99 of every bench exporting it — the open-loop workload replay and
+  # the latency-under-load arms — against the same snapshot.  Fatal only with
+  # STEMCP_BENCH_GATE=1, like the wall-time diff.
+  if [[ -n "$latest_snapshot" ]]; then
+    echo "== e2e p99 diff vs $latest_snapshot =="
+    if ! tools/bench_compare.py "$latest_snapshot" build-bench/BENCH.json \
+        --phase e2e --percentile 99 --threshold 0.25; then
+      if [[ "${STEMCP_BENCH_GATE:-0}" == 1 ]]; then
+        echo "e2e p99 gate failed (vs $latest_snapshot)" >&2
+        exit 1
+      fi
+      echo "(e2e p99 regressions reported; STEMCP_BENCH_GATE=1 makes this fatal)"
+    fi
   fi
   # STEMCP_BENCH_RECORD=<path> snapshots this run (e.g.
   # bench/snapshots/BENCH_0007.json) for future trajectory diffs.  Recorded

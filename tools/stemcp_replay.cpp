@@ -1,0 +1,265 @@
+// stemcp_replay: the trace-driven workload CLI (ISSUE 10, docs/WORKLOAD.md).
+//
+//   stemcp_replay synthesize <scenario> -o <trace>
+//       Generate a deterministic trace from a scenario spec.
+//   stemcp_replay record <scenario> -o <trace> [--images <dir>] [--shards N]
+//       Drive the scenario through a LIVE service closed-loop with the
+//       recorder tap armed: the written trace carries measured arrival
+//       offsets, and --images saves each surviving session's image as the
+//       reference for later `replay --verify-images` runs.
+//   stemcp_replay replay <trace> [--closed-loop] [--speed X] [--shards N]
+//       [--workers N] [--journal <base>] [--journal-spec <spec>]
+//       [--journal-root <dir>] [--save-images <dir>] [--verify-images <dir>]
+//       [--no-images]
+//       Drive a fresh service with the trace, open-loop by default
+//       (recorded arrivals, scaled by --speed), and print the report.
+//       --verify-images makes recorded traces a correctness oracle: every
+//       session image must match <dir>/<session>.lib byte-for-byte or the
+//       exit code is nonzero.
+//   stemcp_replay describe <trace-or-scenario>
+//       Summarize a trace (records, span, sessions, verb mix, torn tail) or
+//       echo a scenario in canonical form.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.h"
+#include "service/design_service.h"
+#include "workload/recorder.h"
+#include "workload/replay.h"
+#include "workload/synth.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace stemcp;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s synthesize <scenario> -o <trace>\n"
+               "       %s record <scenario> -o <trace> [--images <dir>] "
+               "[--shards N]\n"
+               "       %s replay <trace> [--closed-loop] [--speed X] "
+               "[--shards N] [--workers N]\n"
+               "           [--journal <base>] [--journal-spec <spec>] "
+               "[--journal-root <dir>]\n"
+               "           [--save-images <dir>] [--verify-images <dir>] "
+               "[--no-images]\n"
+               "       %s describe <trace-or-scenario>\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+int die(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+bool read_image_file(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int write_images(const workload::ReplayReport& report, const std::string& dir) {
+  std::string err;
+  if (!persist::ensure_directories(dir, &err)) return die(err);
+  for (const auto& [session, image] : report.images) {
+    const std::string path = dir + "/" + session + ".lib";
+    if (!persist::atomic_write_file(path, image, &err)) return die(err);
+  }
+  std::printf("%zu image(s) written to %s\n", report.images.size(),
+              dir.c_str());
+  return 0;
+}
+
+int verify_against_dir(const workload::ReplayReport& report,
+                       const std::string& dir) {
+  std::map<std::string, std::string> want;
+  for (const auto& [session, image] : report.images) {
+    (void)image;
+    const std::string path = dir + "/" + session + ".lib";
+    if (!read_image_file(path, &want[session])) {
+      return die("cannot read reference image '" + path + "'");
+    }
+  }
+  std::string diff;
+  if (!workload::verify_images(report.images, want, &diff)) {
+    return die("image verification FAILED: " + diff);
+  }
+  std::printf("%zu image(s) verified byte-identical against %s\n",
+              report.images.size(), dir.c_str());
+  return 0;
+}
+
+int cmd_synthesize(const std::vector<std::string>& args, const char* argv0) {
+  std::string scenario_path, trace_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (scenario_path.empty()) {
+      scenario_path = args[i];
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (scenario_path.empty() || trace_path.empty()) return usage(argv0);
+  workload::Scenario sc;
+  std::string err;
+  if (!workload::load_scenario_file(scenario_path, &sc, &err)) return die(err);
+  if (!workload::synthesize_to_file(sc, trace_path, &err)) return die(err);
+  const workload::TraceScan scan = workload::scan_trace_file(trace_path);
+  if (!scan.error.empty()) return die(scan.error);
+  std::printf("%zu record(s) (%.3f s span) written to %s\n",
+              scan.records.size(),
+              static_cast<double>(scan.records.back().offset_ns) / 1e9,
+              trace_path.c_str());
+  return 0;
+}
+
+int cmd_record(const std::vector<std::string>& args, const char* argv0) {
+  std::string scenario_path, trace_path, images_dir;
+  std::size_t shards = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--images" && i + 1 < args.size()) {
+      images_dir = args[++i];
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      shards = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (scenario_path.empty()) {
+      scenario_path = args[i];
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (scenario_path.empty() || trace_path.empty()) return usage(argv0);
+  workload::Scenario sc;
+  std::string err;
+  if (!workload::load_scenario_file(scenario_path, &sc, &err)) return die(err);
+
+  std::unique_ptr<workload::TraceRecorder> rec =
+      workload::TraceRecorder::open(trace_path, &err);
+  if (rec == nullptr) return die(err);
+  workload::ReplayOptions opts;
+  opts.closed_loop = true;  // a live run: as fast as the service absorbs
+  opts.shards = shards;
+  opts.recorder = rec.get();
+  workload::ReplayReport report;
+  if (!workload::replay_records(workload::synthesize(sc), opts, &report,
+                                &err)) {
+    return die(err);
+  }
+  if (!rec->finish(&err)) return die(err);
+  const workload::TraceRecorder::Stats stats = rec->stats();
+  std::printf("%llu record(s) recorded to %s (%llu drop(s))\n",
+              static_cast<unsigned long long>(stats.records),
+              trace_path.c_str(), static_cast<unsigned long long>(stats.drops));
+  std::fputs(report.render().c_str(), stdout);
+  if (!images_dir.empty()) return write_images(report, images_dir);
+  return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args, const char* argv0) {
+  std::string trace_path, save_dir, verify_dir;
+  workload::ReplayOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--closed-loop") {
+      opts.closed_loop = true;
+    } else if (a == "--speed" && i + 1 < args.size()) {
+      opts.speed = std::stod(args[++i]);
+    } else if (a == "--shards" && i + 1 < args.size()) {
+      opts.shards = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (a == "--workers" && i + 1 < args.size()) {
+      opts.workers_per_shard = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (a == "--journal" && i + 1 < args.size()) {
+      opts.journal_base = args[++i];
+    } else if (a == "--journal-spec" && i + 1 < args.size()) {
+      opts.journal_spec = args[++i];
+    } else if (a == "--journal-root" && i + 1 < args.size()) {
+      opts.journal_root = args[++i];
+    } else if (a == "--save-images" && i + 1 < args.size()) {
+      save_dir = args[++i];
+    } else if (a == "--verify-images" && i + 1 < args.size()) {
+      verify_dir = args[++i];
+    } else if (a == "--no-images") {
+      opts.collect_images = false;
+    } else if (trace_path.empty()) {
+      trace_path = a;
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (trace_path.empty()) return usage(argv0);
+  workload::ReplayReport report;
+  std::string err;
+  if (!workload::replay_file(trace_path, opts, &report, &err)) return die(err);
+  std::fputs(report.render().c_str(), stdout);
+  if (!save_dir.empty()) {
+    const int rc = write_images(report, save_dir);
+    if (rc != 0) return rc;
+  }
+  if (!verify_dir.empty()) return verify_against_dir(report, verify_dir);
+  return 0;
+}
+
+int cmd_describe(const std::vector<std::string>& args, const char* argv0) {
+  if (args.size() != 1) return usage(argv0);
+  const std::string& path = args[0];
+  std::string head;
+  {
+    std::ifstream f(path);
+    if (!f.good()) return die("cannot read '" + path + "'");
+    std::getline(f, head);
+  }
+  if (head.rfind("# stemcp-scenario", 0) == 0) {
+    workload::Scenario sc;
+    std::string err;
+    if (!workload::load_scenario_file(path, &sc, &err)) return die(err);
+    std::fputs(workload::scenario_to_string(sc).c_str(), stdout);
+    return 0;
+  }
+  const workload::TraceScan scan = workload::scan_trace_file(path);
+  if (!scan.error.empty()) return die(scan.error);
+  if (scan.records.empty()) return die("trace has no records");
+  std::map<std::string, std::uint64_t> verbs;
+  std::map<std::string, std::uint64_t> sessions;
+  for (const workload::TraceRecord& rec : scan.records) {
+    ++verbs[service::to_string(rec.request.type)];
+    ++sessions[rec.request.session];
+  }
+  std::printf("%zu record(s), %zu session(s), %.3f s span%s\n",
+              scan.records.size(), sessions.size(),
+              static_cast<double>(scan.records.back().offset_ns) / 1e9,
+              scan.torn_tail ? ", torn tail" : "");
+  for (const auto& [verb, count] : verbs) {
+    std::printf("  %-13s %llu\n", verb.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "synthesize") return cmd_synthesize(args, argv[0]);
+    if (cmd == "record") return cmd_record(args, argv[0]);
+    if (cmd == "replay") return cmd_replay(args, argv[0]);
+    if (cmd == "describe") return cmd_describe(args, argv[0]);
+  } catch (const std::exception& e) {
+    return die(e.what());
+  }
+  return usage(argv[0]);
+}
